@@ -1,0 +1,158 @@
+(* qr-dtm: regenerate the paper's figures/tables or run custom experiments.
+
+   Examples:
+     qr-dtm figure 5 --bench slist
+     qr-dtm figure 10 --scale full
+     qr-dtm table
+     qr-dtm summary
+     qr-dtm run --bench bank --mode closed --reads 0.2 --calls 4
+     qr-dtm all --scale quick *)
+
+open Cmdliner
+
+let scale_of_string = function
+  | "full" -> Harness.Figures.full
+  | "quick" -> Harness.Figures.quick
+  | other -> failwith (Printf.sprintf "unknown scale %S (quick|full)" other)
+
+let scale_arg =
+  let doc = "Run scale: $(b,quick) (seconds per point) or $(b,full) (paper-like)." in
+  Arg.(value & opt string "quick" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let bench_arg =
+  let doc = "Benchmark name (bank, hashmap, slist, rbtree, vacation, bst, counter)." in
+  Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"BENCH" ~doc)
+
+let lookup_bench name =
+  match Benchmarks.Registry.find name with
+  | Some b -> b
+  | None ->
+    failwith
+      (Printf.sprintf "unknown benchmark %S (expected one of: %s)" name
+         (String.concat ", " (Benchmarks.Registry.names ())))
+
+let selected_benchmarks = function
+  | Some name -> [ lookup_bench name ]
+  | None -> Benchmarks.Registry.paper_suite
+
+let print_series series = print_string (Harness.Report.render series)
+
+let figure_cmd =
+  let number_arg =
+    let doc = "Figure number: 5, 6, 7, 9 or 10." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+  in
+  let run number scale bench =
+    let scale = scale_of_string scale in
+    begin
+      match number with
+      | 5 ->
+        List.iter
+          (fun benchmark -> print_series (Harness.Figures.fig5 ~scale ~benchmark ()))
+          (selected_benchmarks bench)
+      | 6 ->
+        List.iter
+          (fun benchmark -> print_series (Harness.Figures.fig6 ~scale ~benchmark ()))
+          (selected_benchmarks bench)
+      | 7 ->
+        List.iter
+          (fun benchmark -> print_series (Harness.Figures.fig7 ~scale ~benchmark ()))
+          (selected_benchmarks bench)
+      | 9 -> List.iter print_series (Harness.Figures.fig9 ~scale ())
+      | 10 -> print_series (Harness.Figures.fig10 ~scale ())
+      | n -> failwith (Printf.sprintf "no figure %d (5, 6, 7, 9, 10)" n)
+    end
+  in
+  let info = Cmd.info "figure" ~doc:"Regenerate one of the paper's figures" in
+  Cmd.v info Term.(const run $ number_arg $ scale_arg $ bench_arg)
+
+let table_cmd =
+  let run scale = print_series (Harness.Figures.table8 ~scale:(scale_of_string scale) ()) in
+  let info = Cmd.info "table" ~doc:"Regenerate the abort/message table (paper Fig. 8)" in
+  Cmd.v info Term.(const run $ scale_arg)
+
+let summary_cmd =
+  let run scale = print_series (Harness.Figures.summary ~scale:(scale_of_string scale) ()) in
+  let info = Cmd.info "summary" ~doc:"Headline paper-claim aggregates" in
+  Cmd.v info Term.(const run $ scale_arg)
+
+let run_cmd =
+  let mode_arg =
+    let doc = "Execution model: flat, closed or checkpoint." in
+    Arg.(value & opt string "closed" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let reads_arg =
+    Arg.(value & opt float 0.5 & info [ "reads" ] ~docv:"R" ~doc:"Read ratio in [0,1].")
+  in
+  let calls_arg =
+    Arg.(value & opt int 3 & info [ "calls" ] ~docv:"N" ~doc:"Closed-nested calls per txn.")
+  in
+  let objects_arg =
+    Arg.(value & opt (some int) None & info [ "objects" ] ~docv:"N" ~doc:"Population size.")
+  in
+  let nodes_arg = Arg.(value & opt int 13 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.") in
+  let clients_arg =
+    Arg.(value & opt int 26 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 10_000. & info [ "duration" ] ~docv:"MS" ~doc:"Window, ms.")
+  in
+  let seed_arg = Arg.(value & opt int 97 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.") in
+  let skew_arg =
+    Arg.(value & opt float 0.5 & info [ "skew" ] ~docv:"S" ~doc:"Zipf key skew.")
+  in
+  let run bench mode reads calls objects nodes clients duration seed skew =
+    let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
+    let mode =
+      match mode with
+      | "flat" -> Core.Config.Flat
+      | "closed" -> Core.Config.Closed
+      | "checkpoint" -> Core.Config.Checkpoint
+      | other -> failwith (Printf.sprintf "unknown mode %S" other)
+    in
+    let params =
+      {
+        Benchmarks.Workload.objects =
+          Option.value ~default:(Harness.Figures.benchmark_objects benchmark.name) objects;
+        calls;
+        read_ratio = reads;
+        key_skew = skew;
+      }
+    in
+    let result =
+      Harness.Experiment.run ~nodes ~seed ~clients ~duration
+        ~config:(Core.Config.default mode) ~benchmark ~params ()
+    in
+    Format.printf "%a@." Harness.Experiment.pp_result result
+  in
+  let info = Cmd.info "run" ~doc:"Run one custom experiment point" in
+  Cmd.v info
+    Term.(
+      const run $ bench_arg $ mode_arg $ reads_arg $ calls_arg $ objects_arg $ nodes_arg
+      $ clients_arg $ duration_arg $ seed_arg $ skew_arg)
+
+let all_cmd =
+  let run scale =
+    let scale = scale_of_string scale in
+    List.iter
+      (fun benchmark ->
+        print_series (Harness.Figures.fig5 ~scale ~benchmark ());
+        print_series (Harness.Figures.fig6 ~scale ~benchmark ());
+        print_series (Harness.Figures.fig7 ~scale ~benchmark ()))
+      Benchmarks.Registry.paper_suite;
+    print_series (Harness.Figures.table8 ~scale ());
+    List.iter print_series (Harness.Figures.fig9 ~scale ());
+    print_series (Harness.Figures.fig10 ~scale ());
+    print_series (Harness.Figures.summary ~scale ())
+  in
+  let info = Cmd.info "all" ~doc:"Regenerate every figure and table" in
+  Cmd.v info Term.(const run $ scale_arg)
+
+let main =
+  let info =
+    Cmd.info "qr-dtm"
+      ~doc:"Quorum-based replicated DTM with closed nesting and checkpointing"
+  in
+  Cmd.group info [ figure_cmd; table_cmd; summary_cmd; run_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bank_demo.ml: Array Benchmarks Cluster Config Core Executor List Metrics Printf Store Txn

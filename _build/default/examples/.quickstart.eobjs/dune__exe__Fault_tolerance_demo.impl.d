@@ -1,0 +1,1 @@
+examples/fault_tolerance_demo.ml: Array Benchmarks Cluster Config Core Executor Float Fun Harness List Printf Store String Util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Config Core Executor List Metrics Printf Store Txn

@@ -1,0 +1,1 @@
+examples/vacation_demo.ml: Benchmarks Cluster Config Core Executor List Metrics Printf Store Util

@@ -1,0 +1,1 @@
+lib/baselines/decent.mli: Core

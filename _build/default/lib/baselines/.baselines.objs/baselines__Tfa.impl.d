@@ -1,0 +1,1 @@
+lib/baselines/tfa.ml: Array Core Executor Float Hashtbl Ids List Metrics Option Oracle Rwset Sim Stdlib Store Txn Util

@@ -1,0 +1,357 @@
+open Core
+
+type request =
+  | Locate of { oid : Ids.obj_id }
+      (* fetch the object's commit record (which version chain to read) —
+         Decent-STM's snapshot algorithm needs this indirection before the
+         version data itself, doubling the read-path round trips *)
+  | Snapshot_read of { oid : Ids.obj_id; snapshot : float }
+  | Commit_vote of {
+      txn : Ids.txn_id;
+      reads : (Ids.obj_id * int) list;
+      writes : (Ids.obj_id * int) list; (* (oid, base version) *)
+    }
+  | Broadcast_apply of {
+      txn : Ids.txn_id;
+      writes : (Ids.obj_id * int * Txn.value) list;
+      time : float;
+    }
+  | Unlock of { txn : Ids.txn_id; oids : Ids.obj_id list }
+
+type read_result = Got of { version : int; value : Txn.value } | Trimmed
+type reply = Version of read_result | Vote of bool | Record
+
+type t = {
+  engine : Sim.Engine.t;
+  network : (request, reply) Sim.Rpc.envelope Sim.Network.t;
+  rpc : (request, reply) Sim.Rpc.t;
+  histories : Store.Multiversion.t array;
+  locks : (Ids.obj_id, Ids.txn_id) Hashtbl.t array;
+  metrics : Metrics.t;
+  oracle : Oracle.t option;
+  ids : Ids.gen;
+  rng : Util.Rng.t;
+  node_count : int;
+}
+
+let responsible t oid = oid mod t.node_count
+
+let serve t node ~src:_ request =
+  let history = t.histories.(node) in
+  let locks = t.locks.(node) in
+  match request with
+  | Locate _ -> Some Record
+  | Snapshot_read { oid; snapshot } ->
+    begin
+      match Store.Multiversion.at_or_before history ~oid ~time:snapshot with
+      | Some (version, value) -> Some (Version (Got { version; value }))
+      | None -> Some (Version Trimmed)
+    end
+  | Commit_vote { txn; reads; writes } ->
+    let fresh (oid, version) = Store.Multiversion.version history ~oid = version in
+    let unlocked (oid, _) =
+      match Hashtbl.find_opt locks oid with None -> true | Some owner -> owner = txn
+    in
+    if List.for_all fresh reads && List.for_all fresh writes
+       && List.for_all unlocked writes
+    then begin
+      List.iter (fun (oid, _) -> Hashtbl.replace locks oid txn) writes;
+      Some (Vote true)
+    end
+    else Some (Vote false)
+  | Broadcast_apply { txn; writes; time } ->
+    List.iter
+      (fun (oid, version, value) ->
+        Store.Multiversion.commit history ~oid ~version ~value ~time;
+        match Hashtbl.find_opt locks oid with
+        | Some owner when owner = txn -> Hashtbl.remove locks oid
+        | Some _ | None -> ())
+      writes;
+    None
+  | Unlock { txn; oids } ->
+    List.iter
+      (fun oid ->
+        match Hashtbl.find_opt locks oid with
+        | Some owner when owner = txn -> Hashtbl.remove locks oid
+        | Some _ | None -> ())
+      oids;
+    None
+
+let create ?(nodes = 13) ?(seed = 5) ?(service_time = 0.5) ?(history_limit = 16)
+    ?(with_oracle = true) () =
+  let engine = Sim.Engine.create () in
+  let topology = Sim.Topology.create ~seed:(seed + 1) ~nodes () in
+  let network = Sim.Network.create ~engine ~topology ~service_time ~seed:(seed + 2) () in
+  let rpc = Sim.Rpc.create ~network () in
+  let t =
+    {
+      engine;
+      network;
+      rpc;
+      histories = Array.init nodes (fun _ -> Store.Multiversion.create ~history_limit ());
+      locks = Array.init nodes (fun _ -> Hashtbl.create 64);
+      metrics = Metrics.create ();
+      oracle = (if with_oracle then Some (Oracle.create ()) else None);
+      ids = Ids.gen ();
+      rng = Util.Rng.create (seed + 3);
+      node_count = nodes;
+    }
+  in
+  for node = 0 to nodes - 1 do
+    Sim.Rpc.serve rpc ~node (serve t node)
+  done;
+  t
+
+let nodes t = t.node_count
+let now t = Sim.Engine.now t.engine
+let metrics t = t.metrics
+let messages_sent t = Sim.Network.messages_sent t.network
+
+let alloc_object t ~init =
+  let oid = Ids.fresh_obj t.ids in
+  Array.iter (fun history -> Store.Multiversion.ensure history ~oid ~init) t.histories;
+  oid
+
+let latest_value t ~oid = snd (Store.Multiversion.latest t.histories.(responsible t oid) ~oid)
+let run_for t duration = Sim.Engine.run ~until:(now t +. duration) t.engine
+let drain t = Sim.Engine.run t.engine
+
+let reset_counters t =
+  Metrics.reset t.metrics;
+  Sim.Network.reset_counters t.network
+
+let check_consistency t =
+  match t.oracle with
+  | Some oracle -> Oracle.check oracle
+  | None -> Error "oracle disabled"
+
+(* --- client-side execution ------------------------------------------- *)
+
+type txn_state = {
+  sys : t;
+  node : int;
+  program : unit -> Txn.t;
+  on_done : Executor.outcome -> unit;
+  mutable txn_id : Ids.txn_id;
+  mutable snapshot : float;
+  mutable rset : Rwset.t;
+  mutable wset : Rwset.t;
+  mutable attempt : int;
+  born : float;
+  mutable steps : int;
+  mutable generation : int;
+  mutable finished : bool;
+}
+
+let timeout = 2_000.
+let jittered t base = base *. (0.5 +. Util.Rng.float t.rng 1.0)
+let live st generation = (not st.finished) && st.generation = generation
+
+let rec start_attempt st =
+  st.generation <- st.generation + 1;
+  st.txn_id <- Ids.fresh_txn st.sys.ids;
+  st.snapshot <- now st.sys;
+  st.rset <- Rwset.empty;
+  st.wset <- Rwset.empty;
+  st.steps <- 0;
+  step st (st.program ())
+
+and step st prog =
+  Sim.Engine.schedule st.sys.engine ~delay:0.02 (fun () ->
+      if not st.finished then begin
+        st.steps <- st.steps + 1;
+        if st.steps > 20_000 then abort_retry st else interpret st prog
+      end)
+
+and interpret st prog =
+  match prog with
+  | Txn.Return v -> commit st v
+  | Txn.Fail msg -> finish st (Executor.Failed msg)
+  | Txn.Nested (body, k) -> step st (Txn.bind (body ()) k)
+  | Txn.Open { body; compensate = _; k } ->
+    (* Baselines flatten open nesting into the parent: strictly more
+       atomic, so the compensation can never be needed. *)
+    step st (Txn.bind (body ()) k)
+  | Txn.Checkpoint k -> step st (k ())
+  | Txn.Read (oid, k) -> access st ~oid ~write:None ~k
+  | Txn.Write (oid, v, k) -> access st ~oid ~write:(Some v) ~k:(fun _ -> k ())
+
+and access st ~oid ~write ~k =
+  let local =
+    match Rwset.find st.wset oid with
+    | Some e -> Some e
+    | None -> Rwset.find st.rset oid
+  in
+  match local with
+  | Some entry ->
+    Metrics.note_local_read st.sys.metrics;
+    record st ~oid ~version:entry.version ~value:entry.value ~write;
+    step st (k entry.value)
+  | None ->
+    let generation = st.generation in
+    let dst = responsible st.sys oid in
+    (* Round 1: locate the commit record; round 2: fetch the snapshot
+       version.  The two-step read path is Decent-STM's principal overhead
+       versus QR's single quorum round. *)
+    Sim.Rpc.call st.sys.rpc ~kind:"locate" ~src:st.node ~dst ~timeout (Locate { oid })
+      ~on_reply:(fun reply ->
+        if live st generation then
+          match reply with
+          | Record | Version _ | Vote _ ->
+            Sim.Rpc.call st.sys.rpc ~kind:"read_req" ~src:st.node ~dst ~timeout
+              (Snapshot_read { oid; snapshot = st.snapshot })
+              ~on_reply:(fun reply ->
+                if live st generation then
+                  match reply with
+                  | Version (Got { version; value }) ->
+                    Metrics.note_remote_read st.sys.metrics;
+                    record st ~oid ~version ~value ~write;
+                    step st (k value)
+                  | Version Trimmed ->
+                    (* Snapshot too old for the retained history: restart
+                       with a fresh snapshot. *)
+                    abort_retry st
+                  | Record | Vote _ -> ())
+              ~on_timeout:(fun () -> if live st generation then abort_retry st))
+      ~on_timeout:(fun () -> if live st generation then abort_retry st)
+
+and record st ~oid ~version ~value ~write =
+  match write with
+  | Some w -> st.wset <- Rwset.add st.wset { oid; version; value = w; owner = 0 }
+  | None ->
+    if not (Rwset.mem st.rset oid) then
+      st.rset <- Rwset.add st.rset { oid; version; value; owner = 0 }
+
+and commit st result =
+  if Rwset.is_empty st.wset then begin
+    (* Readers never abort: the snapshot is consistent by construction. *)
+    record_oracle st ~window_start:st.snapshot;
+    Metrics.note_read_only_commit st.sys.metrics ~latency:(now st.sys -. st.born);
+    finish st (Executor.Committed result)
+  end
+  else begin
+    let window_start = now st.sys in
+    let reads =
+      List.filter_map
+        (fun (e : Rwset.entry) ->
+          if Rwset.mem st.wset e.oid then None else Some (e.oid, e.version))
+        (Rwset.entries st.rset)
+    in
+    let writes = List.map (fun (e : Rwset.entry) -> (e.oid, e.version)) (Rwset.entries st.wset) in
+    (* Phase 1: first-committer-wins votes at the responsible nodes. *)
+    let by_node = Hashtbl.create 7 in
+    let note node (kind : [ `R | `W ]) entry =
+      let r, w = Option.value ~default:([], []) (Hashtbl.find_opt by_node node) in
+      match kind with
+      | `R -> Hashtbl.replace by_node node (entry :: r, w)
+      | `W -> Hashtbl.replace by_node node (r, entry :: w)
+    in
+    List.iter (fun (oid, v) -> note (responsible st.sys oid) `R (oid, v)) reads;
+    List.iter (fun (oid, v) -> note (responsible st.sys oid) `W (oid, v)) writes;
+    let targets = Hashtbl.fold (fun node rw acc -> (node, rw) :: acc) by_node [] in
+    let pending = ref (List.length targets) in
+    let ok = ref true in
+    let generation = st.generation in
+    List.iter
+      (fun (node, (r, w)) ->
+        Sim.Rpc.call st.sys.rpc ~kind:"commit_req" ~src:st.node ~dst:node ~timeout
+          (Commit_vote { txn = st.txn_id; reads = r; writes = w })
+          ~on_reply:(fun reply ->
+            if live st generation then begin
+              begin
+                match reply with
+                | Vote success -> if not success then ok := false
+                | Version _ | Record -> ok := false
+              end;
+              decr pending;
+              if !pending = 0 then
+                if !ok then broadcast_commit st result ~window_start
+                else begin
+                  unlock st targets;
+                  abort_retry st
+                end
+            end)
+          ~on_timeout:(fun () ->
+            if live st generation then begin
+              unlock st targets;
+              abort_retry st
+            end))
+      targets
+  end
+
+and unlock st targets =
+  List.iter
+    (fun (node, (_, w)) ->
+      if w <> [] then
+        Sim.Rpc.cast st.sys.rpc ~kind:"release" ~src:st.node ~dst:node
+          (Unlock { txn = st.txn_id; oids = List.map fst w }))
+    targets
+
+(* Phase 2: apply by atomic broadcast to every replica. *)
+and broadcast_commit st result ~window_start =
+  let time = now st.sys in
+  let writes =
+    List.map
+      (fun (e : Rwset.entry) -> (e.oid, e.version + 1, e.value))
+      (Rwset.entries st.wset)
+  in
+  record_oracle st ~window_start;
+  for node = 0 to st.sys.node_count - 1 do
+    Sim.Rpc.cast st.sys.rpc ~kind:"commit_apply" ~src:st.node ~dst:node
+      (Broadcast_apply { txn = st.txn_id; writes; time })
+  done;
+  Metrics.note_commit st.sys.metrics ~latency:(now st.sys -. st.born);
+  finish st (Executor.Committed result)
+
+and record_oracle st ~window_start =
+  match st.sys.oracle with
+  | None -> ()
+  | Some oracle ->
+    let reads =
+      List.map (fun (e : Rwset.entry) -> (e.oid, e.version)) (Rwset.entries st.rset)
+    in
+    let write_bases =
+      List.filter_map
+        (fun (e : Rwset.entry) ->
+          if Rwset.mem st.rset e.oid then None else Some (e.oid, e.version))
+        (Rwset.entries st.wset)
+    in
+    let writes =
+      List.map (fun (e : Rwset.entry) -> (e.oid, e.version + 1)) (Rwset.entries st.wset)
+    in
+    Oracle.note_commit oracle ~txn:st.txn_id ~decision:(now st.sys) ~window_start
+      ~reads:(reads @ write_bases) ~writes
+
+and abort_retry st =
+  st.generation <- st.generation + 1;
+  Metrics.note_root_abort st.sys.metrics;
+  st.attempt <- st.attempt + 1;
+  let backoff = Stdlib.min 250. (4. *. Float.of_int (1 lsl Stdlib.min st.attempt 8)) in
+  Sim.Engine.schedule st.sys.engine ~delay:(jittered st.sys backoff) (fun () ->
+      if not st.finished then start_attempt st)
+
+and finish st outcome =
+  if not st.finished then begin
+    st.finished <- true;
+    st.on_done outcome
+  end
+
+let submit t ~node program ~on_done =
+  let st =
+    {
+      sys = t;
+      node;
+      program;
+      on_done;
+      txn_id = 0;
+      snapshot = now t;
+      rset = Rwset.empty;
+      wset = Rwset.empty;
+      attempt = 0;
+      born = now t;
+      steps = 0;
+      generation = 0;
+      finished = false;
+    }
+  in
+  start_attempt st

@@ -1,0 +1,39 @@
+(** Decent-STM baseline (Bieniusa & Fuhrmann's decentralized snapshot STM).
+
+    Fully replicated multi-version stores: every node keeps a bounded
+    history of committed versions per object.  A transaction reads the
+    newest version no younger than its snapshot time from the object's
+    responsible node, so readers never abort (unless the history was
+    trimmed past their snapshot).  Commits are validated first-committer-
+    wins at the responsible nodes and then *broadcast to every replica* —
+    the atomic-broadcast cost structure that makes cluster-style replication
+    non-scalable on a metric-space network, which is why the paper finds
+    Decent-STM consistently below QR-DTM.
+
+    Deviation noted in DESIGN.md: update transactions validate their full
+    read-set at commit (serializable mode) so the 1-copy oracle applies;
+    read-only transactions serialize at their snapshot. *)
+
+type t
+
+val create :
+  ?nodes:int -> ?seed:int -> ?service_time:float -> ?history_limit:int ->
+  ?with_oracle:bool -> unit -> t
+(** Defaults: 13 nodes on the same metric-space topology class as QR-DTM
+    (~15 ms mean one-way latency), 0.5 ms service time (snapshot
+    bookkeeping costs more per message than QR's version check). *)
+
+val nodes : t -> int
+val now : t -> float
+val metrics : t -> Core.Metrics.t
+val messages_sent : t -> int
+val alloc_object : t -> init:Core.Txn.value -> Core.Ids.obj_id
+val latest_value : t -> oid:Core.Ids.obj_id -> Core.Txn.value
+
+val submit :
+  t -> node:int -> (unit -> Core.Txn.t) -> on_done:(Core.Executor.outcome -> unit) -> unit
+
+val run_for : t -> float -> unit
+val drain : t -> unit
+val reset_counters : t -> unit
+val check_consistency : t -> (unit, string) result

@@ -1,0 +1,383 @@
+open Core
+
+type request =
+  | Read_req of { oid : Ids.obj_id }
+  | Validate of { entries : (Ids.obj_id * int) list }
+  | Lock of { txn : Ids.txn_id; entries : (Ids.obj_id * int) list; locks : Ids.obj_id list }
+  | Apply of { txn : Ids.txn_id; writes : (Ids.obj_id * int * Txn.value) list; clock : int }
+  | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
+
+type reply =
+  | Read_ok of { version : int; value : Txn.value; clock : int }
+  | Validate_ok of bool
+  | Lock_ok of bool
+
+type t = {
+  engine : Sim.Engine.t;
+  network : (request, reply) Sim.Rpc.envelope Sim.Network.t;
+  rpc : (request, reply) Sim.Rpc.t;
+  stores : Store.Replica.t array;
+  clocks : int array;
+  metrics : Metrics.t;
+  oracle : Oracle.t option;
+  ids : Ids.gen;
+  rng : Util.Rng.t;
+  node_count : int;
+}
+
+let home t oid = oid mod t.node_count
+
+let serve t node ~src:_ request =
+  let store = t.stores.(node) in
+  match request with
+  | Read_req { oid } ->
+    let copy = Store.Replica.get store oid in
+    Some (Read_ok { version = copy.version; value = copy.value; clock = t.clocks.(node) })
+  | Validate { entries } ->
+    let ok =
+      List.for_all
+        (fun (oid, version) -> (Store.Replica.get store oid).version = version)
+        entries
+    in
+    Some (Validate_ok ok)
+  | Lock { txn; entries; locks } ->
+    let valid =
+      List.for_all
+        (fun (oid, version) ->
+          let copy = Store.Replica.get store oid in
+          copy.version = version
+          && match copy.protected_by with None -> true | Some owner -> owner = txn)
+        entries
+    in
+    if not valid then Some (Lock_ok false)
+    else begin
+      List.iter (fun oid -> ignore (Store.Replica.try_lock store ~oid ~txn)) locks;
+      Some (Lock_ok true)
+    end
+  | Apply { txn; writes; clock } ->
+    List.iter
+      (fun (oid, version, value) -> Store.Replica.apply store ~oid ~version ~value ~txn)
+      writes;
+    t.clocks.(node) <- Stdlib.max t.clocks.(node) clock;
+    None
+  | Release { txn; oids } ->
+    List.iter (fun oid -> Store.Replica.unlock store ~oid ~txn) oids;
+    None
+
+let create ?(nodes = 13) ?(seed = 3) ?(latency = 5.0) ?(service_time = 0.25)
+    ?(with_oracle = true) () =
+  let engine = Sim.Engine.create () in
+  let topology = Sim.Topology.uniform ~latency ~nodes () in
+  let network = Sim.Network.create ~engine ~topology ~service_time ~seed:(seed + 1) () in
+  let rpc = Sim.Rpc.create ~network () in
+  let t =
+    {
+      engine;
+      network;
+      rpc;
+      stores = Array.init nodes (fun _ -> Store.Replica.create ());
+      clocks = Array.make nodes 0;
+      metrics = Metrics.create ();
+      oracle = (if with_oracle then Some (Oracle.create ()) else None);
+      ids = Ids.gen ();
+      rng = Util.Rng.create (seed + 2);
+      node_count = nodes;
+    }
+  in
+  for node = 0 to nodes - 1 do
+    Sim.Rpc.serve rpc ~node (serve t node)
+  done;
+  t
+
+let nodes t = t.node_count
+let now t = Sim.Engine.now t.engine
+let metrics t = t.metrics
+let messages_sent t = Sim.Network.messages_sent t.network
+
+let alloc_object t ~init =
+  let oid = Ids.fresh_obj t.ids in
+  Store.Replica.install t.stores.(home t oid) ~oid ~init;
+  oid
+
+let latest_value t ~oid = (Store.Replica.get t.stores.(home t oid) oid).value
+let run_for t duration = Sim.Engine.run ~until:(now t +. duration) t.engine
+let drain t = Sim.Engine.run t.engine
+
+let reset_counters t =
+  Metrics.reset t.metrics;
+  Sim.Network.reset_counters t.network
+
+let check_consistency t =
+  match t.oracle with
+  | Some oracle -> Oracle.check oracle
+  | None -> Error "oracle disabled"
+
+(* --- client-side transaction execution ------------------------------- *)
+
+type txn_state = {
+  sys : t;
+  node : int;
+  program : unit -> Txn.t;
+  on_done : Executor.outcome -> unit;
+  mutable txn_id : Ids.txn_id;
+  mutable rv : int;
+  mutable rset : Rwset.t;
+  mutable wset : Rwset.t;
+  mutable attempt : int;
+  born : float;
+  mutable window_start : float;
+  mutable steps : int;
+  mutable generation : int;
+  mutable finished : bool;
+}
+
+let timeout = 2_000. (* no failures in TFA runs; generous *)
+
+let jittered t base = base *. (0.5 +. Util.Rng.float t.rng 1.0)
+
+(* Replies racing with an abort/retry must be dropped. *)
+let live st generation = (not st.finished) && st.generation = generation
+
+let rec start_attempt st =
+  st.generation <- st.generation + 1;
+  st.txn_id <- Ids.fresh_txn st.sys.ids;
+  st.rv <- 0;
+  st.rset <- Rwset.empty;
+  st.wset <- Rwset.empty;
+  st.steps <- 0;
+  st.window_start <- now st.sys;
+  step st (st.program ())
+
+and step st prog =
+  Sim.Engine.schedule st.sys.engine ~delay:0.02 (fun () ->
+      if not st.finished then begin
+        st.steps <- st.steps + 1;
+        if st.steps > 20_000 then abort_retry st else interpret st prog
+      end)
+
+and interpret st prog =
+  match prog with
+  | Txn.Return v -> commit st v
+  | Txn.Fail msg -> finish st (Executor.Failed msg)
+  | Txn.Nested (body, k) -> step st (Txn.bind (body ()) k)
+  | Txn.Open { body; compensate = _; k } ->
+    (* Baselines flatten open nesting into the parent: strictly more
+       atomic, so the compensation can never be needed. *)
+    step st (Txn.bind (body ()) k)
+  | Txn.Checkpoint k -> step st (k ())
+  | Txn.Read (oid, k) -> access st ~oid ~write:None ~k
+  | Txn.Write (oid, v, k) -> access st ~oid ~write:(Some v) ~k:(fun _ -> k ())
+
+and access st ~oid ~write ~k =
+  let local =
+    match Rwset.find st.wset oid with
+    | Some e -> Some e
+    | None -> Rwset.find st.rset oid
+  in
+  match local with
+  | Some entry ->
+    Metrics.note_local_read st.sys.metrics;
+    record st ~oid ~version:entry.version ~value:entry.value ~write;
+    step st (k entry.value)
+  | None ->
+    st.window_start <- now st.sys;
+    let generation = st.generation in
+    Sim.Rpc.call st.sys.rpc ~kind:"read_req" ~src:st.node ~dst:(home st.sys oid)
+      ~timeout (Read_req { oid })
+      ~on_reply:(fun reply ->
+        if live st generation then
+          match reply with
+          | Read_ok { version; value; clock } ->
+            Metrics.note_remote_read st.sys.metrics;
+            if clock > st.rv then forward st ~oid ~version ~value ~write ~clock ~k
+            else begin
+              record st ~oid ~version ~value ~write;
+              step st (k value)
+            end
+          | Validate_ok _ | Lock_ok _ -> ())
+      ~on_timeout:(fun () -> if live st generation then abort_retry st)
+
+(* Transaction forwarding: the remote clock ran ahead of rv — revalidate the
+   read-set at the owning homes before advancing rv. *)
+and forward st ~oid ~version ~value ~write ~clock ~k =
+  let by_home = Hashtbl.create 7 in
+  List.iter
+    (fun (e : Rwset.entry) ->
+      let h = home st.sys e.oid in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_home h) in
+      Hashtbl.replace by_home h ((e.oid, e.version) :: prev))
+    (Rwset.entries st.rset @ Rwset.entries st.wset);
+  let homes = Hashtbl.fold (fun h entries acc -> (h, entries) :: acc) by_home [] in
+  let pending = ref (List.length homes) in
+  let valid = ref true in
+  if homes = [] then begin
+    st.rv <- clock;
+    record st ~oid ~version ~value ~write;
+    step st (k value)
+  end
+  else begin
+    let generation = st.generation in
+    List.iter
+      (fun (h, entries) ->
+        Sim.Rpc.call st.sys.rpc ~kind:"validate" ~src:st.node ~dst:h ~timeout
+          (Validate { entries })
+          ~on_reply:(fun reply ->
+            if live st generation then begin
+              begin
+                match reply with
+                | Validate_ok ok -> if not ok then valid := false
+                | Read_ok _ | Lock_ok _ -> valid := false
+              end;
+              decr pending;
+              if !pending = 0 then
+                if !valid then begin
+                  st.rv <- clock;
+                  record st ~oid ~version ~value ~write;
+                  step st (k value)
+                end
+                else abort_retry st
+            end)
+          ~on_timeout:(fun () -> if live st generation then abort_retry st))
+      homes
+  end
+
+and record st ~oid ~version ~value ~write =
+  match write with
+  | Some w -> st.wset <- Rwset.add st.wset { oid; version; value = w; owner = 0 }
+  | None ->
+    if not (Rwset.mem st.rset oid) then
+      st.rset <- Rwset.add st.rset { oid; version; value; owner = 0 }
+
+and commit st result =
+  if Rwset.is_empty st.wset then begin
+    (* Read-only: every read was forwarded/validated; commit locally. *)
+    record_oracle st;
+    Metrics.note_read_only_commit st.sys.metrics ~latency:(now st.sys -. st.born);
+    finish st (Executor.Committed result)
+  end
+  else begin
+    st.window_start <- now st.sys;
+    let by_home = Hashtbl.create 7 in
+    let note oid payload =
+      let h = home st.sys oid in
+      let locks, entries =
+        Option.value ~default:([], []) (Hashtbl.find_opt by_home h)
+      in
+      match payload with
+      | `Lock (v) -> Hashtbl.replace by_home h (oid :: locks, (oid, v) :: entries)
+      | `Check (v) -> Hashtbl.replace by_home h (locks, (oid, v) :: entries)
+    in
+    List.iter (fun (e : Rwset.entry) -> note e.oid (`Lock e.version)) (Rwset.entries st.wset);
+    List.iter
+      (fun (e : Rwset.entry) ->
+        if not (Rwset.mem st.wset e.oid) then note e.oid (`Check e.version))
+      (Rwset.entries st.rset);
+    let homes = Hashtbl.fold (fun h (locks, entries) acc -> (h, locks, entries) :: acc) by_home [] in
+    let pending = ref (List.length homes) in
+    let ok = ref true in
+    let generation = st.generation in
+    List.iter
+      (fun (h, locks, entries) ->
+        Sim.Rpc.call st.sys.rpc ~kind:"commit_req" ~src:st.node ~dst:h ~timeout
+          (Lock { txn = st.txn_id; entries; locks })
+          ~on_reply:(fun reply ->
+            if live st generation then begin
+              begin
+                match reply with
+                | Lock_ok success -> if not success then ok := false
+                | Read_ok _ | Validate_ok _ -> ok := false
+              end;
+              decr pending;
+              if !pending = 0 then
+                if !ok then apply_commit st result homes
+                else begin
+                  release st homes;
+                  abort_retry st
+                end
+            end)
+          ~on_timeout:(fun () ->
+            if live st generation then begin
+              release st homes;
+              abort_retry st
+            end))
+      homes
+  end
+
+and apply_commit st result homes =
+  let clock = st.rv + 1 in
+  record_oracle st;
+  List.iter
+    (fun (h, _, _) ->
+      let writes =
+        List.filter_map
+          (fun (e : Rwset.entry) ->
+            if home st.sys e.oid = h then Some (e.oid, e.version + 1, e.value) else None)
+          (Rwset.entries st.wset)
+      in
+      Sim.Rpc.cast st.sys.rpc ~kind:"commit_apply" ~src:st.node ~dst:h
+        (Apply { txn = st.txn_id; writes; clock }))
+    homes;
+  Metrics.note_commit st.sys.metrics ~latency:(now st.sys -. st.born);
+  finish st (Executor.Committed result)
+
+and release st homes =
+  List.iter
+    (fun (h, locks, _) ->
+      if locks <> [] then
+        Sim.Rpc.cast st.sys.rpc ~kind:"release" ~src:st.node ~dst:h
+          (Release { txn = st.txn_id; oids = locks }))
+    homes
+
+and record_oracle st =
+  match st.sys.oracle with
+  | None -> ()
+  | Some oracle ->
+    let reads =
+      List.map (fun (e : Rwset.entry) -> (e.oid, e.version)) (Rwset.entries st.rset)
+    in
+    let write_bases =
+      List.filter_map
+        (fun (e : Rwset.entry) ->
+          if Rwset.mem st.rset e.oid then None else Some (e.oid, e.version))
+        (Rwset.entries st.wset)
+    in
+    let writes =
+      List.map (fun (e : Rwset.entry) -> (e.oid, e.version + 1)) (Rwset.entries st.wset)
+    in
+    Oracle.note_commit oracle ~txn:st.txn_id ~decision:(now st.sys)
+      ~window_start:st.window_start ~reads:(reads @ write_bases) ~writes
+
+and abort_retry st =
+  st.generation <- st.generation + 1;
+  Metrics.note_root_abort st.sys.metrics;
+  st.attempt <- st.attempt + 1;
+  let backoff = Stdlib.min 250. (4. *. Float.of_int (1 lsl Stdlib.min st.attempt 8)) in
+  Sim.Engine.schedule st.sys.engine ~delay:(jittered st.sys backoff) (fun () ->
+      if not st.finished then start_attempt st)
+
+and finish st outcome =
+  if not st.finished then begin
+    st.finished <- true;
+    st.on_done outcome
+  end
+
+let submit t ~node program ~on_done =
+  let st =
+    {
+      sys = t;
+      node;
+      program;
+      on_done;
+      txn_id = 0;
+      rv = 0;
+      rset = Rwset.empty;
+      wset = Rwset.empty;
+      attempt = 0;
+      born = now t;
+      window_start = now t;
+      steps = 0;
+      generation = 0;
+      finished = false;
+    }
+  in
+  start_attempt st

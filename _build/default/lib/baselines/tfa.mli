@@ -1,0 +1,40 @@
+(** TFA baseline (HyFlow's Transaction Forwarding Algorithm).
+
+    A single-copy DTM: each object lives at exactly one home node; clients
+    read and write by unicast RPC to the home.  Consistency uses TFA's
+    asynchronous clocks: every node keeps a local clock bumped on commits;
+    a transaction records the clock of its start node ([rv]) and, when a
+    read reply carries a newer remote clock, it *forwards* — revalidates its
+    read-set at the owning homes and advances [rv], aborting if anything
+    changed.  Commit locks the write-set at the homes, validates, applies,
+    and bumps clocks.
+
+    The paper uses HyFlow as the no-failure upper baseline: unicast at ~5 ms
+    (vs. the testbed's 30 ms multicast) but no fault tolerance — there are
+    no replicas, so a home failure loses objects.  Defaults reproduce that
+    latency regime.
+
+    Programs come from the same {!Core.Txn} DSL; [Nested] boundaries are
+    flattened (TFA here is the flat baseline; N-TFA is out of scope). *)
+
+type t
+
+val create :
+  ?nodes:int -> ?seed:int -> ?latency:float -> ?service_time:float -> ?with_oracle:bool ->
+  unit -> t
+(** Defaults: 13 nodes, 5 ms uniform one-way latency, 0.25 ms service. *)
+
+val nodes : t -> int
+val now : t -> float
+val metrics : t -> Core.Metrics.t
+val messages_sent : t -> int
+val alloc_object : t -> init:Core.Txn.value -> Core.Ids.obj_id
+val latest_value : t -> oid:Core.Ids.obj_id -> Core.Txn.value
+
+val submit :
+  t -> node:int -> (unit -> Core.Txn.t) -> on_done:(Core.Executor.outcome -> unit) -> unit
+
+val run_for : t -> float -> unit
+val drain : t -> unit
+val reset_counters : t -> unit
+val check_consistency : t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/benchmarks/bank.ml: Array Cluster Core List Printf Store Txn Util Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/bank.mli: Core Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/bst.mli: Core Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/counter.ml: Array Cluster Core List Store Txn Util Workload

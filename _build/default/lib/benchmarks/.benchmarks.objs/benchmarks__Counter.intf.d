@@ -1,0 +1,1 @@
+lib/benchmarks/counter.mli: Core Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/hashmap.mli: Core Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/rbtree.ml: Array Cluster Core List Printf Store Txn Util Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/rbtree.mli: Core Workload

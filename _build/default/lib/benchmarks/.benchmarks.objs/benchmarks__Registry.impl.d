@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Bank Bst Counter Hashmap List Rbtree Skiplist String Vacation Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/skiplist.ml: Array Cluster Core Int64 List Option Printf Store Txn Util Workload

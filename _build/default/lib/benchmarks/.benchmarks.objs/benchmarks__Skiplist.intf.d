@@ -1,0 +1,1 @@
+lib/benchmarks/skiplist.mli: Core Workload

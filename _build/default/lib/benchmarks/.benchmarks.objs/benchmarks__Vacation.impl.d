@@ -1,0 +1,1 @@
+lib/benchmarks/vacation.ml: Array Cluster Core List Printf Stdlib Store Txn Util Workload

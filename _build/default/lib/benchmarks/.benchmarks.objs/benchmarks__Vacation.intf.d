@@ -1,0 +1,1 @@
+lib/benchmarks/vacation.mli: Core Util Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/workload.ml: Core List Store Util

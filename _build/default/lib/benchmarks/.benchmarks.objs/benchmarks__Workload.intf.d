@@ -1,0 +1,1 @@
+lib/benchmarks/workload.mli: Core Util

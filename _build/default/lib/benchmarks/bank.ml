@@ -1,0 +1,52 @@
+open Core
+open Txn.Syntax
+
+let initial_balance = 1_000
+
+let transfer ~from_ ~to_ ~amount =
+  let* src = Txn.read from_ in
+  let* dst = Txn.read to_ in
+  let* _ = Txn.write from_ (Store.Value.Int (Store.Value.to_int src - amount)) in
+  Txn.write to_ (Store.Value.Int (Store.Value.to_int dst + amount))
+
+let audit a b =
+  let* va = Txn.read a in
+  let* vb = Txn.read b in
+  Txn.return (Store.Value.Int (Store.Value.to_int va + Store.Value.to_int vb))
+
+let total_balance cluster ~accounts =
+  Array.fold_left
+    (fun acc oid -> acc + Store.Value.to_int (Workload.latest_value cluster ~oid))
+    0 accounts
+
+let setup cluster (params : Workload.params) =
+  let accounts =
+    Array.init params.objects (fun _ ->
+        Cluster.alloc_object cluster ~init:(Store.Value.Int initial_balance))
+  in
+  let pick_two rng =
+    let a = Workload.pick_key rng params in
+    let rec other () =
+      let b = Workload.pick_key rng params in
+      if b = a then other () else b
+    in
+    (accounts.(a), accounts.(other ()))
+  in
+  let generate rng =
+    let ops =
+      List.init params.calls (fun _ ->
+          let a, b = pick_two rng in
+          if Util.Rng.chance rng params.read_ratio then audit a b
+          else transfer ~from_:a ~to_:b ~amount:(1 + Util.Rng.int rng 10))
+    in
+    fun () -> Workload.ops_as_cts ops
+  in
+  let check () =
+    let expected = params.objects * initial_balance in
+    let actual = total_balance cluster ~accounts in
+    if actual = expected then Ok ()
+    else Error (Printf.sprintf "bank: total balance %d, expected %d" actual expected)
+  in
+  { Workload.generate; check }
+
+let benchmark = { Workload.name = "bank"; setup }

@@ -1,0 +1,16 @@
+(** Bank (monetary) macro-benchmark, after the paper's Bank application.
+
+    [objects] accounts each start with {!initial_balance}.  A write
+    operation transfers a random amount between two distinct accounts
+    (one closed-nested call); a read operation audits two accounts.  The
+    invariant is conservation of money: the committed balances always sum
+    to [objects * initial_balance]. *)
+
+val initial_balance : int
+
+val benchmark : Workload.benchmark
+
+val transfer : from_:Core.Ids.obj_id -> to_:Core.Ids.obj_id -> amount:int -> Core.Txn.t
+(** One transfer program (exposed for examples and tests). *)
+
+val total_balance : Core.Cluster.t -> accounts:Core.Ids.obj_id array -> int

@@ -1,0 +1,25 @@
+(** Binary search tree micro-benchmark (used by the paper's Fig. 10).
+
+    A static balanced BST over the key space with per-node presence flags:
+    add/remove toggle the flag of the key's node after traversing (and
+    reading) the whole root-to-node path; contains is the read-only
+    traversal.  Keeping the shape static avoids transactional rebalancing
+    (the RBTree benchmark exercises that) while preserving the conflict
+    pattern of a tree: writes near the root invalidate every concurrent
+    traversal through it. *)
+
+val benchmark : Workload.benchmark
+
+(** {2 Exposed for tests} *)
+
+type handle
+
+val create : Core.Cluster.t -> keys:int -> handle
+val add : handle -> key:int -> Core.Txn.t (** [Bool added] *)
+
+val remove : handle -> key:int -> Core.Txn.t (** [Bool removed] *)
+
+val contains : handle -> key:int -> Core.Txn.t (** [Bool present] *)
+
+val committed_keys : Core.Cluster.t -> handle -> int list
+val check_structure : Core.Cluster.t -> handle -> (unit, string) result

@@ -1,0 +1,14 @@
+(** Shared-counter micro-benchmark (quickstart and tests).
+
+    [objects] counters; a write operation increments one, a read operation
+    reads one.  The invariant is that every counter equals the number of
+    increments committed against it — checked against the executor metrics
+    indirectly by summing counters. *)
+
+val benchmark : Workload.benchmark
+
+val increment : Core.Ids.obj_id -> Core.Txn.t
+(** One-shot increment program for a single counter object. *)
+
+val total : Core.Cluster.t -> oids:Core.Ids.obj_id list -> int
+(** Sum of the committed counter values (replica-side, for checks). *)

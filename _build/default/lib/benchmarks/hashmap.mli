@@ -1,0 +1,31 @@
+(** Distributed hashmap micro-benchmark.
+
+    A fixed number of buckets, each a transactional linked chain of
+    per-key node objects (sorted by key).  Put/remove splice nodes in and
+    out of the chain; every operation traverses — and therefore reads — the
+    chain prefix, so chains growing with [objects] raises both transaction
+    length and conflict probability, reproducing the paper's observation
+    that Hashmap contention *increases* with the number of objects.
+
+    Node objects are pre-allocated one per key (a pool), so aborted inserts
+    cannot leak allocations; an unlinked node's content is simply stale
+    until its key is inserted again. *)
+
+val bucket_count : int
+
+val benchmark : Workload.benchmark
+
+(** {2 Exposed for tests} *)
+
+type handle
+
+val create : Core.Cluster.t -> keys:int -> handle
+val put : handle -> key:int -> data:int -> Core.Txn.t
+val remove : handle -> key:int -> Core.Txn.t
+val get : handle -> key:int -> Core.Txn.t
+(** Returns [Int data] or [Unit] when absent. *)
+
+val committed_bindings : Core.Cluster.t -> handle -> (int * int) list
+(** Replica-side walk of all chains (sorted by key), for invariant checks. *)
+
+val check_chains : Core.Cluster.t -> handle -> (unit, string) result

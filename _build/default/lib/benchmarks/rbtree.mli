@@ -1,0 +1,35 @@
+(** Distributed red-black tree micro-benchmark.
+
+    A genuine red-black tree over transactional node objects: insert runs
+    the full CLRS fix-up — recolourings and single/double rotations — as
+    transactional reads and writes (rotation writes near the root conflict
+    with every concurrent traversal, which is what makes RBTree contention-
+    sensitive in the paper).  Removal is by presence flag ("lazy deletion",
+    the standard TM-benchmark formulation): the node stays in the structure
+    and is revived by a later insert, so the red-black shape invariants are
+    preserved without the double-black delete fix-up.
+
+    Node objects are pre-allocated per key; an aborted insert leaks
+    nothing. *)
+
+val benchmark : Workload.benchmark
+
+(** {2 Exposed for tests} *)
+
+type handle
+
+val create : Core.Cluster.t -> keys:int -> handle
+
+val insert : handle -> key:int -> Core.Txn.t
+(** Returns [Bool true] if the key became present. *)
+
+val remove : handle -> key:int -> Core.Txn.t
+(** Lazy delete; [Bool true] if the key was present. *)
+
+val contains : handle -> key:int -> Core.Txn.t
+
+val committed_keys : Core.Cluster.t -> handle -> int list
+(** Present keys, ascending, from the replicas' committed state. *)
+
+val check_structure : Core.Cluster.t -> handle -> (unit, string) result
+(** BST order, root black, no red-red edge, equal black height, no cycle. *)

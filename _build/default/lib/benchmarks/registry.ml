@@ -1,0 +1,10 @@
+let paper_suite =
+  [ Bank.benchmark; Hashmap.benchmark; Skiplist.benchmark; Rbtree.benchmark;
+    Vacation.benchmark ]
+
+let all = paper_suite @ [ Bst.benchmark; Counter.benchmark ]
+
+let find name =
+  List.find_opt (fun (b : Workload.benchmark) -> String.equal b.name name) all
+
+let names () = List.map (fun (b : Workload.benchmark) -> b.name) all

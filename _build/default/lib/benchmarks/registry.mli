@@ -1,0 +1,11 @@
+(** Benchmark registry: name → benchmark lookup for the harness and CLI. *)
+
+val all : Workload.benchmark list
+(** Every benchmark, in the paper's reporting order:
+    bank, hashmap, slist, rbtree, vacation, bst, counter. *)
+
+val paper_suite : Workload.benchmark list
+(** The five benchmarks of the paper's Figs. 5-7 and Table 8. *)
+
+val find : string -> Workload.benchmark option
+val names : unit -> string list

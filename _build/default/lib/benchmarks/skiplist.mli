@@ -1,0 +1,35 @@
+(** Distributed skip list (SList) micro-benchmark.
+
+    A pointer-based skip list with per-key pre-allocated node objects; tower
+    heights are a deterministic function of the key (so retried inserts are
+    identical transactions).  Searches traverse from the head reading every
+    node on the path — the longest transactions of the suite, matching the
+    paper's observation that SList shows the largest closed-nesting gains. *)
+
+val max_level : int
+
+val benchmark : Workload.benchmark
+
+(** {2 Exposed for tests} *)
+
+type handle
+
+val create : Core.Cluster.t -> keys:int -> handle
+val height_of : int -> int
+(** Deterministic tower height of a key, in [\[1, max_level\]]. *)
+
+val add : handle -> key:int -> Core.Txn.t
+(** Link the key (no-op when present); returns [Bool inserted]. *)
+
+val remove : handle -> key:int -> Core.Txn.t
+(** Unlink the key (no-op when absent); returns [Bool removed]. *)
+
+val contains : handle -> key:int -> Core.Txn.t
+(** Read-only membership test; returns [Bool present]. *)
+
+val committed_keys : Core.Cluster.t -> handle -> int list
+(** Replica-side walk of level 0, ascending. *)
+
+val check_structure : Core.Cluster.t -> handle -> (unit, string) result
+(** Level-0 keys strictly increasing; every higher level is a subsequence
+    of level 0; no cycles. *)

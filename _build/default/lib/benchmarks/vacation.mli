@@ -1,0 +1,35 @@
+(** Vacation macro-benchmark (after STAMP's vacation application).
+
+    Three reservation tables — cars, flights, hotels — each holding offer
+    objects with [(available, price, total)] fields.  A reservation
+    transaction runs one closed-nested call per table slot: query a handful
+    of offers, pick the cheapest available, decrement its availability.
+    Query-only transactions browse offers without reserving.  Invariant:
+    [0 <= available <= total] for every offer.
+
+    This is the paper's Vacation workload: "each of the reservations for
+    car, hotel and flight forms a CT". *)
+
+val categories : int
+(** 3: cars, flights, hotels. *)
+
+val offers_scanned : int
+(** Offers examined per reservation call. *)
+
+val benchmark : Workload.benchmark
+
+(** {2 Exposed for tests} *)
+
+type handle
+
+val create : Core.Cluster.t -> offers_per_category:int -> handle
+
+val reserve : handle -> Util.Rng.t -> category:int -> Core.Txn.t
+(** One reservation call; returns [Int price] or [Unit] if everything
+    scanned was sold out.  Randomness is fixed at call time. *)
+
+val query : handle -> Util.Rng.t -> category:int -> Core.Txn.t
+(** Read-only browse; returns the cheapest available price seen. *)
+
+val check_offers : Core.Cluster.t -> handle -> (unit, string) result
+val total_reserved : Core.Cluster.t -> handle -> int

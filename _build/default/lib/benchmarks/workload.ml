@@ -1,0 +1,31 @@
+type params = { objects : int; calls : int; read_ratio : float; key_skew : float }
+
+let default_params = { objects = 64; calls = 3; read_ratio = 0.5; key_skew = 0.6 }
+
+type instance = {
+  generate : Util.Rng.t -> unit -> Core.Txn.t;
+  check : unit -> (unit, string) result;
+}
+
+type benchmark = { name : string; setup : Core.Cluster.t -> params -> instance }
+
+let pick_key rng params = Util.Rng.zipf rng ~n:params.objects ~skew:params.key_skew
+
+let latest_value cluster ~oid =
+  let best = ref (-1, Store.Value.Unit) in
+  for node = 0 to Core.Cluster.nodes cluster - 1 do
+    let store = Core.Cluster.store_of cluster ~node in
+    match Store.Replica.find store oid with
+    | Some copy -> if copy.version > fst !best then best := (copy.version, copy.value)
+    | None -> ()
+  done;
+  snd !best
+
+let seq programs =
+  List.fold_left
+    (fun acc program -> Core.Txn.bind acc (fun _ -> program))
+    (Core.Txn.return Store.Value.Unit)
+    programs
+
+let ops_as_cts programs =
+  seq (List.map (fun program -> Core.Txn.nested (fun () -> program)) programs)

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Config Executor Ids Messages Metrics Option Oracle Quorum Server Sim Store Util

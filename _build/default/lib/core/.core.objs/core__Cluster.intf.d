@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Config Executor Ids Messages Metrics Oracle Sim Store Txn Util

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Config Float Hashtbl Ids List Messages Metrics Option Oracle Rwset Sim Stdlib Txn Util

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Config Ids Messages Metrics Oracle Sim Txn

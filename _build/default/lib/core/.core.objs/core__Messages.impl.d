@@ -1,0 +1,1 @@
+lib/core/messages.ml: Ids List Rwset Txn

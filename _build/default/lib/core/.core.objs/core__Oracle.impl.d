@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Float Hashtbl Ids List Option Printf Result

@@ -1,0 +1,1 @@
+lib/core/rqv.ml: List Messages Store

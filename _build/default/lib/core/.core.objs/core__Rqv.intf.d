@@ -1,0 +1,1 @@
+lib/core/rqv.mli: Ids Messages Store

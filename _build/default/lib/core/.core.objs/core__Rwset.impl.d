@@ -1,0 +1,1 @@
+lib/core/rwset.ml: Ids Int List Map Txn

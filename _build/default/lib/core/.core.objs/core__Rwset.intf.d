@@ -1,0 +1,1 @@
+lib/core/rwset.mli: Ids Txn

@@ -1,0 +1,1 @@
+lib/core/server.ml: List Messages Rqv Store

@@ -1,0 +1,159 @@
+type t = {
+  engine : Sim.Engine.t;
+  network : (Messages.request, Messages.reply) Sim.Rpc.envelope Sim.Network.t;
+  rpc : (Messages.request, Messages.reply) Sim.Rpc.t;
+  servers : Server.t array;
+  tree_quorum : Quorum.Tree_quorum.t;
+  failure : Sim.Failure.t;
+  executor : Executor.t;
+  metrics : Metrics.t;
+  oracle : Oracle.t option;
+  config : Config.t;
+  ids : Ids.gen;
+  rng : Util.Rng.t;
+  mutable read_quorums : int list option array;
+  mutable write_quorums : int list option array;
+}
+
+let cached_quorum cache build ~node =
+  match cache.(node) with
+  | Some quorum -> quorum
+  | None ->
+    let quorum = Option.value ~default:[] (build ~salt:node) in
+    cache.(node) <- Some quorum;
+    quorum
+
+let read_quorum_of t ~node =
+  cached_quorum t.read_quorums
+    (fun ~salt -> Quorum.Tree_quorum.read_quorum ~salt t.tree_quorum)
+    ~node
+
+let write_quorum_of t ~node =
+  cached_quorum t.write_quorums
+    (fun ~salt -> Quorum.Tree_quorum.write_quorum ~salt t.tree_quorum)
+    ~node
+
+let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_level = 1)
+    ?(detection_delay = 50.) ?(with_oracle = true) config =
+  let engine = Sim.Engine.create () in
+  let topology =
+    match topology with
+    | Some t -> t
+    | None -> Sim.Topology.create ~seed:(seed + 1) ~nodes ()
+  in
+  assert (Sim.Topology.nodes topology = nodes);
+  let network =
+    Sim.Network.create ~engine ~topology ~service_time ~seed:(seed + 2) ()
+  in
+  let rpc = Sim.Rpc.create ~network () in
+  let servers =
+    Array.init nodes (fun node ->
+        Server.create ~node ~store:(Store.Replica.create ()))
+  in
+  Array.iter
+    (fun server ->
+      Sim.Rpc.serve rpc ~node:(Server.node server) (fun ~src request ->
+          Server.handle server ~src request))
+    servers;
+  let tree_quorum = Quorum.Tree_quorum.create ~read_level ~nodes () in
+  let metrics = Metrics.create () in
+  let oracle = if with_oracle then Some (Oracle.create ()) else None in
+  let ids = Ids.gen () in
+  let read_quorums = Array.make nodes None in
+  let write_quorums = Array.make nodes None in
+  let quorums =
+    {
+      Executor.read_quorum =
+        (fun ~node ->
+          cached_quorum read_quorums
+            (fun ~salt -> Quorum.Tree_quorum.read_quorum ~salt tree_quorum)
+            ~node);
+      write_quorum =
+        (fun ~node ->
+          cached_quorum write_quorums
+            (fun ~salt -> Quorum.Tree_quorum.write_quorum ~salt tree_quorum)
+            ~node);
+    }
+  in
+  let executor =
+    Executor.create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed:(seed + 3) ()
+  in
+  let failure =
+    Sim.Failure.create ~engine ~detection_delay
+      ~kill:(fun node -> Sim.Network.fail network node)
+      ()
+  in
+  Sim.Failure.on_detect failure (fun node ->
+      Quorum.Tree_quorum.mark_failed tree_quorum node;
+      Array.fill read_quorums 0 nodes None;
+      Array.fill write_quorums 0 nodes None);
+  {
+    engine;
+    network;
+    rpc;
+    servers;
+    tree_quorum;
+    failure;
+    executor;
+    metrics;
+    oracle;
+    config;
+    ids;
+    rng = Util.Rng.create (seed + 4);
+    read_quorums;
+    write_quorums;
+  }
+
+let engine t = t.engine
+let network t = t.network
+let executor t = t.executor
+let metrics t = t.metrics
+let oracle t = t.oracle
+let config t = t.config
+let nodes t = Array.length t.servers
+let ids t = t.ids
+let rng t = t.rng
+let now t = Sim.Engine.now t.engine
+
+let install_object t ~oid ~init =
+  Array.iter (fun server -> Store.Replica.install (Server.store server) ~oid ~init) t.servers
+
+let alloc_object t ~init =
+  let oid = Ids.fresh_obj t.ids in
+  install_object t ~oid ~init;
+  oid
+
+let store_of t ~node = Server.store t.servers.(node)
+
+let submit t ~node program ~on_done = Executor.run_root t.executor ~node ~program ~on_done
+
+let run_program t ~node program =
+  let result = ref None in
+  submit t ~node program ~on_done:(fun outcome -> result := Some outcome);
+  let rec drive () =
+    match !result with
+    | Some outcome -> outcome
+    | None ->
+      if Sim.Engine.step t.engine then drive ()
+      else invalid_arg "Cluster.run_program: engine drained without completion"
+  in
+  drive ()
+
+let fail_node_at t ~at ~node = Sim.Failure.schedule t.failure ~at ~node
+
+let run_for t duration =
+  Sim.Engine.run ~until:(Sim.Engine.now t.engine +. duration) t.engine
+
+let drain t = Sim.Engine.run t.engine
+
+let check_consistency t =
+  match t.oracle with
+  | Some oracle -> Oracle.check oracle
+  | None -> Error "oracle disabled for this cluster"
+
+let reset_counters t =
+  Metrics.reset t.metrics;
+  Sim.Network.reset_counters t.network
+
+let messages_sent t = Sim.Network.messages_sent t.network
+let messages_by_kind t = Sim.Network.messages_by_kind t.network

@@ -1,0 +1,79 @@
+(** A complete QR-DTM deployment: simulated nodes, replicated store, tree
+    quorums, failure detection, and a transaction executor.
+
+    This is the top of the core library's public API — the examples, the
+    experiment harness, and most tests build a cluster, install objects,
+    submit transaction programs, and read the metrics back.
+
+    Quorum assignment follows the paper: each node is designated a read and
+    a write quorum, derived from the ternary tree with the node id as the
+    rotation salt so load spreads over equivalent majorities.  Assignments
+    are cached and recomputed when a failure is detected. *)
+
+type t
+
+val create :
+  ?nodes:int ->
+  ?seed:int ->
+  ?topology:Sim.Topology.t ->
+  ?service_time:float ->
+  ?read_level:int ->
+  ?detection_delay:float ->
+  ?with_oracle:bool ->
+  Config.t ->
+  t
+(** Defaults: 13 nodes (the paper's Fig. 3 tree), metric-space topology with
+    ~15 ms mean one-way latency, 0.25 ms per-message service time,
+    [read_level = 1], oracle enabled. *)
+
+val engine : t -> Sim.Engine.t
+val network : t -> (Messages.request, Messages.reply) Sim.Rpc.envelope Sim.Network.t
+val executor : t -> Executor.t
+val metrics : t -> Metrics.t
+val oracle : t -> Oracle.t option
+val config : t -> Config.t
+val nodes : t -> int
+val ids : t -> Ids.gen
+val rng : t -> Util.Rng.t
+val now : t -> float
+
+val alloc_object : t -> init:Txn.value -> Ids.obj_id
+(** Allocate a fresh object id and install it (version 0) on every replica. *)
+
+val install_object : t -> oid:Ids.obj_id -> init:Txn.value -> unit
+(** (Re)install an object at version 0 on every replica — setup-time only. *)
+
+val store_of : t -> node:int -> Store.Replica.t
+(** Direct replica access, for tests and white-box assertions. *)
+
+val read_quorum_of : t -> node:int -> int list
+val write_quorum_of : t -> node:int -> int list
+
+val submit :
+  t -> node:int -> (unit -> Txn.t) -> on_done:(Executor.outcome -> unit) -> unit
+(** Run a root transaction on [node] (see {!Executor.run_root}). *)
+
+val run_program : t -> node:int -> (unit -> Txn.t) -> Executor.outcome
+(** Convenience for tests and examples: submit, then drive the engine until
+    the transaction finishes.  Other concurrently submitted work also runs. *)
+
+val fail_node_at : t -> at:float -> node:int -> unit
+(** Schedule a fail-stop.  Quorum caches refresh when detection fires. *)
+
+val run_for : t -> float -> unit
+(** Advance simulated time by the given number of milliseconds. *)
+
+val drain : t -> unit
+(** Run the engine until the event queue is empty — e.g. to let in-flight
+    commit-apply messages land before inspecting replicas.  Only terminates
+    once no client keeps resubmitting work. *)
+
+val check_consistency : t -> (unit, string) result
+(** Run the 1-copy-serializability oracle (error if the oracle is off). *)
+
+val reset_counters : t -> unit
+(** Zero the metrics and network counters — call at the end of warm-up so
+    only the measurement window is reported. *)
+
+val messages_sent : t -> int
+val messages_by_kind : t -> (string * int) list

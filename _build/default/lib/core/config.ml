@@ -1,0 +1,43 @@
+type mode = Flat | Closed | Checkpoint
+
+let mode_name = function
+  | Flat -> "flat"
+  | Closed -> "closed"
+  | Checkpoint -> "checkpoint"
+
+type t = {
+  mode : mode;
+  rqv_for_flat : bool;
+  checkpoint_threshold : int;
+  checkpoint_overhead : float;
+  local_op_cost : float;
+  request_timeout : float;
+  backoff_base : float;
+  backoff_max : float;
+  ct_retry_delay : float;
+  commit_lock_retries : int;
+  max_attempts : int;
+  max_steps_per_attempt : int;
+}
+
+let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhead = 2.0)
+    ?(local_op_cost = 0.02) ?(request_timeout = 400.) ?(backoff_base = 4.)
+    ?(backoff_max = 250.) ?(ct_retry_delay = 1.) ?(commit_lock_retries = 0)
+    ?(max_attempts = 0) ?(max_steps_per_attempt = 20_000) mode =
+  assert (checkpoint_threshold >= 1);
+  {
+    mode;
+    rqv_for_flat;
+    checkpoint_threshold;
+    checkpoint_overhead;
+    local_op_cost;
+    request_timeout;
+    backoff_base;
+    backoff_max;
+    ct_retry_delay;
+    commit_lock_retries;
+    max_attempts;
+    max_steps_per_attempt;
+  }
+
+let default mode = make mode

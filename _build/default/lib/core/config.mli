@@ -1,0 +1,50 @@
+(** Protocol configuration.
+
+    One record selects the execution model and tunables; the defaults
+    reproduce the paper's setup (ternary tree quorums, ~30 ms round trips
+    supplied by the topology, fine-grained checkpoints). *)
+
+type mode =
+  | Flat  (** QR: the original quorum-based replication protocol *)
+  | Closed  (** QR-CN: closed nesting with read-quorum validation *)
+  | Checkpoint  (** QR-CHK: automatic checkpoints with partial rollback *)
+
+val mode_name : mode -> string
+
+type t = {
+  mode : mode;
+  rqv_for_flat : bool;
+      (** validate incrementally on reads even for flat transactions
+          (ablation; the paper's flat baseline detects conflicts at commit) *)
+  checkpoint_threshold : int;
+      (** objects read/written between automatic checkpoints (QR-CHK);
+          the paper's implementation is fine-grained — default 1 *)
+  checkpoint_overhead : float;
+      (** local cost of saving a continuation, ms; calibrated to the
+          paper's measured ~6% checkpoint-creation overhead *)
+  local_op_cost : float;  (** CPU cost of one local DSL step, ms *)
+  request_timeout : float;  (** RPC timeout used to detect dead quorum members, ms *)
+  backoff_base : float;  (** root-abort retry backoff base, ms *)
+  backoff_max : float;
+  ct_retry_delay : float;  (** delay before retrying an aborted closed-nested txn, ms *)
+  commit_lock_retries : int;
+      (** how many times a commit request that failed purely on a lock
+          (protected object) is retried before aborting the root (ablation;
+          0 = the paper's behaviour: abort immediately) *)
+  max_attempts : int;  (** safety valve for tests; 0 = unbounded *)
+  max_steps_per_attempt : int;
+      (** zombie-transaction guard: flat transactions (which validate only
+          at commit) can observe an inconsistent snapshot across a
+          concurrent structural update and chase a pointer cycle forever;
+          an attempt exceeding this many DSL steps is aborted and retried.
+          Closed nesting / checkpointing validate on remote reads but can
+          still cycle through locally cached entries, so the guard applies
+          to every mode. *)
+}
+
+val make : ?rqv_for_flat:bool -> ?checkpoint_threshold:int -> ?checkpoint_overhead:float ->
+  ?local_op_cost:float -> ?request_timeout:float -> ?backoff_base:float ->
+  ?backoff_max:float -> ?ct_retry_delay:float -> ?commit_lock_retries:int ->
+  ?max_attempts:int -> ?max_steps_per_attempt:int -> mode -> t
+
+val default : mode -> t

@@ -1,0 +1,565 @@
+type quorums = {
+  read_quorum : node:int -> int list;
+  write_quorum : node:int -> int list;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  rpc : (Messages.request, Messages.reply) Sim.Rpc.t;
+  quorums : quorums;
+  config : Config.t;
+  metrics : Metrics.t;
+  oracle : Oracle.t option;
+  ids : Ids.gen;
+  rng : Util.Rng.t;
+}
+
+let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed () =
+  { engine; rpc; quorums; config; metrics; oracle; ids; rng = Util.Rng.create seed }
+
+let config t = t.config
+let metrics t = t.metrics
+
+type outcome = Committed of Txn.value | Failed of string
+
+(* One closed-nesting scope.  The root transaction is the depth-0 scope;
+   [cont] is the parent's continuation, absent for the root. *)
+type scope = {
+  depth : int;
+  thunk : unit -> Txn.t;
+  cont : (Txn.value -> Txn.t) option;
+  mutable rset : Rwset.t;
+  mutable wset : Rwset.t;
+}
+
+type checkpoint = {
+  chk_id : int;
+  resume : unit -> Txn.t;
+  saved_rset : Rwset.t;
+  saved_wset : Rwset.t;
+}
+
+type root = {
+  exec : t;
+  node : int;
+  program : unit -> Txn.t;
+  on_done : outcome -> unit;
+  mutable txn_id : Ids.txn_id;
+  mutable attempt : int;
+  born : float;
+  mutable scopes : scope list; (* innermost first; never empty while running *)
+  mutable checkpoints : checkpoint list; (* newest first *)
+  mutable next_chk : int;
+  mutable since_chk : int;
+  mutable last_validation_sent : float;
+  mutable commit_lock_budget : int;
+  mutable compensations : (unit -> Txn.t) list; (* open nesting; newest first *)
+  mutable steps : int; (* DSL steps this attempt; zombie guard *)
+  mutable generation : int;
+  mutable finished : bool;
+}
+
+let now root = Sim.Engine.now root.exec.engine
+let rqv_active exec =
+  match exec.config.mode with
+  | Config.Closed | Config.Checkpoint -> true
+  | Config.Flat -> exec.config.rqv_for_flat
+
+let current_scope root =
+  match root.scopes with
+  | scope :: _ -> scope
+  | [] -> invalid_arg "Executor: no active scope"
+
+(* The checkpoint id in effect: new entries are tagged with it. *)
+let current_chk root =
+  match root.checkpoints with [] -> 0 | chk :: _ -> chk.chk_id
+
+let owner_tag root =
+  match root.exec.config.mode with
+  | Config.Flat -> 0
+  | Config.Closed -> (current_scope root).depth
+  | Config.Checkpoint -> current_chk root
+
+(* Accumulated data-set across the scope chain, outermost owners winning on
+   duplicate object ids (validation must name the ancestor-most owner). *)
+let full_dataset root =
+  let table : (int, Messages.dataset_entry) Hashtbl.t = Hashtbl.create 16 in
+  let note (e : Rwset.entry) =
+    match Hashtbl.find_opt table e.oid with
+    | Some existing when existing.owner <= e.owner -> ()
+    | Some _ | None ->
+      Hashtbl.replace table e.oid { Messages.oid = e.oid; version = e.version; owner = e.owner }
+  in
+  List.iter
+    (fun scope ->
+      List.iter note (Rwset.entries scope.rset);
+      List.iter note (Rwset.entries scope.wset))
+    root.scopes;
+  Hashtbl.fold (fun _ e acc -> e :: acc) table []
+
+(* checkParent (Algorithm 2, line 2): wset shadows rset, inner scopes shadow
+   outer ones. *)
+let lookup_local root oid =
+  let rec search = function
+    | [] -> None
+    | scope :: rest ->
+      begin
+        match Rwset.find scope.wset oid with
+        | Some e -> Some e
+        | None ->
+          begin
+            match Rwset.find scope.rset oid with
+            | Some e -> Some e
+            | None -> search rest
+          end
+      end
+  in
+  search root.scopes
+
+let schedule root ~delay f =
+  Sim.Engine.schedule root.exec.engine ~delay (fun () -> if not root.finished then f ())
+
+(* A reply that raced with an abort (or with transaction completion) must be
+   dropped: callers capture the generation at request time and test it. *)
+let still_current root generation =
+  (not root.finished) && root.generation = generation
+
+let jittered rng base = base *. (0.5 +. Util.Rng.float rng 1.0)
+
+let backoff_delay root =
+  let cfg = root.exec.config in
+  let exp = Stdlib.min root.attempt 8 in
+  let base = cfg.backoff_base *. Float.of_int (1 lsl exp) in
+  jittered root.exec.rng (Stdlib.min cfg.backoff_max base)
+
+let fresh_scope ~depth ~thunk ~cont =
+  { depth; thunk; cont; rset = Rwset.empty; wset = Rwset.empty }
+
+let rec start_attempt root =
+  root.txn_id <- Ids.fresh_txn root.exec.ids;
+  root.scopes <- [ fresh_scope ~depth:0 ~thunk:root.program ~cont:None ];
+  root.checkpoints <- [];
+  root.next_chk <- 1;
+  root.since_chk <- 0;
+  root.last_validation_sent <- now root;
+  root.commit_lock_budget <- root.exec.config.commit_lock_retries;
+  root.steps <- 0;
+  root.generation <- root.generation + 1;
+  step root (root.program ())
+
+and step root prog =
+  schedule root ~delay:root.exec.config.local_op_cost (fun () -> interpret root prog)
+
+and interpret root prog =
+  (* Zombie guard: a transaction that observed an inconsistent snapshot
+     (possible under flat QR, which validates only at commit) may chase a
+     pointer cycle through locally cached entries forever; cap the attempt
+     and retry it against fresh state. *)
+  root.steps <- root.steps + 1;
+  if root.steps > root.exec.config.max_steps_per_attempt then root_abort root
+  else interpret_op root prog
+
+and interpret_op root prog =
+  match prog with
+  | Txn.Return v -> finish_scope root v
+  | Txn.Fail msg -> finish root (Failed msg)
+  | Txn.Read (oid, k) -> access root ~oid ~write:None ~k
+  | Txn.Write (oid, v, k) -> access root ~oid ~write:(Some v) ~k:(fun _ -> k ())
+  | Txn.Nested (body, cont) ->
+    begin
+      match root.exec.config.mode with
+      | Config.Closed ->
+        let parent = current_scope root in
+        root.scopes <-
+          fresh_scope ~depth:(parent.depth + 1) ~thunk:body ~cont:(Some cont)
+          :: root.scopes;
+        step root (body ())
+      | Config.Flat | Config.Checkpoint -> step root (Txn.bind (body ()) cont)
+    end
+  | Txn.Checkpoint k ->
+    begin
+      match root.exec.config.mode with
+      | Config.Checkpoint -> create_checkpoint root ~resume:k ~continue:(fun () -> step root (k ()))
+      | Config.Flat | Config.Closed -> step root (k ())
+    end
+  | Txn.Open { body; compensate; k } ->
+    (* Open nesting: run [body] as an independent transaction (fresh id,
+       fresh sets, its own 2PC).  The parent is quiescent meanwhile — it
+       has no requests in flight — so no generation guard is needed.  On
+       commit, the compensation is registered for the parent's abort path
+       and the parent resumes. *)
+    let generation = root.generation in
+    spawn_root root.exec ~node:root.node ~program:body ~on_done:(fun outcome ->
+        if still_current root generation then begin
+          match outcome with
+          | Committed v ->
+            Metrics.note_open_commit root.exec.metrics;
+            root.compensations <- (fun () -> compensate v) :: root.compensations;
+            step root (k v)
+          | Failed msg -> finish root (Failed msg)
+        end)
+
+and access root ~oid ~write ~k =
+  match lookup_local root oid with
+  | Some entry ->
+    Metrics.note_local_read root.exec.metrics;
+    install_entry root ~oid ~base_version:entry.version
+      ~read_value:entry.value ~write ~remote:false ~k
+  | None -> remote_fetch root ~oid ~write ~k
+
+and remote_fetch root ~oid ~write ~k =
+  let exec = root.exec in
+  let quorum = exec.quorums.read_quorum ~node:root.node in
+  match quorum with
+  | [] ->
+    (* No read quorum constructible right now (too many failures); retry
+       after a delay, by which time detection may have recovered one. *)
+    Metrics.note_quorum_retry exec.metrics;
+    schedule root ~delay:(jittered exec.rng exec.config.request_timeout) (fun () ->
+        remote_fetch root ~oid ~write ~k)
+  | _ ->
+    let dataset = if rqv_active exec then full_dataset root else [] in
+    let record = (current_scope root).depth = 0 in
+    let request =
+      Messages.Read_req
+        { txn = root.txn_id; oid; dataset; write_intent = Option.is_some write; record }
+    in
+    root.last_validation_sent <- now root;
+    let generation = root.generation in
+    Sim.Rpc.multicall exec.rpc ~kind:"read_req" ~src:root.node ~dsts:quorum
+      ~timeout:exec.config.request_timeout request
+      ~on_done:(fun ~replies ~missing ->
+        if still_current root generation then
+          handle_read_replies root ~oid ~write ~k ~replies ~missing)
+
+and handle_read_replies root ~oid ~write ~k ~replies ~missing =
+  let exec = root.exec in
+  if missing <> [] then begin
+    (* A quorum member failed mid-request: retry with refreshed quorums. *)
+    Metrics.note_quorum_retry exec.metrics;
+    schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay) (fun () ->
+        remote_fetch root ~oid ~write ~k)
+  end
+  else begin
+    let abort_target =
+      List.fold_left
+        (fun acc (_, reply) ->
+          match reply with
+          | Messages.Read_abort { target } ->
+            Some (match acc with None -> target | Some t -> Stdlib.min t target)
+          | Messages.Read_ok _ | Messages.Vote _ -> acc)
+        None replies
+    in
+    match abort_target with
+    | Some target -> partial_abort root ~target
+    | None ->
+      begin
+        let best =
+          List.fold_left
+            (fun acc (_, reply) ->
+              match reply with
+              | Messages.Read_ok { version; value; _ } ->
+                begin
+                  match acc with
+                  | Some (v, _) when v >= version -> acc
+                  | Some _ | None -> Some (version, value)
+                end
+              | Messages.Read_abort _ | Messages.Vote _ -> acc)
+            None replies
+        in
+        match best with
+        | None ->
+          (* Only malformed replies; treat as a failed quorum round. *)
+          Metrics.note_quorum_retry exec.metrics;
+          schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay)
+            (fun () -> remote_fetch root ~oid ~write ~k)
+        | Some (version, value) ->
+          Metrics.note_remote_read exec.metrics;
+          install_entry root ~oid ~base_version:version ~read_value:value ~write
+            ~remote:true ~k
+      end
+  end
+
+and install_entry root ~oid ~base_version ~read_value ~write ~remote ~k =
+  let scope = current_scope root in
+  let owner = owner_tag root in
+  begin
+    match write with
+    | Some value ->
+      scope.wset <- Rwset.add scope.wset { oid; version = base_version; value; owner }
+    | None ->
+      (* A locally visible object is not re-added: its entry (and owner)
+         stays with the scope that fetched it. *)
+      if remote then
+        scope.rset <-
+          Rwset.add scope.rset { oid; version = base_version; value = read_value; owner }
+  end;
+  let continue () = step root (k read_value) in
+  if remote && root.exec.config.mode = Config.Checkpoint then begin
+    root.since_chk <- root.since_chk + 1;
+    if root.since_chk >= root.exec.config.checkpoint_threshold then
+      create_checkpoint root ~resume:(fun () -> k read_value) ~continue
+    else continue ()
+  end
+  else continue ()
+
+and create_checkpoint root ~resume ~continue =
+  let scope = current_scope root in
+  root.checkpoints <-
+    {
+      chk_id = root.next_chk;
+      resume;
+      saved_rset = scope.rset;
+      saved_wset = scope.wset;
+    }
+    :: root.checkpoints;
+  root.next_chk <- root.next_chk + 1;
+  root.since_chk <- 0;
+  Metrics.note_checkpoint root.exec.metrics;
+  (* Saving the continuation costs local time (the paper measured ~6%). *)
+  schedule root ~delay:root.exec.config.checkpoint_overhead continue
+
+and partial_abort root ~target =
+  root.generation <- root.generation + 1;
+  match root.exec.config.mode with
+  | Config.Flat -> root_abort root
+  | Config.Closed ->
+    if target <= 0 then root_abort root
+    else begin
+      (* Unwind to the scope named by abortClosed and retry it. *)
+      let rec unwind = function
+        | scope :: rest when scope.depth > target -> unwind rest
+        | scopes -> scopes
+      in
+      begin
+        match unwind root.scopes with
+        | scope :: _ as scopes when scope.depth = target ->
+          scope.rset <- Rwset.empty;
+          scope.wset <- Rwset.empty;
+          root.scopes <- scopes;
+          Metrics.note_partial_abort root.exec.metrics;
+          schedule root
+            ~delay:(jittered root.exec.rng root.exec.config.ct_retry_delay)
+            (fun () -> step root (scope.thunk ()))
+        | _ ->
+          (* The scope no longer exists (stale abort target): safe fallback. *)
+          root_abort root
+      end
+    end
+  | Config.Checkpoint ->
+    if target <= 0 then root_abort root
+    else begin
+      let rec find_chk = function
+        | [] -> None
+        | chk :: rest ->
+          if chk.chk_id = target then Some (chk, chk :: rest)
+          else if chk.chk_id < target then None
+          else find_chk rest
+      in
+      match find_chk root.checkpoints with
+      | None -> root_abort root
+      | Some (chk, kept) ->
+        let scope = current_scope root in
+        scope.rset <- chk.saved_rset;
+        scope.wset <- chk.saved_wset;
+        root.checkpoints <- kept;
+        root.since_chk <- 0;
+        Metrics.note_partial_abort root.exec.metrics;
+        schedule root
+          ~delay:(jittered root.exec.rng root.exec.config.ct_retry_delay)
+          (fun () -> step root (chk.resume ()))
+    end
+
+and root_abort root =
+  root.generation <- root.generation + 1;
+  Metrics.note_root_abort root.exec.metrics;
+  root.attempt <- root.attempt + 1;
+  let cfg = root.exec.config in
+  if cfg.max_attempts > 0 && root.attempt >= cfg.max_attempts then
+    finish root (Failed "max attempts exceeded")
+  else begin
+    (* Open nesting: semantically undo globally visible sub-commits
+       (newest first) before re-running the root from scratch. *)
+    let compensations = root.compensations in
+    root.compensations <- [];
+    run_compensations root compensations (fun () ->
+        schedule root ~delay:(backoff_delay root) (fun () -> start_attempt root))
+  end
+
+and run_compensations root compensations k =
+  match compensations with
+  | [] -> k ()
+  | compensate :: rest ->
+    Metrics.note_compensation root.exec.metrics;
+    spawn_root root.exec ~node:root.node ~program:compensate ~on_done:(fun outcome ->
+        match outcome with
+        | Committed _ -> run_compensations root rest k
+        | Failed msg -> finish root (Failed ("compensation failed: " ^ msg)))
+
+and finish_scope root value =
+  match root.scopes with
+  | [] -> invalid_arg "Executor: Return with no scope"
+  | [ scope ] -> root_commit root ~scope ~value
+  | child :: (parent :: _ as rest) ->
+    (* commitCT (Algorithm 3): merge into the parent, locally.  Merged
+       entries are retagged with the parent's depth: a later invalidation
+       must abort the parent, the child's commit having been absorbed. *)
+    parent.rset <-
+      Rwset.merge_into ~child:(Rwset.retag child.rset ~owner:parent.depth)
+        ~parent:parent.rset;
+    parent.wset <-
+      Rwset.merge_into ~child:(Rwset.retag child.wset ~owner:parent.depth)
+        ~parent:parent.wset;
+    root.scopes <- rest;
+    Metrics.note_ct_commit root.exec.metrics;
+    begin
+      match child.cont with
+      | Some cont -> step root (cont value)
+      | None -> invalid_arg "Executor: child scope without continuation"
+    end
+
+and root_commit root ~scope ~value =
+  let exec = root.exec in
+  let read_only = Rwset.is_empty scope.wset in
+  (* Only QR-CN commits read-only roots locally (paper §III-A); QR-CHK's
+     request-commit is "exactly the same as flat" (§IV-A), so it pays the
+     full 2PC round even when read-only. *)
+  let local_ro_commit =
+    match exec.config.mode with
+    | Config.Closed -> true
+    | Config.Flat -> exec.config.rqv_for_flat
+    | Config.Checkpoint -> false
+  in
+  if read_only && local_ro_commit then begin
+    (* Rqv keeps the read-set continuously validated: read-only roots (and
+       all closed-nested transactions) commit without remote messages. *)
+    record_commit root ~scope ~window_start:root.last_validation_sent;
+    Metrics.note_read_only_commit exec.metrics ~latency:(now root -. root.born);
+    finish root (Committed value)
+  end
+  else send_commit_request root ~scope ~value
+
+and send_commit_request root ~scope ~value =
+  let exec = root.exec in
+  let quorum = exec.quorums.write_quorum ~node:root.node in
+  match quorum with
+  | [] ->
+    Metrics.note_quorum_retry exec.metrics;
+    schedule root ~delay:(jittered exec.rng exec.config.request_timeout) (fun () ->
+        send_commit_request root ~scope ~value)
+  | _ ->
+    let dataset =
+      Messages.dataset_of_rwset (Rwset.merge_into ~child:scope.wset ~parent:scope.rset)
+    in
+    let locks = Rwset.oids scope.wset in
+    let window_start = now root in
+    let generation = root.generation in
+    Sim.Rpc.multicall exec.rpc ~kind:"commit_req" ~src:root.node ~dsts:quorum
+      ~timeout:exec.config.request_timeout
+      (Messages.Commit_req { txn = root.txn_id; dataset; locks })
+      ~on_done:(fun ~replies ~missing ->
+        if still_current root generation then
+          handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing)
+
+and release_locks root ~quorum ~locks =
+  if locks <> [] then
+    Sim.Rpc.multicast root.exec.rpc ~kind:"release" ~src:root.node ~dsts:quorum
+      (Messages.Release { txn = root.txn_id; oids = locks })
+
+and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
+  let exec = root.exec in
+  let locks = Rwset.oids scope.wset in
+  if missing <> [] then begin
+    (* A write-quorum member failed mid-2PC: release whatever was locked
+       and retry against refreshed quorums. *)
+    release_locks root ~quorum ~locks;
+    Metrics.note_quorum_retry exec.metrics;
+    schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay) (fun () ->
+        send_commit_request root ~scope ~value)
+  end
+  else begin
+    let all_commit, any_lock_conflict =
+      List.fold_left
+        (fun (all, lock) (_, reply) ->
+          match reply with
+          | Messages.Vote { commit; lock_conflict } ->
+            (all && commit, lock || lock_conflict)
+          | Messages.Read_ok _ | Messages.Read_abort _ -> (false, lock))
+        (true, false) replies
+    in
+    if all_commit then begin
+      let writes =
+        List.map
+          (fun (e : Rwset.entry) -> (e.oid, e.version + 1, e.value))
+          (Rwset.entries scope.wset)
+      in
+      record_commit root ~scope ~window_start;
+      Sim.Rpc.multicast exec.rpc ~kind:"commit_apply" ~src:root.node ~dsts:quorum
+        (Messages.Apply { txn = root.txn_id; writes; reads = Rwset.oids scope.rset });
+      Metrics.note_commit exec.metrics ~latency:(now root -. root.born);
+      finish root (Committed value)
+    end
+    else begin
+      release_locks root ~quorum ~locks;
+      if any_lock_conflict && root.commit_lock_budget > 0 then begin
+        (* Ablation knob: a lock conflict may resolve as soon as the holder
+           finishes its 2PC; optionally retry the commit before aborting. *)
+        root.commit_lock_budget <- root.commit_lock_budget - 1;
+        schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay) (fun () ->
+            send_commit_request root ~scope ~value)
+      end
+      else root_abort root
+    end
+  end
+
+and record_commit root ~scope ~window_start =
+  match root.exec.oracle with
+  | None -> ()
+  | Some oracle ->
+    let reads =
+      List.map (fun (e : Rwset.entry) -> (e.oid, e.version)) (Rwset.entries scope.rset)
+    in
+    let read_bases_of_writes =
+      List.filter_map
+        (fun (e : Rwset.entry) ->
+          if Rwset.mem scope.rset e.oid then None else Some (e.oid, e.version))
+        (Rwset.entries scope.wset)
+    in
+    let writes =
+      List.map (fun (e : Rwset.entry) -> (e.oid, e.version + 1)) (Rwset.entries scope.wset)
+    in
+    Oracle.note_commit oracle ~txn:root.txn_id ~decision:(now root) ~window_start
+      ~reads:(reads @ read_bases_of_writes) ~writes
+
+and finish root outcome =
+  if not root.finished then begin
+    root.finished <- true;
+    root.generation <- root.generation + 1;
+    root.on_done outcome
+  end
+
+and spawn_root t ~node ~program ~on_done =
+  let root =
+    {
+      exec = t;
+      node;
+      program;
+      on_done;
+      txn_id = 0;
+      attempt = 0;
+      born = Sim.Engine.now t.engine;
+      scopes = [];
+      checkpoints = [];
+      next_chk = 1;
+      since_chk = 0;
+      last_validation_sent = Sim.Engine.now t.engine;
+      commit_lock_budget = t.config.commit_lock_retries;
+      compensations = [];
+      steps = 0;
+      generation = 0;
+      finished = false;
+    }
+  in
+  start_attempt root
+
+let run_root = spawn_root

@@ -1,0 +1,55 @@
+(** Client-side transaction executor for QR, QR-CN and QR-CHK.
+
+    The executor interprets {!Txn.t} programs over the simulated network,
+    implementing the three execution models of the paper:
+
+    - {b Flat} (QR): nesting boundaries are flattened; conflicts are
+      detected by the write quorum during the 2PC vote; any abort retries
+      the whole transaction.
+    - {b Closed} (QR-CN): each [Nested] boundary pushes a scope with its own
+      read/write sets and retry thunk.  Reads carry the accumulated
+      data-set for read-quorum validation (Rqv); a validation failure
+      aborts exactly the scope named by [abortClosed] (the minimum owner
+      depth over invalid entries).  A closed-nested commit merges its sets
+      into the parent locally, with no remote communication; read-only
+      roots also commit locally.
+    - {b Checkpoint} (QR-CHK): the transaction runs flat but snapshots its
+      continuation and sets every [checkpoint_threshold] fetched objects.
+      A validation failure rolls back to [abortChk] (the oldest checkpoint
+      among invalid entries); a 2PC failure retries the whole transaction,
+      exactly as the paper specifies.
+
+    Latency accounting: a transaction's latency runs from its first attempt
+    to its final commit, across aborts. *)
+
+type quorums = {
+  read_quorum : node:int -> int list;
+  write_quorum : node:int -> int list;
+}
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  rpc:(Messages.request, Messages.reply) Sim.Rpc.t ->
+  quorums:quorums ->
+  config:Config.t ->
+  metrics:Metrics.t ->
+  ?oracle:Oracle.t ->
+  ids:Ids.gen ->
+  seed:int ->
+  unit ->
+  t
+
+type outcome =
+  | Committed of Txn.value
+  | Failed of string
+      (** a [Txn.Fail] program step, or [max_attempts] exceeded *)
+
+val run_root : t -> node:int -> program:(unit -> Txn.t) -> on_done:(outcome -> unit) -> unit
+(** Start a root transaction on [node].  [program] must be re-runnable: it
+    is re-invoked from scratch on every root retry.  [on_done] fires exactly
+    once, when the transaction finally commits or fails permanently. *)
+
+val config : t -> Config.t
+val metrics : t -> Metrics.t

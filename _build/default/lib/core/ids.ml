@@ -1,0 +1,15 @@
+type txn_id = int
+type obj_id = int
+type gen = { mutable next_txn : int; mutable next_obj : int }
+
+let gen () = { next_txn = 1; next_obj = 0 }
+
+let fresh_txn g =
+  let id = g.next_txn in
+  g.next_txn <- id + 1;
+  id
+
+let fresh_obj g =
+  let id = g.next_obj in
+  g.next_obj <- id + 1;
+  id

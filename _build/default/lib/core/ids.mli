@@ -1,0 +1,15 @@
+(** Identifier generation.
+
+    Transaction identifiers are globally unique per experiment and strictly
+    increasing, so they double as start-order timestamps for contention
+    decisions.  Object identifiers are plain integers allocated by the
+    benchmark setup code. *)
+
+type txn_id = int
+type obj_id = int
+
+type gen
+
+val gen : unit -> gen
+val fresh_txn : gen -> txn_id
+val fresh_obj : gen -> obj_id

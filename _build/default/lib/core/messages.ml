@@ -1,0 +1,37 @@
+type dataset_entry = { oid : Ids.obj_id; version : int; owner : int }
+
+let dataset_of_rwset set =
+  List.map
+    (fun (e : Rwset.entry) -> { oid = e.oid; version = e.version; owner = e.owner })
+    (Rwset.entries set)
+
+type request =
+  | Read_req of {
+      txn : Ids.txn_id;
+      oid : Ids.obj_id;
+      dataset : dataset_entry list;
+      write_intent : bool;
+      record : bool;
+    }
+  | Commit_req of {
+      txn : Ids.txn_id;
+      dataset : dataset_entry list;
+      locks : Ids.obj_id list;
+    }
+  | Apply of {
+      txn : Ids.txn_id;
+      writes : (Ids.obj_id * int * Txn.value) list;
+      reads : Ids.obj_id list;
+    }
+  | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
+
+type reply =
+  | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
+  | Read_abort of { target : int }
+  | Vote of { commit : bool; lock_conflict : bool }
+
+let kind_of_request = function
+  | Read_req _ -> "read_req"
+  | Commit_req _ -> "commit_req"
+  | Apply _ -> "commit_apply"
+  | Release _ -> "release"

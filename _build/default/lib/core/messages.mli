@@ -1,0 +1,47 @@
+(** Wire protocol between transaction executors and QR replicas.
+
+    A read request carries the requesting transaction's accumulated
+    data-set (object id, base version, owner tag) so the replica can run
+    read-quorum validation (Rqv) before serving the object — this inlines
+    the paper's per-copy [ownerTxn]/[ownerChk] bookkeeping into the request
+    (see DESIGN.md, semantics notes).
+
+    Commit requests implement the vote phase of 2PC: the replica validates
+    the full data-set and, on success, locks the write-set objects.  Apply
+    and Release are the one-way second phase. *)
+
+type dataset_entry = { oid : Ids.obj_id; version : int; owner : int }
+
+val dataset_of_rwset : Rwset.t -> dataset_entry list
+
+type request =
+  | Read_req of {
+      txn : Ids.txn_id;  (** root transaction id *)
+      oid : Ids.obj_id;
+      dataset : dataset_entry list;  (** entries to validate; [] skips Rqv *)
+      write_intent : bool;  (** register in PW instead of PR *)
+      record : bool;  (** root transactions only: track in PR/PW *)
+    }
+  | Commit_req of {
+      txn : Ids.txn_id;
+      dataset : dataset_entry list;  (** full read+write set *)
+      locks : Ids.obj_id list;  (** write-set objects to protect *)
+    }
+  | Apply of {
+      txn : Ids.txn_id;
+      writes : (Ids.obj_id * int * Txn.value) list;  (** (oid, new version, value) *)
+      reads : Ids.obj_id list;  (** for PR cleanup *)
+    }
+  | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
+
+type reply =
+  | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
+  | Read_abort of { target : int }
+      (** validation failed; [target] is [abortClosed] (a scope depth) or
+          [abortChk] (a checkpoint id) depending on the executor's mode *)
+  | Vote of { commit : bool; lock_conflict : bool }
+      (** [lock_conflict] distinguishes protected-object conflicts (the
+          holder may release soon) from version staleness (hopeless) *)
+
+val kind_of_request : request -> string
+(** Message-accounting label ("read_req", "commit_req", ...). *)

@@ -1,0 +1,94 @@
+type t = {
+  mutable latencies : Util.Stats.t;
+  mutable commits : int;
+  mutable read_only_commits : int;
+  mutable root_aborts : int;
+  mutable partial_aborts : int;
+  mutable ct_commits : int;
+  mutable checkpoints : int;
+  mutable local_reads : int;
+  mutable remote_reads : int;
+  mutable quorum_retries : int;
+  mutable open_commits : int;
+  mutable compensations : int;
+}
+
+let create () =
+  {
+    commits = 0;
+    read_only_commits = 0;
+    root_aborts = 0;
+    partial_aborts = 0;
+    ct_commits = 0;
+    checkpoints = 0;
+    local_reads = 0;
+    remote_reads = 0;
+    quorum_retries = 0;
+    open_commits = 0;
+    compensations = 0;
+    latencies = Util.Stats.create ();
+  }
+
+let reset t =
+  t.commits <- 0;
+  t.read_only_commits <- 0;
+  t.root_aborts <- 0;
+  t.partial_aborts <- 0;
+  t.ct_commits <- 0;
+  t.checkpoints <- 0;
+  t.local_reads <- 0;
+  t.remote_reads <- 0;
+  t.quorum_retries <- 0;
+  t.open_commits <- 0;
+  t.compensations <- 0;
+  t.latencies <- Util.Stats.create ()
+
+let note_commit t ~latency =
+  t.commits <- t.commits + 1;
+  Util.Stats.add t.latencies latency
+
+let note_read_only_commit t ~latency =
+  t.commits <- t.commits + 1;
+  t.read_only_commits <- t.read_only_commits + 1;
+  Util.Stats.add t.latencies latency
+
+let note_root_abort t = t.root_aborts <- t.root_aborts + 1
+let note_partial_abort t = t.partial_aborts <- t.partial_aborts + 1
+let note_ct_commit t = t.ct_commits <- t.ct_commits + 1
+let note_checkpoint t = t.checkpoints <- t.checkpoints + 1
+let note_local_read t = t.local_reads <- t.local_reads + 1
+let note_remote_read t = t.remote_reads <- t.remote_reads + 1
+let note_quorum_retry t = t.quorum_retries <- t.quorum_retries + 1
+let note_open_commit t = t.open_commits <- t.open_commits + 1
+let note_compensation t = t.compensations <- t.compensations + 1
+
+let commits t = t.commits
+let read_only_commits t = t.read_only_commits
+let root_aborts t = t.root_aborts
+let partial_aborts t = t.partial_aborts
+let total_aborts t = t.root_aborts + t.partial_aborts
+let ct_commits t = t.ct_commits
+let checkpoints t = t.checkpoints
+let local_reads t = t.local_reads
+let remote_reads t = t.remote_reads
+let quorum_retries t = t.quorum_retries
+let open_commits t = t.open_commits
+let compensations t = t.compensations
+let latency_stats t = t.latencies
+
+let throughput t ~duration_ms =
+  if duration_ms <= 0. then 0. else Float.of_int t.commits /. (duration_ms /. 1000.)
+
+let abort_rate t =
+  let attempts = t.commits + total_aborts t in
+  if attempts = 0 then 0. else Float.of_int (total_aborts t) /. Float.of_int attempts
+
+let summary t ~duration_ms =
+  Printf.sprintf
+    "commits=%d (ro=%d) throughput=%.1f/s aborts[root=%d partial=%d] ct_commits=%d \
+     checkpoints=%d reads[local=%d remote=%d] latency{%s}"
+    t.commits t.read_only_commits
+    (throughput t ~duration_ms)
+    t.root_aborts t.partial_aborts t.ct_commits t.checkpoints t.local_reads
+    t.remote_reads
+    (Util.Stats.summary t.latencies)

@@ -1,0 +1,57 @@
+(** Transaction-level metrics.
+
+    One accumulator per experiment run.  Message counts live in
+    {!Sim.Network}; this module tracks the executor-side events the paper
+    reports: commits, root aborts, partial aborts (closed-nested aborts /
+    checkpoint rollbacks), local vs remote reads, checkpoints created, and
+    commit latencies. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero every counter (used to exclude warm-up from measurements). *)
+
+val note_commit : t -> latency:float -> unit
+val note_read_only_commit : t -> latency:float -> unit
+val note_root_abort : t -> unit
+val note_partial_abort : t -> unit
+val note_ct_commit : t -> unit
+val note_checkpoint : t -> unit
+val note_local_read : t -> unit
+val note_remote_read : t -> unit
+val note_quorum_retry : t -> unit
+
+val note_open_commit : t -> unit
+(** An open-nested sub-transaction committed (extension). *)
+
+val note_compensation : t -> unit
+(** A compensation transaction ran after a root abort (extension). *)
+
+val commits : t -> int
+(** All commits, including read-only. *)
+
+val read_only_commits : t -> int
+val root_aborts : t -> int
+val partial_aborts : t -> int
+
+val total_aborts : t -> int
+(** Root plus partial aborts — the paper's "total number of aborts". *)
+
+val ct_commits : t -> int
+val checkpoints : t -> int
+val local_reads : t -> int
+val remote_reads : t -> int
+val quorum_retries : t -> int
+val open_commits : t -> int
+val compensations : t -> int
+val latency_stats : t -> Util.Stats.t
+
+val throughput : t -> duration_ms:float -> float
+(** Committed transactions per second of simulated time. *)
+
+val abort_rate : t -> float
+(** Aborts per commit attempt: [total_aborts / (commits + total_aborts)]. *)
+
+val summary : t -> duration_ms:float -> string

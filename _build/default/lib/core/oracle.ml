@@ -1,0 +1,162 @@
+type commit = {
+  txn : Ids.txn_id;
+  decision : float;
+  window_start : float;
+  reads : (Ids.obj_id * int) list;
+  writes : (Ids.obj_id * int) list;
+}
+
+type t = { mutable commits : commit list; mutable count : int }
+
+let create () = { commits = []; count = 0 }
+
+let note_commit t ~txn ~decision ~window_start ~reads ~writes =
+  t.commits <- { txn; decision; window_start; reads; writes } :: t.commits;
+  t.count <- t.count + 1
+
+let commits_recorded t = t.count
+
+let ( let* ) r f = Result.bind r f
+
+(* Per object, the decision time at which each version was installed.
+   Version 0 exists from time 0 (initialisation). *)
+let version_times commits =
+  let table : (Ids.obj_id * int, float * Ids.txn_id) Hashtbl.t = Hashtbl.create 256 in
+  let rec record = function
+    | [] -> Ok table
+    | c :: rest ->
+      let rec record_writes = function
+        | [] -> Ok ()
+        | (oid, version) :: more ->
+          begin
+            match Hashtbl.find_opt table (oid, version) with
+            | Some (_, other) ->
+              Error
+                (Printf.sprintf
+                   "object %d version %d written by both txn %d and txn %d" oid
+                   version other c.txn)
+            | None ->
+              Hashtbl.replace table (oid, version) (c.decision, c.txn);
+              record_writes more
+          end
+      in
+      let* () = record_writes c.writes in
+      record rest
+  in
+  record commits
+
+let check_version_sequences commits table =
+  (* For each object, installed versions sorted by decision time must be
+     consecutive starting at 1. *)
+  let by_object : (Ids.obj_id, (int * float) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (oid, version) ->
+          let (time, _) = Hashtbl.find table (oid, version) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_object oid) in
+          Hashtbl.replace by_object oid ((version, time) :: prev))
+        c.writes)
+    commits;
+  Hashtbl.fold
+    (fun oid versions acc ->
+      let* () = acc in
+      let ordered =
+        List.sort (fun (_, t1) (_, t2) -> Float.compare t1 t2) versions
+      in
+      let rec consecutive expected = function
+        | [] -> Ok ()
+        | (v, _) :: rest ->
+          if v = expected then consecutive (expected + 1) rest
+          else
+            Error
+              (Printf.sprintf
+                 "object %d: expected version %d next in commit order, got %d" oid
+                 expected v)
+      in
+      consecutive 1 ordered)
+    by_object (Ok ())
+
+let check_reads commits table =
+  (* Update transactions serialize at their commit decision: each read of
+     (oid, v) must have been installed before the decision and still be
+     current when the validation window opened (2PC re-validates every
+     entry, so anything staler is a protocol bug).
+
+     Read-only transactions serialize wherever their snapshot was current:
+     1-copy serializability only requires that all their read versions were
+     current *simultaneously* at some instant no later than the decision —
+     a first read may legitimately return a version that a concurrent
+     commit (whose apply is still propagating) has already superseded in
+     real time. *)
+  let tolerance = 1e-6 in
+  let installed oid v =
+    if v = 0 then Some 0. else Option.map fst (Hashtbl.find_opt table (oid, v))
+  in
+  let check_installed c (oid, v) =
+    match installed oid v with
+    | None ->
+      Error
+        (Printf.sprintf "txn %d read object %d version %d which was never committed"
+           c.txn oid v)
+    | Some t_installed ->
+      if t_installed > c.decision +. tolerance then
+        Error
+          (Printf.sprintf
+             "txn %d (decision %.3f) read object %d version %d installed later (%.3f)"
+             c.txn c.decision oid v t_installed)
+      else Ok t_installed
+  in
+  let check_update_entry c (oid, v) =
+    let* _ = check_installed c (oid, v) in
+    match installed oid (v + 1) with
+    | Some t_next when t_next < c.window_start -. tolerance ->
+      Error
+        (Printf.sprintf
+           "txn %d committed a stale read: object %d version %d was overwritten at \
+            %.3f, before its validation window (%.3f)"
+           c.txn oid v t_next c.window_start)
+    | Some _ | None -> Ok ()
+  in
+  let check_snapshot c =
+    (* Latest installation among the reads must precede the earliest
+       overwrite: then all read versions coexisted in that interval. *)
+    let rec bounds lo hi = function
+      | [] -> Ok (lo, hi)
+      | (oid, v) :: more ->
+        let* t_installed = check_installed c (oid, v) in
+        let t_next =
+          match installed oid (v + 1) with Some t -> t | None -> Float.infinity
+        in
+        bounds (Float.max lo t_installed) (Float.min hi t_next) more
+    in
+    let* lo, hi = bounds 0. Float.infinity c.reads in
+    if lo <= hi +. tolerance then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "txn %d (read-only) observed an inconsistent snapshot: versions current \
+            only in disjoint intervals (%.3f > %.3f)"
+           c.txn lo hi)
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | c :: rest ->
+      let* () =
+        if c.writes = [] then check_snapshot c
+        else
+          List.fold_left
+            (fun acc entry ->
+              let* () = acc in
+              check_update_entry c entry)
+            (Ok ()) c.reads
+      in
+      check_all rest
+  in
+  check_all commits
+
+let check t =
+  let commits = List.rev t.commits in
+  let* table = version_times commits in
+  let* () = check_version_sequences commits table in
+  check_reads commits table

@@ -1,0 +1,42 @@
+(** Global 1-copy-serializability checker (the testable face of Theorem V.1).
+
+    Executors report every commit to the oracle together with the base
+    versions they read and the versions they installed.  [check] then
+    verifies, post-hoc and with global knowledge the protocols themselves
+    never have:
+
+    - {b version integrity}: per object, installed versions are exactly
+      0, 1, 2, … in commit order, with a unique writer per version;
+    - {b read freshness} (update transactions): every committed read of
+      version [v] was of the *current* copy at some instant inside the
+      transaction's validation window (between its commit request and its
+      decision) — 2PC re-validates every entry, so anything staler is a
+      protocol bug;
+    - {b snapshot consistency} (read-only transactions): all read versions
+      were current *simultaneously* at some instant no later than the
+      decision.  Read-only transactions serialize at that instant — they
+      may legitimately trail concurrent commits in real time (a first read
+      can be served before a decided commit's apply reaches the replica),
+      which is 1-copy serializable but not strictly serializable. *)
+
+type t
+
+val create : unit -> t
+
+val note_commit :
+  t ->
+  txn:Ids.txn_id ->
+  decision:float ->
+  window_start:float ->
+  reads:(Ids.obj_id * int) list ->
+  writes:(Ids.obj_id * int) list ->
+  unit
+(** [decision] is the client-side commit decision time; [window_start] the
+    send time of the last validating request (last read for read-only
+    transactions, the commit request otherwise).  [writes] carry the *new*
+    versions installed. *)
+
+val commits_recorded : t -> int
+
+val check : t -> (unit, string) result
+(** [Error] carries a human-readable description of the first violation. *)

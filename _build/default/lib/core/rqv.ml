@@ -1,0 +1,22 @@
+let entry_valid store ~txn (entry : Messages.dataset_entry) =
+  match Store.Replica.find store entry.oid with
+  | None -> false
+  | Some copy ->
+    let stale = entry.version < copy.version in
+    let locked =
+      match copy.protected_by with None -> false | Some owner -> owner <> txn
+    in
+    (not stale) && not locked
+
+let validate store ~txn ~dataset =
+  let worst = ref None in
+  List.iter
+    (fun (entry : Messages.dataset_entry) ->
+      if not (entry_valid store ~txn entry) then begin
+        Store.Replica.remove_txn store ~oid:entry.oid ~txn;
+        match !worst with
+        | None -> worst := Some entry.owner
+        | Some target -> if entry.owner < target then worst := Some entry.owner
+      end)
+    dataset;
+  !worst

@@ -1,0 +1,101 @@
+type t = {
+  node : int;
+  store : Store.Replica.t;
+  mutable validations_run : int;
+  mutable validations_failed : int;
+}
+
+let create ~node ~store = { node; store; validations_run = 0; validations_failed = 0 }
+let node t = t.node
+let store t = t.store
+let validations_run t = t.validations_run
+let validations_failed t = t.validations_failed
+
+let handle_read t ~txn ~oid ~dataset ~write_intent ~record =
+  let verdict =
+    match dataset with
+    | [] -> None
+    | _ ->
+      t.validations_run <- t.validations_run + 1;
+      Rqv.validate t.store ~txn ~dataset
+  in
+  match verdict with
+  | Some target ->
+    t.validations_failed <- t.validations_failed + 1;
+    Some (Messages.Read_abort { target })
+  | None ->
+    begin
+      match Store.Replica.find t.store oid with
+      | None -> Some (Messages.Read_abort { target = 0 })
+      | Some copy ->
+        if record then
+          if write_intent then Store.Replica.add_writer t.store ~oid ~txn
+          else Store.Replica.add_reader t.store ~oid ~txn;
+        Some (Messages.Read_ok { oid; version = copy.version; value = copy.value })
+    end
+
+let handle_commit t ~txn ~dataset ~locks =
+  let valid =
+    List.for_all (fun entry -> Rqv.entry_valid t.store ~txn entry) dataset
+  in
+  if not valid then begin
+    let lock_conflict =
+      List.exists
+        (fun (entry : Messages.dataset_entry) ->
+          Store.Replica.mem t.store entry.oid
+          && Store.Replica.is_protected t.store ~oid:entry.oid ~against:txn
+          && Store.Replica.version t.store entry.oid <= entry.version)
+        dataset
+    in
+    Some (Messages.Vote { commit = false; lock_conflict })
+  end
+  else begin
+    (* Lock the write set.  All-or-nothing: locking can only fail if another
+       transaction protected an object between the validation above and now,
+       which cannot happen within one synchronous handler — but we stay
+       defensive and roll back partial locks. *)
+    let rec lock_all acquired = function
+      | [] -> true
+      | oid :: rest ->
+        if Store.Replica.try_lock t.store ~oid ~txn then lock_all (oid :: acquired) rest
+        else begin
+          List.iter (fun o -> Store.Replica.unlock t.store ~oid:o ~txn) acquired;
+          false
+        end
+    in
+    if lock_all [] locks then Some (Messages.Vote { commit = true; lock_conflict = false })
+    else Some (Messages.Vote { commit = false; lock_conflict = true })
+  end
+
+let handle_apply t ~txn ~writes ~reads =
+  List.iter
+    (fun (oid, version, value) ->
+      if Store.Replica.mem t.store oid then begin
+        Store.Replica.apply t.store ~oid ~version ~value ~txn;
+        Store.Replica.remove_txn t.store ~oid ~txn
+      end)
+    writes;
+  List.iter
+    (fun oid -> if Store.Replica.mem t.store oid then Store.Replica.remove_txn t.store ~oid ~txn)
+    reads
+
+let handle_release t ~txn ~oids =
+  List.iter
+    (fun oid ->
+      if Store.Replica.mem t.store oid then begin
+        Store.Replica.unlock t.store ~oid ~txn;
+        Store.Replica.remove_txn t.store ~oid ~txn
+      end)
+    oids
+
+let handle t ~src:_ request =
+  match request with
+  | Messages.Read_req { txn; oid; dataset; write_intent; record } ->
+    handle_read t ~txn ~oid ~dataset ~write_intent ~record
+  | Messages.Commit_req { txn; dataset; locks } -> handle_commit t ~txn ~dataset ~locks
+  | Messages.Apply { txn; writes; reads } ->
+    handle_apply t ~txn ~writes ~reads;
+    None
+  | Messages.Release { txn; oids } ->
+    handle_release t ~txn ~oids;
+    None

@@ -1,0 +1,26 @@
+(** QR replica: the node-side protocol handler.
+
+    Each simulated node runs one server over its local {!Store.Replica.t}.  The
+    handler is synchronous (replies are computed within the node's service
+    slot, see {!Sim.Network}):
+
+    - [Read_req]: run Rqv over the carried data-set (if any), then serve the
+      local copy of the requested object; register root transactions in the
+      PR/PW lists.
+    - [Commit_req]: 2PC vote — validate the full data-set, lock the
+      write-set objects on success.
+    - [Apply]: 2PC second phase — install writes that are newer than the
+      local copy, release locks, clear PR/PW entries.
+    - [Release]: abort path — drop locks held by the transaction. *)
+
+type t
+
+val create : node:int -> store:Store.Replica.t -> t
+val node : t -> int
+val store : t -> Store.Replica.t
+
+val handle : t -> src:int -> Messages.request -> Messages.reply option
+(** [None] for the one-way messages (Apply / Release). *)
+
+val validations_run : t -> int
+val validations_failed : t -> int

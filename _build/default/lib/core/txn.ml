@@ -1,0 +1,46 @@
+type value = Store.Value.t
+
+type t =
+  | Return of value
+  | Read of Ids.obj_id * (value -> t)
+  | Write of Ids.obj_id * value * (unit -> t)
+  | Nested of (unit -> t) * (value -> t)
+  | Open of { body : unit -> t; compensate : value -> t; k : value -> t }
+  | Checkpoint of (unit -> t)
+  | Fail of string
+
+let return v = Return v
+let read oid = Read (oid, fun v -> Return v)
+let write oid v = Write (oid, v, fun () -> Return Store.Value.Unit)
+let nested body = Nested (body, fun v -> Return v)
+
+let open_nested ~body ~compensate =
+  Open { body; compensate; k = (fun v -> Return v) }
+
+let checkpoint () = Checkpoint (fun () -> Return Store.Value.Unit)
+let fail msg = Fail msg
+
+let rec bind p k =
+  match p with
+  | Return v -> k v
+  | Read (oid, f) -> Read (oid, fun v -> bind (f v) k)
+  | Write (oid, v, f) -> Write (oid, v, fun () -> bind (f ()) k)
+  | Nested (body, f) -> Nested (body, fun v -> bind (f v) k)
+  | Open { body; compensate; k = f } ->
+    Open { body; compensate; k = (fun v -> bind (f v) k) }
+  | Checkpoint f -> Checkpoint (fun () -> bind (f ()) k)
+  | Fail msg -> Fail msg
+
+let map p f = bind p (fun v -> Return (f v))
+
+module Syntax = struct
+  let ( let* ) = bind
+end
+
+let rec ops = function
+  | Return _ | Fail _ -> 0
+  | Read (_, f) -> 1 + ops (f Store.Value.Unit)
+  | Write (_, _, f) -> 1 + ops (f ())
+  | Nested (body, f) -> ops (body ()) + ops (f Store.Value.Unit)
+  | Open { body; k; _ } -> ops (body ()) + ops (k Store.Value.Unit)
+  | Checkpoint f -> ops (f ())

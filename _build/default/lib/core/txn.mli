@@ -1,0 +1,69 @@
+(** The transaction DSL.
+
+    Transactions are written once, against this DSL, and interpreted by
+    every protocol in the repository (QR flat, QR-CN, QR-CHK, TFA,
+    Decent-STM) — the protocols differ only in *how* they execute reads,
+    writes, nesting boundaries and commits.
+
+    Programs are continuation-passing values, which is what makes partial
+    abort implementable: a closed-nested scope retries by re-running its
+    thunk; a checkpoint resumes by re-entering a saved continuation — the
+    OCaml equivalent of the paper's Java exceptions + Java continuations.
+
+    Programs must be *re-runnable*: a thunk may be executed many times
+    (after aborts), so it must not capture external mutable state other
+    than through transactional reads/writes. *)
+
+type value = Store.Value.t
+
+type t =
+  | Return of value  (** commit the innermost enclosing scope with a result *)
+  | Read of Ids.obj_id * (value -> t)
+  | Write of Ids.obj_id * value * (unit -> t)
+  | Nested of (unit -> t) * (value -> t)
+      (** [Nested (body, k)]: run [body] as a closed-nested transaction
+          (under QR-CN), then continue with [k].  Flat and checkpointing
+          executors flatten the boundary. *)
+  | Open of { body : unit -> t; compensate : value -> t; k : value -> t }
+      (** Open nesting (extension; cf. TFA-ON in the paper's related work):
+          [body] runs as an *independent* transaction — its commit is
+          globally visible before the parent commits — and [compensate],
+          applied to [body]'s result, is registered to semantically undo it
+          if the root later aborts.  The QR executor runs compensations (as
+          fresh transactions, newest first) before every root retry; the
+          baselines flatten the boundary into the parent (which is strictly
+          more atomic, so compensations are never needed there).  Note:
+          abstract locks are not implemented, so open nesting here trades
+          serializability at the memory level for the usual
+          compensation-based semantic atomicity. *)
+  | Checkpoint of (unit -> t)
+      (** Programmer-placed checkpoint (the Herlihy–Koskinen style the
+          paper contrasts its automatic criterion with).  Under QR-CHK a
+          snapshot is taken here in addition to the automatic threshold
+          ones; other executors treat it as a no-op. *)
+  | Fail of string  (** unrecoverable programming error: abort permanently *)
+
+val return : value -> t
+val read : Ids.obj_id -> t
+(** [read oid] as a program returning the value; combine with [let*]. *)
+
+val write : Ids.obj_id -> value -> t
+val nested : (unit -> t) -> t
+
+val open_nested : body:(unit -> t) -> compensate:(value -> t) -> t
+(** See the [Open] constructor. *)
+
+val checkpoint : unit -> t
+val fail : string -> t
+
+val bind : t -> (value -> t) -> t
+(** Sequencing; associativity is the monad law, checked in tests. *)
+
+val map : t -> (value -> value) -> t
+
+module Syntax : sig
+  val ( let* ) : t -> (value -> t) -> t
+end
+
+val ops : t -> int
+(** Static count of the leading non-branching operations (for tests). *)

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Baselines Benchmarks Cluster Config Core Executor Float Format Fun Ids List Metrics Option Printf Sim Stdlib Txn Util

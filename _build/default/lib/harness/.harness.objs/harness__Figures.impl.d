@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Benchmarks Cluster Config Core Experiment Float Fun List Printf Quorum Report Stdlib Store Sweep Txn Util

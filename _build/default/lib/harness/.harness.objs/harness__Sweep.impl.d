@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: Experiment Float List Stdlib

@@ -1,0 +1,88 @@
+(** Single-configuration experiment runner.
+
+    One run = build a cluster, set up a benchmark, drive closed-loop
+    clients through warm-up and a measurement window, snapshot the counters
+    at the window's close, drain, and verify both the benchmark invariant
+    and the 1-copy oracle.  All defaults mirror the paper's testbed scaled
+    to the simulator (see DESIGN.md). *)
+
+type result = {
+  label : string;
+  duration : float;  (** measurement window, ms *)
+  commits : int;
+  read_only_commits : int;
+  throughput : float;  (** committed transactions per second *)
+  root_aborts : int;
+  partial_aborts : int;
+  abort_rate : float;  (** aborts / (commits + aborts) *)
+  ct_commits : int;
+  checkpoints : int;
+  messages : int;
+  messages_by_kind : (string * int) list;
+  remote_reads : int;
+  local_reads : int;
+  mean_latency : float;
+  p95_latency : float;
+  invariant : (unit, string) Stdlib.result;
+  consistent : (unit, string) Stdlib.result;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?nodes:int ->
+  ?seed:int ->
+  ?read_level:int ->
+  ?clients:int ->
+  ?warmup:float ->
+  ?duration:float ->
+  ?with_oracle:bool ->
+  ?service_time:float ->
+  ?client_nodes:int list ->
+  ?prepare:(Core.Cluster.t -> unit) ->
+  config:Core.Config.t ->
+  benchmark:Benchmarks.Workload.benchmark ->
+  params:Benchmarks.Workload.params ->
+  unit ->
+  result
+(** Defaults: 13 nodes, 26 clients (2 per node), 2 s warm-up, 30 s
+    measurement, oracle on.  [prepare] runs after setup and before the
+    clients start — e.g. to schedule failures (Fig. 10). *)
+
+(** {2 Generic systems (Fig. 9 baselines)}
+
+    A first-class handle over any DTM in the repository so one client loop
+    drives QR-DTM, TFA and Decent-STM identically. *)
+
+type system = {
+  name : string;
+  node_count : int;
+  alloc : init:Core.Txn.value -> Core.Ids.obj_id;
+  submit :
+    node:int -> (unit -> Core.Txn.t) -> on_done:(Core.Executor.outcome -> unit) -> unit;
+  run_for : float -> unit;
+  drain : unit -> unit;
+  now : unit -> float;
+  metrics : Core.Metrics.t;
+  messages : unit -> int;
+  reset : unit -> unit;
+  check : unit -> (unit, string) Stdlib.result;
+}
+
+val qr_system :
+  ?nodes:int -> ?seed:int -> ?read_level:int -> Core.Config.t -> system
+
+val tfa_system : ?nodes:int -> ?seed:int -> unit -> system
+val decent_system : ?nodes:int -> ?seed:int -> unit -> system
+
+val run_system :
+  system ->
+  ?clients:int ->
+  ?warmup:float ->
+  ?duration:float ->
+  gen_txn:(Util.Rng.t -> unit -> Core.Txn.t) ->
+  seed:int ->
+  unit ->
+  result
+(** Drive [clients] closed-loop clients of [gen_txn] transactions over the
+    given system and report the measurement window. *)

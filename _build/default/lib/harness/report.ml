@@ -1,0 +1,34 @@
+type series = {
+  title : string;
+  x_label : string;
+  columns : string list;
+  rows : (string * float list) list;
+  notes : string list;
+}
+
+let render s =
+  let table = Util.Table.create ~header:(s.x_label :: s.columns) in
+  List.iter
+    (fun (x, values) ->
+      Util.Table.add_row table (x :: List.map (fun v -> Printf.sprintf "%.2f" v) values))
+    s.rows;
+  let body = Util.Table.render table in
+  let notes =
+    match s.notes with
+    | [] -> ""
+    | notes -> String.concat "\n" (List.map (fun n -> "  note: " ^ n) notes) ^ "\n"
+  in
+  Printf.sprintf "== %s ==\n%s%s" s.title body notes
+
+let render_many series = String.concat "\n" (List.map render series)
+
+let to_csv s =
+  let table = Util.Table.create ~header:(s.x_label :: s.columns) in
+  List.iter
+    (fun (x, values) ->
+      Util.Table.add_row table (x :: List.map (fun v -> Printf.sprintf "%.4f" v) values))
+    s.rows;
+  Util.Table.render_csv table
+
+let pct_change ~baseline v =
+  if baseline = 0. then 0. else (v -. baseline) /. baseline *. 100.

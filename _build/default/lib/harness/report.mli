@@ -1,0 +1,16 @@
+(** Figure/table data containers and rendering. *)
+
+type series = {
+  title : string;
+  x_label : string;
+  columns : string list;
+  rows : (string * float list) list;
+  notes : string list;  (** expected-shape commentary, printed below *)
+}
+
+val render : series -> string
+val render_many : series list -> string
+val to_csv : series -> string
+
+val pct_change : baseline:float -> float -> float
+(** [(v - baseline) / baseline * 100]; 0 when the baseline is 0. *)

@@ -1,0 +1,10 @@
+(** Parameter sweeps with trial averaging. *)
+
+val averaged : trials:int -> (seed:int -> Experiment.result) -> Experiment.result
+(** Run the experiment [trials] times with distinct seeds and return the
+    first result with its counters and rates replaced by trial means
+    (checks are the conjunction over trials). *)
+
+val throughputs :
+  trials:int -> xs:'a list -> (x:'a -> seed:int -> Experiment.result) -> ('a * Experiment.result) list
+(** One averaged result per x value. *)

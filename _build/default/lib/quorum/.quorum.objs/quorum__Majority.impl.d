@@ -1,0 +1,1 @@
+lib/quorum/majority.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/quorum/tree.ml: List Stdlib

@@ -1,0 +1,1 @@
+lib/quorum/tree_quorum.mli: Tree

@@ -1,0 +1,17 @@
+let rec intersects a b =
+  match (a, b) with
+  | [], _ | _, [] -> false
+  | x :: xs, y :: ys ->
+    if x = y then true else if x < y then intersects xs b else intersects a ys
+
+let read_write_intersection ~reads ~writes =
+  List.for_all (fun r -> List.for_all (fun w -> intersects r w) writes) reads
+
+let write_write_intersection ~writes =
+  let rec pairs = function
+    | [] -> true
+    | w :: rest -> List.for_all (fun w' -> intersects w w') rest && pairs rest
+  in
+  pairs writes
+
+let all_alive ~failed quorum = List.for_all (fun n -> not (List.mem n failed)) quorum

@@ -1,0 +1,18 @@
+(** Quorum-property verifiers used by tests and property-based checks.
+
+    The QR protocol's 1-copy equivalence rests on two structural facts:
+    every read quorum intersects every write quorum, and write quorums
+    pairwise intersect.  These checkers verify them empirically over sets
+    of constructed quorums. *)
+
+val intersects : int list -> int list -> bool
+(** Whether two sorted node lists share an element. *)
+
+val read_write_intersection : reads:int list list -> writes:int list list -> bool
+(** Every read quorum meets every write quorum. *)
+
+val write_write_intersection : writes:int list list -> bool
+(** Write quorums pairwise intersect. *)
+
+val all_alive : failed:int list -> int list -> bool
+(** No quorum member is in the failed set. *)

@@ -1,0 +1,20 @@
+type t = { count : int; alive : bool array }
+
+let create ~nodes = { count = nodes; alive = Array.make nodes true }
+let mark_failed t node = t.alive.(node) <- false
+let revive t node = t.alive.(node) <- true
+
+let quorum ?(salt = 0) t =
+  let needed = (t.count / 2) + 1 in
+  let picked = ref [] and found = ref 0 in
+  let start = ((salt mod t.count) + t.count) mod t.count in
+  let i = ref 0 in
+  while !found < needed && !i < t.count do
+    let node = (start + !i) mod t.count in
+    if t.alive.(node) then begin
+      picked := node :: !picked;
+      incr found
+    end;
+    incr i
+  done;
+  if !found < needed then None else Some (List.sort Int.compare !picked)

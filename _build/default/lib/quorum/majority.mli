@@ -1,0 +1,15 @@
+(** Flat majority quorums (ablation baseline for tree quorums).
+
+    Both read and write quorums are any ⌈(n+1)/2⌉ alive nodes; [salt]
+    rotates the starting point so clients spread load.  Used by the ablation
+    bench comparing quorum construction strategies. *)
+
+type t
+
+val create : nodes:int -> t
+val mark_failed : t -> int -> unit
+val revive : t -> int -> unit
+
+val quorum : ?salt:int -> t -> int list option
+(** A majority of *all* nodes drawn from the alive ones; [None] when fewer
+    than a majority are alive.  Sorted ascending. *)

@@ -1,0 +1,36 @@
+type t = { count : int; k : int }
+
+let create ?(arity = 3) ~nodes () =
+  assert (nodes >= 1 && arity >= 1);
+  { count = nodes; k = arity }
+
+let nodes t = t.count
+let arity t = t.k
+let root _ = 0
+
+let children t i =
+  let first = (t.k * i) + 1 in
+  let rec collect j acc =
+    if j < first then acc else collect (j - 1) (j :: acc)
+  in
+  collect (Stdlib.min (first + t.k - 1) (t.count - 1)) []
+
+let parent t i = if i = 0 then None else Some ((i - 1) / t.k)
+let is_leaf t i = children t i = []
+
+let depth t i =
+  let rec up i acc = match parent t i with None -> acc | Some p -> up p (acc + 1) in
+  up i 0
+
+let height t =
+  let rec deepest best i =
+    if i >= t.count then best else deepest (Stdlib.max best (depth t i)) (i + 1)
+  in
+  deepest 0 0
+
+let level t d =
+  let rec collect i acc =
+    if i >= t.count then List.rev acc
+    else collect (i + 1) (if depth t i = d then i :: acc else acc)
+  in
+  collect 0 []

@@ -1,0 +1,29 @@
+(** Logical complete k-ary tree over node identifiers [0 .. nodes-1].
+
+    Nodes are laid out in level order (the children of [i] are
+    [k*i + 1 .. k*i + k]), matching the paper's Fig. 3 ternary tree of 13
+    nodes: root [n0], children [n1 n2 n3], grandchildren [n4 .. n12]. *)
+
+type t
+
+val create : ?arity:int -> nodes:int -> unit -> t
+(** Default arity 3 (ternary, as in the paper). Requires [nodes >= 1]. *)
+
+val nodes : t -> int
+val arity : t -> int
+val root : t -> int
+
+val children : t -> int -> int list
+(** Structural children present in the tree, ascending. *)
+
+val parent : t -> int -> int option
+val is_leaf : t -> int -> bool
+
+val depth : t -> int -> int
+(** Distance from the root (root has depth 0). *)
+
+val height : t -> int
+(** Maximum depth over all nodes. *)
+
+val level : t -> int -> int list
+(** All nodes at the given depth, ascending; [] beyond the height. *)

@@ -1,0 +1,128 @@
+type t = {
+  tree : Tree.t;
+  read_level : int;
+  alive : bool array;
+}
+
+let create ?arity ?(read_level = 1) ~nodes () =
+  {
+    tree = Tree.create ?arity ~nodes ();
+    read_level;
+    alive = Array.make nodes true;
+  }
+
+let tree t = t.tree
+let read_level t = t.read_level
+let mark_failed t node = t.alive.(node) <- false
+let revive t node = t.alive.(node) <- true
+
+let failed t =
+  let acc = ref [] in
+  for i = Array.length t.alive - 1 downto 0 do
+    if not t.alive.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let dedup_sorted nodes = List.sort_uniq Int.compare nodes
+
+(* Rotate a list left by [salt mod length]; used to spread majority choices
+   across clients. *)
+let rotate salt xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let n = List.length xs in
+    let s = ((salt mod n) + n) mod n in
+    let rec split i acc rest =
+      if i = 0 then rest @ List.rev acc
+      else match rest with [] -> List.rev acc | x :: tl -> split (i - 1) (x :: acc) tl
+    in
+    split s [] xs
+
+(* Try to build quorums for [needed] children out of [candidates], in order,
+   backtracking across candidates whose subtree cannot produce a quorum. *)
+let rec take_majority build needed candidates acc =
+  if needed = 0 then Some acc
+  else
+    match candidates with
+    | [] -> None
+    | c :: rest ->
+      begin
+        match build c with
+        | Some q ->
+          begin
+            match take_majority build (needed - 1) rest (q :: acc) with
+            | Some _ as result -> result
+            | None -> take_majority build needed rest acc
+          end
+        | None -> take_majority build needed rest acc
+      end
+
+let majority_of_children t salt node build =
+  let children = Tree.children t.tree node in
+  match children with
+  | [] -> None
+  | _ ->
+    let needed = (List.length children / 2) + 1 in
+    begin
+      match take_majority build needed (rotate salt children) [] with
+      | Some quorums -> Some (List.concat quorums)
+      | None -> None
+    end
+
+(* Read quorum rooted at [node], targeting [level] more descents.  Above the
+   target level the node itself is not part of the quorum, so its liveness
+   is irrelevant; at the target level a failed node is substituted by a
+   majority of its children (one level deeper), which is how the quorum
+   grows by one per failure in the paper's Fig. 10 scenario. *)
+let rec read_at t salt node level =
+  if level <= 0 then
+    if t.alive.(node) then Some [ node ]
+    else majority_of_children t salt node (fun c -> read_at t salt c 0)
+  else if Tree.is_leaf t.tree node then
+    if t.alive.(node) then Some [ node ] else None
+  else majority_of_children t salt node (fun c -> read_at t salt c (level - 1))
+
+let read_quorum ?(salt = 0) t =
+  Option.map dedup_sorted (read_at t salt (Tree.root t.tree) t.read_level)
+
+(* Write quorum: node + majority of children recursively; a failed node is
+   replaced by the write quorums of *all* its children.
+
+   The recursion is three-valued.  A subtree with no alive write spine at
+   all — a dead leaf, or a dead node whose subtrees are all in that state —
+   contributes [Empty]: no read quorum can be built through it either, so
+   omitting it cannot break read/write intersection.  An *alive* node that
+   cannot assemble a majority of child quorums [Poisons] the whole
+   construction: a read quorum consisting of just that node exists, so a
+   write quorum must not silently skip its subtree. *)
+type write_result = Poisoned | Built of int list
+
+let rec write_at t salt node =
+  if Tree.is_leaf t.tree node then
+    if t.alive.(node) then Built [ node ] else Built []
+  else if t.alive.(node) then begin
+    let build c = match write_at t salt c with Poisoned -> None | Built q -> Some q in
+    match majority_of_children t salt node build with
+    | Some q -> Built (node :: q)
+    | None -> Poisoned
+  end
+  else begin
+    (* Dead interior node: take every child's write quorum. *)
+    let rec union acc = function
+      | [] -> Built acc
+      | c :: rest ->
+        begin
+          match write_at t salt c with
+          | Poisoned -> Poisoned
+          | Built q -> union (q @ acc) rest
+        end
+    in
+    union [] (Tree.children t.tree node)
+  end
+
+let write_quorum ?(salt = 0) t =
+  match write_at t salt (Tree.root t.tree) with
+  | Poisoned -> None
+  | Built [] -> None (* nothing alive at all *)
+  | Built quorum -> Some (dedup_sorted quorum)

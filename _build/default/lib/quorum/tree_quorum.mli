@@ -1,0 +1,40 @@
+(** Agrawal–El Abbadi tree quorums with failure fallback.
+
+    Write quorums take a node plus a majority of its children recursively at
+    every level; read quorums take a majority of children at a configurable
+    level ([read_level]), with [read_level = 0] being the root alone — the
+    paper's Fig. 10 initial configuration.  A failed node is transparently
+    replaced: for reads by a majority of its children (growing the quorum,
+    which is exactly the paper's "+1 node per failure" behaviour when
+    failures strike the tree top), for writes by *all* of its children
+    (preserving pairwise write intersection).
+
+    [salt] rotates which majority subset is chosen, so different client
+    nodes can be assigned different-but-intersecting quorums; this is the
+    load-balancing effect behind the initial throughput *rise* under
+    failures in Fig. 10.
+
+    Every returned quorum contains only alive nodes; [None] means no quorum
+    is currently constructible (too many failures). *)
+
+type t
+
+val create : ?arity:int -> ?read_level:int -> nodes:int -> unit -> t
+(** Defaults: ternary tree, [read_level = 1] (majority of the root's
+    children, matching the paper's example R1 = [{n1, n2}]). *)
+
+val tree : t -> Tree.t
+val read_level : t -> int
+
+val mark_failed : t -> int -> unit
+(** Record a (detected) fail-stop; subsequent quorum constructions avoid
+    the node. *)
+
+val revive : t -> int -> unit
+val failed : t -> int list
+
+val read_quorum : ?salt:int -> t -> int list option
+(** Sorted, duplicate-free read quorum. *)
+
+val write_quorum : ?salt:int -> t -> int list option
+(** Sorted, duplicate-free write quorum. *)

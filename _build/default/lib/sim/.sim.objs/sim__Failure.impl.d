@@ -1,0 +1,1 @@
+lib/sim/failure.ml: Engine Hashtbl Int List

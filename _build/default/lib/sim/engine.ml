@@ -1,0 +1,52 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+module Event_order = struct
+  type t = event
+
+  let compare a b =
+    let c = Float.compare a.time b.time in
+    if c <> 0 then c else Int.compare a.seq b.seq
+end
+
+module Queue = Util.Heap.Make (Event_order)
+
+type t = {
+  queue : Queue.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let create () = { queue = Queue.create (); clock = 0.; next_seq = 0; processed = 0 }
+let now t = t.clock
+
+let schedule_at t ~time action =
+  let time = Stdlib.max time t.clock in
+  Queue.add t.queue { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay action = schedule_at t ~time:(t.clock +. Stdlib.max 0. delay) action
+
+let step t =
+  match Queue.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.action ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match Queue.min_elt t.queue with
+      | Some ev when ev.time <= limit -> ignore (step t)
+      | Some _ | None -> continue := false
+    done;
+    if t.clock < limit then t.clock <- limit
+
+let pending t = Queue.length t.queue
+let events_processed t = t.processed

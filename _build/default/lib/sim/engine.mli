@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    The engine owns virtual time (in milliseconds) and a priority queue of
+    events.  Everything in the reproduction — network delivery, node
+    processing, client think time, failure injection — is an event.  Events
+    scheduled for the same instant fire in scheduling order, which together
+    with the seeded {!Util.Rng} makes every experiment fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. max 0. delay]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; times in the past fire immediately (at [now]). *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue, advancing virtual time.  With [until], stops once
+    the next event lies strictly beyond that time (the clock is then set to
+    [until]). *)
+
+val step : t -> bool
+(** Execute exactly one event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total events executed since creation. *)

@@ -1,0 +1,26 @@
+type t = {
+  engine : Engine.t;
+  detection_delay : float;
+  kill : int -> unit;
+  mutable subscribers : (int -> unit) list;
+  detected : (int, unit) Hashtbl.t;
+}
+
+let create ~engine ?(detection_delay = 50.) ~kill () =
+  { engine; detection_delay; kill; subscribers = []; detected = Hashtbl.create 7 }
+
+let on_detect t f = t.subscribers <- f :: t.subscribers
+
+let schedule t ~at ~node =
+  Engine.schedule_at t.engine ~time:at (fun () -> t.kill node);
+  Engine.schedule_at t.engine ~time:(at +. t.detection_delay) (fun () ->
+      if not (Hashtbl.mem t.detected node) then begin
+        Hashtbl.replace t.detected node ();
+        List.iter (fun f -> f node) (List.rev t.subscribers)
+      end)
+
+let is_failed t node = Hashtbl.mem t.detected node
+
+let failed_nodes t =
+  Hashtbl.fold (fun node () acc -> node :: acc) t.detected []
+  |> List.sort Int.compare

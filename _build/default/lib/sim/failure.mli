@@ -1,0 +1,26 @@
+(** Fail-stop failure injection with a (near-)perfect failure detector.
+
+    A failure scheduled at time [t] kills the node at [t] (the network then
+    drops its traffic) and notifies every detection subscriber at
+    [t + detection_delay], modelling a group-membership service such as the
+    JGroups view changes the paper's testbed relied on.  Subscribers
+    (e.g. the quorum manager) typically recompute quorums. *)
+
+type t
+
+val create : engine:Engine.t -> ?detection_delay:float -> kill:(int -> unit) -> unit -> t
+(** [kill] is invoked at the instant of failure (harness wires it to
+    {!Network.fail}).  [detection_delay] defaults to 50 ms. *)
+
+val on_detect : t -> (int -> unit) -> unit
+(** Register a subscriber called (with the failed node) once the failure is
+    detected.  Subscribers registered after detection are not back-filled. *)
+
+val schedule : t -> at:float -> node:int -> unit
+(** Schedule a fail-stop of [node] at absolute time [at]. *)
+
+val is_failed : t -> int -> bool
+(** Whether the node has failed *and* the failure has been detected. *)
+
+val failed_nodes : t -> int list
+(** Detected-failed nodes, ascending. *)

@@ -1,0 +1,85 @@
+type 'msg t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  service_time : float;
+  jitter : float;
+  rng : Util.Rng.t;
+  handlers : (src:int -> 'msg -> unit) option array;
+  busy_until : float array;
+  failed : bool array;
+  mutable sent : int;
+  by_kind : (string, int ref) Hashtbl.t;
+}
+
+let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7) () =
+  let n = Topology.nodes topology in
+  {
+    engine;
+    topology;
+    service_time;
+    jitter;
+    rng = Util.Rng.create seed;
+    handlers = Array.make n None;
+    busy_until = Array.make n 0.;
+    failed = Array.make n false;
+    sent = 0;
+    by_kind = Hashtbl.create 16;
+  }
+
+let engine t = t.engine
+let topology t = t.topology
+let nodes t = Topology.nodes t.topology
+let set_handler t ~node handler = t.handlers.(node) <- Some handler
+let fail t node = t.failed.(node) <- true
+let revive t node = t.failed.(node) <- false
+let is_failed t node = t.failed.(node)
+
+let alive_nodes t =
+  let acc = ref [] in
+  for i = nodes t - 1 downto 0 do
+    if not t.failed.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let count_kind t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.by_kind kind (ref 1)
+
+let deliver t ~src ~dst msg =
+  if not t.failed.(dst) then begin
+    (* FIFO service queue: processing begins when the node is free. *)
+    let now = Engine.now t.engine in
+    let start = Stdlib.max now t.busy_until.(dst) in
+    let finish = start +. t.service_time in
+    t.busy_until.(dst) <- finish;
+    Engine.schedule_at t.engine ~time:finish (fun () ->
+        if not t.failed.(dst) then
+          match t.handlers.(dst) with
+          | Some handler -> handler ~src msg
+          | None -> ())
+  end
+
+let send t ?(kind = "other") ~src ~dst msg =
+  if not t.failed.(src) then begin
+    if src <> dst then begin
+      t.sent <- t.sent + 1;
+      count_kind t kind
+    end;
+    let base = Topology.latency t.topology ~src ~dst in
+    let jitter = base *. t.jitter *. Util.Rng.float t.rng 1.0 in
+    Engine.schedule t.engine ~delay:(base +. jitter) (fun () -> deliver t ~src ~dst msg)
+  end
+
+let multicast t ?kind ~src ~dsts msg =
+  List.iter (fun dst -> send t ?kind ~src ~dst msg) dsts
+
+let messages_sent t = t.sent
+
+let messages_by_kind t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_counters t =
+  t.sent <- 0;
+  Hashtbl.reset t.by_kind

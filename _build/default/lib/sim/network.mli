@@ -1,0 +1,57 @@
+(** Simulated message-passing network with per-node service queues.
+
+    Delivery of a message costs the topology's one-way latency plus jitter;
+    the receiving node then *processes* messages one at a time, each taking
+    [service_time] — so a node flooded with requests becomes a genuine
+    bottleneck.  That queueing effect is what produces the paper's Fig. 10
+    shape (throughput first rises as failures spread the read load, then
+    degrades as quorums grow).
+
+    Messages to failed nodes are silently dropped, as are messages sent by
+    failed nodes; higher layers recover through RPC timeouts. *)
+
+type 'msg t
+
+val create :
+  engine:Engine.t ->
+  topology:Topology.t ->
+  ?service_time:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  unit ->
+  'msg t
+(** [service_time] (default 0.25 ms) is the per-message processing cost at
+    the receiver; [jitter] (default 0.1) is the relative uniform jitter
+    applied to each delivery latency (0.1 = up to ±10%). *)
+
+val engine : 'msg t -> Engine.t
+val topology : 'msg t -> Topology.t
+val nodes : 'msg t -> int
+
+val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Install the message handler of [node].  At most one handler per node;
+    re-installation replaces. *)
+
+val send : 'msg t -> ?kind:string -> src:int -> dst:int -> 'msg -> unit
+(** Enqueue one message.  [kind] labels the message for accounting
+    (e.g. ["read_req"]); unlabeled messages count as ["other"]. *)
+
+val multicast : 'msg t -> ?kind:string -> src:int -> dsts:int list -> 'msg -> unit
+(** [send] to every destination (self included if listed). *)
+
+val fail : 'msg t -> int -> unit
+(** Mark a node fail-stop: it stops sending, receiving, and processing. *)
+
+val revive : 'msg t -> int -> unit
+val is_failed : 'msg t -> int -> bool
+val alive_nodes : 'msg t -> int list
+
+val messages_sent : 'msg t -> int
+(** Total *remote* messages sent (self-sends are not counted, matching the
+    paper's accounting of network messages). *)
+
+val messages_by_kind : 'msg t -> (string * int) list
+(** Remote message counts grouped by [kind], sorted by kind. *)
+
+val reset_counters : 'msg t -> unit
+(** Zero the message counters (used to exclude warm-up from measurements). *)

@@ -1,0 +1,98 @@
+type ('req, 'rep) envelope =
+  | Request of { rid : int; payload : 'req; wants_reply : bool }
+  | Reply of { rid : int; payload : 'rep }
+
+type ('req, 'rep) pending = {
+  mutable awaiting : int list;
+  mutable replies : (int * 'rep) list;
+  mutable finished : bool;
+  complete : replies:(int * 'rep) list -> missing:int list -> unit;
+}
+
+type ('req, 'rep) t = {
+  network : ('req, 'rep) envelope Network.t;
+  servers : (src:int -> 'req -> 'rep option) option array;
+  pending : (int, ('req, 'rep) pending) Hashtbl.t;
+  mutable next_rid : int;
+}
+
+let handle_envelope t ~node ~src env =
+  match env with
+  | Request { rid; payload; wants_reply } ->
+    begin
+      match t.servers.(node) with
+      | None -> ()
+      | Some server ->
+        begin
+          match server ~src payload with
+          | Some rep when wants_reply ->
+            Network.send t.network ~kind:"reply" ~src:node ~dst:src
+              (Reply { rid; payload = rep })
+          | Some _ | None -> ()
+        end
+    end
+  | Reply { rid; payload } ->
+    begin
+      match Hashtbl.find_opt t.pending rid with
+      | None -> () (* request already completed or timed out *)
+      | Some p ->
+        if List.mem src p.awaiting then begin
+          p.awaiting <- List.filter (fun n -> n <> src) p.awaiting;
+          p.replies <- (src, payload) :: p.replies;
+          if p.awaiting = [] then begin
+            p.finished <- true;
+            Hashtbl.remove t.pending rid;
+            p.complete ~replies:(List.rev p.replies) ~missing:[]
+          end
+        end
+    end
+
+let create ~network () =
+  let t =
+    {
+      network;
+      servers = Array.make (Network.nodes network) None;
+      pending = Hashtbl.create 64;
+      next_rid = 0;
+    }
+  in
+  for node = 0 to Network.nodes network - 1 do
+    Network.set_handler network ~node (fun ~src env -> handle_envelope t ~node ~src env)
+  done;
+  t
+
+let serve t ~node handler = t.servers.(node) <- Some handler
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+let multicall t ?kind ~src ~dsts ~timeout req ~on_done =
+  let rid = fresh_rid t in
+  let p = { awaiting = dsts; replies = []; finished = false; complete = on_done } in
+  if dsts = [] then on_done ~replies:[] ~missing:[]
+  else begin
+    Hashtbl.replace t.pending rid p;
+    Network.multicast t.network ?kind ~src ~dsts
+      (Request { rid; payload = req; wants_reply = true });
+    Engine.schedule (Network.engine t.network) ~delay:timeout (fun () ->
+        if not p.finished then begin
+          p.finished <- true;
+          Hashtbl.remove t.pending rid;
+          p.complete ~replies:(List.rev p.replies) ~missing:p.awaiting
+        end)
+  end
+
+let call t ?kind ~src ~dst ~timeout req ~on_reply ~on_timeout =
+  multicall t ?kind ~src ~dsts:[ dst ] ~timeout req ~on_done:(fun ~replies ~missing ->
+      match (replies, missing) with
+      | [ (_, rep) ], _ -> on_reply rep
+      | _, _ -> on_timeout ())
+
+let cast t ?kind ~src ~dst req =
+  let rid = fresh_rid t in
+  Network.send t.network ?kind ~src ~dst (Request { rid; payload = req; wants_reply = false })
+
+let multicast t ?kind ~src ~dsts req =
+  List.iter (fun dst -> cast t ?kind ~src ~dst req) dsts

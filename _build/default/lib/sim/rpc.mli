@@ -1,0 +1,52 @@
+(** Request/reply and quorum-collect messaging on top of {!Network}.
+
+    The DTM protocols are built from three communication patterns:
+    - [call]: unicast request, one reply (TFA-style);
+    - [multicall]: multicast to a quorum, collect *all* replies or time out
+      with the missing members identified (QR read and commit requests);
+    - [cast]: one-way message (commit apply / release).
+
+    Servers are synchronous: a handler maps a request to an optional reply,
+    computed during the node's service slot.  Replies travel back over the
+    same network (and therefore pay latency, jitter and queueing again). *)
+
+type ('req, 'rep) envelope
+(** The wire type: build a {!Network.t} carrying [('req,'rep) envelope]
+    messages and hand it to {!create}. *)
+
+type ('req, 'rep) t
+
+val create : network:('req, 'rep) envelope Network.t -> unit -> ('req, 'rep) t
+
+val serve : ('req, 'rep) t -> node:int -> (src:int -> 'req -> 'rep option) -> unit
+(** Install the request handler of [node]; [None] sends no reply. *)
+
+val call :
+  ('req, 'rep) t ->
+  ?kind:string ->
+  src:int ->
+  dst:int ->
+  timeout:float ->
+  'req ->
+  on_reply:('rep -> unit) ->
+  on_timeout:(unit -> unit) ->
+  unit
+
+val multicall :
+  ('req, 'rep) t ->
+  ?kind:string ->
+  src:int ->
+  dsts:int list ->
+  timeout:float ->
+  'req ->
+  on_done:(replies:(int * 'rep) list -> missing:int list -> unit) ->
+  unit
+(** Fire [on_done] as soon as every destination replied ([missing = []]),
+    or at [timeout] with whatever arrived.  [on_done] is called exactly
+    once.  Replies arriving after the timeout are discarded. *)
+
+val cast : ('req, 'rep) t -> ?kind:string -> src:int -> dst:int -> 'req -> unit
+(** One-way request; any reply the server produces is dropped. *)
+
+val multicast :
+  ('req, 'rep) t -> ?kind:string -> src:int -> dsts:int list -> 'req -> unit

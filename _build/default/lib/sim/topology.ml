@@ -1,0 +1,58 @@
+type t = {
+  count : int;
+  local_latency : float;
+  matrix : float array array; (* one-way latency, ms *)
+}
+
+let nodes t = t.count
+
+let latency t ~src ~dst =
+  if src = dst then t.local_latency else t.matrix.(src).(dst)
+
+let mean_remote_latency t =
+  if t.count < 2 then 0.
+  else begin
+    let total = ref 0. and pairs = ref 0 in
+    for i = 0 to t.count - 1 do
+      for j = 0 to t.count - 1 do
+        if i <> j then begin
+          total := !total +. t.matrix.(i).(j);
+          incr pairs
+        end
+      done
+    done;
+    !total /. Float.of_int !pairs
+  end
+
+let create ?(seed = 42) ?(mean_latency = 15.0) ?(local_latency = 0.05) ~nodes:count () =
+  assert (count > 0);
+  let rng = Util.Rng.create seed in
+  let xs = Array.init count (fun _ -> Util.Rng.float rng 1.0) in
+  let ys = Array.init count (fun _ -> Util.Rng.float rng 1.0) in
+  let dist i j = Float.hypot (xs.(i) -. xs.(j)) (ys.(i) -. ys.(j)) in
+  let matrix = Array.make_matrix count count 0. in
+  (* Affine map: latency = floor + slope * distance, symmetric.  The floor
+     keeps nearby nodes from being unrealistically fast. *)
+  let floor_lat = 0.3 *. mean_latency in
+  let raw_mean = ref 0. and pairs = ref 0 in
+  for i = 0 to count - 1 do
+    for j = i + 1 to count - 1 do
+      raw_mean := !raw_mean +. dist i j;
+      incr pairs
+    done
+  done;
+  let raw_mean = if !pairs = 0 then 1. else !raw_mean /. Float.of_int !pairs in
+  let slope = (mean_latency -. floor_lat) /. raw_mean in
+  for i = 0 to count - 1 do
+    for j = 0 to count - 1 do
+      if i <> j then matrix.(i).(j) <- floor_lat +. (slope *. dist i j)
+    done
+  done;
+  { count; local_latency; matrix }
+
+let uniform ?(latency = 15.0) ~nodes:count () =
+  let matrix = Array.make_matrix count count latency in
+  for i = 0 to count - 1 do
+    matrix.(i).(i) <- 0.
+  done;
+  { count; local_latency = 0.05; matrix }

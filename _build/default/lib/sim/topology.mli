@@ -1,0 +1,28 @@
+(** Network topology and latency model.
+
+    Nodes live in a synthetic metric space: each node gets a random point in
+    the unit square and the one-way latency between two nodes is an affine
+    function of their Euclidean distance, scaled so that the *mean* one-way
+    latency matches [mean_latency].  This reproduces the paper's cc-DTM
+    metric-space assumption; the default mean of 15 ms matches the paper's
+    observed ~30 ms round trips.  Per-message jitter is applied by
+    {!Network}. *)
+
+type t
+
+val create : ?seed:int -> ?mean_latency:float -> ?local_latency:float -> nodes:int -> unit -> t
+(** [create ~nodes ()] places [nodes] nodes.  [mean_latency] (default 15.0
+    ms) is the target mean one-way remote latency; [local_latency] (default
+    0.05 ms) is the cost of a node messaging itself. *)
+
+val nodes : t -> int
+
+val latency : t -> src:int -> dst:int -> float
+(** Deterministic base one-way latency in milliseconds. *)
+
+val mean_remote_latency : t -> float
+(** Realised mean over all ordered remote pairs (for tests/reporting). *)
+
+val uniform : ?latency:float -> nodes:int -> unit -> t
+(** A topology in which every remote pair has the same latency (default
+    15.0 ms); useful for unit tests and for the TFA baseline's 5 ms setting. *)

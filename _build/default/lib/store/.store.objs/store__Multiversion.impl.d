@@ -1,0 +1,1 @@
+lib/store/multiversion.ml: Hashtbl List Printf Value

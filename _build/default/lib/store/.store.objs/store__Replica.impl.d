@@ -1,0 +1,1 @@
+lib/store/replica.ml: Hashtbl List Printf Value

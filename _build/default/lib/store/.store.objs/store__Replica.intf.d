@@ -1,0 +1,1 @@
+lib/store/replica.mli: Value

@@ -1,0 +1,43 @@
+type entry = { version : int; value : Value.t; time : float }
+
+type t = {
+  history_limit : int;
+  objects : (int, entry list) Hashtbl.t; (* newest first *)
+}
+
+let create ?(history_limit = 16) () =
+  assert (history_limit >= 1);
+  { history_limit; objects = Hashtbl.create 256 }
+
+let ensure t ~oid ~init =
+  if not (Hashtbl.mem t.objects oid) then
+    Hashtbl.replace t.objects oid [ { version = 0; value = init; time = 0. } ]
+
+let history t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Multiversion: unknown object %d" oid)
+
+let latest t ~oid =
+  match history t oid with
+  | { version; value; _ } :: _ -> (version, value)
+  | [] -> assert false
+
+let at_or_before t ~oid ~time =
+  let rec search = function
+    | [] -> None
+    | { version; value; time = committed } :: older ->
+      if committed <= time then Some (version, value) else search older
+  in
+  search (history t oid)
+
+let commit t ~oid ~version ~value ~time =
+  let h = history t oid in
+  match h with
+  | { version = newest; _ } :: _ when version <= newest -> ()
+  | _ ->
+    let h = { version; value; time } :: h in
+    let trimmed = List.filteri (fun i _ -> i < t.history_limit) h in
+    Hashtbl.replace t.objects oid trimmed
+
+let version t ~oid = fst (latest t ~oid)

@@ -1,0 +1,26 @@
+(** Multi-version object store for the Decent-STM baseline.
+
+    Decent-STM keeps a history of object states so that readers can always
+    be served a consistent snapshot; conflicting transactions proceed as
+    long as they see one.  We keep a bounded history of committed versions
+    per object, each stamped with its commit time. *)
+
+type t
+
+val create : ?history_limit:int -> unit -> t
+(** [history_limit] (default 16) versions retained per object. *)
+
+val ensure : t -> oid:int -> init:Value.t -> unit
+
+val latest : t -> oid:int -> int * Value.t
+(** Newest committed (version, value).
+    @raise Invalid_argument on unknown object. *)
+
+val at_or_before : t -> oid:int -> time:float -> (int * Value.t) option
+(** Newest version committed at or before [time]; [None] if the history has
+    been trimmed past that point (the reader must then abort). *)
+
+val commit : t -> oid:int -> version:int -> value:Value.t -> time:float -> unit
+(** Append a committed version (ignored if not newer than the latest). *)
+
+val version : t -> oid:int -> int

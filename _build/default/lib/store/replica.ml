@@ -1,0 +1,99 @@
+type copy = {
+  mutable version : int;
+  mutable value : Value.t;
+  mutable protected_by : int option;
+}
+
+(* PR/PW lists are bounded: entries are removed on commit/abort
+   notifications, but a lost notification (failed node) must not leak, so we
+   cap each list and evict the oldest entry. *)
+let pr_pw_cap = 64
+
+type lists = { mutable readers : int list; mutable writers : int list }
+
+type t = {
+  objects : (int, copy) Hashtbl.t;
+  lists : (int, lists) Hashtbl.t;
+}
+
+let create () = { objects = Hashtbl.create 256; lists = Hashtbl.create 256 }
+
+let ensure t ~oid ~init =
+  if not (Hashtbl.mem t.objects oid) then
+    Hashtbl.replace t.objects oid { version = 0; value = init; protected_by = None }
+
+let install t ~oid ~init =
+  Hashtbl.replace t.objects oid { version = 0; value = init; protected_by = None }
+
+let mem t oid = Hashtbl.mem t.objects oid
+let find t oid = Hashtbl.find_opt t.objects oid
+
+let get t oid =
+  match find t oid with
+  | Some copy -> copy
+  | None -> invalid_arg (Printf.sprintf "Store.get: unknown object %d" oid)
+
+let version t oid = (get t oid).version
+
+let is_protected t ~oid ~against =
+  match (get t oid).protected_by with
+  | None -> false
+  | Some owner -> owner <> against
+
+let try_lock t ~oid ~txn =
+  let copy = get t oid in
+  match copy.protected_by with
+  | None ->
+    copy.protected_by <- Some txn;
+    true
+  | Some owner -> owner = txn
+
+let unlock t ~oid ~txn =
+  let copy = get t oid in
+  match copy.protected_by with
+  | Some owner when owner = txn -> copy.protected_by <- None
+  | Some _ | None -> ()
+
+let apply t ~oid ~version ~value ~txn =
+  let copy = get t oid in
+  if version > copy.version then begin
+    copy.version <- version;
+    copy.value <- value
+  end;
+  unlock t ~oid ~txn
+
+let lists_of t oid =
+  match Hashtbl.find_opt t.lists oid with
+  | Some l -> l
+  | None ->
+    let l = { readers = []; writers = [] } in
+    Hashtbl.replace t.lists oid l;
+    l
+
+let bounded_add txn entries =
+  if List.mem txn entries then entries
+  else begin
+    let entries = txn :: entries in
+    if List.length entries > pr_pw_cap then
+      List.filteri (fun i _ -> i < pr_pw_cap) entries
+    else entries
+  end
+
+let add_reader t ~oid ~txn =
+  let l = lists_of t oid in
+  l.readers <- bounded_add txn l.readers
+
+let add_writer t ~oid ~txn =
+  let l = lists_of t oid in
+  l.writers <- bounded_add txn l.writers
+
+let remove_txn t ~oid ~txn =
+  match Hashtbl.find_opt t.lists oid with
+  | None -> ()
+  | Some l ->
+    l.readers <- List.filter (fun id -> id <> txn) l.readers;
+    l.writers <- List.filter (fun id -> id <> txn) l.writers
+
+let readers t oid = match Hashtbl.find_opt t.lists oid with None -> [] | Some l -> l.readers
+let writers t oid = match Hashtbl.find_opt t.lists oid with None -> [] | Some l -> l.writers
+let object_count t = Hashtbl.length t.objects

@@ -1,0 +1,60 @@
+(** Per-replica versioned object store.
+
+    Every QR node holds a copy of every object (paper §II property 1): a
+    value, a monotonically increasing version, a [protected] lock set during
+    the vote phase of 2PC, and the potential-readers / potential-writers
+    lists (PR/PW) the paper's contention management bookkeeping uses. *)
+
+type copy = {
+  mutable version : int;
+  mutable value : Value.t;
+  mutable protected_by : int option;  (** committing transaction id *)
+}
+
+type t
+
+val create : unit -> t
+
+val ensure : t -> oid:int -> init:Value.t -> unit
+(** Install the object with version 0 if absent; no-op otherwise. *)
+
+val install : t -> oid:int -> init:Value.t -> unit
+(** Unconditionally (re)install the object with version 0 and no lock;
+    setup-time only — never call once transactions are running. *)
+
+val mem : t -> int -> bool
+val find : t -> int -> copy option
+
+val get : t -> int -> copy
+(** @raise Invalid_argument if the object was never installed. *)
+
+val version : t -> int -> int
+(** Version of the local copy; objects are installed everywhere before any
+    transaction runs, so a missing object is a harness bug.
+    @raise Invalid_argument on missing object. *)
+
+val is_protected : t -> oid:int -> against:int -> bool
+(** Whether [oid] is locked by a transaction other than [against]. *)
+
+val try_lock : t -> oid:int -> txn:int -> bool
+(** Set the protected flag for the vote phase; idempotent for the same
+    transaction; [false] if another transaction holds it. *)
+
+val unlock : t -> oid:int -> txn:int -> unit
+(** Clear the protected flag if held by [txn]. *)
+
+val apply : t -> oid:int -> version:int -> value:Value.t -> txn:int -> unit
+(** Install a committed write if [version] is newer than the local copy
+    (stale applies from lagging quorum members are ignored), releasing the
+    lock if [txn] held it. *)
+
+val add_reader : t -> oid:int -> txn:int -> unit
+val add_writer : t -> oid:int -> txn:int -> unit
+
+val remove_txn : t -> oid:int -> txn:int -> unit
+(** Drop [txn] from the PR/PW lists of [oid]. *)
+
+val readers : t -> int -> int list
+val writers : t -> int -> int list
+
+val object_count : t -> int

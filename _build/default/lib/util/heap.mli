@@ -1,0 +1,39 @@
+(** Binary min-heaps.
+
+    A functorial, array-based binary min-heap used as the event queue of the
+    discrete-event simulator and as a utility container elsewhere.  All
+    operations are purely sequential; the simulator owns a single heap. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+  (** Mutable min-heap of [Elt.t] values. *)
+
+  val create : unit -> t
+  (** [create ()] is a fresh empty heap. *)
+
+  val length : t -> int
+  (** Number of elements currently stored. *)
+
+  val is_empty : t -> bool
+
+  val add : t -> Elt.t -> unit
+  (** [add h x] inserts [x]. Amortised O(log n). *)
+
+  val min_elt : t -> Elt.t option
+  (** Smallest element, without removing it. *)
+
+  val pop : t -> Elt.t option
+  (** Remove and return the smallest element. O(log n). *)
+
+  val clear : t -> unit
+  (** Remove every element. *)
+
+  val to_sorted_list : t -> Elt.t list
+  (** Non-destructive ascending enumeration (O(n log n), for tests). *)
+end

@@ -1,0 +1,55 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ?(buckets = 32) ~lo ~hi () =
+  assert (hi > lo && buckets > 0);
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. Float.of_int buckets;
+    counts = Array.make buckets 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let idx = int_of_float ((x -. t.lo) /. t.width) in
+    let idx = Stdlib.min idx (Array.length t.counts - 1) in
+    t.counts.(idx) <- t.counts.(idx) + 1
+  end
+
+let count t = t.total
+let underflow t = t.under
+let overflow t = t.over
+
+let bucket_counts t =
+  Array.mapi
+    (fun i n ->
+      let lo = t.lo +. (Float.of_int i *. t.width) in
+      (lo, lo +. t.width, n))
+    t.counts
+
+let render ?(width = 40) t =
+  let max_count = Array.fold_left Stdlib.max 1 t.counts in
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun (lo, hi, n) ->
+      let bar = n * width / max_count in
+      Buffer.add_string buf
+        (Printf.sprintf "[%8.2f, %8.2f) %6d %s\n" lo hi n (String.make bar '#')))
+    (bucket_counts t);
+  if t.under > 0 then Buffer.add_string buf (Printf.sprintf "underflow %d\n" t.under);
+  if t.over > 0 then Buffer.add_string buf (Printf.sprintf "overflow  %d\n" t.over);
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Fixed-width bucket histograms for latency / size distributions. *)
+
+type t
+
+val create : ?buckets:int -> lo:float -> hi:float -> unit -> t
+(** [create ~lo ~hi ()] covers [\[lo, hi)] with [buckets] equal-width bins
+    (default 32) plus underflow and overflow bins. *)
+
+val add : t -> float -> unit
+val count : t -> int
+
+val bucket_counts : t -> (float * float * int) array
+(** [(lo, hi, n)] per in-range bucket, ascending. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one bucket per line. *)

@@ -1,0 +1,65 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;
+  (* kept for percentile queries; callers cap their sample volume *)
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity; samples = [] }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. Float.of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.samples <- x :: t.samples
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. Float.of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min_v
+let max t = t.max_v
+
+let percentile t p =
+  if t.n = 0 then Float.nan
+  else begin
+    let sorted = List.sort Float.compare t.samples in
+    let arr = Array.of_list sorted in
+    let rank = int_of_float (ceil (p /. 100. *. Float.of_int t.n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+    arr.(idx)
+  end
+
+let merge a b =
+  if a.n = 0 then { b with samples = b.samples }
+  else if b.n = 0 then { a with samples = a.samples }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. Float.of_int b.n /. Float.of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. Float.of_int a.n *. Float.of_int b.n /. Float.of_int n)
+    in
+    {
+      n;
+      mean;
+      m2;
+      min_v = Stdlib.min a.min_v b.min_v;
+      max_v = Stdlib.max a.max_v b.max_v;
+      samples = List.rev_append a.samples b.samples;
+    }
+  end
+
+let summary t =
+  if t.n = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+      (stddev t) t.min_v t.max_v

@@ -1,0 +1,33 @@
+(** Streaming statistics.
+
+    Welford-style running mean/variance plus reservoir-free exact percentile
+    support for the modest sample counts the harness produces. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+val mean : t -> float
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0;100\]], nearest-rank on the recorded
+    samples; [nan] when empty.  Samples are retained, so use only for
+    bounded-size series (harness latency samples are capped upstream). *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (parallel merge of Welford states). *)
+
+val summary : t -> string
+(** Human-readable one-line summary. *)

@@ -1,0 +1,48 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let pad row n = row @ List.init (Stdlib.max 0 (n - List.length row)) (fun _ -> "")
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) (List.length t.header) rows
+  in
+  let all = List.map (fun r -> pad r ncols) (t.header :: rows) in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  match all with
+  | [] -> ""
+  | header :: body ->
+    String.concat "\n" ((render_row header :: sep :: List.map render_row body) @ [ "" ])
+
+let quote cell =
+  if String.contains cell ',' then "\"" ^ cell ^ "\"" else cell
+
+let render_csv t =
+  let rows = t.header :: List.rev t.rows in
+  String.concat "\n" (List.map (fun r -> String.concat "," (List.map quote r)) rows)
+
+let series ~title ~x_label ~columns ~rows =
+  let tbl = create ~header:(x_label :: columns) in
+  List.iter
+    (fun (x, values) ->
+      add_row tbl (x :: List.map (fun v -> Printf.sprintf "%.2f" v) values))
+    rows;
+  Printf.sprintf "== %s ==\n%s" title (render tbl)

@@ -1,0 +1,30 @@
+(** ASCII table and data-series rendering for the experiment harness.
+
+    The harness regenerates every figure of the paper as a table of series
+    (one row per x value, one column per protocol / system); this module is
+    the single place that formats them. *)
+
+type t
+
+val create : header:string list -> t
+(** A table whose first row is [header]. *)
+
+val add_row : t -> string list -> unit
+(** Append one row; short rows are padded with empty cells. *)
+
+val render : t -> string
+(** Box-drawing-free, column-aligned rendering suitable for terminals and
+    for diffing in EXPERIMENTS.md. *)
+
+val render_csv : t -> string
+(** Comma-separated rendering (cells containing commas are quoted). *)
+
+val series :
+  title:string ->
+  x_label:string ->
+  columns:string list ->
+  rows:(string * float list) list ->
+  string
+(** Render a named figure series: a title line, then a table with the x
+    value in the first column and one column per series, floats printed
+    with 2 decimal places. *)

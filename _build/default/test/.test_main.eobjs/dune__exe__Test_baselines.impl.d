@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Core Executor List Metrics Store Txn

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Benchmarks Cluster Config Core Executor Hashtbl List Store Txn Util

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Benchmarks Cluster Config Core Executor List Quorum Store Txn

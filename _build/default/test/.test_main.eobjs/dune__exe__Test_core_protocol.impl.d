@@ -1,0 +1,1 @@
+test/test_core_protocol.ml: Alcotest Core Hashtbl Int List Messages Oracle QCheck QCheck_alcotest Result Rqv Rwset Server Store Txn

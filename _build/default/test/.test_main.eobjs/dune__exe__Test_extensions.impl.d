@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Benchmarks Cluster Config Core Executor List Metrics Sim Store Txn

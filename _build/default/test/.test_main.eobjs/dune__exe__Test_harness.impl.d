@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Benchmarks Core Harness List Quorum Store String

@@ -1,0 +1,1 @@
+test/test_serializability.ml: Alcotest Array Benchmarks Cluster Config Core Executor List Store Txn Util

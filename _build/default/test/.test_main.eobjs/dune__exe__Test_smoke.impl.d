@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Cluster Config Core Executor Metrics Store Txn

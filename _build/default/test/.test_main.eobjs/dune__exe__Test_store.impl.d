@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest List Multiversion QCheck QCheck_alcotest Replica Store Value

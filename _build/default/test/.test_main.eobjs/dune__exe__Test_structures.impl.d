@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Benchmarks Cluster Config Core Executor Hashtbl Int List Printf Set Store String Util

@@ -1,0 +1,114 @@
+(* The TFA and Decent-STM baselines run the same DSL programs; check they
+   preserve counters under contention and satisfy the 1-copy oracle. *)
+
+open Core
+open Txn.Syntax
+
+let increment oid () =
+  let* v = Txn.read oid in
+  Txn.write oid (Store.Value.Int (Store.Value.to_int v + 1))
+
+let test_tfa_counter () =
+  let sys = Baselines.Tfa.create ~nodes:13 ~seed:31 () in
+  let oid = Baselines.Tfa.alloc_object sys ~init:(Store.Value.Int 0) in
+  let finished = ref 0 in
+  let rec client node remaining =
+    if remaining > 0 then
+      Baselines.Tfa.submit sys ~node (increment oid) ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ -> client node (remaining - 1)
+          | Executor.Failed msg -> Alcotest.failf "tfa txn failed: %s" msg)
+    else incr finished
+  in
+  for c = 0 to 5 do
+    client (c mod Baselines.Tfa.nodes sys) 5
+  done;
+  Baselines.Tfa.drain sys;
+  Alcotest.(check int) "clients finished" 6 !finished;
+  Alcotest.(check int) "commits" 30 (Metrics.commits (Baselines.Tfa.metrics sys));
+  begin
+    match Baselines.Tfa.latest_value sys ~oid with
+    | Store.Value.Int 30 -> ()
+    | v -> Alcotest.failf "tfa lost updates: %s" (Store.Value.to_string v)
+  end;
+  match Baselines.Tfa.check_consistency sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "tfa oracle: %s" msg
+
+let test_decent_counter () =
+  let sys = Baselines.Decent.create ~nodes:13 ~seed:37 () in
+  let oid = Baselines.Decent.alloc_object sys ~init:(Store.Value.Int 0) in
+  let finished = ref 0 in
+  let rec client node remaining =
+    if remaining > 0 then
+      Baselines.Decent.submit sys ~node (increment oid) ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ -> client node (remaining - 1)
+          | Executor.Failed msg -> Alcotest.failf "decent txn failed: %s" msg)
+    else incr finished
+  in
+  for c = 0 to 5 do
+    client (c mod Baselines.Decent.nodes sys) 5
+  done;
+  Baselines.Decent.drain sys;
+  Alcotest.(check int) "clients finished" 6 !finished;
+  Alcotest.(check int) "commits" 30 (Metrics.commits (Baselines.Decent.metrics sys));
+  begin
+    match Baselines.Decent.latest_value sys ~oid with
+    | Store.Value.Int 30 -> ()
+    | v -> Alcotest.failf "decent lost updates: %s" (Store.Value.to_string v)
+  end;
+  match Baselines.Decent.check_consistency sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "decent oracle: %s" msg
+
+(* Decent read-only transactions observe a consistent snapshot even while
+   writers are running (readers never abort). *)
+let test_decent_snapshot_reads () =
+  let sys = Baselines.Decent.create ~nodes:7 ~seed:41 () in
+  let a = Baselines.Decent.alloc_object sys ~init:(Store.Value.Int 100) in
+  let b = Baselines.Decent.alloc_object sys ~init:(Store.Value.Int 100) in
+  (* Writers transfer between a and b, preserving the sum. *)
+  let transfer () =
+    let* va = Txn.read a in
+    let* vb = Txn.read b in
+    let* _ = Txn.write a (Store.Value.Int (Store.Value.to_int va - 1)) in
+    Txn.write b (Store.Value.Int (Store.Value.to_int vb + 1))
+  in
+  let sum_reads = ref [] in
+  let audit () =
+    let* va = Txn.read a in
+    let* vb = Txn.read b in
+    Txn.return (Store.Value.Int (Store.Value.to_int va + Store.Value.to_int vb))
+  in
+  let rec writer node remaining =
+    if remaining > 0 then
+      Baselines.Decent.submit sys ~node transfer ~on_done:(fun _ ->
+          writer node (remaining - 1))
+  in
+  let rec reader node remaining =
+    if remaining > 0 then
+      Baselines.Decent.submit sys ~node audit ~on_done:(fun outcome ->
+          begin
+            match outcome with
+            | Executor.Committed (Store.Value.Int sum) -> sum_reads := sum :: !sum_reads
+            | Executor.Committed v ->
+              Alcotest.failf "bad audit result %s" (Store.Value.to_string v)
+            | Executor.Failed msg -> Alcotest.failf "audit failed: %s" msg
+          end;
+          reader node (remaining - 1))
+  in
+  writer 1 10;
+  writer 2 10;
+  reader 3 12;
+  Baselines.Decent.drain sys;
+  Alcotest.(check int) "all audits ran" 12 (List.length !sum_reads);
+  List.iter (fun sum -> Alcotest.(check int) "snapshot sum invariant" 200 sum) !sum_reads
+
+let suite =
+  [
+    Alcotest.test_case "tfa counter, no lost updates" `Quick test_tfa_counter;
+    Alcotest.test_case "decent counter, no lost updates" `Quick test_decent_counter;
+    Alcotest.test_case "decent snapshot reads are consistent" `Quick
+      test_decent_snapshot_reads;
+  ]

@@ -1,0 +1,89 @@
+(* Cluster-level integration: failover during a live workload, quorum
+   reassignment, and end-to-end consistency across failures. *)
+
+open Core
+
+let test_quorum_assignment () =
+  let cluster = Cluster.create ~nodes:13 ~seed:12 (Config.default Config.Closed) in
+  let rq = Cluster.read_quorum_of cluster ~node:4 in
+  let wq = Cluster.write_quorum_of cluster ~node:9 in
+  Alcotest.(check bool) "read quorum nonempty" true (rq <> []);
+  Alcotest.(check bool) "write quorum nonempty" true (wq <> []);
+  Alcotest.(check bool) "read/write intersect" true
+    (Quorum.Check.intersects rq wq);
+  (* Different salts may differ but must still intersect every write quorum. *)
+  for node = 0 to 12 do
+    let rq = Cluster.read_quorum_of cluster ~node in
+    for other = 0 to 12 do
+      let wq = Cluster.write_quorum_of cluster ~node:other in
+      if not (Quorum.Check.intersects rq wq) then
+        Alcotest.failf "quorums of nodes %d and %d do not intersect" node other
+    done
+  done
+
+let test_failover_during_workload () =
+  let cluster = Cluster.create ~nodes:13 ~seed:13 (Config.default Config.Closed) in
+  let counter = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  (* Fail two replicas mid-run; clients sit on surviving nodes. *)
+  Cluster.fail_node_at cluster ~at:400. ~node:1;
+  Cluster.fail_node_at cluster ~at:900. ~node:2;
+  let committed = ref 0 in
+  let rec client node remaining =
+    if remaining > 0 then
+      Cluster.submit cluster ~node (fun () -> Benchmarks.Counter.increment counter)
+        ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ ->
+            incr committed;
+            client node (remaining - 1)
+          | Executor.Failed msg -> Alcotest.failf "client failed: %s" msg)
+  in
+  List.iter (fun node -> client node 10) [ 4; 5; 6; 7 ];
+  Cluster.drain cluster;
+  Alcotest.(check int) "all committed" 40 !committed;
+  (* The committed value must reflect every increment. *)
+  begin
+    match Cluster.run_program cluster ~node:6 (fun () -> Txn.read counter) with
+    | Executor.Committed (Store.Value.Int 40) -> ()
+    | Executor.Committed v -> Alcotest.failf "lost updates: %s" (Store.Value.to_string v)
+    | Executor.Failed msg -> Alcotest.failf "final read failed: %s" msg
+  end;
+  (* Quorums were reassigned away from the dead nodes. *)
+  for node = 3 to 12 do
+    let rq = Cluster.read_quorum_of cluster ~node in
+    Alcotest.(check bool) "no dead node in read quorum" true
+      (Quorum.Check.all_alive ~failed:[ 1; 2 ] rq)
+  done;
+  match Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "oracle: %s" msg
+
+let test_run_program_on_empty_engine () =
+  let cluster = Cluster.create ~nodes:5 ~seed:14 (Config.default Config.Flat) in
+  let oid = Cluster.alloc_object cluster ~init:(Store.Value.Str "hello") in
+  match Cluster.run_program cluster ~node:2 (fun () -> Txn.read oid) with
+  | Executor.Committed (Store.Value.Str "hello") -> ()
+  | Executor.Committed v -> Alcotest.failf "wrong value %s" (Store.Value.to_string v)
+  | Executor.Failed msg -> Alcotest.failf "failed: %s" msg
+
+let test_message_accounting () =
+  let cluster = Cluster.create ~nodes:13 ~seed:15 (Config.default Config.Flat) in
+  let oid = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  ignore (Cluster.run_program cluster ~node:3 (fun () -> Benchmarks.Counter.increment oid));
+  Cluster.drain cluster;
+  let kinds = List.map fst (Cluster.messages_by_kind cluster) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " messages present") true (List.mem expected kinds))
+    [ "read_req"; "commit_req"; "commit_apply"; "reply" ];
+  Alcotest.(check bool) "total counted" true (Cluster.messages_sent cluster > 0);
+  Cluster.reset_counters cluster;
+  Alcotest.(check int) "counters reset" 0 (Cluster.messages_sent cluster)
+
+let suite =
+  [
+    Alcotest.test_case "quorum assignment intersects" `Quick test_quorum_assignment;
+    Alcotest.test_case "failover during workload" `Quick test_failover_during_workload;
+    Alcotest.test_case "run_program basic" `Quick test_run_program_on_empty_engine;
+    Alcotest.test_case "message accounting" `Quick test_message_accounting;
+  ]

@@ -1,0 +1,199 @@
+(* Executor behaviour tests: where partial aborts land, checkpoint
+   rollback, which modes commit read-only transactions locally, and the
+   safety valves.
+
+   Conflicts are injected surgically: a scheduled event bumps an object's
+   version on every replica, exactly as a remote commit would, at a chosen
+   simulated time. *)
+
+open Core
+
+let bump_everywhere cluster ~at ~oid ~version =
+  Sim.Engine.schedule_at (Cluster.engine cluster) ~time:at (fun () ->
+      for node = 0 to Cluster.nodes cluster - 1 do
+        Store.Replica.apply
+          (Cluster.store_of cluster ~node)
+          ~oid ~version ~value:(Store.Value.Int 777) ~txn:999_999
+      done)
+
+let read_seq oids =
+  Benchmarks.Workload.seq (List.map Txn.read oids)
+
+(* A closed-nested transaction whose *own* read is invalidated mid-flight
+   must retry just that CT — no root abort. *)
+let test_partial_abort_targets_ct () =
+  let cluster =
+    Cluster.create ~nodes:13 ~seed:3 ~with_oracle:false (Config.default Config.Closed)
+  in
+  let oids = List.init 8 (fun _ -> Cluster.alloc_object cluster ~init:(Store.Value.Int 0)) in
+  let a, rest =
+    match oids with a :: rest -> (a, rest) | [] -> assert false
+  in
+  let program () =
+    Txn.bind
+      (Txn.nested (fun () -> Txn.read a))
+      (fun _ -> Txn.nested (fun () -> read_seq rest))
+  in
+  (* [rest] spans several quorum round trips; invalidate its first element
+     (owned by the *active* CT) midway. *)
+  let first_of_rest = List.hd rest in
+  bump_everywhere cluster ~at:150. ~oid:first_of_rest ~version:1;
+  let outcome = ref None in
+  Cluster.submit cluster ~node:5 program ~on_done:(fun o -> outcome := Some o);
+  Cluster.drain cluster;
+  begin
+    match !outcome with
+    | Some (Executor.Committed _) -> ()
+    | Some (Executor.Failed msg) -> Alcotest.failf "failed: %s" msg
+    | None -> Alcotest.fail "never finished"
+  end;
+  let metrics = Cluster.metrics cluster in
+  Alcotest.(check bool) "at least one partial abort" true
+    (Metrics.partial_aborts metrics >= 1);
+  Alcotest.(check int) "no root aborts" 0 (Metrics.root_aborts metrics)
+
+(* The mirror case: invalidating an object owned by an *enclosing* scope
+   (merged from an earlier CT) must abort the root, not the running CT. *)
+let test_outer_conflict_aborts_root () =
+  let cluster =
+    Cluster.create ~nodes:13 ~seed:4 ~with_oracle:false (Config.default Config.Closed)
+  in
+  let oids = List.init 8 (fun _ -> Cluster.alloc_object cluster ~init:(Store.Value.Int 0)) in
+  let a, rest = match oids with a :: rest -> (a, rest) | [] -> assert false in
+  let program () =
+    Txn.bind
+      (Txn.nested (fun () -> Txn.read a))
+      (fun _ -> Txn.nested (fun () -> read_seq rest))
+  in
+  (* [a] belongs to the first (already merged) CT: bump it while the second
+     CT is still reading. *)
+  bump_everywhere cluster ~at:150. ~oid:a ~version:1;
+  let outcome = ref None in
+  Cluster.submit cluster ~node:5 program ~on_done:(fun o -> outcome := Some o);
+  Cluster.drain cluster;
+  begin
+    match !outcome with
+    | Some (Executor.Committed _) -> ()
+    | Some (Executor.Failed msg) -> Alcotest.failf "failed: %s" msg
+    | None -> Alcotest.fail "never finished"
+  end;
+  Alcotest.(check bool) "root aborted" true
+    (Metrics.root_aborts (Cluster.metrics cluster) >= 1)
+
+(* Under QR-CHK the same mid-flight invalidation rolls back to a checkpoint
+   instead of restarting. *)
+let test_checkpoint_rollback () =
+  let cluster =
+    Cluster.create ~nodes:13 ~seed:5 ~with_oracle:false (Config.default Config.Checkpoint)
+  in
+  let oids = List.init 8 (fun _ -> Cluster.alloc_object cluster ~init:(Store.Value.Int 0)) in
+  let program () = read_seq oids in
+  (* Invalidate the 4th object after it was read but before the txn ends. *)
+  bump_everywhere cluster ~at:200. ~oid:(List.nth oids 3) ~version:1;
+  let outcome = ref None in
+  Cluster.submit cluster ~node:5 program ~on_done:(fun o -> outcome := Some o);
+  Cluster.drain cluster;
+  begin
+    match !outcome with
+    | Some (Executor.Committed _) -> ()
+    | Some (Executor.Failed msg) -> Alcotest.failf "failed: %s" msg
+    | None -> Alcotest.fail "never finished"
+  end;
+  let metrics = Cluster.metrics cluster in
+  Alcotest.(check bool) "checkpoints were created" true (Metrics.checkpoints metrics >= 4);
+  Alcotest.(check bool) "rolled back partially" true (Metrics.partial_aborts metrics >= 1);
+  Alcotest.(check int) "no full restart" 0 (Metrics.root_aborts metrics)
+
+(* Read-only commits: QR-CN commits locally (no commit_req messages);
+   flat QR and QR-CHK pay the 2PC round (paper §III-A vs §IV-A). *)
+let test_read_only_commit_messages () =
+  let commit_reqs mode =
+    let cluster =
+      Cluster.create ~nodes:13 ~seed:6 ~with_oracle:false (Config.default mode)
+    in
+    let a = Cluster.alloc_object cluster ~init:(Store.Value.Int 1) in
+    let b = Cluster.alloc_object cluster ~init:(Store.Value.Int 2) in
+    begin
+      match Cluster.run_program cluster ~node:4 (fun () -> read_seq [ a; b ]) with
+      | Executor.Committed _ -> ()
+      | Executor.Failed msg -> Alcotest.failf "read-only txn failed: %s" msg
+    end;
+    Cluster.drain cluster;
+    match List.assoc_opt "commit_req" (Cluster.messages_by_kind cluster) with
+    | Some n -> n
+    | None -> 0
+  in
+  Alcotest.(check bool) "flat pays a commit round" true (commit_reqs Config.Flat > 0);
+  Alcotest.(check int) "closed commits locally" 0 (commit_reqs Config.Closed);
+  Alcotest.(check bool) "checkpoint pays a commit round" true
+    (commit_reqs Config.Checkpoint > 0)
+
+(* Zombie guard: a program that loops forever over locally cached reads is
+   killed after max_steps_per_attempt and, with bounded attempts, fails. *)
+let test_zombie_guard () =
+  let config =
+    Config.make ~max_steps_per_attempt:64 ~max_attempts:2 Config.Flat
+  in
+  let cluster = Cluster.create ~nodes:13 ~seed:7 ~with_oracle:false config in
+  let a = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  let rec spin () = Txn.bind (Txn.read a) (fun _ -> spin ()) in
+  match Cluster.run_program cluster ~node:2 spin with
+  | Executor.Failed msg ->
+    Alcotest.(check string) "max attempts" "max attempts exceeded" msg;
+    Alcotest.(check bool) "aborts counted" true
+      (Metrics.root_aborts (Cluster.metrics cluster) >= 1)
+  | Executor.Committed _ -> Alcotest.fail "zombie committed"
+
+let test_fail_program () =
+  let cluster = Cluster.create ~nodes:13 ~seed:8 (Config.default Config.Closed) in
+  match Cluster.run_program cluster ~node:1 (fun () -> Txn.fail "boom") with
+  | Executor.Failed msg -> Alcotest.(check string) "fail surfaces" "boom" msg
+  | Executor.Committed _ -> Alcotest.fail "Fail committed"
+
+(* Write skew must be prevented: two transactions each read both objects
+   and write one; serializability forbids both committing from the same
+   snapshot. *)
+let test_no_write_skew () =
+  let cluster = Cluster.create ~nodes:13 ~seed:9 (Config.default Config.Closed) in
+  let x = Cluster.alloc_object cluster ~init:(Store.Value.Int 1) in
+  let y = Cluster.alloc_object cluster ~init:(Store.Value.Int 1) in
+  (* Invariant: x + y >= 1.  Each txn decrements its target only if the
+     *other* is still positive. *)
+  let open Txn.Syntax in
+  let withdraw target other =
+    let* t = Txn.read target in
+    let* o = Txn.read other in
+    if Store.Value.to_int t + Store.Value.to_int o > 1 then
+      Txn.write target (Store.Value.Int (Store.Value.to_int t - 1))
+    else Txn.return Store.Value.Unit
+  in
+  let done_count = ref 0 in
+  Cluster.submit cluster ~node:1 (fun () -> withdraw x y) ~on_done:(fun _ -> incr done_count);
+  Cluster.submit cluster ~node:7 (fun () -> withdraw y x) ~on_done:(fun _ -> incr done_count);
+  Cluster.drain cluster;
+  Alcotest.(check int) "both finished" 2 !done_count;
+  let read_back oid =
+    match Cluster.run_program cluster ~node:0 (fun () -> Txn.read oid) with
+    | Executor.Committed v -> Store.Value.to_int v
+    | Executor.Failed msg -> Alcotest.failf "read back failed: %s" msg
+  in
+  let total = read_back x + read_back y in
+  Alcotest.(check bool) "invariant survives (no write skew)" true (total >= 1);
+  match Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "oracle: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "partial abort targets the running CT" `Quick
+      test_partial_abort_targets_ct;
+    Alcotest.test_case "outer-scope conflict aborts the root" `Quick
+      test_outer_conflict_aborts_root;
+    Alcotest.test_case "checkpoint rollback instead of restart" `Quick
+      test_checkpoint_rollback;
+    Alcotest.test_case "read-only commit locality per mode" `Quick
+      test_read_only_commit_messages;
+    Alcotest.test_case "zombie guard caps runaway attempts" `Quick test_zombie_guard;
+    Alcotest.test_case "Txn.fail surfaces as Failed" `Quick test_fail_program;
+    Alcotest.test_case "no write skew" `Quick test_no_write_skew;
+  ]

@@ -1,0 +1,16 @@
+let () = Alcotest.run "qr_dtm" [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("quorum", Test_quorum.suite);
+      ("store", Test_store.suite);
+      ("core", Test_core_protocol.suite);
+      ("executor", Test_executor.suite);
+      ("cluster", Test_cluster.suite);
+      ("extensions", Test_extensions.suite);
+      ("serializability", Test_serializability.suite);
+      ("harness", Test_harness.suite);
+      ("smoke", Test_smoke.suite);
+      ("structures", Test_structures.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("baselines", Test_baselines.suite);
+    ]

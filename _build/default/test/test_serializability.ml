@@ -1,0 +1,121 @@
+(* Randomized serializability stress: generate random transaction programs
+   (reads, writes, nesting, read-modify-writes over a small object space),
+   run many of them concurrently under every execution mode and both
+   baselines, and require (a) every client terminates, (b) the 1-copy
+   oracle accepts the full history, and (c) a derived counter invariant
+   holds.  This is the property-based face of the paper's Theorem V.1. *)
+
+open Core
+
+(* A random operation mix over a small object space: read-modify-writes,
+   transfer-style ops and pure reads, some wrapped in closed-nested calls. *)
+let random_program rng oids =
+  let pick () = oids.(Util.Rng.int rng (Array.length oids)) in
+  let random_op () =
+    match Util.Rng.int rng 3 with
+    | 0 ->
+      (* transfer-style: read two, increment one *)
+      let a = pick () and b = pick () in
+      Txn.bind (Txn.read a) (fun _ ->
+          Txn.bind (Txn.read b) (fun vb ->
+              Txn.write b (Store.Value.Int (Store.Value.to_int vb + 1))))
+    | 1 ->
+      let a = pick () in
+      Txn.bind (Txn.read a) (fun va ->
+          Txn.write a (Store.Value.Int (Store.Value.to_int va + 1)))
+    | _ ->
+      let a = pick () and b = pick () in
+      Txn.bind (Txn.read a) (fun _ -> Txn.read b)
+  in
+  let ops = List.init (1 + Util.Rng.int rng 3) (fun _ -> random_op ()) in
+  let with_nesting =
+    List.map
+      (fun op -> if Util.Rng.bool rng then Txn.nested (fun () -> op) else op)
+      ops
+  in
+  fun () -> Benchmarks.Workload.seq with_nesting
+
+let run_mode_stress mode seed () =
+  let cluster = Cluster.create ~nodes:13 ~seed (Config.default mode) in
+  let oids = Array.init 6 (fun _ -> Cluster.alloc_object cluster ~init:(Store.Value.Int 0)) in
+  let rng = Util.Rng.create (seed * 13) in
+  let live = ref 0 in
+  let rec client node remaining rng =
+    if remaining > 0 then begin
+      let program = random_program rng oids in
+      Cluster.submit cluster ~node program ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ -> client node (remaining - 1) rng
+          | Executor.Failed msg -> Alcotest.failf "stress txn failed: %s" msg)
+    end
+    else decr live
+  in
+  for c = 0 to 9 do
+    incr live;
+    client (c mod 13) 6 (Util.Rng.split rng)
+  done;
+  Cluster.drain cluster;
+  Alcotest.(check int) "all clients terminated" 0 !live;
+  match Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s oracle: %s" (Config.mode_name mode) msg
+
+(* Increment-only stress where the exact final sum is known. *)
+let run_counting_stress mode seed () =
+  let cluster = Cluster.create ~nodes:13 ~seed (Config.default mode) in
+  let oids = Array.init 4 (fun _ -> Cluster.alloc_object cluster ~init:(Store.Value.Int 0)) in
+  let rng = Util.Rng.create (seed * 29) in
+  let committed_increments = ref 0 in
+  let live = ref 0 in
+  let rec client node remaining rng =
+    if remaining > 0 then begin
+      let count = 1 + Util.Rng.int rng 3 in
+      let ops =
+        List.init count (fun _ ->
+            let oid = oids.(Util.Rng.int rng 4) in
+            if Util.Rng.bool rng then Txn.nested (fun () -> Benchmarks.Counter.increment oid)
+            else Benchmarks.Counter.increment oid)
+      in
+      Cluster.submit cluster ~node (fun () -> Benchmarks.Workload.seq ops)
+        ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ ->
+            committed_increments := !committed_increments + count;
+            client node (remaining - 1) rng
+          | Executor.Failed msg -> Alcotest.failf "stress txn failed: %s" msg)
+    end
+    else decr live
+  in
+  for c = 0 to 7 do
+    incr live;
+    client ((c * 3) mod 13) 6 (Util.Rng.split rng)
+  done;
+  Cluster.drain cluster;
+  Alcotest.(check int) "all clients terminated" 0 !live;
+  let total =
+    Array.fold_left
+      (fun acc oid -> acc + Store.Value.to_int (Benchmarks.Workload.latest_value cluster ~oid))
+      0 oids
+  in
+  Alcotest.(check int) "no lost or phantom increments" !committed_increments total;
+  match Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "oracle: %s" msg
+
+let modes = [ Config.Flat; Config.Closed; Config.Checkpoint ]
+
+let suite =
+  List.concat_map
+    (fun mode ->
+      let name = Config.mode_name mode in
+      [
+        Alcotest.test_case (name ^ " random-mix stress, seed 61") `Quick
+          (run_mode_stress mode 61);
+        Alcotest.test_case (name ^ " random-mix stress, seed 62") `Quick
+          (run_mode_stress mode 62);
+        Alcotest.test_case (name ^ " counting stress, seed 71") `Quick
+          (run_counting_stress mode 71);
+        Alcotest.test_case (name ^ " counting stress, seed 72") `Quick
+          (run_counting_stress mode 72);
+      ])
+    modes

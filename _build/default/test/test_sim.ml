@@ -1,0 +1,195 @@
+(* Tests for the discrete-event simulation substrate: engine ordering,
+   topology metrics, network delivery/queueing/failures, RPC collection and
+   timeouts, failure detection. *)
+
+let test_engine_ordering () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  Sim.Engine.schedule engine ~delay:5. (note "c");
+  Sim.Engine.schedule engine ~delay:1. (note "a");
+  Sim.Engine.schedule engine ~delay:1. (note "b"); (* FIFO at equal time *)
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "time then FIFO order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 5. (Sim.Engine.now engine);
+  Alcotest.(check int) "events processed" 3 (Sim.Engine.events_processed engine)
+
+let test_engine_until () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.schedule engine ~delay:10. (fun () -> incr fired);
+  Sim.Engine.schedule engine ~delay:30. (fun () -> incr fired);
+  Sim.Engine.run ~until:20. engine;
+  Alcotest.(check int) "only the early event" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock set to limit" 20. (Sim.Engine.now engine);
+  Alcotest.(check int) "one pending" 1 (Sim.Engine.pending engine);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "rest drained" 2 !fired
+
+let test_engine_nested_schedule () =
+  let engine = Sim.Engine.create () in
+  let hits = ref [] in
+  Sim.Engine.schedule engine ~delay:1. (fun () ->
+      hits := Sim.Engine.now engine :: !hits;
+      Sim.Engine.schedule engine ~delay:2. (fun () ->
+          hits := Sim.Engine.now engine :: !hits));
+  Sim.Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "nested times" [ 1.; 3. ] (List.rev !hits)
+
+let test_topology_mean_latency () =
+  let topology = Sim.Topology.create ~seed:1 ~mean_latency:15. ~nodes:20 () in
+  let mean = Sim.Topology.mean_remote_latency topology in
+  Alcotest.(check bool) "mean close to target" true (Float.abs (mean -. 15.) < 0.5);
+  Alcotest.(check (float 1e-9)) "self latency small" 0.05
+    (Sim.Topology.latency topology ~src:3 ~dst:3);
+  (* Symmetry. *)
+  Alcotest.(check (float 1e-9)) "symmetric"
+    (Sim.Topology.latency topology ~src:2 ~dst:7)
+    (Sim.Topology.latency topology ~src:7 ~dst:2)
+
+let test_uniform_topology () =
+  let topology = Sim.Topology.uniform ~latency:5. ~nodes:4 () in
+  Alcotest.(check (float 1e-9)) "uniform" 5. (Sim.Topology.latency topology ~src:0 ~dst:3)
+
+let make_network ?(nodes = 4) ?(service_time = 1.) () =
+  let engine = Sim.Engine.create () in
+  let topology = Sim.Topology.uniform ~latency:10. ~nodes () in
+  let network = Sim.Network.create ~engine ~topology ~service_time ~jitter:0. () in
+  (engine, network)
+
+let test_network_delivery_and_counting () =
+  let engine, network = make_network () in
+  let received = ref [] in
+  Sim.Network.set_handler network ~node:1 (fun ~src msg -> received := (src, msg) :: !received);
+  Sim.Network.send network ~kind:"ping" ~src:0 ~dst:1 "hello";
+  Sim.Network.send network ~kind:"ping" ~src:2 ~dst:1 "world";
+  Sim.Network.send network ~src:1 ~dst:1 "self";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "two handled remotely, one locally" 3 (List.length !received);
+  Alcotest.(check int) "self-sends not counted" 2 (Sim.Network.messages_sent network);
+  Alcotest.(check (list (pair string int))) "kind accounting" [ ("ping", 2) ]
+    (Sim.Network.messages_by_kind network)
+
+let test_network_service_queueing () =
+  (* Two messages arriving together at one node must be processed serially:
+     second handler fires one service_time later. *)
+  let engine, network = make_network ~service_time:2. () in
+  let times = ref [] in
+  Sim.Network.set_handler network ~node:1 (fun ~src:_ _ ->
+      times := Sim.Engine.now engine :: !times);
+  Sim.Network.send network ~src:0 ~dst:1 "a";
+  Sim.Network.send network ~src:2 ~dst:1 "b";
+  Sim.Engine.run engine;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-6)) "first at latency+service" 12. t1;
+    Alcotest.(check (float 1e-6)) "second queued behind" 14. t2
+  | other -> Alcotest.failf "expected 2 deliveries, got %d" (List.length other)
+
+let test_network_failure_drops () =
+  let engine, network = make_network () in
+  let received = ref 0 in
+  Sim.Network.set_handler network ~node:1 (fun ~src:_ _ -> incr received);
+  Sim.Network.fail network 1;
+  Sim.Network.send network ~src:0 ~dst:1 "lost";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "failed node receives nothing" 0 !received;
+  Alcotest.(check bool) "marked failed" true (Sim.Network.is_failed network 1);
+  Alcotest.(check (list int)) "alive nodes" [ 0; 2; 3 ] (Sim.Network.alive_nodes network);
+  Sim.Network.revive network 1;
+  Sim.Network.send network ~src:0 ~dst:1 "back";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "revived node receives" 1 !received
+
+let make_rpc ?(nodes = 4) () =
+  let engine = Sim.Engine.create () in
+  let topology = Sim.Topology.uniform ~latency:10. ~nodes () in
+  let network = Sim.Network.create ~engine ~topology ~service_time:0.5 ~jitter:0. () in
+  let rpc = Sim.Rpc.create ~network () in
+  (engine, network, rpc)
+
+let test_rpc_call_roundtrip () =
+  let engine, _network, rpc = make_rpc () in
+  Sim.Rpc.serve rpc ~node:1 (fun ~src:_ req -> Some (req * 2));
+  let answer = ref None in
+  Sim.Rpc.call rpc ~src:0 ~dst:1 ~timeout:1000. 21
+    ~on_reply:(fun rep -> answer := Some rep)
+    ~on_timeout:(fun () -> Alcotest.fail "unexpected timeout");
+  Sim.Engine.run engine;
+  Alcotest.(check (option int)) "doubled" (Some 42) !answer
+
+let test_rpc_multicall_collects_all () =
+  let engine, _network, rpc = make_rpc () in
+  for node = 0 to 3 do
+    Sim.Rpc.serve rpc ~node (fun ~src:_ req -> Some (req + node))
+  done;
+  let result = ref None in
+  Sim.Rpc.multicall rpc ~src:0 ~dsts:[ 1; 2; 3 ] ~timeout:1000. 100
+    ~on_done:(fun ~replies ~missing -> result := Some (replies, missing));
+  Sim.Engine.run engine;
+  match !result with
+  | Some (replies, []) ->
+    Alcotest.(check (list (pair int int)))
+      "all replied" [ (1, 101); (2, 102); (3, 103) ]
+      (List.sort compare replies)
+  | Some (_, missing) -> Alcotest.failf "unexpected missing: %d" (List.length missing)
+  | None -> Alcotest.fail "multicall never completed"
+
+let test_rpc_multicall_timeout_reports_missing () =
+  let engine, network, rpc = make_rpc () in
+  for node = 0 to 3 do
+    Sim.Rpc.serve rpc ~node (fun ~src:_ req -> Some req)
+  done;
+  Sim.Network.fail network 2;
+  let result = ref None in
+  Sim.Rpc.multicall rpc ~src:0 ~dsts:[ 1; 2; 3 ] ~timeout:200. 7
+    ~on_done:(fun ~replies ~missing -> result := Some (List.map fst replies, missing));
+  Sim.Engine.run engine;
+  Alcotest.(check (option (pair (list int) (list int))))
+    "dead member reported missing"
+    (Some ([ 1; 3 ], [ 2 ]))
+    (Option.map (fun (r, m) -> (List.sort compare r, m)) !result)
+
+let test_rpc_no_reply_handler () =
+  let engine, _network, rpc = make_rpc () in
+  let casts = ref 0 in
+  Sim.Rpc.serve rpc ~node:1 (fun ~src:_ _ ->
+      incr casts;
+      None);
+  Sim.Rpc.cast rpc ~src:0 ~dst:1 99;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "cast handled" 1 !casts
+
+let test_failure_detection () =
+  let engine = Sim.Engine.create () in
+  let killed = ref [] and detected = ref [] in
+  let failure =
+    Sim.Failure.create ~engine ~detection_delay:25. ~kill:(fun n -> killed := n :: !killed) ()
+  in
+  Sim.Failure.on_detect failure (fun n -> detected := (n, Sim.Engine.now engine) :: !detected);
+  Sim.Failure.schedule failure ~at:100. ~node:3;
+  Sim.Engine.run ~until:110. engine;
+  Alcotest.(check (list int)) "killed at failure time" [ 3 ] !killed;
+  Alcotest.(check (list (pair int (float 1e-9)))) "not yet detected" [] !detected;
+  Sim.Engine.run engine;
+  Alcotest.(check (list (pair int (float 1e-9)))) "detected after delay" [ (3, 125.) ]
+    !detected;
+  Alcotest.(check bool) "is_failed after detection" true (Sim.Failure.is_failed failure 3);
+  Alcotest.(check (list int)) "failed list" [ 3 ] (Sim.Failure.failed_nodes failure)
+
+let suite =
+  [
+    Alcotest.test_case "engine event ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine run ~until" `Quick test_engine_until;
+    Alcotest.test_case "engine nested scheduling" `Quick test_engine_nested_schedule;
+    Alcotest.test_case "topology mean latency" `Quick test_topology_mean_latency;
+    Alcotest.test_case "topology uniform" `Quick test_uniform_topology;
+    Alcotest.test_case "network delivery and counting" `Quick test_network_delivery_and_counting;
+    Alcotest.test_case "network service queueing" `Quick test_network_service_queueing;
+    Alcotest.test_case "network failure drops" `Quick test_network_failure_drops;
+    Alcotest.test_case "rpc call roundtrip" `Quick test_rpc_call_roundtrip;
+    Alcotest.test_case "rpc multicall collects all" `Quick test_rpc_multicall_collects_all;
+    Alcotest.test_case "rpc multicall timeout" `Quick test_rpc_multicall_timeout_reports_missing;
+    Alcotest.test_case "rpc one-way cast" `Quick test_rpc_no_reply_handler;
+    Alcotest.test_case "failure detection" `Quick test_failure_detection;
+  ]

@@ -1,0 +1,87 @@
+(* End-to-end smoke tests: a counter object incremented by concurrent
+   transactions under each execution mode, checked for lost updates and
+   1-copy serializability. *)
+
+open Core
+open Txn.Syntax
+
+let value_testable = Alcotest.testable Store.Value.pp Store.Value.equal
+
+let increment_program oid () =
+  let* v = Txn.read oid in
+  Txn.write oid (Store.Value.Int (Store.Value.to_int v + 1))
+
+let run_counter_workload mode ~clients ~increments =
+  let cluster = Cluster.create ~nodes:13 ~seed:42 (Config.default mode) in
+  let oid = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  let finished = ref 0 in
+  let rec client node remaining =
+    if remaining > 0 then
+      Cluster.submit cluster ~node (increment_program oid) ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ -> client node (remaining - 1)
+          | Executor.Failed msg -> Alcotest.failf "client failed: %s" msg)
+    else incr finished
+  in
+  for c = 0 to clients - 1 do
+    client (c mod Cluster.nodes cluster) increments
+  done;
+  Cluster.run_for cluster 600_000.;
+  Alcotest.(check int) "all clients finished" clients !finished;
+  begin
+    match Cluster.check_consistency cluster with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "oracle: %s" msg
+  end;
+  cluster, oid
+
+let check_final_counter cluster oid expected =
+  (* The committed value must be visible through a fresh transaction. *)
+  match Cluster.run_program cluster ~node:0 (fun () -> Txn.read oid) with
+  | Executor.Committed v ->
+    Alcotest.check value_testable "final counter" (Store.Value.Int expected) v
+  | Executor.Failed msg -> Alcotest.failf "final read failed: %s" msg
+
+let test_counter mode () =
+  let clients = 6 and increments = 5 in
+  let cluster, oid = run_counter_workload mode ~clients ~increments in
+  Alcotest.(check int)
+    "commit count" (clients * increments)
+    (Metrics.commits (Cluster.metrics cluster));
+  check_final_counter cluster oid (clients * increments)
+
+let test_nested_commit () =
+  let cluster = Cluster.create ~seed:7 (Config.default Config.Closed) in
+  let a = Cluster.alloc_object cluster ~init:(Store.Value.Int 10) in
+  let b = Cluster.alloc_object cluster ~init:(Store.Value.Int 20) in
+  let program () =
+    let* va = Txn.read a in
+    let* sum =
+      Txn.nested (fun () ->
+          let* vb = Txn.read b in
+          Txn.return (Store.Value.Int (Store.Value.to_int va + Store.Value.to_int vb)))
+    in
+    let* _ = Txn.write a sum in
+    Txn.return sum
+  in
+  begin
+    match Cluster.run_program cluster ~node:3 program with
+    | Executor.Committed v ->
+      Alcotest.check value_testable "nested sum" (Store.Value.Int 30) v
+    | Executor.Failed msg -> Alcotest.failf "nested txn failed: %s" msg
+  end;
+  (* The CT committed locally. *)
+  Alcotest.(check int) "one CT commit" 1 (Metrics.ct_commits (Cluster.metrics cluster));
+  match Cluster.run_program cluster ~node:5 (fun () -> Txn.read a) with
+  | Executor.Committed v ->
+    Alcotest.check value_testable "written back" (Store.Value.Int 30) v
+  | Executor.Failed msg -> Alcotest.failf "read back failed: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "flat counter, no lost updates" `Quick (test_counter Config.Flat);
+    Alcotest.test_case "closed counter, no lost updates" `Quick (test_counter Config.Closed);
+    Alcotest.test_case "checkpoint counter, no lost updates" `Quick
+      (test_counter Config.Checkpoint);
+    Alcotest.test_case "closed-nested commit merges into parent" `Quick test_nested_commit;
+  ]

@@ -1,0 +1,245 @@
+(* Model-based tests of the transactional data structures: run random
+   operation sequences sequentially against a reference model and compare
+   results and final committed state; then run concurrent mixes and check
+   the structural invariants. *)
+
+open Core
+
+module Int_set = Set.Make (Int)
+
+(* Run to completion *and* drain in-flight commit-apply messages, so the
+   replica-level model comparison below sees the committed state. *)
+let run cluster node program =
+  match Cluster.run_program cluster ~node program with
+  | Executor.Committed v ->
+    Cluster.drain cluster;
+    v
+  | Executor.Failed msg -> Alcotest.failf "txn failed: %s" msg
+
+let bool_result v = Store.Value.to_bool v
+
+let fresh_cluster ?(mode = Config.Closed) ?(seed = 11) () =
+  Cluster.create ~nodes:13 ~seed (Config.default mode)
+
+(* --- Skiplist ------------------------------------------------------- *)
+
+let test_skiplist_sequential () =
+  let cluster = fresh_cluster () in
+  let keys = 48 in
+  let h = Benchmarks.Skiplist.create cluster ~keys in
+  let model = ref Int_set.empty in
+  for key = 0 to keys - 1 do
+    if key mod 2 = 0 then model := Int_set.add key !model
+  done;
+  let rng = Util.Rng.create 99 in
+  for step = 0 to 299 do
+    let key = Util.Rng.int rng keys in
+    let node = Util.Rng.int rng (Cluster.nodes cluster) in
+    match Util.Rng.int rng 3 with
+    | 0 ->
+      let added = bool_result (run cluster node (fun () -> Benchmarks.Skiplist.add h ~key)) in
+      let expected = not (Int_set.mem key !model) in
+      if added <> expected then Alcotest.failf "step %d: add %d returned %b" step key added;
+      model := Int_set.add key !model
+    | 1 ->
+      let removed =
+        bool_result (run cluster node (fun () -> Benchmarks.Skiplist.remove h ~key))
+      in
+      let expected = Int_set.mem key !model in
+      if removed <> expected then
+        Alcotest.failf "step %d: remove %d returned %b" step key removed;
+      model := Int_set.remove key !model
+    | _ ->
+      let present =
+        bool_result (run cluster node (fun () -> Benchmarks.Skiplist.contains h ~key))
+      in
+      if present <> Int_set.mem key !model then
+        Alcotest.failf "step %d: contains %d returned %b" step key present
+  done;
+  Alcotest.(check (list int))
+    "final keys" (Int_set.elements !model)
+    (Benchmarks.Skiplist.committed_keys cluster h);
+  match Benchmarks.Skiplist.check_structure cluster h with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* --- Red-black tree -------------------------------------------------- *)
+
+let test_rbtree_sequential () =
+  let cluster = fresh_cluster () in
+  let keys = 64 in
+  let h = Benchmarks.Rbtree.create cluster ~keys in
+  let model = ref Int_set.empty in
+  for key = 0 to keys - 1 do
+    if key mod 2 = 0 then model := Int_set.add key !model
+  done;
+  (* The pre-built tree must itself satisfy the invariants. *)
+  begin
+    match Benchmarks.Rbtree.check_structure cluster h with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "initial tree: %s" msg
+  end;
+  let rng = Util.Rng.create 7 in
+  for step = 0 to 399 do
+    let key = Util.Rng.int rng keys in
+    let node = Util.Rng.int rng (Cluster.nodes cluster) in
+    begin
+      match Util.Rng.int rng 3 with
+      | 0 ->
+        let added =
+          bool_result (run cluster node (fun () -> Benchmarks.Rbtree.insert h ~key))
+        in
+        if added <> not (Int_set.mem key !model) then
+          Alcotest.failf "step %d: insert %d returned %b" step key added;
+        model := Int_set.add key !model
+      | 1 ->
+        let removed =
+          bool_result (run cluster node (fun () -> Benchmarks.Rbtree.remove h ~key))
+        in
+        if removed <> Int_set.mem key !model then
+          Alcotest.failf "step %d: remove %d returned %b" step key removed;
+        model := Int_set.remove key !model
+      | _ ->
+        let present =
+          bool_result (run cluster node (fun () -> Benchmarks.Rbtree.contains h ~key))
+        in
+        if present <> Int_set.mem key !model then
+          Alcotest.failf "step %d: contains %d returned %b" step key present
+    end;
+    (* The tree must satisfy the red-black invariants after every commit. *)
+    match Benchmarks.Rbtree.check_structure cluster h with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "step %d: %s" step msg
+  done;
+  Alcotest.(check (list int))
+    "final keys" (Int_set.elements !model)
+    (Benchmarks.Rbtree.committed_keys cluster h)
+
+(* --- Hashmap ---------------------------------------------------------- *)
+
+let test_hashmap_sequential () =
+  let cluster = fresh_cluster () in
+  let keys = 48 in
+  let h = Benchmarks.Hashmap.create cluster ~keys in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  for key = 0 to keys - 1 do
+    if key / Benchmarks.Hashmap.bucket_count mod 2 = 0 then Hashtbl.replace model key key
+  done;
+  let rng = Util.Rng.create 23 in
+  for step = 0 to 299 do
+    let key = Util.Rng.int rng keys in
+    let node = Util.Rng.int rng (Cluster.nodes cluster) in
+    match Util.Rng.int rng 3 with
+    | 0 ->
+      let data = Util.Rng.int rng 1000 in
+      ignore (run cluster node (fun () -> Benchmarks.Hashmap.put h ~key ~data));
+      Hashtbl.replace model key data
+    | 1 ->
+      ignore (run cluster node (fun () -> Benchmarks.Hashmap.remove h ~key));
+      Hashtbl.remove model key
+    | _ ->
+      let result = run cluster node (fun () -> Benchmarks.Hashmap.get h ~key) in
+      begin
+        match (Hashtbl.find_opt model key, result) with
+        | Some data, Store.Value.Int got when got = data -> ()
+        | None, Store.Value.Unit -> ()
+        | expected, got ->
+          Alcotest.failf "step %d: get %d = %s, model %s" step key
+            (Store.Value.to_string got)
+            (match expected with None -> "absent" | Some d -> string_of_int d)
+      end
+  done;
+  let expected =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int)))
+    "final bindings" expected
+    (Benchmarks.Hashmap.committed_bindings cluster h);
+  match Benchmarks.Hashmap.check_chains cluster h with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* --- BST --------------------------------------------------------------- *)
+
+let test_bst_sequential () =
+  let cluster = fresh_cluster () in
+  let keys = 32 in
+  let h = Benchmarks.Bst.create cluster ~keys in
+  let model = ref Int_set.empty in
+  for key = 0 to keys - 1 do
+    if key mod 2 = 0 then model := Int_set.add key !model
+  done;
+  let rng = Util.Rng.create 5 in
+  for _ = 0 to 199 do
+    let key = Util.Rng.int rng keys in
+    let node = Util.Rng.int rng (Cluster.nodes cluster) in
+    match Util.Rng.int rng 3 with
+    | 0 ->
+      ignore (run cluster node (fun () -> Benchmarks.Bst.add h ~key));
+      model := Int_set.add key !model
+    | 1 ->
+      ignore (run cluster node (fun () -> Benchmarks.Bst.remove h ~key));
+      model := Int_set.remove key !model
+    | _ ->
+      let present = bool_result (run cluster node (fun () -> Benchmarks.Bst.contains h ~key)) in
+      Alcotest.(check bool) "bst contains" (Int_set.mem key !model) present
+  done;
+  Alcotest.(check (list int))
+    "final keys" (Int_set.elements !model)
+    (Benchmarks.Bst.committed_keys cluster h)
+
+(* --- Concurrent mixes: invariants under contention, every mode -------- *)
+
+let run_concurrent (benchmark : Benchmarks.Workload.benchmark) mode ~seed () =
+  let cluster = Cluster.create ~nodes:13 ~seed (Config.default mode) in
+  let params =
+    { Benchmarks.Workload.default_params with objects = 32; calls = 3; read_ratio = 0.3 }
+  in
+  let instance = benchmark.setup cluster params in
+  let rng = Util.Rng.create (seed * 31) in
+  let live = ref 0 in
+  let rec client node remaining rng =
+    if remaining > 0 then begin
+      let program = instance.generate rng in
+      Cluster.submit cluster ~node program ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ -> client node (remaining - 1) rng
+          | Executor.Failed msg -> Alcotest.failf "txn failed: %s" msg)
+    end
+    else decr live
+  in
+  for c = 0 to 7 do
+    incr live;
+    client (c mod Cluster.nodes cluster) 8 (Util.Rng.split rng)
+  done;
+  Cluster.drain cluster;
+  Alcotest.(check int) "all clients done" 0 !live;
+  begin
+    match instance.check () with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%s invariant: %s" benchmark.name msg
+  end;
+  match Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s oracle: %s" benchmark.name msg
+
+let concurrent_cases =
+  List.concat_map
+    (fun (benchmark : Benchmarks.Workload.benchmark) ->
+      List.map
+        (fun (mode, label) ->
+          Alcotest.test_case
+            (Printf.sprintf "concurrent %s / %s" benchmark.name label)
+            `Slow
+            (run_concurrent benchmark mode ~seed:(17 + String.length label)))
+        [ (Config.Flat, "flat"); (Config.Closed, "closed"); (Config.Checkpoint, "checkpoint") ])
+    Benchmarks.Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "skiplist sequential vs model" `Quick test_skiplist_sequential;
+    Alcotest.test_case "rbtree sequential vs model" `Quick test_rbtree_sequential;
+    Alcotest.test_case "hashmap sequential vs model" `Quick test_hashmap_sequential;
+    Alcotest.test_case "bst sequential vs model" `Quick test_bst_sequential;
+  ]
+  @ concurrent_cases

@@ -1,0 +1,142 @@
+(* Unit and property tests for the util substrate: heap ordering, RNG
+   determinism and distributions, streaming stats, histograms, tables. *)
+
+module Int_heap = Util.Heap.Make (Int)
+
+let test_heap_basic () =
+  let h = Int_heap.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Int_heap.is_empty h);
+  List.iter (Int_heap.add h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Int_heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Int_heap.min_elt h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 8; 9 ] (Int_heap.to_sorted_list h);
+  Alcotest.(check int) "to_sorted_list is non-destructive" 6 (Int_heap.length h);
+  Int_heap.clear h;
+  Alcotest.(check (option int)) "cleared" None (Int_heap.pop h)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.add h) xs;
+      let rec drain acc =
+        match Int_heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.int64 a) (Util.Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 42 in
+  let child = Util.Rng.split a in
+  (* The child stream must differ from the parent's continuation. *)
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if not (Int64.equal (Util.Rng.int64 a) (Util.Rng.int64 child)) then differs := true
+  done;
+  Alcotest.(check bool) "split diverges" true !differs
+
+let rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_nat (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Util.Rng.create seed in
+      let x = Util.Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let rng_float_bounds =
+  QCheck.Test.make ~name:"rng float stays in bounds" ~count:500 QCheck.small_nat
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let x = Util.Rng.float rng 10.0 in
+      x >= 0. && x < 10.)
+
+let zipf_bounds =
+  QCheck.Test.make ~name:"zipf index in range" ~count:300
+    QCheck.(triple small_nat (int_range 1 200) (float_range 0. 1.5))
+    (fun (seed, n, skew) ->
+      let rng = Util.Rng.create seed in
+      let x = Util.Rng.zipf rng ~n ~skew in
+      x >= 0 && x < n)
+
+let test_zipf_skew_prefers_small () =
+  let rng = Util.Rng.create 1 in
+  let hits = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = Util.Rng.zipf rng ~n:10 ~skew:1.0 in
+    hits.(i) <- hits.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 hit more than rank 9" true (hits.(0) > 2 * hits.(9))
+
+let test_stats () =
+  let s = Util.Stats.create () in
+  List.iter (Util.Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Util.Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Util.Stats.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Util.Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Util.Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Util.Stats.max s);
+  Alcotest.(check (float 1e-9)) "median-ish" 4.0 (Util.Stats.percentile s 50.)
+
+let stats_merge_matches_sequential =
+  QCheck.Test.make ~name:"stats merge equals sequential" ~count:200
+    QCheck.(pair (list (float_range (-100.) 100.)) (list (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] && ys <> []);
+      let a = Util.Stats.create () and b = Util.Stats.create () in
+      List.iter (Util.Stats.add a) xs;
+      List.iter (Util.Stats.add b) ys;
+      let merged = Util.Stats.merge a b in
+      let all = Util.Stats.create () in
+      List.iter (Util.Stats.add all) (xs @ ys);
+      Float.abs (Util.Stats.mean merged -. Util.Stats.mean all) < 1e-6
+      && Float.abs (Util.Stats.stddev merged -. Util.Stats.stddev all) < 1e-6
+      && Util.Stats.count merged = Util.Stats.count all)
+
+let test_histogram () =
+  let h = Util.Histogram.create ~buckets:4 ~lo:0. ~hi:8. () in
+  List.iter (Util.Histogram.add h) [ -1.; 0.; 1.; 3.; 5.; 7.; 9.; 100. ];
+  Alcotest.(check int) "count" 8 (Util.Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Util.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Util.Histogram.overflow h);
+  let buckets = Util.Histogram.bucket_counts h in
+  Alcotest.(check int) "buckets" 4 (Array.length buckets);
+  let total_in_range = Array.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets in
+  Alcotest.(check int) "in-range total" 5 total_in_range;
+  Alcotest.(check bool) "render non-empty" true (String.length (Util.Histogram.render h) > 0)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let test_table_render () =
+  let t = Util.Table.create ~header:[ "name"; "value" ] in
+  Util.Table.add_row t [ "alpha"; "1" ];
+  Util.Table.add_row t [ "b" ];
+  let rendered = Util.Table.render t in
+  Alcotest.(check bool) "contains header" true (contains rendered "name");
+  Alcotest.(check bool) "contains row" true (contains rendered "alpha");
+  let csv = Util.Table.render_csv t in
+  Alcotest.(check bool) "csv header" true (contains csv "name,value")
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ heap_sorts; rng_bounds; rng_float_bounds; zipf_bounds; stats_merge_matches_sequential ]
+
+let suite =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basic;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "zipf skew shape" `Quick test_zipf_skew_prefers_small;
+    Alcotest.test_case "stats accumulators" `Quick test_stats;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+  ]
+  @ qcheck_cases
