@@ -6,6 +6,7 @@
      qr-dtm table
      qr-dtm summary
      qr-dtm run --bench bank --mode closed --reads 0.2 --calls 4
+     qr-dtm scenario "crash 11 @500; recover 11 @2500; drop 0.05 @0"
      qr-dtm all --scale quick *)
 
 open Cmdliner
@@ -131,6 +132,73 @@ let run_cmd =
       const run $ bench_arg $ mode_arg $ reads_arg $ calls_arg $ objects_arg $ nodes_arg
       $ clients_arg $ duration_arg $ seed_arg $ skew_arg)
 
+let scenario_cmd =
+  let spec_arg =
+    let doc =
+      "Fault scenario, e.g. 'crash 11 @500; recover 11 @2500; drop 0.05 @0'. \
+       Events: crash/recover/suspect N @T [for D], partition a,b|c,d @T for D, \
+       drop/dup P @T [for D], spike P F @T [for D], flaky A-B P @T [for D]."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let mode_arg =
+    let doc = "Execution model: flat, closed or checkpoint." in
+    Arg.(value & opt string "closed" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let nodes_arg = Arg.(value & opt int 13 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.") in
+  let clients_arg =
+    Arg.(value & opt int 16 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5_000. & info [ "duration" ] ~docv:"MS" ~doc:"Window, ms.")
+  in
+  let seed_arg = Arg.(value & opt int 97 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.") in
+  let run spec bench mode nodes clients duration seed =
+    let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
+    let mode =
+      match mode with
+      | "flat" -> Core.Config.Flat
+      | "closed" -> Core.Config.Closed
+      | "checkpoint" -> Core.Config.Checkpoint
+      | other -> failwith (Printf.sprintf "unknown mode %S" other)
+    in
+    let events =
+      match Harness.Scenario.parse spec with
+      | Ok events -> events
+      | Error msg -> failwith (Printf.sprintf "bad scenario: %s" msg)
+    in
+    let crashed = Harness.Scenario.crashed_nodes events in
+    let client_nodes =
+      List.init nodes Fun.id |> List.filter (fun n -> not (List.mem n crashed))
+    in
+    let params =
+      {
+        Benchmarks.Workload.objects = Harness.Figures.benchmark_objects benchmark.name;
+        calls = 3;
+        read_ratio = 0.5;
+        key_skew = 0.5;
+      }
+    in
+    let tracker = ref None in
+    let result =
+      Harness.Experiment.run ~nodes ~seed ~clients ~duration ~client_nodes
+        ~prepare:(fun cluster -> tracker := Some (Harness.Scenario.install cluster events))
+        ~config:(Core.Config.default mode) ~benchmark ~params ()
+    in
+    Format.printf "%a@." Harness.Experiment.pp_result result;
+    Option.iter
+      (fun t -> Format.printf "%a@." Harness.Scenario.pp_report (Harness.Scenario.report t))
+      !tracker
+  in
+  let info =
+    Cmd.info "scenario"
+      ~doc:"Run a workload under an injected fault scenario (crashes, partitions, loss)"
+  in
+  Cmd.v info
+    Term.(
+      const run $ spec_arg $ bench_arg $ mode_arg $ nodes_arg $ clients_arg $ duration_arg
+      $ seed_arg)
+
 let all_cmd =
   let run scale =
     let scale = scale_of_string scale in
@@ -153,6 +221,6 @@ let main =
     Cmd.info "qr-dtm"
       ~doc:"Quorum-based replicated DTM with closed nesting and checkpointing"
   in
-  Cmd.group info [ figure_cmd; table_cmd; summary_cmd; run_cmd; all_cmd ]
+  Cmd.group info [ figure_cmd; table_cmd; summary_cmd; run_cmd; scenario_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -15,13 +15,20 @@ type t = {
   mutable write_quorums : int list option array;
 }
 
+(* A quorum that is unconstructible right now (too many failures) must not
+   be cached: the fallback [[]] would otherwise stick forever even after
+   nodes recover.  Only successful constructions are memoised. *)
 let cached_quorum cache build ~node =
   match cache.(node) with
   | Some quorum -> quorum
   | None ->
-    let quorum = Option.value ~default:[] (build ~salt:node) in
-    cache.(node) <- Some quorum;
-    quorum
+    begin
+      match build ~salt:node with
+      | Some quorum ->
+        cache.(node) <- Some quorum;
+        quorum
+      | None -> []
+    end
 
 let read_quorum_of t ~node =
   cached_quorum t.read_quorums
@@ -33,8 +40,64 @@ let write_quorum_of t ~node =
     (fun ~salt -> Quorum.Tree_quorum.write_quorum ~salt t.tree_quorum)
     ~node
 
+let nodes t = Array.length t.servers
+
+let invalidate_quorum_caches t =
+  Array.fill t.read_quorums 0 (nodes t) None;
+  Array.fill t.write_quorums 0 (nodes t) None
+
+(* Re-admit a node to quorum construction.  For a recovered crash this runs
+   only after state transfer completed; for a cleared false suspicion the
+   node never lost state and rejoins immediately. *)
+let readmit t node =
+  Quorum.Tree_quorum.revive t.tree_quorum node;
+  Sim.Failure.clear_suspicion t.failure node;
+  invalidate_quorum_caches t
+
+(* Catch-up protocol for a recovering node: refresh the stale replica from
+   a full read quorum (which intersects every write quorum, so the
+   per-object maximum version over the replies covers every committed
+   write), then rejoin.  The node itself is still marked failed in the
+   quorum layer, so the sync quorum never includes it. *)
+let rec resync t ~node ~started =
+  let quorum =
+    Option.value ~default:[]
+      (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
+  in
+  let retry () =
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        resync t ~node ~started)
+  in
+  match quorum with
+  | [] -> retry ()
+  | dsts ->
+    Metrics.note_sync t.metrics;
+    Sim.Rpc.multicall t.rpc ~kind:"sync_req" ~src:node ~dsts
+      ~timeout:t.config.Config.request_timeout Messages.Sync_req
+      ~on_done:(fun ~replies ~missing ->
+        if missing <> [] then retry ()
+        else begin
+          let store = Server.store t.servers.(node) in
+          Store.Replica.reset_transients store;
+          List.iter
+            (fun (_, reply) ->
+              match reply with
+              | Messages.Sync_rep { objects } ->
+                List.iter
+                  (fun (oid, version, value) ->
+                    Store.Replica.sync_copy store ~oid ~version ~value)
+                  objects
+              | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+              | Messages.Ack ->
+                ())
+            replies;
+          readmit t node;
+          Metrics.note_recovery t.metrics
+            ~duration:(Sim.Engine.now t.engine -. started)
+        end)
+
 let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_level = 1)
-    ?(detection_delay = 50.) ?(with_oracle = true) config =
+    ?(detection_delay = 50.) ?(detection_jitter = 0.) ?(with_oracle = true) config =
   let engine = Sim.Engine.create () in
   let topology =
     match topology with
@@ -79,7 +142,7 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
     Executor.create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed:(seed + 3) ()
   in
   let failure =
-    Sim.Failure.create ~engine ~detection_delay
+    Sim.Failure.create ~engine ~detection_delay ~detection_jitter ~seed:(seed + 5)
       ~kill:(fun node -> Sim.Network.fail network node)
       ()
   in
@@ -87,22 +150,29 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
       Quorum.Tree_quorum.mark_failed tree_quorum node;
       Array.fill read_quorums 0 nodes None;
       Array.fill write_quorums 0 nodes None);
-  {
-    engine;
-    network;
-    rpc;
-    servers;
-    tree_quorum;
-    failure;
-    executor;
-    metrics;
-    oracle;
-    config;
-    ids;
-    rng = Util.Rng.create (seed + 4);
-    read_quorums;
-    write_quorums;
-  }
+  let t =
+    {
+      engine;
+      network;
+      rpc;
+      servers;
+      tree_quorum;
+      failure;
+      executor;
+      metrics;
+      oracle;
+      config;
+      ids;
+      rng = Util.Rng.create (seed + 4);
+      read_quorums;
+      write_quorums;
+    }
+  in
+  Sim.Failure.on_recover failure (fun ~node ~was_killed ->
+      Sim.Network.revive t.network node;
+      if was_killed then resync t ~node ~started:(Sim.Engine.now t.engine)
+      else readmit t node);
+  t
 
 let engine t = t.engine
 let network t = t.network
@@ -110,7 +180,7 @@ let executor t = t.executor
 let metrics t = t.metrics
 let oracle t = t.oracle
 let config t = t.config
-let nodes t = Array.length t.servers
+let failure t = t.failure
 let ids t = t.ids
 let rng t = t.rng
 let now t = Sim.Engine.now t.engine
@@ -140,6 +210,10 @@ let run_program t ~node program =
   drive ()
 
 let fail_node_at t ~at ~node = Sim.Failure.schedule t.failure ~at ~node
+let recover_node_at t ~at ~node = Sim.Failure.schedule_recovery t.failure ~at ~node
+
+let suspect_node_at ?clear_after t ~at ~node =
+  Sim.Failure.schedule_false_suspicion ?clear_after t.failure ~at ~node
 
 let run_for t duration =
   Sim.Engine.run ~until:(Sim.Engine.now t.engine +. duration) t.engine
@@ -157,3 +231,5 @@ let reset_counters t =
 
 let messages_sent t = Sim.Network.messages_sent t.network
 let messages_by_kind t = Sim.Network.messages_by_kind t.network
+let messages_dropped t = Sim.Network.messages_dropped t.network
+let messages_duplicated t = Sim.Network.messages_duplicated t.network

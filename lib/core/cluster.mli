@@ -19,6 +19,7 @@ val create :
   ?service_time:float ->
   ?read_level:int ->
   ?detection_delay:float ->
+  ?detection_jitter:float ->
   ?with_oracle:bool ->
   Config.t ->
   t
@@ -32,6 +33,7 @@ val executor : t -> Executor.t
 val metrics : t -> Metrics.t
 val oracle : t -> Oracle.t option
 val config : t -> Config.t
+val failure : t -> Sim.Failure.t
 val nodes : t -> int
 val ids : t -> Ids.gen
 val rng : t -> Util.Rng.t
@@ -60,6 +62,15 @@ val run_program : t -> node:int -> (unit -> Txn.t) -> Executor.outcome
 val fail_node_at : t -> at:float -> node:int -> unit
 (** Schedule a fail-stop.  Quorum caches refresh when detection fires. *)
 
+val recover_node_at : t -> at:float -> node:int -> unit
+(** Schedule a crashed node to restart at [at]: its network presence is
+    revived, it state-syncs from a read quorum ([Sync_req]), and only then
+    rejoins quorum construction (caches refresh again). *)
+
+val suspect_node_at : ?clear_after:float -> t -> at:float -> node:int -> unit
+(** Inject a false suspicion: the live node is excluded from new quorums at
+    [at] and (if [clear_after] is given) re-admitted that much later. *)
+
 val run_for : t -> float -> unit
 (** Advance simulated time by the given number of milliseconds. *)
 
@@ -77,3 +88,5 @@ val reset_counters : t -> unit
 
 val messages_sent : t -> int
 val messages_by_kind : t -> (string * int) list
+val messages_dropped : t -> int
+val messages_duplicated : t -> int

@@ -247,7 +247,9 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
           match reply with
           | Messages.Read_abort { target } ->
             Some (match acc with None -> target | Some t -> Stdlib.min t target)
-          | Messages.Read_ok _ | Messages.Vote _ -> acc)
+          | Messages.Read_ok _ | Messages.Vote _ | Messages.Sync_rep _
+          | Messages.Ack ->
+            acc)
         None replies
     in
     match abort_target with
@@ -264,7 +266,9 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
                   | Some (v, _) when v >= version -> acc
                   | Some _ | None -> Some (version, value)
                 end
-              | Messages.Read_abort _ | Messages.Vote _ -> acc)
+              | Messages.Read_abort _ | Messages.Vote _ | Messages.Sync_rep _
+              | Messages.Ack ->
+                acc)
             None replies
         in
         match best with
@@ -462,8 +466,11 @@ and send_commit_request root ~scope ~value =
           handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing)
 
 and release_locks root ~quorum ~locks =
+  (* At-least-once: a dropped Release would leave objects locked by a dead
+     transaction forever; Release is idempotent, so retransmission is safe. *)
   if locks <> [] then
-    Sim.Rpc.multicast root.exec.rpc ~kind:"release" ~src:root.node ~dsts:quorum
+    Sim.Rpc.acked_multicast root.exec.rpc ~kind:"release" ~src:root.node ~dsts:quorum
+      ~timeout:root.exec.config.request_timeout
       (Messages.Release { txn = root.txn_id; oids = locks })
 
 and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
@@ -484,7 +491,9 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
           match reply with
           | Messages.Vote { commit; lock_conflict } ->
             (all && commit, lock || lock_conflict)
-          | Messages.Read_ok _ | Messages.Read_abort _ -> (false, lock))
+          | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Sync_rep _
+          | Messages.Ack ->
+            (false, lock))
         (true, false) replies
     in
     if all_commit then begin
@@ -494,7 +503,11 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
           (Rwset.entries scope.wset)
       in
       record_commit root ~scope ~window_start;
-      Sim.Rpc.multicast exec.rpc ~kind:"commit_apply" ~src:root.node ~dsts:quorum
+      (* At-least-once: losing an Apply at the read/write-quorum
+         intersection node would let later reads miss this commit; Apply is
+         version-guarded (idempotent), so retransmission is safe. *)
+      Sim.Rpc.acked_multicast exec.rpc ~kind:"commit_apply" ~src:root.node ~dsts:quorum
+        ~timeout:exec.config.request_timeout
         (Messages.Apply { txn = root.txn_id; writes; reads = Rwset.oids scope.rset });
       Metrics.note_commit exec.metrics ~latency:(now root -. root.born);
       finish root (Committed value)

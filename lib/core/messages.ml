@@ -24,14 +24,20 @@ type request =
       reads : Ids.obj_id list;
     }
   | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
+  | Sync_req
+      (* catch-up request from a recovering node: the receiver answers with
+         a snapshot of its committed state *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
   | Read_abort of { target : int }
   | Vote of { commit : bool; lock_conflict : bool }
+  | Sync_rep of { objects : (Ids.obj_id * int * Txn.value) list }
+  | Ack  (* acknowledges idempotent one-way messages (Apply, Release) *)
 
 let kind_of_request = function
   | Read_req _ -> "read_req"
   | Commit_req _ -> "commit_req"
   | Apply _ -> "commit_apply"
   | Release _ -> "release"
+  | Sync_req -> "sync_req"

@@ -33,6 +33,9 @@ type request =
       reads : Ids.obj_id list;  (** for PR cleanup *)
     }
   | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
+  | Sync_req
+      (** crash-recovery catch-up: a recovering node asks a read quorum for
+          snapshots of their committed state *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
@@ -42,6 +45,12 @@ type reply =
   | Vote of { commit : bool; lock_conflict : bool }
       (** [lock_conflict] distinguishes protected-object conflicts (the
           holder may release soon) from version staleness (hopeless) *)
+  | Sync_rep of { objects : (Ids.obj_id * int * Txn.value) list }
+      (** committed state snapshot: (oid, version, value); locks and PR/PW
+          lists are transient and not transferred *)
+  | Ack
+      (** acknowledges the idempotent one-way messages (Apply / Release) so
+          they can be retransmitted over lossy links *)
 
 val kind_of_request : request -> string
 (** Message-accounting label ("read_req", "commit_req", ...). *)

@@ -11,6 +11,9 @@ type t = {
   mutable quorum_retries : int;
   mutable open_commits : int;
   mutable compensations : int;
+  mutable syncs : int;
+  mutable recoveries : int;
+  mutable recovery_times : Util.Stats.t;
 }
 
 let create () =
@@ -26,6 +29,9 @@ let create () =
     quorum_retries = 0;
     open_commits = 0;
     compensations = 0;
+    syncs = 0;
+    recoveries = 0;
+    recovery_times = Util.Stats.create ();
     latencies = Util.Stats.create ();
   }
 
@@ -41,6 +47,9 @@ let reset t =
   t.quorum_retries <- 0;
   t.open_commits <- 0;
   t.compensations <- 0;
+  t.syncs <- 0;
+  t.recoveries <- 0;
+  t.recovery_times <- Util.Stats.create ();
   t.latencies <- Util.Stats.create ()
 
 let note_commit t ~latency =
@@ -61,6 +70,11 @@ let note_remote_read t = t.remote_reads <- t.remote_reads + 1
 let note_quorum_retry t = t.quorum_retries <- t.quorum_retries + 1
 let note_open_commit t = t.open_commits <- t.open_commits + 1
 let note_compensation t = t.compensations <- t.compensations + 1
+let note_sync t = t.syncs <- t.syncs + 1
+
+let note_recovery t ~duration =
+  t.recoveries <- t.recoveries + 1;
+  Util.Stats.add t.recovery_times duration
 
 let commits t = t.commits
 let read_only_commits t = t.read_only_commits
@@ -74,6 +88,9 @@ let remote_reads t = t.remote_reads
 let quorum_retries t = t.quorum_retries
 let open_commits t = t.open_commits
 let compensations t = t.compensations
+let syncs t = t.syncs
+let recoveries t = t.recoveries
+let recovery_time_stats t = t.recovery_times
 let latency_stats t = t.latencies
 
 let throughput t ~duration_ms =

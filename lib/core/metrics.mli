@@ -29,6 +29,13 @@ val note_open_commit : t -> unit
 val note_compensation : t -> unit
 (** A compensation transaction ran after a root abort (extension). *)
 
+val note_sync : t -> unit
+(** A recovering node started a state-transfer round. *)
+
+val note_recovery : t -> duration:float -> unit
+(** A node completed recovery (state-synced and re-admitted to quorums);
+    [duration] is restart-to-re-admission in simulated ms. *)
+
 val commits : t -> int
 (** All commits, including read-only. *)
 
@@ -46,6 +53,12 @@ val remote_reads : t -> int
 val quorum_retries : t -> int
 val open_commits : t -> int
 val compensations : t -> int
+val syncs : t -> int
+val recoveries : t -> int
+
+val recovery_time_stats : t -> Util.Stats.t
+(** Restart-to-re-admission durations of completed recoveries. *)
+
 val latency_stats : t -> Util.Stats.t
 
 val throughput : t -> duration_ms:float -> float

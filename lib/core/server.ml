@@ -95,7 +95,10 @@ let handle t ~src:_ request =
   | Messages.Commit_req { txn; dataset; locks } -> handle_commit t ~txn ~dataset ~locks
   | Messages.Apply { txn; writes; reads } ->
     handle_apply t ~txn ~writes ~reads;
-    None
+    (* Acked so the coordinator can retransmit over lossy links; Apply is
+       idempotent (version-guarded), so duplicates are harmless. *)
+    Some Messages.Ack
   | Messages.Release { txn; oids } ->
     handle_release t ~txn ~oids;
-    None
+    Some Messages.Ack
+  | Messages.Sync_req -> Some (Messages.Sync_rep { objects = Store.Replica.dump t.store })

@@ -10,8 +10,12 @@
     - [Commit_req]: 2PC vote — validate the full data-set, lock the
       write-set objects on success.
     - [Apply]: 2PC second phase — install writes that are newer than the
-      local copy, release locks, clear PR/PW entries.
-    - [Release]: abort path — drop locks held by the transaction. *)
+      local copy, release locks, clear PR/PW entries; acked so the
+      coordinator can retransmit over lossy links.
+    - [Release]: abort path — drop locks held by the transaction (acked,
+      idempotent).
+    - [Sync_req]: crash-recovery catch-up — reply with a snapshot of the
+      committed local state. *)
 
 type t
 
@@ -20,7 +24,8 @@ val node : t -> int
 val store : t -> Store.Replica.t
 
 val handle : t -> src:int -> Messages.request -> Messages.reply option
-(** [None] for the one-way messages (Apply / Release). *)
+(** Every request currently yields a reply ([Ack] for Apply / Release);
+    whether it is sent back depends on the RPC layer's [wants_reply]. *)
 
 val validations_run : t -> int
 val validations_failed : t -> int

@@ -1,0 +1,331 @@
+(* Fault-scenario DSL: a small textual language for composing fault
+   injections against a running cluster, with bookkeeping of the degraded
+   windows so experiments can report "commits while faults were active".
+
+   Grammar (events separated by [;], times in simulated ms):
+
+     crash <node> @<t>
+     recover <node> @<t>
+     suspect <node> @<t> for <d>
+     partition <a,b|c,d|...> @<t> for <d>
+     drop <p> @<t> [for <d>]
+     dup <p> @<t> [for <d>]
+     spike <p> <factor> @<t> [for <d>]
+     flaky <a>-<b> <p> @<t> [for <d>]
+
+   Example:
+     "crash 11 @500; recover 11 @2500; drop 0.05 @0; partition 0,...|11,12 @1000 for 800"
+
+   A partition event also falsely suspects every node outside its largest
+   group (cleared at heal): the tree-quorum layer only routes around
+   unreachable nodes once the detector excludes them, which models the
+   membership-view change a JGroups-style stack would deliver. *)
+
+type event =
+  | Crash of { node : int; at : float }
+  | Recover of { node : int; at : float }
+  | Suspect of { node : int; at : float; duration : float }
+  | Partition of { groups : int list list; at : float; duration : float }
+  | Drop of { p : float; at : float; duration : float option }
+  | Duplicate of { p : float; at : float; duration : float option }
+  | Spike of { p : float; factor : float; at : float; duration : float option }
+  | Flaky of { a : int; b : int; p : float; at : float; duration : float option }
+
+let pp_event ppf = function
+  | Crash { node; at } -> Format.fprintf ppf "crash %d @%g" node at
+  | Recover { node; at } -> Format.fprintf ppf "recover %d @%g" node at
+  | Suspect { node; at; duration } ->
+    Format.fprintf ppf "suspect %d @%g for %g" node at duration
+  | Partition { groups; at; duration } ->
+    let group g = String.concat "," (List.map string_of_int g) in
+    Format.fprintf ppf "partition %s @%g for %g"
+      (String.concat "|" (List.map group groups))
+      at duration
+  | Drop { p; at; duration } ->
+    Format.fprintf ppf "drop %g @%g" p at;
+    Option.iter (Format.fprintf ppf " for %g") duration
+  | Duplicate { p; at; duration } ->
+    Format.fprintf ppf "dup %g @%g" p at;
+    Option.iter (Format.fprintf ppf " for %g") duration
+  | Spike { p; factor; at; duration } ->
+    Format.fprintf ppf "spike %g %g @%g" p factor at;
+    Option.iter (Format.fprintf ppf " for %g") duration
+  | Flaky { a; b; p; at; duration } ->
+    Format.fprintf ppf "flaky %d-%d %g @%g" a b p at;
+    Option.iter (Format.fprintf ppf " for %g") duration
+
+(* {2 Parsing} *)
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let int_of s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 -> n
+  | _ -> fail "expected a node id, got %S" s
+
+let float_of what s =
+  match float_of_string_opt (String.trim s) with
+  | Some f when f >= 0. -> f
+  | _ -> fail "expected a %s, got %S" what s
+
+let prob_of s =
+  let p = float_of "probability" s in
+  if p > 1. then fail "probability %g out of range" p;
+  p
+
+(* Split "... @t [for d]" into the head tokens, the time, and the optional
+   duration. *)
+let time_and_duration tokens =
+  let rec split acc = function
+    | [] -> fail "missing @<time>"
+    | tok :: rest when String.length tok > 0 && tok.[0] = '@' ->
+      let at = float_of "time" (String.sub tok 1 (String.length tok - 1)) in
+      let duration =
+        match rest with
+        | [] -> None
+        | [ "for"; d ] -> Some (float_of "duration" d)
+        | _ -> fail "trailing tokens after @%g: %s" at (String.concat " " rest)
+      in
+      (List.rev acc, at, duration)
+    | tok :: rest -> split (tok :: acc) rest
+  in
+  split [] tokens
+
+let require_duration verb = function
+  | Some d -> d
+  | None -> fail "%s requires 'for <duration>'" verb
+
+let no_duration verb = function
+  | None -> ()
+  | Some _ -> fail "%s takes no duration" verb
+
+let parse_groups s =
+  String.split_on_char '|' s
+  |> List.map (fun group ->
+         match
+           String.split_on_char ',' group |> List.filter (fun x -> String.trim x <> "")
+         with
+         | [] -> fail "empty partition group in %S" s
+         | members -> List.map int_of members)
+
+let parse_event text =
+  let tokens =
+    String.split_on_char ' ' text |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | [] -> None
+  | verb :: rest ->
+    let args, at, duration = time_and_duration rest in
+    let event =
+      match (verb, args) with
+      | "crash", [ node ] ->
+        no_duration verb duration;
+        Crash { node = int_of node; at }
+      | "recover", [ node ] ->
+        no_duration verb duration;
+        Recover { node = int_of node; at }
+      | "suspect", [ node ] ->
+        Suspect { node = int_of node; at; duration = require_duration verb duration }
+      | "partition", [ groups ] ->
+        Partition
+          { groups = parse_groups groups; at; duration = require_duration verb duration }
+      | "drop", [ p ] -> Drop { p = prob_of p; at; duration }
+      | "dup", [ p ] -> Duplicate { p = prob_of p; at; duration }
+      | "spike", [ p; factor ] ->
+        Spike { p = prob_of p; factor = float_of "factor" factor; at; duration }
+      | "flaky", [ link; p ] ->
+        (match String.split_on_char '-' link with
+         | [ a; b ] -> Flaky { a = int_of a; b = int_of b; p = prob_of p; at; duration }
+         | _ -> fail "flaky link must be <a>-<b>, got %S" link)
+      | _ ->
+        fail "cannot parse event %S (verb %S with %d argument(s))" text verb
+          (List.length args)
+    in
+    Some event
+
+let parse spec =
+  match
+    String.split_on_char ';' spec
+    |> List.filter_map (fun chunk -> parse_event (String.trim chunk))
+  with
+  | events -> Ok events
+  | exception Parse_error msg -> Error msg
+
+let crashed_nodes events =
+  List.filter_map (function Crash { node; _ } -> Some node | _ -> None) events
+  |> List.sort_uniq Int.compare
+
+(* {2 Installation and degraded-window tracking} *)
+
+type tracker = {
+  cluster : Core.Cluster.t;
+  events : event list;
+  mutable active : int;  (* fault conditions currently in force *)
+  mutable window_started : float;
+  mutable window_commits : int;
+  mutable degraded_time : float;
+  mutable degraded_commits : int;
+}
+
+let enter t =
+  if t.active = 0 then begin
+    t.window_started <- Core.Cluster.now t.cluster;
+    t.window_commits <- Core.Metrics.commits (Core.Cluster.metrics t.cluster)
+  end;
+  t.active <- t.active + 1
+
+let leave t =
+  t.active <- t.active - 1;
+  if t.active = 0 then begin
+    t.degraded_time <-
+      t.degraded_time +. (Core.Cluster.now t.cluster -. t.window_started);
+    t.degraded_commits <-
+      t.degraded_commits
+      + (Core.Metrics.commits (Core.Cluster.metrics t.cluster) - t.window_commits)
+  end
+
+let at_time cluster ~at f =
+  Sim.Engine.schedule_at (Core.Cluster.engine cluster) ~time:at f
+
+(* Degraded windows for one-shot fault conditions: a crash ends when the
+   matching recovery *fires* (state transfer follows, but its duration is
+   already reported separately as recovery time). *)
+let install_event t event =
+  let cluster = t.cluster in
+  let network = Core.Cluster.network cluster in
+  let windowed ~at ~duration start stop =
+    at_time cluster ~at (fun () ->
+        enter t;
+        start ());
+    Option.iter
+      (fun d ->
+        at_time cluster ~at:(at +. d) (fun () ->
+            stop ();
+            leave t))
+      duration
+  in
+  match event with
+  | Crash { node; at } ->
+    at_time cluster ~at (fun () -> enter t);
+    Core.Cluster.fail_node_at cluster ~at ~node
+  | Recover { node; at } ->
+    Core.Cluster.recover_node_at cluster ~at ~node;
+    at_time cluster ~at (fun () -> leave t)
+  | Suspect { node; at; duration } ->
+    Core.Cluster.suspect_node_at ~clear_after:duration cluster ~at ~node;
+    windowed ~at ~duration:(Some duration) (fun () -> ()) (fun () -> ())
+  | Partition { groups; at; duration } ->
+    (* Suspect everyone outside the largest group so the majority side's
+       quorum construction routes around the unreachable minority. *)
+    let largest =
+      List.fold_left
+        (fun best g -> if List.length g > List.length best then g else best)
+        [] groups
+    in
+    let outside =
+      List.init (Core.Cluster.nodes cluster) Fun.id
+      |> List.filter (fun n -> not (List.mem n largest))
+    in
+    List.iter
+      (fun node ->
+        Core.Cluster.suspect_node_at ~clear_after:duration cluster ~at ~node)
+      outside;
+    windowed ~at ~duration:(Some duration)
+      (fun () -> Sim.Network.partition network groups)
+      (fun () -> Sim.Network.heal network)
+  | Drop { p; at; duration } ->
+    let set v () =
+      Sim.Network.set_faults network
+        { (Sim.Network.faults network) with Sim.Network.drop = v }
+    in
+    windowed ~at ~duration (set p) (set 0.)
+  | Duplicate { p; at; duration } ->
+    let set v () =
+      Sim.Network.set_faults network
+        { (Sim.Network.faults network) with Sim.Network.duplicate = v }
+    in
+    windowed ~at ~duration (set p) (set 0.)
+  | Spike { p; factor; at; duration } ->
+    let set prob () =
+      Sim.Network.set_faults network
+        { (Sim.Network.faults network) with
+          Sim.Network.spike_prob = prob;
+          spike_factor = factor
+        }
+    in
+    windowed ~at ~duration (set p) (set 0.)
+  | Flaky { a; b; p; at; duration } ->
+    windowed ~at ~duration
+      (fun () ->
+        Sim.Network.set_link_faults network ~a ~b
+          { Sim.Network.no_faults with Sim.Network.drop = p })
+      (fun () -> Sim.Network.clear_link_faults network ~a ~b)
+
+let install cluster events =
+  let t =
+    {
+      cluster;
+      events;
+      active = 0;
+      window_started = 0.;
+      window_commits = 0;
+      degraded_time = 0.;
+      degraded_commits = 0;
+    }
+  in
+  List.iter (install_event t) events;
+  t
+
+type report = {
+  events : int;
+  degraded_time : float;
+  degraded_commits : int;
+  total_commits : int;
+  syncs : int;
+  recoveries : int;
+  mean_recovery_time : float;
+  false_suspicions : int;
+  dropped : int;
+  duplicated : int;
+}
+
+let report t =
+  (* Close a still-open degraded window against the current clock. *)
+  let open_time, open_commits =
+    if t.active > 0 then
+      ( Core.Cluster.now t.cluster -. t.window_started,
+        Core.Metrics.commits (Core.Cluster.metrics t.cluster) - t.window_commits )
+    else (0., 0)
+  in
+  let metrics = Core.Cluster.metrics t.cluster in
+  let recovery_stats = Core.Metrics.recovery_time_stats metrics in
+  {
+    events = List.length t.events;
+    degraded_time = t.degraded_time +. open_time;
+    degraded_commits = t.degraded_commits + open_commits;
+    total_commits = Core.Metrics.commits metrics;
+    syncs = Core.Metrics.syncs metrics;
+    recoveries = Core.Metrics.recoveries metrics;
+    mean_recovery_time =
+      (if Util.Stats.count recovery_stats = 0 then 0.
+       else Util.Stats.mean recovery_stats);
+    false_suspicions = Sim.Failure.false_suspicions (Core.Cluster.failure t.cluster);
+    dropped = Core.Cluster.messages_dropped t.cluster;
+    duplicated = Core.Cluster.messages_duplicated t.cluster;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fault events        %d@,\
+     degraded time       %.1f ms@,\
+     degraded commits    %d / %d total@,\
+     state syncs         %d@,\
+     recoveries          %d (mean %.1f ms)@,\
+     false suspicions    %d@,\
+     messages dropped    %d@,\
+     messages duplicated %d@]"
+    r.events r.degraded_time r.degraded_commits r.total_commits r.syncs r.recoveries
+    r.mean_recovery_time r.false_suspicions r.dropped r.duplicated

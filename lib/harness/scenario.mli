@@ -1,0 +1,70 @@
+(** Fault-scenario DSL.
+
+    A scenario is a [;]-separated list of fault events applied to a running
+    cluster, with times in simulated milliseconds:
+
+    {v
+    crash <node> @<t>              fail-stop <node> at <t>
+    recover <node> @<t>            restart it (state-sync + re-admission)
+    suspect <node> @<t> for <d>    false suspicion, cleared after <d>
+    partition <a,b|c,d> @<t> for <d>   symmetric partition, healed after <d>
+    drop <p> @<t> [for <d>]        global message-loss probability
+    dup <p> @<t> [for <d>]         global duplication probability
+    spike <p> <f> @<t> [for <d>]   latency spikes (multiplier <f>)
+    flaky <a>-<b> <p> @<t> [for <d>]   lossy link between <a> and <b>
+    v}
+
+    Example: ["crash 11 @500; recover 11 @2500; drop 0.05 @0"].
+
+    A partition also falsely suspects every node outside its largest group
+    (cleared at heal), modelling the membership-view change the paper's
+    JGroups-based testbed would deliver — without it the tree-quorum layer
+    would keep trying to reach the unreachable side. *)
+
+type event =
+  | Crash of { node : int; at : float }
+  | Recover of { node : int; at : float }
+  | Suspect of { node : int; at : float; duration : float }
+  | Partition of { groups : int list list; at : float; duration : float }
+  | Drop of { p : float; at : float; duration : float option }
+  | Duplicate of { p : float; at : float; duration : float option }
+  | Spike of { p : float; factor : float; at : float; duration : float option }
+  | Flaky of { a : int; b : int; p : float; at : float; duration : float option }
+
+val pp_event : Format.formatter -> event -> unit
+
+val parse : string -> (event list, string) result
+(** Parse a scenario string.  Empty chunks are skipped, so trailing [;] is
+    fine.  Probabilities must lie in [[0;1]]; times must be non-negative. *)
+
+val crashed_nodes : event list -> int list
+(** Nodes hit by a [crash] event, ascending and de-duplicated — use to keep
+    closed-loop clients off nodes that will die. *)
+
+type tracker
+(** Scheduled scenario plus degraded-window bookkeeping.  A window opens
+    when the number of in-force fault conditions rises from zero and closes
+    when it returns to zero (a crash closes when its [recover] fires). *)
+
+val install : Core.Cluster.t -> event list -> tracker
+(** Schedule every event against the cluster's engine.  Call before running
+    the workload (e.g. as [Experiment.run ~prepare]). *)
+
+type report = {
+  events : int;
+  degraded_time : float;  (** total ms with at least one fault in force *)
+  degraded_commits : int;  (** commits landed inside degraded windows *)
+  total_commits : int;
+  syncs : int;  (** state-transfer rounds started *)
+  recoveries : int;  (** completed restart-to-re-admission cycles *)
+  mean_recovery_time : float;  (** ms; [0.] when no recoveries *)
+  false_suspicions : int;
+  dropped : int;  (** messages lost to the fault model *)
+  duplicated : int;
+}
+
+val report : tracker -> report
+(** Snapshot the counters; a still-open degraded window is closed against
+    the current simulated clock. *)
+
+val pp_report : Format.formatter -> report -> unit

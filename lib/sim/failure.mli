@@ -1,26 +1,78 @@
-(** Fail-stop failure injection with a (near-)perfect failure detector.
+(** Crash, recovery, and (imperfect) failure-detection injection.
 
-    A failure scheduled at time [t] kills the node at [t] (the network then
-    drops its traffic) and notifies every detection subscriber at
-    [t + detection_delay], modelling a group-membership service such as the
-    JGroups view changes the paper's testbed relied on.  Subscribers
-    (e.g. the quorum manager) typically recompute quorums. *)
+    Two node states are tracked separately:
+
+    - {e killed}: the node is actually down — the network drops its traffic;
+    - {e suspected}: the failure detector believes it is down — quorum
+      construction avoids it.
+
+    A failure scheduled at time [t] kills the node at [t] and raises the
+    suspicion at [t + detection_delay (+ jitter)], modelling a
+    group-membership service such as the JGroups view changes the paper's
+    testbed relied on.  The detector may also be {e wrong}: a false
+    suspicion marks a live node suspected for a while, and recovery events
+    let killed nodes come back (higher layers then run state transfer
+    before re-admitting them).
+
+    Use [is_killed] for ground truth and [is_suspected] for the membership
+    view; conflating the two is exactly the bug class this split exists to
+    prevent. *)
 
 type t
 
-val create : engine:Engine.t -> ?detection_delay:float -> kill:(int -> unit) -> unit -> t
+val create :
+  engine:Engine.t ->
+  ?detection_delay:float ->
+  ?detection_jitter:float ->
+  ?seed:int ->
+  kill:(int -> unit) ->
+  unit ->
+  t
 (** [kill] is invoked at the instant of failure (harness wires it to
-    {!Network.fail}).  [detection_delay] defaults to 50 ms. *)
+    {!Network.fail}).  [detection_delay] defaults to 50 ms; each detection
+    additionally lags by a uniform draw from [[0, detection_jitter)]. *)
 
 val on_detect : t -> (int -> unit) -> unit
-(** Register a subscriber called (with the failed node) once the failure is
-    detected.  Subscribers registered after detection are not back-filled. *)
+(** Register a subscriber called (with the suspected node) once a failure
+    is detected — or falsely suspected.  Subscribers registered after
+    detection are not back-filled. *)
+
+val on_recover : t -> (node:int -> was_killed:bool -> unit) -> unit
+(** Register a subscriber called when a node comes back: after a scheduled
+    recovery ([was_killed = true] — run state transfer before re-admission)
+    or when a false suspicion clears ([was_killed = false] — the node never
+    lost state). *)
 
 val schedule : t -> at:float -> node:int -> unit
 (** Schedule a fail-stop of [node] at absolute time [at]. *)
 
-val is_failed : t -> int -> bool
-(** Whether the node has failed *and* the failure has been detected. *)
+val schedule_recovery : t -> at:float -> node:int -> unit
+(** Schedule [node] to restart at [at].  No-op if it is not killed then.
+    Recovery subscribers are responsible for network revival, catch-up and
+    quorum re-admission. *)
 
-val failed_nodes : t -> int list
-(** Detected-failed nodes, ascending. *)
+val schedule_false_suspicion : ?clear_after:float -> t -> at:float -> node:int -> unit
+(** At [at], wrongly suspect the (live) [node]; detection subscribers fire
+    as for a real failure.  If [clear_after] is given, the mistake is
+    noticed that much later and recovery subscribers fire with
+    [was_killed = false].  No-op if the node is already killed or
+    suspected at [at]. *)
+
+val clear_suspicion : t -> int -> unit
+(** Forget a suspicion — called by the layer that re-admits the node once
+    it is known good (e.g. after state transfer). *)
+
+val is_killed : t -> int -> bool
+(** Ground truth: the node is actually down. *)
+
+val is_suspected : t -> int -> bool
+(** Detector view: the node is believed down (possibly wrongly). *)
+
+val killed_nodes : t -> int list
+(** Actually-down nodes, ascending. *)
+
+val suspected_nodes : t -> int list
+(** Suspected nodes, ascending. *)
+
+val false_suspicions : t -> int
+(** How many false suspicions fired so far. *)

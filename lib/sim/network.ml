@@ -1,13 +1,37 @@
+(* Simulated message-passing network with an injectable fault model.
+
+   Faults are drawn from a dedicated RNG stream ([fault_rng]) so that runs
+   with the fault model disabled consume exactly the same random numbers as
+   before the model existed — seeds stay comparable across experiments. *)
+
+type fault_plan = {
+  drop : float;  (* per-message loss probability *)
+  duplicate : float;  (* probability a message is delivered twice *)
+  spike_prob : float;  (* probability of a latency spike *)
+  spike_factor : float;  (* latency multiplier during a spike *)
+}
+
+let no_faults = { drop = 0.; duplicate = 0.; spike_prob = 0.; spike_factor = 10. }
+
+let faulty plan =
+  plan.drop > 0. || plan.duplicate > 0. || plan.spike_prob > 0.
+
 type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
   service_time : float;
   jitter : float;
   rng : Util.Rng.t;
+  fault_rng : Util.Rng.t;
   handlers : (src:int -> 'msg -> unit) option array;
   busy_until : float array;
   failed : bool array;
+  mutable faults : fault_plan;
+  link_faults : (int * int, fault_plan) Hashtbl.t;
+  mutable groups : int array option; (* partition: group id per node *)
   mutable sent : int;
+  mutable dropped : int;
+  mutable duplicated : int;
   by_kind : (string, int ref) Hashtbl.t;
 }
 
@@ -19,10 +43,16 @@ let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7) 
     service_time;
     jitter;
     rng = Util.Rng.create seed;
+    fault_rng = Util.Rng.create (seed * 31 + 11);
     handlers = Array.make n None;
     busy_until = Array.make n 0.;
     failed = Array.make n false;
+    faults = no_faults;
+    link_faults = Hashtbl.create 8;
+    groups = None;
     sent = 0;
+    dropped = 0;
+    duplicated = 0;
     by_kind = Hashtbl.create 16;
   }
 
@@ -41,10 +71,67 @@ let alive_nodes t =
   done;
   !acc
 
+(* --- fault configuration ----------------------------------------------- *)
+
+let set_faults t plan = t.faults <- plan
+let faults t = t.faults
+
+let link_key a b = (Stdlib.min a b, Stdlib.max a b)
+let set_link_faults t ~a ~b plan = Hashtbl.replace t.link_faults (link_key a b) plan
+let clear_link_faults t ~a ~b = Hashtbl.remove t.link_faults (link_key a b)
+
+(* Symmetric partition into [groups]; nodes not named in any group form one
+   implicit extra group (so [partition t [[0;1]]] cuts {0,1} off from the
+   rest).  Messages crossing a group boundary are dropped in both
+   directions until [heal]. *)
+let partition t groups =
+  let assignment = Array.make (nodes t) (-1) in
+  List.iteri
+    (fun gid members ->
+      List.iter
+        (fun node ->
+          if node >= 0 && node < nodes t then assignment.(node) <- gid)
+        members)
+    groups;
+  let implicit = List.length groups in
+  Array.iteri (fun node gid -> if gid < 0 then assignment.(node) <- implicit) assignment;
+  t.groups <- Some assignment
+
+let heal t = t.groups <- None
+let partitioned t = Option.is_some t.groups
+
+let reachable t ~src ~dst =
+  match t.groups with
+  | None -> true
+  | Some assignment -> src = dst || assignment.(src) = assignment.(dst)
+
+let plan_for t ~src ~dst =
+  match Hashtbl.find_opt t.link_faults (link_key src dst) with
+  | Some plan -> plan
+  | None -> t.faults
+
+(* --- accounting --------------------------------------------------------- *)
+
 let count_kind t kind =
   match Hashtbl.find_opt t.by_kind kind with
   | Some r -> incr r
   | None -> Hashtbl.replace t.by_kind kind (ref 1)
+
+let messages_sent t = t.sent
+let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated
+
+let messages_by_kind t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_counters t =
+  t.sent <- 0;
+  t.dropped <- 0;
+  t.duplicated <- 0;
+  Hashtbl.reset t.by_kind
+
+(* --- delivery ----------------------------------------------------------- *)
 
 let deliver t ~src ~dst msg =
   if not t.failed.(dst) then begin
@@ -68,18 +155,31 @@ let send t ?(kind = "other") ~src ~dst msg =
     end;
     let base = Topology.latency t.topology ~src ~dst in
     let jitter = base *. t.jitter *. Util.Rng.float t.rng 1.0 in
-    Engine.schedule t.engine ~delay:(base +. jitter) (fun () -> deliver t ~src ~dst msg)
+    let delay = base +. jitter in
+    if src = dst then Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
+    else if not (reachable t ~src ~dst) then t.dropped <- t.dropped + 1
+    else begin
+      let plan = plan_for t ~src ~dst in
+      if not (faulty plan) then
+        Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
+      else if plan.drop > 0. && Util.Rng.chance t.fault_rng plan.drop then
+        t.dropped <- t.dropped + 1
+      else begin
+        let delay =
+          if plan.spike_prob > 0. && Util.Rng.chance t.fault_rng plan.spike_prob then
+            delay *. plan.spike_factor
+          else delay
+        in
+        Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg);
+        if plan.duplicate > 0. && Util.Rng.chance t.fault_rng plan.duplicate then begin
+          t.duplicated <- t.duplicated + 1;
+          let extra = base *. (0.5 +. Util.Rng.float t.fault_rng 1.0) in
+          Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
+              deliver t ~src ~dst msg)
+        end
+      end
+    end
   end
 
 let multicast t ?kind ~src ~dsts msg =
   List.iter (fun dst -> send t ?kind ~src ~dst msg) dsts
-
-let messages_sent t = t.sent
-
-let messages_by_kind t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let reset_counters t =
-  t.sent <- 0;
-  Hashtbl.reset t.by_kind

@@ -8,9 +8,26 @@
     degrades as quorums grow).
 
     Messages to failed nodes are silently dropped, as are messages sent by
-    failed nodes; higher layers recover through RPC timeouts. *)
+    failed nodes; higher layers recover through RPC timeouts.
+
+    An injectable fault model (global, or per-link overrides) adds
+    probabilistic loss, duplication and latency spikes, plus symmetric
+    partitions with explicit heal.  Fault draws come from a dedicated RNG
+    stream, so enabling the model does not perturb the delivery-jitter
+    stream: runs with the model off are bit-identical to the pre-fault
+    simulator. *)
 
 type 'msg t
+
+type fault_plan = {
+  drop : float;  (** per-message loss probability *)
+  duplicate : float;  (** probability a message is delivered twice *)
+  spike_prob : float;  (** probability of a latency spike *)
+  spike_factor : float;  (** latency multiplier during a spike *)
+}
+
+val no_faults : fault_plan
+(** Zero probabilities (spike factor 10, inert while [spike_prob = 0]). *)
 
 val create :
   engine:Engine.t ->
@@ -46,12 +63,41 @@ val revive : 'msg t -> int -> unit
 val is_failed : 'msg t -> int -> bool
 val alive_nodes : 'msg t -> int list
 
+val set_faults : 'msg t -> fault_plan -> unit
+(** Install the global fault plan (applies to every remote link without a
+    per-link override).  Self-sends are never subjected to faults. *)
+
+val faults : 'msg t -> fault_plan
+
+val set_link_faults : 'msg t -> a:int -> b:int -> fault_plan -> unit
+(** Override the plan for the (symmetric) link between [a] and [b]. *)
+
+val clear_link_faults : 'msg t -> a:int -> b:int -> unit
+
+val partition : 'msg t -> int list list -> unit
+(** Partition the network into the given groups; nodes not named in any
+    group form one implicit extra group.  Messages crossing a boundary are
+    dropped (and counted) in both directions until {!heal}.  A new call
+    replaces the previous partition. *)
+
+val heal : 'msg t -> unit
+val partitioned : 'msg t -> bool
+
+val reachable : 'msg t -> src:int -> dst:int -> bool
+(** Whether the current partition (if any) lets [src] reach [dst]. *)
+
 val messages_sent : 'msg t -> int
 (** Total *remote* messages sent (self-sends are not counted, matching the
     paper's accounting of network messages). *)
 
 val messages_by_kind : 'msg t -> (string * int) list
 (** Remote message counts grouped by [kind], sorted by kind. *)
+
+val messages_dropped : 'msg t -> int
+(** Messages lost to the fault model (probabilistic loss or partitions);
+    fail-stop drops are not counted here. *)
+
+val messages_duplicated : 'msg t -> int
 
 val reset_counters : 'msg t -> unit
 (** Zero the message counters (used to exclude warm-up from measurements). *)

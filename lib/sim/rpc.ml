@@ -96,3 +96,16 @@ let cast t ?kind ~src ~dst req =
 
 let multicast t ?kind ~src ~dsts req =
   List.iter (fun dst -> cast t ?kind ~src ~dst req) dsts
+
+(* At-least-once delivery for idempotent one-way messages: the request is
+   re-sent until the server acknowledges it or [attempts] are exhausted
+   (the destination may be genuinely dead).  The ack payload is ignored. *)
+let rec acked_send t ?kind ?(attempts = 6) ~src ~dst ~timeout req =
+  call t ?kind ~src ~dst ~timeout req
+    ~on_reply:(fun _ -> ())
+    ~on_timeout:(fun () ->
+      if attempts > 1 then
+        acked_send t ?kind ~attempts:(attempts - 1) ~src ~dst ~timeout req)
+
+let acked_multicast t ?kind ?attempts ~src ~dsts ~timeout req =
+  List.iter (fun dst -> acked_send t ?kind ?attempts ~src ~dst ~timeout req) dsts

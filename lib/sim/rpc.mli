@@ -50,3 +50,27 @@ val cast : ('req, 'rep) t -> ?kind:string -> src:int -> dst:int -> 'req -> unit
 
 val multicast :
   ('req, 'rep) t -> ?kind:string -> src:int -> dsts:int list -> 'req -> unit
+
+val acked_send :
+  ('req, 'rep) t ->
+  ?kind:string ->
+  ?attempts:int ->
+  src:int ->
+  dst:int ->
+  timeout:float ->
+  'req ->
+  unit
+(** At-least-once delivery for idempotent one-way messages: re-send until
+    the server acknowledges (any reply counts) or [attempts] (default 6)
+    are exhausted — the destination may be genuinely dead.  Duplicates are
+    possible by construction; the request must tolerate them. *)
+
+val acked_multicast :
+  ('req, 'rep) t ->
+  ?kind:string ->
+  ?attempts:int ->
+  src:int ->
+  dsts:int list ->
+  timeout:float ->
+  'req ->
+  unit

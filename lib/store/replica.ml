@@ -97,3 +97,29 @@ let remove_txn t ~oid ~txn =
 let readers t oid = match Hashtbl.find_opt t.lists oid with None -> [] | Some l -> l.readers
 let writers t oid = match Hashtbl.find_opt t.lists oid with None -> [] | Some l -> l.writers
 let object_count t = Hashtbl.length t.objects
+
+(* --- crash-recovery state transfer ------------------------------------- *)
+
+(* Committed state only: locks and PR/PW lists are transient and are not
+   shipped to a recovering peer. *)
+let dump t =
+  Hashtbl.fold (fun oid copy acc -> (oid, copy.version, copy.value) :: acc) t.objects []
+
+(* Merge one copy received from a sync quorum: adopt it if strictly newer
+   (a newer version also invalidates any stale local lock), install it if
+   the object is unknown locally. *)
+let sync_copy t ~oid ~version ~value =
+  match Hashtbl.find_opt t.objects oid with
+  | None -> Hashtbl.replace t.objects oid { version; value; protected_by = None }
+  | Some copy ->
+    if version > copy.version then begin
+      copy.version <- version;
+      copy.value <- value;
+      copy.protected_by <- None
+    end
+
+(* A crashed process loses its volatile state: locks it granted and PR/PW
+   registrations die with it.  Called when the node rejoins. *)
+let reset_transients t =
+  Hashtbl.iter (fun _ copy -> copy.protected_by <- None) t.objects;
+  Hashtbl.reset t.lists

@@ -58,3 +58,17 @@ val readers : t -> int -> int list
 val writers : t -> int -> int list
 
 val object_count : t -> int
+
+val dump : t -> (int * int * Value.t) list
+(** Snapshot of committed state as [(oid, version, value)] triples — the
+    payload of a crash-recovery [Sync_rep].  Locks and PR/PW lists are
+    transient and not included. *)
+
+val sync_copy : t -> oid:int -> version:int -> value:Value.t -> unit
+(** Merge one copy received during catch-up: adopt it if strictly newer
+    than the local copy (clearing any stale lock), install it if the object
+    is unknown locally, ignore it otherwise. *)
+
+val reset_transients : t -> unit
+(** Clear every lock and all PR/PW lists — a crashed process loses its
+    volatile state; called when the node rejoins after recovery. *)

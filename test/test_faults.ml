@@ -1,0 +1,193 @@
+(* Fault-injection acceptance tests: crash-recovery with state transfer,
+   partitions, and safety (no lost updates, 1-copy serializability) under an
+   imperfect detector and message loss. *)
+
+open Core
+
+let increments cluster ~oid ~nodes ~per_node ~on_commit =
+  let rec client node remaining =
+    if remaining > 0 then
+      Cluster.submit cluster ~node (fun () -> Benchmarks.Counter.increment oid)
+        ~on_done:(fun outcome ->
+          match outcome with
+          | Executor.Committed _ ->
+            on_commit node;
+            client node (remaining - 1)
+          | Executor.Failed msg -> Alcotest.failf "client on %d failed: %s" node msg)
+  in
+  List.iter (fun node -> client node per_node) nodes
+
+let expect_counter cluster ~node ~oid expected =
+  match Cluster.run_program cluster ~node (fun () -> Txn.read oid) with
+  | Executor.Committed (Store.Value.Int n) ->
+    Alcotest.(check int) (Printf.sprintf "counter read from node %d" node) expected n
+  | Executor.Committed v -> Alcotest.failf "unexpected value %s" (Store.Value.to_string v)
+  | Executor.Failed msg -> Alcotest.failf "read from node %d failed: %s" node msg
+
+let expect_consistent cluster =
+  match Cluster.check_consistency cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "oracle: %s" msg
+
+(* Crash a replica mid-workload, restart it after the workload drains, and
+   verify the catch-up protocol: state transfer from a read quorum, quorum
+   re-admission, and the recovered node serving reads of the synced state. *)
+let test_crash_recover_state_sync () =
+  let cluster = Cluster.create ~nodes:13 ~seed:41 (Config.default Config.Closed) in
+  let oid = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  Cluster.fail_node_at cluster ~at:300. ~node:11;
+  (* Recovery well after the 40 increments finish, so the synced copy must
+     reflect every one of them. *)
+  Cluster.recover_node_at cluster ~at:60_000. ~node:11;
+  increments cluster ~oid ~nodes:[ 4; 5; 6; 7 ] ~per_node:10 ~on_commit:(fun _ -> ());
+  Cluster.drain cluster;
+  let metrics = Cluster.metrics cluster in
+  Alcotest.(check int) "one recovery completed" 1 (Metrics.recoveries metrics);
+  Alcotest.(check bool) "at least one sync round" true (Metrics.syncs metrics >= 1);
+  Alcotest.(check bool) "recovery time measured" true
+    (Util.Stats.mean (Metrics.recovery_time_stats metrics) > 0.);
+  (* The recovered replica caught up to the freshest copy (node 0 — the
+     tree root — is in every write quorum, so it is always current). *)
+  let fresh = Store.Replica.get (Cluster.store_of cluster ~node:0) oid in
+  let synced = Store.Replica.get (Cluster.store_of cluster ~node:11) oid in
+  Alcotest.(check int) "synced version" fresh.Store.Replica.version
+    synced.Store.Replica.version;
+  Alcotest.(check bool) "synced value" true
+    (synced.Store.Replica.value = Store.Value.Int 40);
+  (* Fully re-admitted: alive, not suspected, and able to serve. *)
+  Alcotest.(check bool) "network alive" true
+    (List.mem 11 (Sim.Network.alive_nodes (Cluster.network cluster)));
+  Alcotest.(check bool) "suspicion cleared" false
+    (Sim.Failure.is_suspected (Cluster.failure cluster) 11);
+  expect_counter cluster ~node:11 ~oid 40;
+  expect_consistent cluster
+
+(* While a minority {11,12} is partitioned off, the majority side keeps
+   committing and the minority side commits nothing (the tree root, a member
+   of every write quorum, is on the majority side).  After heal everyone
+   finishes and no update is lost. *)
+let test_partition_minority_stalls () =
+  let cluster = Cluster.create ~nodes:13 ~seed:42 (Config.default Config.Closed) in
+  let oid = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  let majority = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  let events =
+    [ Harness.Scenario.Partition { groups = [ majority; [ 11; 12 ] ]; at = 1.; duration = 1500. } ]
+  in
+  let tracker = Harness.Scenario.install cluster events in
+  let majority_commits = ref 0 and minority_commits = ref 0 in
+  increments cluster ~oid ~nodes:[ 4; 5; 6 ] ~per_node:10 ~on_commit:(fun _ ->
+      incr majority_commits);
+  increments cluster ~oid ~nodes:[ 11 ] ~per_node:3 ~on_commit:(fun _ ->
+      incr minority_commits);
+  (* Sample just before the heal at t = 1501. *)
+  Cluster.run_for cluster 1400.;
+  Alcotest.(check int) "minority made no progress" 0 !minority_commits;
+  Alcotest.(check bool) "majority kept committing" true (!majority_commits > 0);
+  Cluster.drain cluster;
+  Alcotest.(check int) "minority finished after heal" 3 !minority_commits;
+  Alcotest.(check int) "majority finished" 30 !majority_commits;
+  expect_counter cluster ~node:11 ~oid 33;
+  let report = Harness.Scenario.report tracker in
+  Alcotest.(check bool) "degraded window spans the partition" true
+    (report.Harness.Scenario.degraded_time >= 1500.);
+  Alcotest.(check int) "both cut-off nodes were suspected" 2
+    report.Harness.Scenario.false_suspicions;
+  Alcotest.(check bool) "boundary drops counted" true
+    (report.Harness.Scenario.dropped > 0);
+  expect_consistent cluster
+
+(* Safety net: a wrongly suspected (perfectly live) node plus 5% global
+   message loss must not cost a single update or break one-copy
+   serializability, on every seed tried. *)
+let test_false_suspicion_and_loss_safe () =
+  List.iter
+    (fun seed ->
+      let cluster = Cluster.create ~nodes:13 ~seed (Config.default Config.Closed) in
+      let oid = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+      let events =
+        [
+          Harness.Scenario.Drop { p = 0.05; at = 0.; duration = None };
+          Harness.Scenario.Suspect { node = 3; at = 400.; duration = 600. };
+        ]
+      in
+      let tracker = Harness.Scenario.install cluster events in
+      increments cluster ~oid ~nodes:[ 5; 6; 7; 8 ] ~per_node:8 ~on_commit:(fun _ -> ());
+      Cluster.drain cluster;
+      expect_counter cluster ~node:3 ~oid 32;
+      let report = Harness.Scenario.report tracker in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: false suspicion recorded" seed)
+        1 report.Harness.Scenario.false_suspicions;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: loss actually happened" seed)
+        true
+        (report.Harness.Scenario.dropped > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: suspicion cleared" seed)
+        false
+        (Sim.Failure.is_suspected (Cluster.failure cluster) 3);
+      expect_consistent cluster)
+    [ 21; 22; 23 ]
+
+(* {2 Scenario DSL parsing} *)
+
+let parse_ok spec =
+  match Harness.Scenario.parse spec with
+  | Ok events -> events
+  | Error msg -> Alcotest.failf "parse %S failed: %s" spec msg
+
+let test_scenario_parse () =
+  (match parse_ok "crash 11 @500; recover 11 @2500;" with
+   | [ Harness.Scenario.Crash { node = 11; at = 500. };
+       Harness.Scenario.Recover { node = 11; at = 2500. } ] ->
+     ()
+   | events -> Alcotest.failf "unexpected events (%d)" (List.length events));
+  (match parse_ok "partition 0,1,2|11,12 @100 for 50" with
+   | [ Harness.Scenario.Partition { groups = [ [ 0; 1; 2 ]; [ 11; 12 ] ]; at = 100.; duration = 50. } ]
+     -> ()
+   | _ -> Alcotest.fail "partition parse");
+  (match parse_ok "drop 0.05 @0" with
+   | [ Harness.Scenario.Drop { p = 0.05; at = 0.; duration = None } ] -> ()
+   | _ -> Alcotest.fail "drop parse");
+  (match parse_ok "spike 0.2 8 @10 for 200" with
+   | [ Harness.Scenario.Spike { p = 0.2; factor = 8.; at = 10.; duration = Some 200. } ] -> ()
+   | _ -> Alcotest.fail "spike parse");
+  (match parse_ok "flaky 0-2 0.5 @10 for 20; dup 0.1 @5" with
+   | [ Harness.Scenario.Flaky { a = 0; b = 2; p = 0.5; at = 10.; duration = Some 20. };
+       Harness.Scenario.Duplicate { p = 0.1; at = 5.; duration = None } ] ->
+     ()
+   | _ -> Alcotest.fail "flaky/dup parse");
+  (match parse_ok "suspect 4 @100 for 300" with
+   | [ Harness.Scenario.Suspect { node = 4; at = 100.; duration = 300. } ] -> ()
+   | _ -> Alcotest.fail "suspect parse")
+
+let test_scenario_parse_errors () =
+  let expect_error spec =
+    match Harness.Scenario.parse spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" spec
+  in
+  expect_error "crash 1"; (* missing @time *)
+  expect_error "drop 1.5 @0"; (* probability out of range *)
+  expect_error "suspect 1 @5"; (* missing mandatory duration *)
+  expect_error "crash 1 @5 for 10"; (* crash takes no duration *)
+  expect_error "explode 3 @1"; (* unknown verb *)
+  expect_error "flaky 0+2 0.5 @1"; (* malformed link *)
+  expect_error "partition | @1 for 5" (* empty group *)
+
+let test_scenario_crashed_nodes () =
+  let events = parse_ok "crash 5 @1; crash 2 @2; crash 5 @9; recover 5 @20; drop 0.1 @0" in
+  Alcotest.(check (list int)) "sorted, deduplicated" [ 2; 5 ]
+    (Harness.Scenario.crashed_nodes events)
+
+let suite =
+  [
+    Alcotest.test_case "crash, recover, state-sync, serve" `Quick
+      test_crash_recover_state_sync;
+    Alcotest.test_case "partitioned minority stalls" `Quick test_partition_minority_stalls;
+    Alcotest.test_case "false suspicion + 5% loss safe" `Quick
+      test_false_suspicion_and_loss_safe;
+    Alcotest.test_case "scenario parse" `Quick test_scenario_parse;
+    Alcotest.test_case "scenario parse errors" `Quick test_scenario_parse_errors;
+    Alcotest.test_case "scenario crashed nodes" `Quick test_scenario_crashed_nodes;
+  ]

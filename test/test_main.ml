@@ -6,6 +6,7 @@ let () = Alcotest.run "qr_dtm" [
       ("core", Test_core_protocol.suite);
       ("executor", Test_executor.suite);
       ("cluster", Test_cluster.suite);
+      ("faults", Test_faults.suite);
       ("extensions", Test_extensions.suite);
       ("serializability", Test_serializability.suite);
       ("harness", Test_harness.suite);

@@ -101,6 +101,94 @@ let test_network_failure_drops () =
   Sim.Engine.run engine;
   Alcotest.(check int) "revived node receives" 1 !received
 
+let test_network_drop_all () =
+  let engine, network = make_network () in
+  let received = ref 0 in
+  Sim.Network.set_handler network ~node:1 (fun ~src:_ _ -> incr received);
+  Sim.Network.set_faults network { Sim.Network.no_faults with drop = 1.0 };
+  Sim.Network.send network ~src:0 ~dst:1 "lost";
+  Sim.Network.send network ~src:1 ~dst:1 "self"; (* self-sends are exempt *)
+  Sim.Engine.run engine;
+  Alcotest.(check int) "only the self-send arrives" 1 !received;
+  Alcotest.(check int) "drop counted" 1 (Sim.Network.messages_dropped network);
+  Sim.Network.set_faults network Sim.Network.no_faults;
+  Sim.Network.send network ~src:0 ~dst:1 "back";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "faults cleared" 2 !received
+
+let test_network_duplication () =
+  let engine, network = make_network () in
+  let received = ref 0 in
+  Sim.Network.set_handler network ~node:1 (fun ~src:_ _ -> incr received);
+  Sim.Network.set_faults network { Sim.Network.no_faults with duplicate = 1.0 };
+  Sim.Network.send network ~src:0 ~dst:1 "twice";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "delivered twice" 2 !received;
+  Alcotest.(check int) "duplication counted" 1 (Sim.Network.messages_duplicated network);
+  Alcotest.(check int) "sent counted once" 1 (Sim.Network.messages_sent network)
+
+let test_network_latency_spike () =
+  let engine, network = make_network ~service_time:0. () in
+  let at = ref None in
+  Sim.Network.set_handler network ~node:1 (fun ~src:_ _ ->
+      at := Some (Sim.Engine.now engine));
+  Sim.Network.set_faults network
+    { Sim.Network.no_faults with spike_prob = 1.0; spike_factor = 10. };
+  Sim.Network.send network ~src:0 ~dst:1 "slow";
+  Sim.Engine.run engine;
+  Alcotest.(check (option (float 1e-6))) "latency multiplied" (Some 100.) !at
+
+let test_network_link_faults () =
+  let engine, network = make_network () in
+  let got1 = ref 0 and got2 = ref 0 in
+  Sim.Network.set_handler network ~node:1 (fun ~src:_ _ -> incr got1);
+  Sim.Network.set_handler network ~node:2 (fun ~src:_ _ -> incr got2);
+  Sim.Network.set_link_faults network ~a:0 ~b:1
+    { Sim.Network.no_faults with drop = 1.0 };
+  Sim.Network.send network ~src:0 ~dst:1 "flaky";
+  Sim.Network.send network ~src:1 ~dst:0 "flaky-reverse"; (* link is symmetric *)
+  Sim.Network.send network ~src:0 ~dst:2 "clean";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "flaky link drops both directions" 0 !got1;
+  Alcotest.(check int) "other link unaffected" 1 !got2;
+  Alcotest.(check int) "two drops" 2 (Sim.Network.messages_dropped network);
+  Sim.Network.clear_link_faults network ~a:0 ~b:1;
+  Sim.Network.send network ~src:0 ~dst:1 "healed";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "link healed" 1 !got1
+
+let test_network_partition_and_heal () =
+  let engine, network = make_network ~nodes:5 () in
+  let received = Array.make 5 0 in
+  for node = 0 to 4 do
+    Sim.Network.set_handler network ~node (fun ~src:_ _ ->
+        received.(node) <- received.(node) + 1)
+  done;
+  (* Node 4 is named in no group: it forms the implicit extra group. *)
+  Sim.Network.partition network [ [ 0; 1 ]; [ 2; 3 ] ];
+  Alcotest.(check bool) "partitioned" true (Sim.Network.partitioned network);
+  Alcotest.(check bool) "same side reachable" true
+    (Sim.Network.reachable network ~src:0 ~dst:1);
+  Alcotest.(check bool) "cross side unreachable" false
+    (Sim.Network.reachable network ~src:0 ~dst:2);
+  Alcotest.(check bool) "implicit group isolated" false
+    (Sim.Network.reachable network ~src:4 ~dst:0);
+  Sim.Network.send network ~src:0 ~dst:1 "same";
+  Sim.Network.send network ~src:0 ~dst:2 "cross";
+  Sim.Network.send network ~src:2 ~dst:0 "cross-back";
+  Sim.Network.send network ~src:4 ~dst:3 "orphan";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "same-side delivered" 1 received.(1);
+  Alcotest.(check int) "cross dropped" 0 received.(2);
+  Alcotest.(check int) "cross-back dropped" 0 received.(0);
+  Alcotest.(check int) "orphan dropped" 0 received.(3);
+  Alcotest.(check int) "three boundary drops" 3 (Sim.Network.messages_dropped network);
+  Sim.Network.heal network;
+  Alcotest.(check bool) "healed" false (Sim.Network.partitioned network);
+  Sim.Network.send network ~src:0 ~dst:2 "after-heal";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "delivered after heal" 1 received.(2)
+
 let make_rpc ?(nodes = 4) () =
   let engine = Sim.Engine.create () in
   let topology = Sim.Topology.uniform ~latency:10. ~nodes () in
@@ -150,6 +238,71 @@ let test_rpc_multicall_timeout_reports_missing () =
     (Some ([ 1; 3 ], [ 2 ]))
     (Option.map (fun (r, m) -> (List.sort compare r, m)) !result)
 
+let test_rpc_multicall_late_reply_discarded () =
+  (* Node 2's link is spiked so its reply lands well after the multicall
+     timeout: [on_done] must fire exactly once, report 2 as missing, and the
+     late reply must be silently discarded (no crash, no second callback). *)
+  let engine, network, rpc = make_rpc () in
+  let served = ref [] in
+  for node = 0 to 3 do
+    Sim.Rpc.serve rpc ~node (fun ~src:_ req ->
+        served := node :: !served;
+        Some req)
+  done;
+  Sim.Network.set_link_faults network ~a:0 ~b:2
+    { Sim.Network.no_faults with spike_prob = 1.0; spike_factor = 20. };
+  let done_count = ref 0 in
+  let result = ref None in
+  Sim.Rpc.multicall rpc ~src:0 ~dsts:[ 1; 2; 3 ] ~timeout:50. 7
+    ~on_done:(fun ~replies ~missing ->
+      incr done_count;
+      result := Some (List.sort compare (List.map fst replies), missing));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "on_done exactly once" 1 !done_count;
+  Alcotest.(check (option (pair (list int) (list int))))
+    "slow node missing, fast nodes in"
+    (Some ([ 1; 3 ], [ 2 ]))
+    !result;
+  (* The request did reach node 2 (only late); its reply was dropped on the
+     floor by the pending-table check, not delivered to the callback. *)
+  Alcotest.(check bool) "slow node still served the request" true
+    (List.mem 2 !served)
+
+let test_rpc_multicall_missing_is_exact () =
+  let engine, network, rpc = make_rpc ~nodes:6 () in
+  for node = 0 to 5 do
+    Sim.Rpc.serve rpc ~node (fun ~src:_ req -> Some req)
+  done;
+  Sim.Network.fail network 2;
+  Sim.Network.fail network 4;
+  let result = ref None in
+  Sim.Rpc.multicall rpc ~src:0 ~dsts:[ 1; 2; 3; 4; 5 ] ~timeout:200. 9
+    ~on_done:(fun ~replies ~missing ->
+      result := Some (List.sort compare (List.map fst replies), List.sort compare missing));
+  Sim.Engine.run engine;
+  Alcotest.(check (option (pair (list int) (list int))))
+    "missing names exactly the non-repliers"
+    (Some ([ 1; 3; 5 ], [ 2; 4 ]))
+    !result
+
+let test_rpc_acked_send_retransmits () =
+  (* The link starts fully lossy, then heals at t=70; acked_send keeps
+     retransmitting on timeout until one attempt gets through. *)
+  let engine, network, rpc = make_rpc () in
+  let handled = ref 0 in
+  Sim.Rpc.serve rpc ~node:1 (fun ~src:_ _ ->
+      incr handled;
+      Some 0);
+  Sim.Network.set_link_faults network ~a:0 ~b:1
+    { Sim.Network.no_faults with drop = 1.0 };
+  Sim.Engine.schedule engine ~delay:70. (fun () ->
+      Sim.Network.clear_link_faults network ~a:0 ~b:1);
+  Sim.Rpc.acked_send rpc ~src:0 ~dst:1 ~timeout:25. 42;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "delivered after retransmission" true (!handled >= 1);
+  Alcotest.(check bool) "early attempts were dropped" true
+    (Sim.Network.messages_dropped network >= 2)
+
 let test_rpc_no_reply_handler () =
   let engine, _network, rpc = make_rpc () in
   let casts = ref 0 in
@@ -170,12 +323,83 @@ let test_failure_detection () =
   Sim.Failure.schedule failure ~at:100. ~node:3;
   Sim.Engine.run ~until:110. engine;
   Alcotest.(check (list int)) "killed at failure time" [ 3 ] !killed;
+  Alcotest.(check bool) "killed before detection" true (Sim.Failure.is_killed failure 3);
+  Alcotest.(check bool) "not yet suspected" false (Sim.Failure.is_suspected failure 3);
   Alcotest.(check (list (pair int (float 1e-9)))) "not yet detected" [] !detected;
   Sim.Engine.run engine;
   Alcotest.(check (list (pair int (float 1e-9)))) "detected after delay" [ (3, 125.) ]
     !detected;
-  Alcotest.(check bool) "is_failed after detection" true (Sim.Failure.is_failed failure 3);
-  Alcotest.(check (list int)) "failed list" [ 3 ] (Sim.Failure.failed_nodes failure)
+  Alcotest.(check bool) "suspected after detection" true (Sim.Failure.is_suspected failure 3);
+  Alcotest.(check (list int)) "killed list" [ 3 ] (Sim.Failure.killed_nodes failure);
+  Alcotest.(check (list int)) "suspected list" [ 3 ] (Sim.Failure.suspected_nodes failure)
+
+let test_failure_recovery_cycle () =
+  let engine = Sim.Engine.create () in
+  let failure =
+    Sim.Failure.create ~engine ~detection_delay:25. ~kill:(fun _ -> ()) ()
+  in
+  let recovered = ref [] in
+  Sim.Failure.on_recover failure (fun ~node ~was_killed ->
+      recovered := (node, was_killed, Sim.Engine.now engine) :: !recovered);
+  Sim.Failure.schedule failure ~at:100. ~node:2;
+  Sim.Failure.schedule_recovery failure ~at:300. ~node:2;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "no longer killed" false (Sim.Failure.is_killed failure 2);
+  (* Suspicion persists until the re-admission layer clears it. *)
+  Alcotest.(check bool) "still suspected" true (Sim.Failure.is_suspected failure 2);
+  Alcotest.(check (list (triple int bool (float 1e-9))))
+    "recovery callback with was_killed" [ (2, true, 300.) ] !recovered;
+  Sim.Failure.clear_suspicion failure 2;
+  Alcotest.(check bool) "suspicion cleared" false (Sim.Failure.is_suspected failure 2)
+
+let test_failure_recovery_before_detection () =
+  (* A node that restarts faster than the detector notices is never
+     suspected at all. *)
+  let engine = Sim.Engine.create () in
+  let failure =
+    Sim.Failure.create ~engine ~detection_delay:50. ~kill:(fun _ -> ()) ()
+  in
+  let detections = ref 0 in
+  Sim.Failure.on_detect failure (fun _ -> incr detections);
+  Sim.Failure.schedule failure ~at:100. ~node:1;
+  Sim.Failure.schedule_recovery failure ~at:120. ~node:1;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "no detection" 0 !detections;
+  Alcotest.(check bool) "not suspected" false (Sim.Failure.is_suspected failure 1)
+
+let test_false_suspicion () =
+  let engine = Sim.Engine.create () in
+  let failure = Sim.Failure.create ~engine ~kill:(fun _ -> Alcotest.fail "kill on suspicion") () in
+  let detected = ref [] and recovered = ref [] in
+  Sim.Failure.on_detect failure (fun n -> detected := n :: !detected);
+  Sim.Failure.on_recover failure (fun ~node ~was_killed ->
+      recovered := (node, was_killed) :: !recovered;
+      Sim.Failure.clear_suspicion failure node);
+  Sim.Failure.schedule_false_suspicion failure ~at:50. ~clear_after:100. ~node:4;
+  Sim.Engine.run ~until:60. engine;
+  Alcotest.(check (list int)) "suspected" [ 4 ] !detected;
+  Alcotest.(check bool) "but not killed" false (Sim.Failure.is_killed failure 4);
+  Sim.Engine.run engine;
+  Alcotest.(check (list (pair int bool))) "cleared as live" [ (4, false) ] !recovered;
+  Alcotest.(check bool) "no longer suspected" false (Sim.Failure.is_suspected failure 4);
+  Alcotest.(check int) "counted" 1 (Sim.Failure.false_suspicions failure)
+
+let test_detection_jitter () =
+  let engine = Sim.Engine.create () in
+  let failure =
+    Sim.Failure.create ~engine ~detection_delay:20. ~detection_jitter:30. ~seed:5
+      ~kill:(fun _ -> ())
+      ()
+  in
+  let at = ref None in
+  Sim.Failure.on_detect failure (fun _ -> at := Some (Sim.Engine.now engine));
+  Sim.Failure.schedule failure ~at:100. ~node:0;
+  Sim.Engine.run engine;
+  match !at with
+  | None -> Alcotest.fail "never detected"
+  | Some t ->
+    Alcotest.(check bool) "at least base delay" true (t >= 120.);
+    Alcotest.(check bool) "within jitter bound" true (t < 150.)
 
 let suite =
   [
@@ -187,9 +411,24 @@ let suite =
     Alcotest.test_case "network delivery and counting" `Quick test_network_delivery_and_counting;
     Alcotest.test_case "network service queueing" `Quick test_network_service_queueing;
     Alcotest.test_case "network failure drops" `Quick test_network_failure_drops;
+    Alcotest.test_case "network drop-all fault plan" `Quick test_network_drop_all;
+    Alcotest.test_case "network duplication" `Quick test_network_duplication;
+    Alcotest.test_case "network latency spike" `Quick test_network_latency_spike;
+    Alcotest.test_case "network per-link faults" `Quick test_network_link_faults;
+    Alcotest.test_case "network partition and heal" `Quick test_network_partition_and_heal;
     Alcotest.test_case "rpc call roundtrip" `Quick test_rpc_call_roundtrip;
     Alcotest.test_case "rpc multicall collects all" `Quick test_rpc_multicall_collects_all;
     Alcotest.test_case "rpc multicall timeout" `Quick test_rpc_multicall_timeout_reports_missing;
+    Alcotest.test_case "rpc multicall late reply discarded" `Quick
+      test_rpc_multicall_late_reply_discarded;
+    Alcotest.test_case "rpc multicall missing exact" `Quick
+      test_rpc_multicall_missing_is_exact;
+    Alcotest.test_case "rpc acked send retransmits" `Quick test_rpc_acked_send_retransmits;
     Alcotest.test_case "rpc one-way cast" `Quick test_rpc_no_reply_handler;
     Alcotest.test_case "failure detection" `Quick test_failure_detection;
+    Alcotest.test_case "failure recovery cycle" `Quick test_failure_recovery_cycle;
+    Alcotest.test_case "failure fast restart undetected" `Quick
+      test_failure_recovery_before_detection;
+    Alcotest.test_case "false suspicion" `Quick test_false_suspicion;
+    Alcotest.test_case "detection jitter" `Quick test_detection_jitter;
   ]
