@@ -1,19 +1,59 @@
 (* Benchmark harness.
 
-   Two halves:
+   Three entry points:
 
-   1. Regenerate every table and figure of the paper's evaluation (quick
-      scale; see `qr-dtm all --scale full` for paper-like runs), plus the
-      ablation sweeps DESIGN.md calls out.
-   2. Bechamel micro-benchmarks of the core operations (quorum
-      construction, replica/Rwset/heap/RNG ops, Rqv validation) — the
-      constant factors behind the simulator's capacity model.
+   1. Default: regenerate every table and figure of the paper's evaluation
+      (quick scale; see `qr-dtm all --scale full` for paper-like runs), plus
+      the ablation sweeps DESIGN.md calls out, plus Bechamel
+      micro-benchmarks of the core operations.
+   2. `wall`: wall-clock benchmark of the figure-regeneration suite at
+      --jobs 1 vs --jobs N, verifying byte-identical output and emitting
+      BENCH_harness.json (see EXPERIMENTS.md for the format).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe -- [wall] [--jobs N] [--scale quick|full]
+                                          [--out FILE] *)
 
 open Core
 
-let scale = Harness.Figures.quick
+(* --- command line ------------------------------------------------------ *)
+
+type cli = {
+  mutable wall : bool;
+  mutable jobs : int;
+  mutable scale_name : string;
+  mutable out : string;
+}
+
+let cli =
+  {
+    wall = false;
+    jobs = Harness.Pool.default_jobs ();
+    scale_name = "quick";
+    out = "BENCH_harness.json";
+  }
+
+let usage () =
+  prerr_endline
+    "usage: bench/main.exe [wall] [--jobs N] [--scale quick|full] [--out FILE]";
+  exit 2
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "wall" :: rest -> cli.wall <- true; parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with Some j when j >= 1 -> cli.jobs <- j | _ -> usage ());
+      parse rest
+    | "--scale" :: s :: rest ->
+      if s = "quick" || s = "full" then cli.scale_name <- s else usage ();
+      parse rest
+    | "--out" :: file :: rest -> cli.out <- file; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let scale =
+  if cli.scale_name = "full" then Harness.Figures.full else Harness.Figures.quick
 
 let print_series series = print_string (Harness.Report.render series)
 
@@ -303,7 +343,112 @@ let micro () =
         analysis)
     (micro_tests ())
 
+(* --- wall-clock bench (`wall` mode) ------------------------------------ *)
+
+(* The figure-regeneration suite rendered to one string: the unit of work
+   the wall bench times, and the artifact the jobs-1-vs-N identity check
+   compares byte for byte. *)
+let render_everything () =
+  let series = Harness.Figures.everything ~scale () in
+  String.concat "" (List.map Harness.Report.render series)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (Unix.gettimeofday () -. t0, result)
+
+(* Raw simulator event throughput: drive a closed-loop bank workload for a
+   fixed stretch of virtual time and divide dispatched events by wall
+   seconds.  This isolates the per-event constant factor from the
+   parallel-harness speedup. *)
+let events_per_second () =
+  let cluster =
+    Cluster.create ~nodes:13 ~seed:11 ~with_oracle:false (Config.default Config.Closed)
+  in
+  let accounts =
+    Array.init 64 (fun _ ->
+        Cluster.alloc_object cluster
+          ~init:(Store.Value.Int Benchmarks.Bank.initial_balance))
+  in
+  let rng = Util.Rng.create 23 in
+  let stop = ref false in
+  let rec client node r =
+    if not !stop then begin
+      let i = Util.Rng.int r 64 in
+      let j = (i + 1 + Util.Rng.int r 63) mod 64 in
+      let program () =
+        Benchmarks.Bank.transfer ~from_:accounts.(i) ~to_:accounts.(j) ~amount:1
+      in
+      Cluster.submit cluster ~node program ~on_done:(fun _ -> client node r)
+    end
+  in
+  for c = 0 to 25 do
+    client (c mod 13) (Util.Rng.split rng)
+  done;
+  let wall, () = timed (fun () -> Cluster.run_for cluster 10_000.) in
+  stop := true;
+  Cluster.drain cluster;
+  let events = Sim.Engine.events_processed (Cluster.engine cluster) in
+  (Float.of_int events /. wall, events)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let wall_bench () =
+  let jobs = cli.jobs in
+  Printf.printf "wall bench: figure regeneration at --scale %s, --jobs 1 vs --jobs %d\n%!"
+    cli.scale_name jobs;
+  Harness.Pool.set_jobs 1;
+  let seq_seconds, seq_output = timed render_everything in
+  Printf.printf "  jobs=1: %.2f s\n%!" seq_seconds;
+  Harness.Pool.set_jobs jobs;
+  let par_seconds, par_output = timed render_everything in
+  Harness.Pool.set_jobs 1;
+  Printf.printf "  jobs=%d: %.2f s\n%!" jobs par_seconds;
+  let identical = String.equal seq_output par_output in
+  let speedup = if par_seconds > 0. then seq_seconds /. par_seconds else 0. in
+  let eps, events = events_per_second () in
+  Printf.printf "  speedup: %.2fx, identical output: %b\n%!" speedup identical;
+  Printf.printf "  simulator: %.0f events/s (%d events, bank workload)\n%!" eps events;
+  let oc = open_out cli.out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"harness_wall\",\n\
+    \  \"scale\": \"%s\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"wall_seconds_jobs1\": %.6f,\n\
+    \  \"wall_seconds_jobsN\": %.6f,\n\
+    \  \"speedup\": %.4f,\n\
+    \  \"output_identical\": %b,\n\
+    \  \"events_per_second\": %.1f,\n\
+    \  \"events_measured\": %d,\n\
+    \  \"available_cores\": %d\n\
+     }\n"
+    (json_escape cli.scale_name) jobs seq_seconds par_seconds speedup identical eps
+    events
+    (Harness.Pool.default_jobs ());
+  close_out oc;
+  Printf.printf "wrote %s\n%!" cli.out;
+  if not identical then begin
+    prerr_endline "FAIL: parallel output differs from sequential output";
+    exit 1
+  end
+
 let () =
-  figures ();
-  ablations ();
-  micro ()
+  if cli.wall then wall_bench ()
+  else begin
+    Harness.Pool.set_jobs cli.jobs;
+    figures ();
+    ablations ();
+    micro ()
+  end

@@ -20,6 +20,18 @@ let scale_arg =
   let doc = "Run scale: $(b,quick) (seconds per point) or $(b,full) (paper-like)." in
   Arg.(value & opt string "quick" & info [ "scale" ] ~docv:"SCALE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Independent simulation runs executed concurrently (OCaml domains). \
+     Defaults to the machine's core count; output is identical at any value."
+  in
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let set_jobs jobs = Harness.Pool.set_jobs jobs
+
 let bench_arg =
   let doc = "Benchmark name (bank, hashmap, slist, rbtree, vacation, bst, counter)." in
   Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"BENCH" ~doc)
@@ -43,7 +55,8 @@ let figure_cmd =
     let doc = "Figure number: 5, 6, 7, 9 or 10." in
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
   in
-  let run number scale bench =
+  let run number scale bench jobs =
+    set_jobs jobs;
     let scale = scale_of_string scale in
     begin
       match number with
@@ -65,17 +78,23 @@ let figure_cmd =
     end
   in
   let info = Cmd.info "figure" ~doc:"Regenerate one of the paper's figures" in
-  Cmd.v info Term.(const run $ number_arg $ scale_arg $ bench_arg)
+  Cmd.v info Term.(const run $ number_arg $ scale_arg $ bench_arg $ jobs_arg)
 
 let table_cmd =
-  let run scale = print_series (Harness.Figures.table8 ~scale:(scale_of_string scale) ()) in
+  let run scale jobs =
+    set_jobs jobs;
+    print_series (Harness.Figures.table8 ~scale:(scale_of_string scale) ())
+  in
   let info = Cmd.info "table" ~doc:"Regenerate the abort/message table (paper Fig. 8)" in
-  Cmd.v info Term.(const run $ scale_arg)
+  Cmd.v info Term.(const run $ scale_arg $ jobs_arg)
 
 let summary_cmd =
-  let run scale = print_series (Harness.Figures.summary ~scale:(scale_of_string scale) ()) in
+  let run scale jobs =
+    set_jobs jobs;
+    print_series (Harness.Figures.summary ~scale:(scale_of_string scale) ())
+  in
   let info = Cmd.info "summary" ~doc:"Headline paper-claim aggregates" in
-  Cmd.v info Term.(const run $ scale_arg)
+  Cmd.v info Term.(const run $ scale_arg $ jobs_arg)
 
 let run_cmd =
   let mode_arg =
@@ -200,21 +219,13 @@ let scenario_cmd =
       $ seed_arg)
 
 let all_cmd =
-  let run scale =
+  let run scale jobs =
+    set_jobs jobs;
     let scale = scale_of_string scale in
-    List.iter
-      (fun benchmark ->
-        print_series (Harness.Figures.fig5 ~scale ~benchmark ());
-        print_series (Harness.Figures.fig6 ~scale ~benchmark ());
-        print_series (Harness.Figures.fig7 ~scale ~benchmark ()))
-      Benchmarks.Registry.paper_suite;
-    print_series (Harness.Figures.table8 ~scale ());
-    List.iter print_series (Harness.Figures.fig9 ~scale ());
-    print_series (Harness.Figures.fig10 ~scale ());
-    print_series (Harness.Figures.summary ~scale ())
+    List.iter print_series (Harness.Figures.everything ~scale ())
   in
   let info = Cmd.info "all" ~doc:"Regenerate every figure and table" in
-  Cmd.v info Term.(const run $ scale_arg)
+  Cmd.v info Term.(const run $ scale_arg $ jobs_arg)
 
 let main =
   let info =

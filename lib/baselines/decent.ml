@@ -21,6 +21,14 @@ type request =
 type read_result = Got of { version : int; value : Txn.value } | Trimmed
 type reply = Version of read_result | Vote of bool | Record
 
+(* Interned accounting labels; shared names reuse the same registry entries
+   as the QR protocol, keeping cross-system message tables comparable. *)
+let locate_kind = Sim.Network.Kind.intern "locate"
+let read_req_kind = Sim.Network.Kind.intern "read_req"
+let commit_req_kind = Sim.Network.Kind.intern "commit_req"
+let apply_kind = Sim.Network.Kind.intern "commit_apply"
+let release_kind = Sim.Network.Kind.intern "release"
+
 type t = {
   engine : Sim.Engine.t;
   network : (request, reply) Sim.Rpc.envelope Sim.Network.t;
@@ -193,12 +201,12 @@ and access st ~oid ~write ~k =
     (* Round 1: locate the commit record; round 2: fetch the snapshot
        version.  The two-step read path is Decent-STM's principal overhead
        versus QR's single quorum round. *)
-    Sim.Rpc.call st.sys.rpc ~kind:"locate" ~src:st.node ~dst ~timeout (Locate { oid })
+    Sim.Rpc.call st.sys.rpc ~kind:locate_kind ~src:st.node ~dst ~timeout (Locate { oid })
       ~on_reply:(fun reply ->
         if live st generation then
           match reply with
           | Record | Version _ | Vote _ ->
-            Sim.Rpc.call st.sys.rpc ~kind:"read_req" ~src:st.node ~dst ~timeout
+            Sim.Rpc.call st.sys.rpc ~kind:read_req_kind ~src:st.node ~dst ~timeout
               (Snapshot_read { oid; snapshot = st.snapshot })
               ~on_reply:(fun reply ->
                 if live st generation then
@@ -254,7 +262,7 @@ and commit st result =
     let generation = st.generation in
     List.iter
       (fun (node, (r, w)) ->
-        Sim.Rpc.call st.sys.rpc ~kind:"commit_req" ~src:st.node ~dst:node ~timeout
+        Sim.Rpc.call st.sys.rpc ~kind:commit_req_kind ~src:st.node ~dst:node ~timeout
           (Commit_vote { txn = st.txn_id; reads = r; writes = w })
           ~on_reply:(fun reply ->
             if live st generation then begin
@@ -283,7 +291,7 @@ and unlock st targets =
   List.iter
     (fun (node, (_, w)) ->
       if w <> [] then
-        Sim.Rpc.cast st.sys.rpc ~kind:"release" ~src:st.node ~dst:node
+        Sim.Rpc.cast st.sys.rpc ~kind:release_kind ~src:st.node ~dst:node
           (Unlock { txn = st.txn_id; oids = List.map fst w }))
     targets
 
@@ -297,7 +305,7 @@ and broadcast_commit st result ~window_start =
   in
   record_oracle st ~window_start;
   for node = 0 to st.sys.node_count - 1 do
-    Sim.Rpc.cast st.sys.rpc ~kind:"commit_apply" ~src:st.node ~dst:node
+    Sim.Rpc.cast st.sys.rpc ~kind:apply_kind ~src:st.node ~dst:node
       (Broadcast_apply { txn = st.txn_id; writes; time })
   done;
   Metrics.note_commit st.sys.metrics ~latency:(now st.sys -. st.born);

@@ -12,6 +12,14 @@ type reply =
   | Validate_ok of bool
   | Lock_ok of bool
 
+(* Interned accounting labels; names shared with the QR protocol reuse the
+   same registry entries, so cross-system message tables stay comparable. *)
+let read_req_kind = Sim.Network.Kind.intern "read_req"
+let validate_kind = Sim.Network.Kind.intern "validate"
+let commit_req_kind = Sim.Network.Kind.intern "commit_req"
+let apply_kind = Sim.Network.Kind.intern "commit_apply"
+let release_kind = Sim.Network.Kind.intern "release"
+
 type t = {
   engine : Sim.Engine.t;
   network : (request, reply) Sim.Rpc.envelope Sim.Network.t;
@@ -182,7 +190,7 @@ and access st ~oid ~write ~k =
   | None ->
     st.window_start <- now st.sys;
     let generation = st.generation in
-    Sim.Rpc.call st.sys.rpc ~kind:"read_req" ~src:st.node ~dst:(home st.sys oid)
+    Sim.Rpc.call st.sys.rpc ~kind:read_req_kind ~src:st.node ~dst:(home st.sys oid)
       ~timeout (Read_req { oid })
       ~on_reply:(fun reply ->
         if live st generation then
@@ -219,7 +227,7 @@ and forward st ~oid ~version ~value ~write ~clock ~k =
     let generation = st.generation in
     List.iter
       (fun (h, entries) ->
-        Sim.Rpc.call st.sys.rpc ~kind:"validate" ~src:st.node ~dst:h ~timeout
+        Sim.Rpc.call st.sys.rpc ~kind:validate_kind ~src:st.node ~dst:h ~timeout
           (Validate { entries })
           ~on_reply:(fun reply ->
             if live st generation then begin
@@ -278,7 +286,7 @@ and commit st result =
     let generation = st.generation in
     List.iter
       (fun (h, locks, entries) ->
-        Sim.Rpc.call st.sys.rpc ~kind:"commit_req" ~src:st.node ~dst:h ~timeout
+        Sim.Rpc.call st.sys.rpc ~kind:commit_req_kind ~src:st.node ~dst:h ~timeout
           (Lock { txn = st.txn_id; entries; locks })
           ~on_reply:(fun reply ->
             if live st generation then begin
@@ -314,7 +322,7 @@ and apply_commit st result homes =
             if home st.sys e.oid = h then Some (e.oid, e.version + 1, e.value) else None)
           (Rwset.entries st.wset)
       in
-      Sim.Rpc.cast st.sys.rpc ~kind:"commit_apply" ~src:st.node ~dst:h
+      Sim.Rpc.cast st.sys.rpc ~kind:apply_kind ~src:st.node ~dst:h
         (Apply { txn = st.txn_id; writes; clock }))
     homes;
   Metrics.note_commit st.sys.metrics ~latency:(now st.sys -. st.born);
@@ -324,7 +332,7 @@ and release st homes =
   List.iter
     (fun (h, locks, _) ->
       if locks <> [] then
-        Sim.Rpc.cast st.sys.rpc ~kind:"release" ~src:st.node ~dst:h
+        Sim.Rpc.cast st.sys.rpc ~kind:release_kind ~src:st.node ~dst:h
           (Release { txn = st.txn_id; oids = locks }))
     homes
 

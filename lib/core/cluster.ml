@@ -11,48 +11,24 @@ type t = {
   config : Config.t;
   ids : Ids.gen;
   rng : Util.Rng.t;
-  mutable read_quorums : int list option array;
-  mutable write_quorums : int list option array;
 }
 
-(* A quorum that is unconstructible right now (too many failures) must not
-   be cached: the fallback [[]] would otherwise stick forever even after
-   nodes recover.  Only successful constructions are memoised. *)
-let cached_quorum cache build ~node =
-  match cache.(node) with
-  | Some quorum -> quorum
-  | None ->
-    begin
-      match build ~salt:node with
-      | Some quorum ->
-        cache.(node) <- Some quorum;
-        quorum
-      | None -> []
-    end
-
+(* Memoisation lives in [Tree_quorum] (generation-keyed, per salt), so these
+   are plain delegations; an unconstructible quorum degrades to [[]]. *)
 let read_quorum_of t ~node =
-  cached_quorum t.read_quorums
-    (fun ~salt -> Quorum.Tree_quorum.read_quorum ~salt t.tree_quorum)
-    ~node
+  Option.value ~default:[] (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
 
 let write_quorum_of t ~node =
-  cached_quorum t.write_quorums
-    (fun ~salt -> Quorum.Tree_quorum.write_quorum ~salt t.tree_quorum)
-    ~node
+  Option.value ~default:[] (Quorum.Tree_quorum.write_quorum ~salt:node t.tree_quorum)
 
 let nodes t = Array.length t.servers
-
-let invalidate_quorum_caches t =
-  Array.fill t.read_quorums 0 (nodes t) None;
-  Array.fill t.write_quorums 0 (nodes t) None
 
 (* Re-admit a node to quorum construction.  For a recovered crash this runs
    only after state transfer completed; for a cleared false suspicion the
    node never lost state and rejoins immediately. *)
 let readmit t node =
   Quorum.Tree_quorum.revive t.tree_quorum node;
-  Sim.Failure.clear_suspicion t.failure node;
-  invalidate_quorum_caches t
+  Sim.Failure.clear_suspicion t.failure node
 
 (* Catch-up protocol for a recovering node: refresh the stale replica from
    a full read quorum (which intersects every write quorum, so the
@@ -72,7 +48,7 @@ let rec resync t ~node ~started =
   | [] -> retry ()
   | dsts ->
     Metrics.note_sync t.metrics;
-    Sim.Rpc.multicall t.rpc ~kind:"sync_req" ~src:node ~dsts
+    Sim.Rpc.multicall t.rpc ~kind:Messages.sync_req_kind ~src:node ~dsts
       ~timeout:t.config.Config.request_timeout Messages.Sync_req
       ~on_done:(fun ~replies ~missing ->
         if missing <> [] then retry ()
@@ -122,20 +98,16 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
   let metrics = Metrics.create () in
   let oracle = if with_oracle then Some (Oracle.create ()) else None in
   let ids = Ids.gen () in
-  let read_quorums = Array.make nodes None in
-  let write_quorums = Array.make nodes None in
   let quorums =
     {
       Executor.read_quorum =
         (fun ~node ->
-          cached_quorum read_quorums
-            (fun ~salt -> Quorum.Tree_quorum.read_quorum ~salt tree_quorum)
-            ~node);
+          Option.value ~default:[]
+            (Quorum.Tree_quorum.read_quorum ~salt:node tree_quorum));
       write_quorum =
         (fun ~node ->
-          cached_quorum write_quorums
-            (fun ~salt -> Quorum.Tree_quorum.write_quorum ~salt tree_quorum)
-            ~node);
+          Option.value ~default:[]
+            (Quorum.Tree_quorum.write_quorum ~salt:node tree_quorum));
     }
   in
   let executor =
@@ -147,9 +119,7 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
       ()
   in
   Sim.Failure.on_detect failure (fun node ->
-      Quorum.Tree_quorum.mark_failed tree_quorum node;
-      Array.fill read_quorums 0 nodes None;
-      Array.fill write_quorums 0 nodes None);
+      Quorum.Tree_quorum.mark_failed tree_quorum node);
   let t =
     {
       engine;
@@ -164,8 +134,6 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
       config;
       ids;
       rng = Util.Rng.create (seed + 4);
-      read_quorums;
-      write_quorums;
     }
   in
   Sim.Failure.on_recover failure (fun ~node ~was_killed ->

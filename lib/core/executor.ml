@@ -12,10 +12,23 @@ type t = {
   oracle : Oracle.t option;
   ids : Ids.gen;
   rng : Util.Rng.t;
+  scratch_dataset : (int, Messages.dataset_entry) Hashtbl.t;
+      (* reused by [full_dataset]; an executor runs inside one simulation
+         (one domain), so sharing the scratch across roots is safe *)
 }
 
 let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed () =
-  { engine; rpc; quorums; config; metrics; oracle; ids; rng = Util.Rng.create seed }
+  {
+    engine;
+    rpc;
+    quorums;
+    config;
+    metrics;
+    oracle;
+    ids;
+    rng = Util.Rng.create seed;
+    scratch_dataset = Hashtbl.create 64;
+  }
 
 let config t = t.config
 let metrics t = t.metrics
@@ -82,8 +95,12 @@ let owner_tag root =
 
 (* Accumulated data-set across the scope chain, outermost owners winning on
    duplicate object ids (validation must name the ancestor-most owner). *)
+(* Validation is order-independent ([Rqv.validate] minimises the owner tag
+   over the whole set), so the fold order of the scratch table never shows
+   through; reusing it avoids an allocation per validated request. *)
 let full_dataset root =
-  let table : (int, Messages.dataset_entry) Hashtbl.t = Hashtbl.create 16 in
+  let table = root.exec.scratch_dataset in
+  Hashtbl.clear table;
   let note (e : Rwset.entry) =
     match Hashtbl.find_opt table e.oid with
     | Some existing when existing.owner <= e.owner -> ()
@@ -226,7 +243,7 @@ and remote_fetch root ~oid ~write ~k =
     in
     root.last_validation_sent <- now root;
     let generation = root.generation in
-    Sim.Rpc.multicall exec.rpc ~kind:"read_req" ~src:root.node ~dsts:quorum
+    Sim.Rpc.multicall exec.rpc ~kind:Messages.read_req_kind ~src:root.node ~dsts:quorum
       ~timeout:exec.config.request_timeout request
       ~on_done:(fun ~replies ~missing ->
         if still_current root generation then
@@ -458,7 +475,7 @@ and send_commit_request root ~scope ~value =
     let locks = Rwset.oids scope.wset in
     let window_start = now root in
     let generation = root.generation in
-    Sim.Rpc.multicall exec.rpc ~kind:"commit_req" ~src:root.node ~dsts:quorum
+    Sim.Rpc.multicall exec.rpc ~kind:Messages.commit_req_kind ~src:root.node ~dsts:quorum
       ~timeout:exec.config.request_timeout
       (Messages.Commit_req { txn = root.txn_id; dataset; locks })
       ~on_done:(fun ~replies ~missing ->
@@ -469,7 +486,7 @@ and release_locks root ~quorum ~locks =
   (* At-least-once: a dropped Release would leave objects locked by a dead
      transaction forever; Release is idempotent, so retransmission is safe. *)
   if locks <> [] then
-    Sim.Rpc.acked_multicast root.exec.rpc ~kind:"release" ~src:root.node ~dsts:quorum
+    Sim.Rpc.acked_multicast root.exec.rpc ~kind:Messages.release_kind ~src:root.node ~dsts:quorum
       ~timeout:root.exec.config.request_timeout
       (Messages.Release { txn = root.txn_id; oids = locks })
 
@@ -506,7 +523,7 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
       (* At-least-once: losing an Apply at the read/write-quorum
          intersection node would let later reads miss this commit; Apply is
          version-guarded (idempotent), so retransmission is safe. *)
-      Sim.Rpc.acked_multicast exec.rpc ~kind:"commit_apply" ~src:root.node ~dsts:quorum
+      Sim.Rpc.acked_multicast exec.rpc ~kind:Messages.apply_kind ~src:root.node ~dsts:quorum
         ~timeout:exec.config.request_timeout
         (Messages.Apply { txn = root.txn_id; writes; reads = Rwset.oids scope.rset });
       Metrics.note_commit exec.metrics ~latency:(now root -. root.born);

@@ -35,9 +35,19 @@ type reply =
   | Sync_rep of { objects : (Ids.obj_id * int * Txn.value) list }
   | Ack  (* acknowledges idempotent one-way messages (Apply, Release) *)
 
-let kind_of_request = function
-  | Read_req _ -> "read_req"
-  | Commit_req _ -> "commit_req"
-  | Apply _ -> "commit_apply"
-  | Release _ -> "release"
-  | Sync_req -> "sync_req"
+(* Accounting labels, interned once at module load so the network layer
+   counts messages with an array increment rather than a string lookup. *)
+let read_req_kind = Sim.Network.Kind.intern "read_req"
+let commit_req_kind = Sim.Network.Kind.intern "commit_req"
+let apply_kind = Sim.Network.Kind.intern "commit_apply"
+let release_kind = Sim.Network.Kind.intern "release"
+let sync_req_kind = Sim.Network.Kind.intern "sync_req"
+
+let kind_token_of_request = function
+  | Read_req _ -> read_req_kind
+  | Commit_req _ -> commit_req_kind
+  | Apply _ -> apply_kind
+  | Release _ -> release_kind
+  | Sync_req -> sync_req_kind
+
+let kind_of_request request = Sim.Network.Kind.name (kind_token_of_request request)

@@ -52,5 +52,21 @@ type reply =
       (** acknowledges the idempotent one-way messages (Apply / Release) so
           they can be retransmitted over lossy links *)
 
+(** {2 Message-accounting labels}
+
+    Pre-interned {!Sim.Network.Kind} tokens, one per request constructor;
+    senders pass these so per-kind accounting never touches a string on the
+    hot path.  The rendered names ("read_req", "commit_req", "commit_apply",
+    "release", "sync_req") are unchanged from the string-labelled protocol. *)
+
+val read_req_kind : Sim.Network.Kind.t
+val commit_req_kind : Sim.Network.Kind.t
+val apply_kind : Sim.Network.Kind.t
+val release_kind : Sim.Network.Kind.t
+val sync_req_kind : Sim.Network.Kind.t
+
+val kind_token_of_request : request -> Sim.Network.Kind.t
+(** The interned accounting label of a request. *)
+
 val kind_of_request : request -> string
 (** Message-accounting label ("read_req", "commit_req", ...). *)

@@ -30,12 +30,15 @@ let run_point ~scale ~config ~benchmark ~params ~seed =
   Experiment.run ~seed ~clients:scale.clients ~warmup:scale.warmup
     ~duration:scale.duration ~config ~benchmark ~params ()
 
+(* Every (x, mode, trial) point is an independent seeded simulation; the
+   nested [Pool.map]s fan the whole grid across domains (work-helping makes
+   the nesting safe) while preserving row/column order. *)
 let mode_sweep ~scale ~benchmark ~params_of ~xs ~x_of =
-  List.map
+  Pool.map
     (fun x ->
       let params = params_of x in
       let values =
-        List.map
+        Pool.map
           (fun mode ->
             let result =
               Sweep.averaged ~trials:scale.trials (fun ~seed ->
@@ -111,16 +114,18 @@ let reference_params name = { (base_params name) with read_ratio = 0.2; calls = 
 
 let table8 ?(scale = quick) () =
   let rows =
-    List.map
+    Pool.map
       (fun (benchmark : Benchmarks.Workload.benchmark) ->
         let params = reference_params benchmark.name in
         let result_of mode =
           Sweep.averaged ~trials:scale.trials (fun ~seed ->
               run_point ~scale ~config:(Config.default mode) ~benchmark ~params ~seed)
         in
-        let flat = result_of Config.Flat in
-        let closed = result_of Config.Closed in
-        let chk = result_of Config.Checkpoint in
+        let flat, closed, chk =
+          match Pool.map result_of modes with
+          | [ flat; closed; chk ] -> (flat, closed, chk)
+          | _ -> assert false
+        in
         let aborts (r : Experiment.result) =
           Float.of_int (r.root_aborts + r.partial_aborts)
         in
@@ -178,17 +183,18 @@ let fig9_series ~scale ~read_ratio ~label =
     in
     result.Experiment.throughput
   in
+  let systems =
+    [
+      ((fun ~nodes ~seed -> Experiment.qr_system ~nodes ~seed (Config.default Config.Flat)), 0);
+      ((fun ~nodes ~seed -> Experiment.tfa_system ~nodes ~seed ()), 1000);
+      ((fun ~nodes ~seed -> Experiment.decent_system ~nodes ~seed ()), 2000);
+    ]
+  in
   let rows =
-    List.map
+    Pool.map
       (fun n ->
         ( string_of_int n,
-          [
-            throughput_of
-              (fun ~nodes ~seed -> Experiment.qr_system ~nodes ~seed (Config.default Config.Flat))
-              0 n;
-            throughput_of (fun ~nodes ~seed -> Experiment.tfa_system ~nodes ~seed ()) 1000 n;
-            throughput_of (fun ~nodes ~seed -> Experiment.decent_system ~nodes ~seed ()) 2000 n;
-          ] ))
+          Pool.map (fun (make, seed_base) -> throughput_of make seed_base n) systems ))
       node_counts
   in
   {
@@ -272,10 +278,10 @@ let fig10 ?(scale = quick) () =
     result.Experiment.throughput
   in
   let rows =
-    List.map
+    Pool.map
       (fun failures ->
         ( string_of_int failures,
-          List.map (fun benchmark -> throughput_of benchmark failures) benchmarks ))
+          Pool.map (fun benchmark -> throughput_of benchmark failures) benchmarks ))
       failure_counts
   in
   {
@@ -294,15 +300,16 @@ let fig10 ?(scale = quick) () =
 
 let summary ?(scale = quick) () =
   let per_benchmark =
-    List.map
+    Pool.map
       (fun (benchmark : Benchmarks.Workload.benchmark) ->
         let params = reference_params benchmark.name in
         let result_of mode =
           Sweep.averaged ~trials:scale.trials (fun ~seed ->
               run_point ~scale ~config:(Config.default mode) ~benchmark ~params ~seed)
         in
-        (benchmark.name, result_of Config.Flat, result_of Config.Closed,
-         result_of Config.Checkpoint))
+        match Pool.map result_of modes with
+        | [ flat; closed; chk ] -> (benchmark.name, flat, closed, chk)
+        | _ -> assert false)
       Benchmarks.Registry.paper_suite
   in
   let speedup flat other =
@@ -341,3 +348,23 @@ let summary ?(scale = quick) () =
         "paper: closed avg +53% (max +101%), checkpointing -16%, abort -33%, messages -34%";
       ];
   }
+
+(* --- whole-evaluation driver ------------------------------------------- *)
+
+(* The full figure/table sweep, in the order `qr-dtm all` prints it.  Each
+   group below is independent, so the groups themselves are pool tasks; the
+   per-point fan-out inside them supplies the rest of the parallelism. *)
+let everything ?(scale = quick) () =
+  let groups =
+    List.map
+      (fun (benchmark : Benchmarks.Workload.benchmark) () ->
+        [ fig5 ~scale ~benchmark (); fig6 ~scale ~benchmark (); fig7 ~scale ~benchmark () ])
+      Benchmarks.Registry.paper_suite
+    @ [
+        (fun () -> [ table8 ~scale () ]);
+        (fun () -> fig9 ~scale ());
+        (fun () -> [ fig10 ~scale () ]);
+        (fun () -> [ summary ~scale () ]);
+      ]
+  in
+  List.concat (Pool.map (fun group -> group ()) groups)

@@ -56,3 +56,9 @@ val summary : ?scale:scale -> unit -> Report.series
 (** Headline aggregates over the five benchmarks at the reference point:
     closed-nesting speedup, checkpointing slowdown, abort/message deltas —
     the numbers the paper's abstract reports (53%, 101%, −16%, …). *)
+
+val everything : ?scale:scale -> unit -> Report.series list
+(** Every figure and table, in the order [qr-dtm all] prints them: fig 5/6/7
+    per benchmark, the Fig. 8 table, fig 9a/9b, fig 10, then the summary.
+    All independent points are fanned across {!Pool}; the rendered output
+    is identical at any job count. *)

@@ -1,4 +1,9 @@
-(** Parameter sweeps with trial averaging. *)
+(** Parameter sweeps with trial averaging.
+
+    Both entry points submit their independent, per-seed runs to
+    {!Pool}, so they parallelise across domains when the driver has
+    called [Pool.set_jobs]; results are folded in deterministic
+    (submission) order, making the output identical at any job count. *)
 
 val averaged : trials:int -> (seed:int -> Experiment.result) -> Experiment.result
 (** Run the experiment [trials] times with distinct seeds and return the

@@ -2,6 +2,15 @@ type t = {
   tree : Tree.t;
   read_level : int;
   alive : bool array;
+  (* Quorum construction is deterministic given [alive] and the salt, so
+     results are memoised per salt and invalidated wholesale whenever the
+     alive set actually changes ([generation] bump).  Unconstructible
+     ([None]) results are cached too: [revive] bumps the generation, so a
+     recovery always clears them. *)
+  mutable generation : int;
+  mutable cache_generation : int;
+  read_cache : int list option option array;
+  write_cache : int list option option array;
 }
 
 let create ?arity ?(read_level = 1) ~nodes () =
@@ -9,12 +18,26 @@ let create ?arity ?(read_level = 1) ~nodes () =
     tree = Tree.create ?arity ~nodes ();
     read_level;
     alive = Array.make nodes true;
+    generation = 0;
+    cache_generation = 0;
+    read_cache = Array.make nodes None;
+    write_cache = Array.make nodes None;
   }
 
 let tree t = t.tree
 let read_level t = t.read_level
-let mark_failed t node = t.alive.(node) <- false
-let revive t node = t.alive.(node) <- true
+
+let mark_failed t node =
+  if t.alive.(node) then begin
+    t.alive.(node) <- false;
+    t.generation <- t.generation + 1
+  end
+
+let revive t node =
+  if not t.alive.(node) then begin
+    t.alive.(node) <- true;
+    t.generation <- t.generation + 1
+  end
 
 let failed t =
   let acc = ref [] in
@@ -83,8 +106,25 @@ let rec read_at t salt node level =
     if t.alive.(node) then Some [ node ] else None
   else majority_of_children t salt node (fun c -> read_at t salt c (level - 1))
 
+let cached cache t salt build =
+  if salt < 0 || salt >= Array.length cache then build ()
+  else begin
+    if t.cache_generation <> t.generation then begin
+      Array.fill t.read_cache 0 (Array.length t.read_cache) None;
+      Array.fill t.write_cache 0 (Array.length t.write_cache) None;
+      t.cache_generation <- t.generation
+    end;
+    match cache.(salt) with
+    | Some result -> result
+    | None ->
+      let result = build () in
+      cache.(salt) <- Some result;
+      result
+  end
+
 let read_quorum ?(salt = 0) t =
-  Option.map dedup_sorted (read_at t salt (Tree.root t.tree) t.read_level)
+  cached t.read_cache t salt (fun () ->
+      Option.map dedup_sorted (read_at t salt (Tree.root t.tree) t.read_level))
 
 (* Write quorum: node + majority of children recursively; a failed node is
    replaced by the write quorums of *all* its children.
@@ -122,7 +162,8 @@ let rec write_at t salt node =
   end
 
 let write_quorum ?(salt = 0) t =
-  match write_at t salt (Tree.root t.tree) with
-  | Poisoned -> None
-  | Built [] -> None (* nothing alive at all *)
-  | Built quorum -> Some (dedup_sorted quorum)
+  cached t.write_cache t salt (fun () ->
+      match write_at t salt (Tree.root t.tree) with
+      | Poisoned -> None
+      | Built [] -> None (* nothing alive at all *)
+      | Built quorum -> Some (dedup_sorted quorum))

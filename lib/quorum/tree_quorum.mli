@@ -15,7 +15,12 @@
     failures in Fig. 10.
 
     Every returned quorum contains only alive nodes; [None] means no quorum
-    is currently constructible (too many failures). *)
+    is currently constructible (too many failures).
+
+    Constructions are memoised per salt and keyed on a generation counter
+    bumped whenever {!mark_failed} or {!revive} actually changes the alive
+    set, so repeated quorum lookups between failure events are O(1); callers
+    need no cache (or invalidation) of their own. *)
 
 type t
 

@@ -4,6 +4,60 @@
    with the fault model disabled consume exactly the same random numbers as
    before the model existed — seeds stay comparable across experiments. *)
 
+(* Interned message-kind labels.  Message accounting runs once per remote
+   send — the hottest counter in the simulator — so kinds are interned to
+   dense integer ids at module-load / setup time and counted with an array
+   increment instead of a per-message string-hashtable lookup.
+
+   The registry is global (kinds are protocol vocabulary, not per-network
+   state) and mutex-protected so parallel harness domains can intern
+   concurrently; ids are only ever used as array indices and never leak
+   into rendered output, so registration order cannot affect results. *)
+module Kind = struct
+  type t = int
+
+  let mutex = Mutex.create ()
+  let by_name : (string, int) Hashtbl.t = Hashtbl.create 16
+  let names = ref (Array.make 16 "")
+  let count = ref 0
+
+  let intern name =
+    Mutex.lock mutex;
+    let id =
+      match Hashtbl.find_opt by_name name with
+      | Some id -> id
+      | None ->
+        let id = !count in
+        if id = Array.length !names then begin
+          let bigger = Array.make (2 * id) "" in
+          Array.blit !names 0 bigger 0 id;
+          names := bigger
+        end;
+        !names.(id) <- name;
+        Hashtbl.replace by_name name id;
+        count := id + 1;
+        id
+    in
+    Mutex.unlock mutex;
+    id
+
+  (* Cold path (rendering counters): lock so a concurrent intern's array
+     swap cannot be observed half-published. *)
+  let name id =
+    Mutex.lock mutex;
+    let n = !names.(id) in
+    Mutex.unlock mutex;
+    n
+
+  let registered () =
+    Mutex.lock mutex;
+    let n = !count in
+    Mutex.unlock mutex;
+    n
+  let other = intern "other"
+  let reply = intern "reply"
+end
+
 type fault_plan = {
   drop : float;  (* per-message loss probability *)
   duplicate : float;  (* probability a message is delivered twice *)
@@ -32,7 +86,7 @@ type 'msg t = {
   mutable sent : int;
   mutable dropped : int;
   mutable duplicated : int;
-  by_kind : (string, int ref) Hashtbl.t;
+  mutable kind_counts : int array; (* indexed by Kind.t; grown on demand *)
 }
 
 let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7) () =
@@ -53,7 +107,7 @@ let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7) 
     sent = 0;
     dropped = 0;
     duplicated = 0;
-    by_kind = Hashtbl.create 16;
+    kind_counts = Array.make (Kind.registered ()) 0;
   }
 
 let engine t = t.engine
@@ -113,23 +167,30 @@ let plan_for t ~src ~dst =
 (* --- accounting --------------------------------------------------------- *)
 
 let count_kind t kind =
-  match Hashtbl.find_opt t.by_kind kind with
-  | Some r -> incr r
-  | None -> Hashtbl.replace t.by_kind kind (ref 1)
+  if kind >= Array.length t.kind_counts then begin
+    (* A kind interned after this network was created (rare): grow once. *)
+    let bigger = Array.make (Kind.registered ()) 0 in
+    Array.blit t.kind_counts 0 bigger 0 (Array.length t.kind_counts);
+    t.kind_counts <- bigger
+  end;
+  t.kind_counts.(kind) <- t.kind_counts.(kind) + 1
 
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped
 let messages_duplicated t = t.duplicated
 
 let messages_by_kind t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let acc = ref [] in
+  Array.iteri
+    (fun kind n -> if n > 0 then acc := (Kind.name kind, n) :: !acc)
+    t.kind_counts;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let reset_counters t =
   t.sent <- 0;
   t.dropped <- 0;
   t.duplicated <- 0;
-  Hashtbl.reset t.by_kind
+  Array.fill t.kind_counts 0 (Array.length t.kind_counts) 0
 
 (* --- delivery ----------------------------------------------------------- *)
 
@@ -147,7 +208,7 @@ let deliver t ~src ~dst msg =
           | None -> ())
   end
 
-let send t ?(kind = "other") ~src ~dst msg =
+let send t ?(kind = Kind.other) ~src ~dst msg =
   if not t.failed.(src) then begin
     if src <> dst then begin
       t.sent <- t.sent + 1;

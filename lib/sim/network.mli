@@ -19,6 +19,26 @@
 
 type 'msg t
 
+(** Interned message-kind labels for per-kind accounting.  Interning costs
+    a (mutex-protected) hashtable lookup; per-message counting is then a
+    plain array increment.  Intern once at module initialisation or setup
+    time and reuse the token — never per message. *)
+module Kind : sig
+  type t
+
+  val intern : string -> t
+  (** Thread-safe and idempotent: the same name always yields the same
+      token. *)
+
+  val name : t -> string
+
+  val other : t
+  (** The default label of unlabelled messages. *)
+
+  val reply : t
+  (** The label RPC replies are accounted under. *)
+end
+
 type fault_plan = {
   drop : float;  (** per-message loss probability *)
   duplicate : float;  (** probability a message is delivered twice *)
@@ -49,11 +69,12 @@ val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
 (** Install the message handler of [node].  At most one handler per node;
     re-installation replaces. *)
 
-val send : 'msg t -> ?kind:string -> src:int -> dst:int -> 'msg -> unit
+val send : 'msg t -> ?kind:Kind.t -> src:int -> dst:int -> 'msg -> unit
 (** Enqueue one message.  [kind] labels the message for accounting
-    (e.g. ["read_req"]); unlabeled messages count as ["other"]. *)
+    (e.g. the interned ["read_req"]); unlabeled messages count as
+    {!Kind.other}. *)
 
-val multicast : 'msg t -> ?kind:string -> src:int -> dsts:int list -> 'msg -> unit
+val multicast : 'msg t -> ?kind:Kind.t -> src:int -> dsts:int list -> 'msg -> unit
 (** [send] to every destination (self included if listed). *)
 
 val fail : 'msg t -> int -> unit

@@ -26,7 +26,7 @@ let handle_envelope t ~node ~src env =
         begin
           match server ~src payload with
           | Some rep when wants_reply ->
-            Network.send t.network ~kind:"reply" ~src:node ~dst:src
+            Network.send t.network ~kind:Network.Kind.reply ~src:node ~dst:src
               (Reply { rid; payload = rep })
           | Some _ | None -> ()
         end

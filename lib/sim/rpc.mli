@@ -23,7 +23,7 @@ val serve : ('req, 'rep) t -> node:int -> (src:int -> 'req -> 'rep option) -> un
 
 val call :
   ('req, 'rep) t ->
-  ?kind:string ->
+  ?kind:Network.Kind.t ->
   src:int ->
   dst:int ->
   timeout:float ->
@@ -34,7 +34,7 @@ val call :
 
 val multicall :
   ('req, 'rep) t ->
-  ?kind:string ->
+  ?kind:Network.Kind.t ->
   src:int ->
   dsts:int list ->
   timeout:float ->
@@ -45,15 +45,15 @@ val multicall :
     or at [timeout] with whatever arrived.  [on_done] is called exactly
     once.  Replies arriving after the timeout are discarded. *)
 
-val cast : ('req, 'rep) t -> ?kind:string -> src:int -> dst:int -> 'req -> unit
+val cast : ('req, 'rep) t -> ?kind:Network.Kind.t -> src:int -> dst:int -> 'req -> unit
 (** One-way request; any reply the server produces is dropped. *)
 
 val multicast :
-  ('req, 'rep) t -> ?kind:string -> src:int -> dsts:int list -> 'req -> unit
+  ('req, 'rep) t -> ?kind:Network.Kind.t -> src:int -> dsts:int list -> 'req -> unit
 
 val acked_send :
   ('req, 'rep) t ->
-  ?kind:string ->
+  ?kind:Network.Kind.t ->
   ?attempts:int ->
   src:int ->
   dst:int ->
@@ -67,7 +67,7 @@ val acked_send :
 
 val acked_multicast :
   ('req, 'rep) t ->
-  ?kind:string ->
+  ?kind:Network.Kind.t ->
   ?attempts:int ->
   src:int ->
   dsts:int list ->

@@ -53,17 +53,18 @@ module Make (Elt : ORDERED) = struct
 
   let min_elt h = if h.size = 0 then None else Some h.data.(0)
 
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.data.(0) in
-      h.size <- h.size - 1;
-      if h.size > 0 then begin
-        h.data.(0) <- h.data.(h.size);
-        sift_down h 0
-      end;
-      Some top
-    end
+  let unsafe_top h = h.data.(0)
+
+  let unsafe_pop h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    top
+
+  let pop h = if h.size = 0 then None else Some (unsafe_pop h)
 
   let clear h =
     h.data <- [||];

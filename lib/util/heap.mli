@@ -31,6 +31,14 @@ module Make (Elt : ORDERED) : sig
   val pop : t -> Elt.t option
   (** Remove and return the smallest element. O(log n). *)
 
+  val unsafe_top : t -> Elt.t
+  (** Smallest element without an option allocation.  The heap must be
+      non-empty (guard with {!is_empty}); undefined otherwise. *)
+
+  val unsafe_pop : t -> Elt.t
+  (** Remove and return the smallest element without an option allocation.
+      The heap must be non-empty (guard with {!is_empty}). *)
+
   val clear : t -> unit
   (** Remove every element. *)
 

@@ -49,11 +49,20 @@ let shuffle rng arr =
 (* Inverse-CDF Zipf by bisection over the cumulative weights.  n is small in
    our workloads (<= tens of thousands) so we precompute lazily per call
    bound; callers that care cache the result via partial application is not
-   possible with mutable rng, so we memoise on (n, skew). *)
-let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+   possible with mutable rng, so we memoise on (n, skew).
+
+   The memo table is the one piece of module-level mutable state in the
+   whole library, so it lives in domain-local storage: each domain of the
+   parallel harness keeps its own table and there is no cross-domain
+   sharing (and no locking on this per-draw path).  The cached array is a
+   pure function of (n, skew), so every domain computes identical values —
+   determinism is unaffected. *)
+let zipf_tables : (int * float, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 7)
 
 let zipf_cdf n skew =
-  match Hashtbl.find_opt zipf_tables (n, skew) with
+  let tables = Domain.DLS.get zipf_tables in
+  match Hashtbl.find_opt tables (n, skew) with
   | Some cdf -> cdf
   | None ->
     let weights = Array.init n (fun i -> 1.0 /. ((Float.of_int (i + 1)) ** skew)) in
@@ -66,7 +75,7 @@ let zipf_cdf n skew =
           !acc)
         weights
     in
-    Hashtbl.replace zipf_tables (n, skew) cdf;
+    Hashtbl.replace tables (n, skew) cdf;
     cdf
 
 let zipf rng ~n ~skew =

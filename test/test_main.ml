@@ -10,6 +10,7 @@ let () = Alcotest.run "qr_dtm" [
       ("extensions", Test_extensions.suite);
       ("serializability", Test_serializability.suite);
       ("harness", Test_harness.suite);
+      ("parallel", Test_parallel.suite);
       ("smoke", Test_smoke.suite);
       ("structures", Test_structures.suite);
       ("benchmarks", Test_benchmarks.suite);

@@ -61,8 +61,9 @@ let test_network_delivery_and_counting () =
   let engine, network = make_network () in
   let received = ref [] in
   Sim.Network.set_handler network ~node:1 (fun ~src msg -> received := (src, msg) :: !received);
-  Sim.Network.send network ~kind:"ping" ~src:0 ~dst:1 "hello";
-  Sim.Network.send network ~kind:"ping" ~src:2 ~dst:1 "world";
+  let ping = Sim.Network.Kind.intern "ping" in
+  Sim.Network.send network ~kind:ping ~src:0 ~dst:1 "hello";
+  Sim.Network.send network ~kind:ping ~src:2 ~dst:1 "world";
   Sim.Network.send network ~src:1 ~dst:1 "self";
   Sim.Engine.run engine;
   Alcotest.(check int) "two handled remotely, one locally" 3 (List.length !received);

@@ -25,6 +25,61 @@ let heap_sorts =
       in
       drain [] = List.sort Int.compare xs)
 
+(* Model-based check: drive the heap and a sorted-list model through the
+   same random add/pop interleaving; every observation (length, min, pop
+   results, final drain) must agree, which pins the heap invariant. *)
+let heap_interleaving_matches_model =
+  QCheck.Test.make ~name:"heap matches sorted model under add/pop interleavings"
+    ~count:300
+    QCheck.(list (option int))
+    (fun ops ->
+      let h = Int_heap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+            Int_heap.add h x;
+            model := List.sort Int.compare (x :: !model);
+            Int_heap.length h = List.length !model
+            && Int_heap.min_elt h = (match !model with [] -> None | m :: _ -> Some m)
+          | None ->
+            let expected =
+              match !model with
+              | [] -> None
+              | m :: rest ->
+                model := rest;
+                Some m
+            in
+            Int_heap.pop h = expected)
+        ops
+      && Int_heap.to_sorted_list h = !model)
+
+let heap_to_sorted_list_sorted =
+  QCheck.Test.make ~name:"to_sorted_list is the sorted multiset" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.add h) xs;
+      Int_heap.to_sorted_list h = List.sort Int.compare xs)
+
+(* The engine's hot path relies on unsafe_top/unsafe_pop; they must observe
+   exactly what the option-returning API observes. *)
+let heap_unsafe_ops_agree =
+  QCheck.Test.make ~name:"unsafe_top/unsafe_pop agree with min_elt/pop" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let h = Int_heap.create () and h' = Int_heap.create () in
+      List.iter (Int_heap.add h) xs;
+      List.iter (Int_heap.add h') xs;
+      let ok = ref true in
+      while not (Int_heap.is_empty h) do
+        if Int_heap.min_elt h <> Some (Int_heap.unsafe_top h) then ok := false;
+        if Some (Int_heap.unsafe_pop h) <> Int_heap.pop h' then ok := false
+      done;
+      !ok && Int_heap.pop h' = None)
+
 let test_rng_deterministic () =
   let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
   for _ = 1 to 100 do
@@ -127,7 +182,16 @@ let test_table_render () =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ heap_sorts; rng_bounds; rng_float_bounds; zipf_bounds; stats_merge_matches_sequential ]
+    [
+      heap_sorts;
+      heap_interleaving_matches_model;
+      heap_to_sorted_list_sorted;
+      heap_unsafe_ops_agree;
+      rng_bounds;
+      rng_float_bounds;
+      zipf_bounds;
+      stats_merge_matches_sequential;
+    ]
 
 let suite =
   [
