@@ -218,6 +218,94 @@ let scenario_cmd =
       const run $ spec_arg $ bench_arg $ mode_arg $ nodes_arg $ clients_arg $ duration_arg
       $ seed_arg)
 
+let chaos_cmd =
+  let runs_arg =
+    Arg.(value & opt int 25 & info [ "runs" ] ~docv:"N" ~doc:"Seeded schedules to run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed; runs use SEED..SEED+N-1.")
+  in
+  let nodes_arg = Arg.(value & opt int 9 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.") in
+  let clients_arg =
+    Arg.(value & opt int 18 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients (all nodes).")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 8_000. & info [ "horizon" ] ~docv:"MS" ~doc:"Fault+load window, ms.")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 2 & info [ "max-crashes" ] ~docv:"N" ~doc:"Crash/recover pairs per schedule: 0..N.")
+  in
+  let mode_arg =
+    let doc = "Execution model: flat, closed or checkpoint." in
+    Arg.(value & opt string "closed" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON array of per-seed results.")
+  in
+  let failures_arg =
+    let doc = "Write failing schedules (seed + scenario DSL) to $(docv) for reproduction." in
+    Arg.(value & opt (some string) None & info [ "failures-to" ] ~docv:"FILE" ~doc)
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every per-seed result, not just failures.")
+  in
+  let show_arg =
+    Arg.(value & flag & info [ "show" ] ~doc:"Print each seed's generated schedule without running it.")
+  in
+  let run runs seed nodes clients horizon max_crashes mode json failures_to verbose show =
+    let mode =
+      match mode with
+      | "flat" -> Core.Config.Flat
+      | "closed" -> Core.Config.Closed
+      | "checkpoint" -> Core.Config.Checkpoint
+      | other -> failwith (Printf.sprintf "unknown mode %S" other)
+    in
+    let knobs =
+      { Harness.Chaos.default_knobs with nodes; clients; horizon; max_crashes }
+    in
+    if show then begin
+      for s = seed to seed + runs - 1 do
+        Printf.printf "seed %d: %s\n" s
+          (Harness.Chaos.render_schedule (Harness.Chaos.generate knobs ~seed:s))
+      done;
+      exit 0
+    end;
+    let results =
+      Harness.Chaos.run_many ~config:(Core.Config.default mode) knobs ~seed ~runs
+    in
+    let failed = Harness.Chaos.failures results in
+    if json then print_endline (Harness.Chaos.results_to_json results)
+    else begin
+      List.iter
+        (fun r ->
+          if verbose || not (Harness.Chaos.passed r) then
+            Format.printf "%a@." Harness.Chaos.pp_result r)
+        results;
+      print_endline (Harness.Chaos.summary results)
+    end;
+    Option.iter
+      (fun path ->
+        if failed <> [] then begin
+          let oc = open_out path in
+          List.iter
+            (fun (r : Harness.Chaos.result) ->
+              Printf.fprintf oc "# seed %d\n%s\n" r.Harness.Chaos.seed
+                (Harness.Chaos.render_schedule r.Harness.Chaos.events))
+            failed;
+          close_out oc
+        end)
+      failures_to;
+    if failed <> [] then exit 1
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:"Run seeded random fault schedules and check safety + liveness oracles"
+  in
+  Cmd.v info
+    Term.(
+      const run $ runs_arg $ seed_arg $ nodes_arg $ clients_arg $ horizon_arg
+      $ crashes_arg $ mode_arg $ json_arg $ failures_arg $ verbose_arg $ show_arg)
+
 let all_cmd =
   let run scale jobs =
     set_jobs jobs;
@@ -232,6 +320,7 @@ let main =
     Cmd.info "qr-dtm"
       ~doc:"Quorum-based replicated DTM with closed nesting and checkpointing"
   in
-  Cmd.group info [ figure_cmd; table_cmd; summary_cmd; run_cmd; scenario_cmd; all_cmd ]
+  Cmd.group info
+    [ figure_cmd; table_cmd; summary_cmd; run_cmd; scenario_cmd; chaos_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -54,7 +54,9 @@ let serve t node ~src:_ request =
         (fun (oid, version) ->
           let copy = Store.Replica.get store oid in
           copy.version = version
-          && match copy.protected_by with None -> true | Some owner -> owner = txn)
+          && match copy.protected_by with
+             | None -> true
+             | Some lease -> lease.Store.Replica.owner = txn)
         entries
     in
     if not valid then Some (Lock_ok false)

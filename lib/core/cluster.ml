@@ -23,26 +23,45 @@ let write_quorum_of t ~node =
 
 let nodes t = Array.length t.servers
 
-(* Re-admit a node to quorum construction.  For a recovered crash this runs
-   only after state transfer completed; for a cleared false suspicion the
-   node never lost state and rejoins immediately. *)
+(* Re-admit a node to quorum construction.  This runs only after state
+   transfer completed — for recovered crashes AND cleared false
+   suspicions alike (see [resync]). *)
 let readmit t node =
   Quorum.Tree_quorum.revive t.tree_quorum node;
   Sim.Failure.clear_suspicion t.failure node
 
-(* Catch-up protocol for a recovering node: refresh the stale replica from
-   a full read quorum (which intersects every write quorum, so the
-   per-object maximum version over the replies covers every committed
-   write), then rejoin.  The node itself is still marked failed in the
-   quorum layer, so the sync quorum never includes it. *)
-let rec resync t ~node ~started =
+(* Catch-up protocol for a node rejoining the membership view: refresh the
+   stale replica from a full read quorum (which intersects every write
+   quorum {e of the current view}, so the per-object maximum version over
+   the replies covers every committed write), then rejoin.  The node
+   itself is still marked failed in the quorum layer, so the sync quorum
+   never includes it.
+
+   Crucially this runs for cleared false suspicions too, not just crash
+   recoveries: while a node is suspected, quorum construction routes
+   around it, so commits during that window may touch {e no} member of a
+   quorum the rejoining node later serves in.  Tree-quorum intersection
+   only holds between quorums built under the same view — a node that was
+   out of the view must state-transfer before serving again, or a
+   post-heal read quorum made of bypassed members can miss a
+   during-partition commit entirely (observed as a stale-read livelock:
+   deterministic quorums re-serve the same stale version every retry,
+   and write-quorum members that are ahead vote the commit down
+   forever). *)
+let rec resync t ~node ~started ~was_killed =
+  (* Read ∪ write quorum, like the status peer set: commits decided just
+     before this sync may still have Applies in flight, and the wider set
+     maximises the chance of hitting a member that already installed
+     them. *)
   let quorum =
-    Option.value ~default:[]
-      (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
+    let of_opt q = Option.value ~default:[] q in
+    List.sort_uniq Int.compare
+      (of_opt (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
+      @ of_opt (Quorum.Tree_quorum.write_quorum ~salt:node t.tree_quorum))
   in
   let retry () =
     Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
-        resync t ~node ~started)
+        resync t ~node ~started ~was_killed)
   in
   match quorum with
   | [] -> retry ()
@@ -64,12 +83,13 @@ let rec resync t ~node ~started =
                     Store.Replica.sync_copy store ~oid ~version ~value)
                   objects
               | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
-              | Messages.Ack ->
+              | Messages.Status_rep _ | Messages.Ack ->
                 ())
             replies;
           readmit t node;
-          Metrics.note_recovery t.metrics
-            ~duration:(Sim.Engine.now t.engine -. started)
+          if was_killed then
+            Metrics.note_recovery t.metrics
+              ~duration:(Sim.Engine.now t.engine -. started)
         end)
 
 let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_level = 1)
@@ -108,14 +128,42 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
         (fun ~node ->
           Option.value ~default:[]
             (Quorum.Tree_quorum.write_quorum ~salt:node tree_quorum));
+      node_alive = (fun node -> not (Sim.Network.is_failed network node));
     }
   in
   let executor =
     Executor.create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed:(seed + 3) ()
   in
+  (* Arm the lease-termination machinery on every replica.  The peer set —
+     read quorum extended with the write quorum, both salted by the asking
+     node — is consulted lazily at status time so node failures are
+     respected.  The union intersects the lease owner's write quorum in
+     several members (every write quorum shares the root and overlapping
+     child majorities), so a decided commit stays visible even when a
+     lossy link starved one intersection node of its Apply. *)
+  Array.iter
+    (fun server ->
+      Server.enable_termination server ~engine ~rpc
+        ~status_peers:(fun () ->
+          let salt = Server.node server in
+          let of_opt q = Option.value ~default:[] q in
+          List.sort_uniq Int.compare
+            (of_opt (Quorum.Tree_quorum.read_quorum ~salt tree_quorum)
+            @ of_opt (Quorum.Tree_quorum.write_quorum ~salt tree_quorum)))
+        ~metrics ~config)
+    servers;
   let failure =
     Sim.Failure.create ~engine ~detection_delay ~detection_jitter ~seed:(seed + 5)
-      ~kill:(fun node -> Sim.Network.fail network node)
+      ~kill:(fun node ->
+        Sim.Network.fail network node;
+        (* Fail-stop loses volatile state: locks, leases and the applied
+           set die with the node (durable copies survive until the
+           recovery resync refreshes them).  This also silences the dead
+           node's lease watchdogs — behind a failed NIC their status
+           rounds could never complete and would retry forever. *)
+        Store.Replica.reset_transients (Server.store servers.(node));
+        (* Coordinators hosted on the node die with it (fail-stop). *)
+        Executor.kill_node executor ~node)
       ()
   in
   Sim.Failure.on_detect failure (fun node ->
@@ -138,8 +186,10 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
   in
   Sim.Failure.on_recover failure (fun ~node ~was_killed ->
       Sim.Network.revive t.network node;
-      if was_killed then resync t ~node ~started:(Sim.Engine.now t.engine)
-      else readmit t node);
+      (* Both paths state-transfer before rejoining: a falsely suspected
+         node kept its disk but was bypassed by quorums, so it may have
+         missed commits just like a crashed one. *)
+      resync t ~node ~started:(Sim.Engine.now t.engine) ~was_killed);
   t
 
 let engine t = t.engine
@@ -162,6 +212,7 @@ let alloc_object t ~init =
   oid
 
 let store_of t ~node = Server.store t.servers.(node)
+let server_of t ~node = t.servers.(node)
 
 let submit t ~node program ~on_done = Executor.run_root t.executor ~node ~program ~on_done
 
@@ -195,9 +246,22 @@ let check_consistency t =
 
 let reset_counters t =
   Metrics.reset t.metrics;
-  Sim.Network.reset_counters t.network
+  Sim.Network.reset_counters t.network;
+  Sim.Rpc.reset_give_ups t.rpc
 
 let messages_sent t = Sim.Network.messages_sent t.network
 let messages_by_kind t = Sim.Network.messages_by_kind t.network
 let messages_dropped t = Sim.Network.messages_dropped t.network
 let messages_duplicated t = Sim.Network.messages_duplicated t.network
+let retransmit_exhausted t = Sim.Rpc.give_ups t.rpc
+let in_flight t = Executor.in_flight t.executor
+
+let held_leases t =
+  let acc = ref [] in
+  Array.iteri
+    (fun node server ->
+      List.iter
+        (fun (oid, owner, expires) -> acc := (node, oid, owner, expires) :: !acc)
+        (Store.Replica.held_leases (Server.store server)))
+    t.servers;
+  List.rev !acc

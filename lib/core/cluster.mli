@@ -48,6 +48,10 @@ val install_object : t -> oid:Ids.obj_id -> init:Txn.value -> unit
 val store_of : t -> node:int -> Store.Replica.t
 (** Direct replica access, for tests and white-box assertions. *)
 
+val server_of : t -> node:int -> Server.t
+(** Direct protocol-handler access, for tests that hand-deliver requests
+    (e.g. staging a decided-but-partially-applied commit). *)
+
 val read_quorum_of : t -> node:int -> int list
 val write_quorum_of : t -> node:int -> int list
 
@@ -90,3 +94,16 @@ val messages_sent : t -> int
 val messages_by_kind : t -> (string * int) list
 val messages_dropped : t -> int
 val messages_duplicated : t -> int
+
+val retransmit_exhausted : t -> int
+(** At-least-once deliveries (Apply / Release) that ran out of
+    retransmission attempts without an acknowledgement — previously silent;
+    see {!Sim.Rpc.give_ups}. *)
+
+val in_flight : t -> (int * Ids.txn_id) list
+(** Live root transactions as [(coordinator node, txn id)] — stall-report
+    diagnostics. *)
+
+val held_leases : t -> (int * Ids.obj_id * int * float) list
+(** Every write-lock lease currently held across the cluster, as
+    [(replica node, oid, owner txn, expiry)] — stall-report diagnostics. *)

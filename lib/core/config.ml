@@ -18,13 +18,19 @@ type t = {
   commit_lock_retries : int;
   max_attempts : int;
   max_steps_per_attempt : int;
+  lease_duration : float;
+  lease_safety_margin : float;
+  status_grace : float;
+  status_attempts : int;
 }
 
 let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhead = 2.0)
     ?(local_op_cost = 0.02) ?(request_timeout = 400.) ?(backoff_base = 4.)
     ?(backoff_max = 250.) ?(ct_retry_delay = 1.) ?(commit_lock_retries = 0)
-    ?(max_attempts = 0) ?(max_steps_per_attempt = 20_000) mode =
+    ?(max_attempts = 0) ?(max_steps_per_attempt = 20_000) ?(lease_duration = 800.)
+    ?(lease_safety_margin = 100.) ?(status_grace = 200.) ?(status_attempts = 3) mode =
   assert (checkpoint_threshold >= 1);
+  assert (lease_duration = 0. || lease_duration > lease_safety_margin);
   {
     mode;
     rqv_for_flat;
@@ -38,6 +44,10 @@ let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhe
     commit_lock_retries;
     max_attempts;
     max_steps_per_attempt;
+    lease_duration;
+    lease_safety_margin;
+    status_grace;
+    status_attempts;
   }
 
 let default mode = make mode

@@ -40,11 +40,30 @@ type t = {
           Closed nesting / checkpointing validate on remote reads but can
           still cycle through locally cached entries, so the guard applies
           to every mode. *)
+  lease_duration : float;
+      (** write-lock lease horizon, ms: locks granted during the 2PC vote
+          expire this long after the grant (renewed by any further traffic
+          from the owning transaction).  [0.] disables lease-based
+          termination entirely — locks then only fall with an explicit
+          Release, as in the paper. *)
+  lease_safety_margin : float;
+      (** the coordinator refuses to commit within this many ms of its own
+          lease expiry (the decision would race the replicas' presumed
+          abort); must be < [lease_duration] when leases are on *)
+  status_grace : float;
+      (** how long past expiry a replica waits before starting the status
+          query, covering in-flight Apply messages sent just before the
+          coordinator's commit deadline *)
+  status_attempts : int;
+      (** status-query rounds against an unreachable read quorum before the
+          replica falls back to presumed abort (bounded so a partitioned
+          replica terminates) *)
 }
 
 val make : ?rqv_for_flat:bool -> ?checkpoint_threshold:int -> ?checkpoint_overhead:float ->
   ?local_op_cost:float -> ?request_timeout:float -> ?backoff_base:float ->
   ?backoff_max:float -> ?ct_retry_delay:float -> ?commit_lock_retries:int ->
-  ?max_attempts:int -> ?max_steps_per_attempt:int -> mode -> t
+  ?max_attempts:int -> ?max_steps_per_attempt:int -> ?lease_duration:float ->
+  ?lease_safety_margin:float -> ?status_grace:float -> ?status_attempts:int -> mode -> t
 
 val default : mode -> t

@@ -1,7 +1,13 @@
 type quorums = {
   read_quorum : node:int -> int list;
   write_quorum : node:int -> int list;
+  node_alive : int -> bool;
 }
+
+(* Handle on a live root, kept in a per-executor registry so a fail-stop of
+   the hosting node can kill its coordinators (their threads die with the
+   machine) and so diagnostics can list in-flight transactions. *)
+type active = { a_id : int; a_node : int; a_txn : unit -> int; a_kill : unit -> unit }
 
 type t = {
   engine : Sim.Engine.t;
@@ -15,6 +21,8 @@ type t = {
   scratch_dataset : (int, Messages.dataset_entry) Hashtbl.t;
       (* reused by [full_dataset]; an executor runs inside one simulation
          (one domain), so sharing the scratch across roots is safe *)
+  mutable actives : active list;
+  mutable next_active : int;
 }
 
 let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed () =
@@ -28,6 +36,8 @@ let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed () =
     ids;
     rng = Util.Rng.create seed;
     scratch_dataset = Hashtbl.create 64;
+    actives = [];
+    next_active = 0;
   }
 
 let config t = t.config
@@ -65,6 +75,18 @@ type root = {
   mutable next_chk : int;
   mutable since_chk : int;
   mutable last_validation_sent : float;
+  mutable lock_deadline : float;
+      (* the coordinator's own view of its lease horizon: past it, replicas
+         may presume-abort its locks, so a commit decision is forbidden *)
+  mutable extra_read_peers : int list;
+      (* commit-time read repair: write-quorum members that vetoed a commit
+         as stale (no lock conflict) hold newer versions than this root's
+         read quorum served.  After a partition heal the read quorum can be
+         consistently stale — quorums built under different membership
+         views need not intersect — so re-reading the same quorum would
+         veto forever.  Widening subsequent reads to include the witnesses
+         adopts the newer version; the retried commit's Apply then repairs
+         the stale members for every later transaction. *)
   mutable commit_lock_budget : int;
   mutable compensations : (unit -> Txn.t) list; (* open nesting; newest first *)
   mutable steps : int; (* DSL steps this attempt; zombie guard *)
@@ -159,6 +181,7 @@ let rec start_attempt root =
   root.next_chk <- 1;
   root.since_chk <- 0;
   root.last_validation_sent <- now root;
+  root.lock_deadline <- Float.infinity;
   root.commit_lock_budget <- root.exec.config.commit_lock_retries;
   root.steps <- 0;
   root.generation <- root.generation + 1;
@@ -241,9 +264,14 @@ and remote_fetch root ~oid ~write ~k =
       Messages.Read_req
         { txn = root.txn_id; oid; dataset; write_intent = Option.is_some write; record }
     in
+    let dsts =
+      match root.extra_read_peers with
+      | [] -> quorum
+      | extra -> List.sort_uniq Int.compare (extra @ quorum)
+    in
     root.last_validation_sent <- now root;
     let generation = root.generation in
-    Sim.Rpc.multicall exec.rpc ~kind:Messages.read_req_kind ~src:root.node ~dsts:quorum
+    Sim.Rpc.multicall exec.rpc ~kind:Messages.read_req_kind ~src:root.node ~dsts
       ~timeout:exec.config.request_timeout request
       ~on_done:(fun ~replies ~missing ->
         if still_current root generation then
@@ -252,7 +280,18 @@ and remote_fetch root ~oid ~write ~k =
 and handle_read_replies root ~oid ~write ~k ~replies ~missing =
   let exec = root.exec in
   if missing <> [] then begin
-    (* A quorum member failed mid-request: retry with refreshed quorums. *)
+    (* A quorum member failed mid-request: retry with refreshed quorums.
+       Drop widened-read witnesses that are missing AND dead — a dead
+       witness can no longer veto a commit, and keeping it would leave
+       every retry incomplete forever.  A witness that is merely
+       unreachable (partition, flaky link) is kept: its newer version is
+       exactly what the widening exists to fetch, so the read must keep
+       trying until the fault clears. *)
+    if root.extra_read_peers <> [] then
+      root.extra_read_peers <-
+        List.filter
+          (fun n -> (not (List.mem n missing)) || exec.quorums.node_alive n)
+          root.extra_read_peers;
     Metrics.note_quorum_retry exec.metrics;
     schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay) (fun () ->
         remote_fetch root ~oid ~write ~k)
@@ -264,7 +303,7 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
           match reply with
           | Messages.Read_abort { target } ->
             Some (match acc with None -> target | Some t -> Stdlib.min t target)
-          | Messages.Read_ok _ | Messages.Vote _ | Messages.Sync_rep _
+          | Messages.Read_ok _ | Messages.Vote _ | Messages.Sync_rep _ | Messages.Status_rep _
           | Messages.Ack ->
             acc)
         None replies
@@ -283,7 +322,7 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
                   | Some (v, _) when v >= version -> acc
                   | Some _ | None -> Some (version, value)
                 end
-              | Messages.Read_abort _ | Messages.Vote _ | Messages.Sync_rep _
+              | Messages.Read_abort _ | Messages.Vote _ | Messages.Sync_rep _ | Messages.Status_rep _
               | Messages.Ack ->
                 acc)
             None replies
@@ -474,6 +513,13 @@ and send_commit_request root ~scope ~value =
     in
     let locks = Rwset.oids scope.wset in
     let window_start = now root in
+    (* Conservative lease horizon: leases are stamped at replica receipt
+       (later than this send), so deciding commit before [lock_deadline]
+       guarantees no replica has presumed-abort'd the locks yet. *)
+    root.lock_deadline <-
+      (if exec.config.lease_duration > 0. && locks <> [] then
+         window_start +. exec.config.lease_duration -. exec.config.lease_safety_margin
+       else Float.infinity);
     let generation = root.generation in
     Sim.Rpc.multicall exec.rpc ~kind:Messages.commit_req_kind ~src:root.node ~dsts:quorum
       ~timeout:exec.config.request_timeout
@@ -508,12 +554,21 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
           match reply with
           | Messages.Vote { commit; lock_conflict } ->
             (all && commit, lock || lock_conflict)
-          | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Sync_rep _
+          | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Sync_rep _ | Messages.Status_rep _
           | Messages.Ack ->
             (false, lock))
         (true, false) replies
     in
-    if all_commit then begin
+    if all_commit && now root > root.lock_deadline then begin
+      (* The votes arrived past the coordinator's lease horizon: replicas
+         may already be presuming abort, so committing now could race a
+         conflicting writer.  Walk away — Release is harmless whether or
+         not the leases already fell. *)
+      Metrics.note_commit_deadline_abort exec.metrics;
+      release_locks root ~quorum ~locks;
+      root_abort root
+    end
+    else if all_commit then begin
       let writes =
         List.map
           (fun (e : Rwset.entry) -> (e.oid, e.version + 1, e.value))
@@ -531,6 +586,23 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
     end
     else begin
       release_locks root ~quorum ~locks;
+      (* Stale vetoes (no lock conflict) witness versions the read quorum
+         missed — see [extra_read_peers]. *)
+      let stale_witnesses =
+        List.filter_map
+          (fun (n, reply) ->
+            match reply with
+            | Messages.Vote { commit = false; lock_conflict = false } -> Some n
+            | Messages.Vote _ | Messages.Read_ok _ | Messages.Read_abort _
+            | Messages.Sync_rep _ | Messages.Status_rep _ | Messages.Ack ->
+              None)
+          replies
+      in
+      if stale_witnesses <> [] then begin
+        Metrics.note_read_widening exec.metrics;
+        root.extra_read_peers <-
+          List.sort_uniq Int.compare (stale_witnesses @ root.extra_read_peers)
+      end;
       if any_lock_conflict && root.commit_lock_budget > 0 then begin
         (* Ablation knob: a lock conflict may resolve as soon as the holder
            finishes its 2PC; optionally retry the commit before aborting. *)
@@ -569,6 +641,14 @@ and finish root outcome =
   end
 
 and spawn_root t ~node ~program ~on_done =
+  let id = t.next_active in
+  t.next_active <- id + 1;
+  (* The registry entry is dropped exactly when the root finishes
+     normally; a kill drops it from the [kill_node] side instead. *)
+  let on_done outcome =
+    t.actives <- List.filter (fun a -> a.a_id <> id) t.actives;
+    on_done outcome
+  in
   let root =
     {
       exec = t;
@@ -583,6 +663,8 @@ and spawn_root t ~node ~program ~on_done =
       next_chk = 1;
       since_chk = 0;
       last_validation_sent = Sim.Engine.now t.engine;
+      lock_deadline = Float.infinity;
+      extra_read_peers = [];
       commit_lock_budget = t.config.commit_lock_retries;
       compensations = [];
       steps = 0;
@@ -590,6 +672,29 @@ and spawn_root t ~node ~program ~on_done =
       finished = false;
     }
   in
+  let handle =
+    {
+      a_id = id;
+      a_node = node;
+      a_txn = (fun () -> root.txn_id);
+      a_kill =
+        (fun () ->
+          (* Fail-stop semantics: the coordinator's thread dies with its
+             machine.  No outcome is delivered — in particular the root's
+             client never resubmits — and any in-flight reply is dropped by
+             the generation check. *)
+          root.finished <- true;
+          root.generation <- root.generation + 1);
+    }
+  in
+  t.actives <- handle :: t.actives;
   start_attempt root
+
+let kill_node t ~node =
+  let mine, rest = List.partition (fun a -> a.a_node = node) t.actives in
+  t.actives <- rest;
+  List.iter (fun a -> a.a_kill ()) mine
+
+let in_flight t = List.map (fun a -> (a.a_node, a.a_txn ())) t.actives
 
 let run_root = spawn_root

@@ -25,6 +25,9 @@
 type quorums = {
   read_quorum : node:int -> int list;
   write_quorum : node:int -> int list;
+  node_alive : int -> bool;
+      (** Ground-truth fail-stop state (not detector suspicion) — gates the
+          pruning of widened-read witnesses that stop answering. *)
 }
 
 type t
@@ -50,6 +53,17 @@ val run_root : t -> node:int -> program:(unit -> Txn.t) -> on_done:(outcome -> u
 (** Start a root transaction on [node].  [program] must be re-runnable: it
     is re-invoked from scratch on every root retry.  [on_done] fires exactly
     once, when the transaction finally commits or fails permanently. *)
+
+val kill_node : t -> node:int -> unit
+(** Fail-stop every root whose coordinator runs on [node]: their threads die
+    with the machine.  No outcome is delivered (in particular [on_done]
+    never fires), so a closed-loop client hosted there stops resubmitting —
+    matching the simulator's crash model, where a node loses its volatile
+    state.  Replies in flight to a killed root are dropped. *)
+
+val in_flight : t -> (int * Ids.txn_id) list
+(** The live roots as [(node, current txn id)] pairs — diagnostic input for
+    stall reports. *)
 
 val config : t -> Config.t
 val metrics : t -> Metrics.t

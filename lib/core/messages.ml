@@ -27,12 +27,20 @@ type request =
   | Sync_req
       (* catch-up request from a recovering node: the receiver answers with
          a snapshot of its committed state *)
+  | Status_req of { txn : Ids.txn_id; oids : Ids.obj_id list }
+      (* termination protocol: a replica holding an expired lease of [txn]
+         over [oids] asks a read quorum whether the transaction decided
+         commit (presumed abort otherwise) *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
   | Read_abort of { target : int }
   | Vote of { commit : bool; lock_conflict : bool }
   | Sync_rep of { objects : (Ids.obj_id * int * Txn.value) list }
+  | Status_rep of { committed : bool; objects : (Ids.obj_id * int * Txn.value) list }
+      (* [committed]: this replica observed the transaction's Apply;
+         [objects]: its current copies of the queried oids, so a decided
+         commit's write can be adopted by the asking replica *)
   | Ack  (* acknowledges idempotent one-way messages (Apply, Release) *)
 
 (* Accounting labels, interned once at module load so the network layer
@@ -42,6 +50,7 @@ let commit_req_kind = Sim.Network.Kind.intern "commit_req"
 let apply_kind = Sim.Network.Kind.intern "commit_apply"
 let release_kind = Sim.Network.Kind.intern "release"
 let sync_req_kind = Sim.Network.Kind.intern "sync_req"
+let status_req_kind = Sim.Network.Kind.intern "status_req"
 
 let kind_token_of_request = function
   | Read_req _ -> read_req_kind
@@ -49,5 +58,6 @@ let kind_token_of_request = function
   | Apply _ -> apply_kind
   | Release _ -> release_kind
   | Sync_req -> sync_req_kind
+  | Status_req _ -> status_req_kind
 
 let kind_of_request request = Sim.Network.Kind.name (kind_token_of_request request)

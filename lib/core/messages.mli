@@ -36,6 +36,11 @@ type request =
   | Sync_req
       (** crash-recovery catch-up: a recovering node asks a read quorum for
           snapshots of their committed state *)
+  | Status_req of { txn : Ids.txn_id; oids : Ids.obj_id list }
+      (** termination protocol: a replica holding an expired lease of [txn]
+          over [oids] asks a read quorum whether the transaction decided
+          commit before releasing (presumed abort) or adopting its write
+          (rescued commit) *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
@@ -48,6 +53,11 @@ type reply =
   | Sync_rep of { objects : (Ids.obj_id * int * Txn.value) list }
       (** committed state snapshot: (oid, version, value); locks and PR/PW
           lists are transient and not transferred *)
+  | Status_rep of { committed : bool; objects : (Ids.obj_id * int * Txn.value) list }
+      (** [committed]: this replica observed the transaction's Apply;
+          [objects]: its current copies of the queried oids — a newer
+          version among them is equally valid commit evidence, and carries
+          the value the asking replica must adopt *)
   | Ack
       (** acknowledges the idempotent one-way messages (Apply / Release) so
           they can be retransmitted over lossy links *)
@@ -64,6 +74,7 @@ val commit_req_kind : Sim.Network.Kind.t
 val apply_kind : Sim.Network.Kind.t
 val release_kind : Sim.Network.Kind.t
 val sync_req_kind : Sim.Network.Kind.t
+val status_req_kind : Sim.Network.Kind.t
 
 val kind_token_of_request : request -> Sim.Network.Kind.t
 (** The interned accounting label of a request. *)

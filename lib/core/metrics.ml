@@ -14,6 +14,12 @@ type t = {
   mutable syncs : int;
   mutable recoveries : int;
   mutable recovery_times : Util.Stats.t;
+  mutable lease_expirations : int;
+  mutable presumed_aborts : int;
+  mutable status_rescued_commits : int;
+  mutable commit_deadline_aborts : int;
+  mutable read_widenings : int;
+  mutable stalls_detected : int;
 }
 
 let create () =
@@ -33,6 +39,12 @@ let create () =
     recoveries = 0;
     recovery_times = Util.Stats.create ();
     latencies = Util.Stats.create ();
+    lease_expirations = 0;
+    presumed_aborts = 0;
+    status_rescued_commits = 0;
+    read_widenings = 0;
+    commit_deadline_aborts = 0;
+    stalls_detected = 0;
   }
 
 let reset t =
@@ -50,7 +62,13 @@ let reset t =
   t.syncs <- 0;
   t.recoveries <- 0;
   t.recovery_times <- Util.Stats.create ();
-  t.latencies <- Util.Stats.create ()
+  t.latencies <- Util.Stats.create ();
+  t.lease_expirations <- 0;
+  t.presumed_aborts <- 0;
+  t.status_rescued_commits <- 0;
+  t.read_widenings <- 0;
+  t.commit_deadline_aborts <- 0;
+  t.stalls_detected <- 0
 
 let note_commit t ~latency =
   t.commits <- t.commits + 1;
@@ -76,6 +94,16 @@ let note_recovery t ~duration =
   t.recoveries <- t.recoveries + 1;
   Util.Stats.add t.recovery_times duration
 
+let note_lease_expired t = t.lease_expirations <- t.lease_expirations + 1
+let note_presumed_abort t = t.presumed_aborts <- t.presumed_aborts + 1
+let note_status_rescue t = t.status_rescued_commits <- t.status_rescued_commits + 1
+let note_read_widening t = t.read_widenings <- t.read_widenings + 1
+
+let note_commit_deadline_abort t =
+  t.commit_deadline_aborts <- t.commit_deadline_aborts + 1
+
+let note_stall t = t.stalls_detected <- t.stalls_detected + 1
+
 let commits t = t.commits
 let read_only_commits t = t.read_only_commits
 let root_aborts t = t.root_aborts
@@ -90,6 +118,12 @@ let open_commits t = t.open_commits
 let compensations t = t.compensations
 let syncs t = t.syncs
 let recoveries t = t.recoveries
+let lease_expirations t = t.lease_expirations
+let presumed_aborts t = t.presumed_aborts
+let status_rescued_commits t = t.status_rescued_commits
+let read_widenings t = t.read_widenings
+let commit_deadline_aborts t = t.commit_deadline_aborts
+let stalls_detected t = t.stalls_detected
 let recovery_time_stats t = t.recovery_times
 let latency_stats t = t.latencies
 

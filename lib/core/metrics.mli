@@ -36,6 +36,31 @@ val note_recovery : t -> duration:float -> unit
 (** A node completed recovery (state-synced and re-admitted to quorums);
     [duration] is restart-to-re-admission in simulated ms. *)
 
+val note_lease_expired : t -> unit
+(** A replica found a write-lock lease past its horizon and started the
+    termination protocol (one event per expired lease batch). *)
+
+val note_presumed_abort : t -> unit
+(** A status query found no commit evidence; the expired lease was released
+    under presumed abort. *)
+
+val note_status_rescue : t -> unit
+(** A status query found the owning transaction had decided commit; the
+    replica adopted the committed write instead of aborting it. *)
+
+val note_commit_deadline_abort : t -> unit
+(** A coordinator refused to commit because its own lease horizon had
+    passed by the time the votes arrived. *)
+
+val note_read_widening : t -> unit
+(** A commit was vetoed as stale with no lock conflict: the coordinator's
+    read quorum missed a committed version (possible across membership
+    views), and subsequent reads were widened to the vetoing replicas. *)
+
+val note_stall : t -> unit
+(** The liveness watchdog saw no commit progress for a full stall window
+    while transactions were in flight. *)
+
 val commits : t -> int
 (** All commits, including read-only. *)
 
@@ -55,6 +80,12 @@ val open_commits : t -> int
 val compensations : t -> int
 val syncs : t -> int
 val recoveries : t -> int
+val lease_expirations : t -> int
+val presumed_aborts : t -> int
+val status_rescued_commits : t -> int
+val commit_deadline_aborts : t -> int
+val read_widenings : t -> int
+val stalls_detected : t -> int
 
 val recovery_time_stats : t -> Util.Stats.t
 (** Restart-to-re-admission durations of completed recoveries. *)

@@ -4,7 +4,9 @@ let entry_valid store ~txn (entry : Messages.dataset_entry) =
   | Some copy ->
     let stale = entry.version < copy.version in
     let locked =
-      match copy.protected_by with None -> false | Some owner -> owner <> txn
+      match copy.protected_by with
+      | None -> false
+      | Some lease -> lease.Store.Replica.owner <> txn
     in
     (not stale) && not locked
 

@@ -1,11 +1,32 @@
+(* Termination context: everything a replica needs to resolve an expired
+   lease on its own — a clock to notice expiry, an RPC handle plus a peer
+   set to ask whether the owner decided commit, and metrics to report the
+   outcome.  [status_peers] must intersect every write quorum (a read
+   quorum suffices); in practice the cluster passes the read quorum
+   extended with the replica's write quorum, so the intersection with the
+   coordinator's write quorum holds several members and a lossy link to
+   one of them cannot hide a decided commit.  Absent (plain [create]),
+   leases are granted with an infinite horizon and the pre-lease behaviour
+   is preserved. *)
+type termination = {
+  engine : Sim.Engine.t;
+  rpc : (Messages.request, Messages.reply) Sim.Rpc.t;
+  status_peers : unit -> int list;
+  metrics : Metrics.t;
+  config : Config.t;
+}
+
 type t = {
   node : int;
   store : Store.Replica.t;
+  mutable termination : termination option;
   mutable validations_run : int;
   mutable validations_failed : int;
 }
 
-let create ~node ~store = { node; store; validations_run = 0; validations_failed = 0 }
+let create ~node ~store =
+  { node; store; termination = None; validations_run = 0; validations_failed = 0 }
+
 let node t = t.node
 let store t = t.store
 let validations_run t = t.validations_run
@@ -34,6 +55,145 @@ let handle_read t ~txn ~oid ~dataset ~write_intent ~record =
         Some (Messages.Read_ok { oid; version = copy.version; value = copy.value })
     end
 
+(* --- lease termination -------------------------------------------------- *)
+
+let leases_on t = match t.termination with Some term -> term.config.Config.lease_duration > 0. | None -> false
+
+let lease_expiry t =
+  match t.termination with
+  | Some term when term.config.Config.lease_duration > 0. ->
+    Sim.Engine.now term.engine +. term.config.Config.lease_duration
+  | Some _ | None -> Float.infinity
+
+let still_held t ~txn oids =
+  List.filter
+    (fun oid ->
+      Store.Replica.mem t.store oid
+      && match Store.Replica.lease_of t.store oid with
+         | Some lease -> lease.Store.Replica.owner = txn
+         | None -> false)
+    oids
+
+let release_lease t ~txn ~oids =
+  List.iter
+    (fun oid ->
+      Store.Replica.unlock t.store ~oid ~txn;
+      Store.Replica.remove_txn t.store ~oid ~txn)
+    oids
+
+(* Commit evidence in a status round: either a peer saw the transaction's
+   Apply, or a peer's copy of a leased object moved past the version the
+   lease was protecting — only the owner's commit could have done that
+   while this replica held the lock. *)
+let commit_evidence t ~held ~replies =
+  List.exists
+    (fun (_, reply) ->
+      match reply with
+      | Messages.Status_rep { committed; objects } ->
+        committed
+        || List.exists
+             (fun (oid, version, _) ->
+               List.mem oid held && version > Store.Replica.version t.store oid)
+             objects
+      | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+      | Messages.Sync_rep _ | Messages.Ack ->
+        false)
+    replies
+
+let rescue_commit t term ~txn ~oids ~replies =
+  Metrics.note_status_rescue term.metrics;
+  (* Adopt the freshest copies carried by the replies (version-guarded, so
+     older copies are ignored); sync clears the adopted objects' leases,
+     and any leftover lease (reply lacking that oid) is presumed released
+     by the same decision. *)
+  List.iter
+    (fun (_, reply) ->
+      match reply with
+      | Messages.Status_rep { objects; _ } ->
+        List.iter
+          (fun (oid, version, value) ->
+            if Store.Replica.mem t.store oid then
+              Store.Replica.sync_copy t.store ~oid ~version ~value)
+          objects
+      | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+      | Messages.Sync_rep _ | Messages.Ack ->
+        ())
+    replies;
+  release_lease t ~txn ~oids:(still_held t ~txn oids)
+
+(* Presumed abort is only sound after a FULLY answered, evidence-less
+   round: the peer set intersects every write quorum, so "every peer
+   replied and none saw the commit" rules a commit decision out (the
+   coordinator's deadline forbids deciding one this late).  A partial or
+   empty round proves nothing — an isolated replica (partition, quorum
+   churn) must keep its lock and keep asking; the peer set is recomputed
+   each round, so permanent crashes are routed around once detected and a
+   healed partition lets the next round complete.  [attempts] counts the
+   fully-answered evidence-less rounds required before presuming, spaced a
+   timeout apart — enough slack for an Apply that was still in
+   retransmission when the first round was answered. *)
+let rec status_round t term ~txn ~oids ~attempts =
+  let held = still_held t ~txn oids in
+  if held <> [] then begin
+    let retry attempts =
+      Sim.Engine.schedule term.engine ~delay:term.config.Config.request_timeout
+        (fun () -> status_round t term ~txn ~oids:held ~attempts)
+    in
+    match term.status_peers () with
+    | [] -> retry attempts
+    | dsts ->
+      Sim.Rpc.multicall term.rpc ~kind:Messages.status_req_kind ~src:t.node ~dsts
+        ~timeout:term.config.Config.request_timeout
+        (Messages.Status_req { txn; oids = held })
+        ~on_done:(fun ~replies ~missing ->
+          let held = still_held t ~txn held in
+          if held <> [] then
+            if commit_evidence t ~held ~replies then
+              rescue_commit t term ~txn ~oids:held ~replies
+            else if missing <> [] then retry attempts
+            else if attempts > 1 then retry (attempts - 1)
+            else begin
+              Metrics.note_presumed_abort term.metrics;
+              release_lease t ~txn ~oids:held
+            end)
+  end
+
+(* Watch a granted lease batch: fire at expiry + grace; if renewals pushed
+   the horizon out, chase it; once genuinely expired, run the status
+   protocol. *)
+let rec watch_lease t term ~txn ~oids () =
+  let held = still_held t ~txn oids in
+  if held <> [] then begin
+    let latest =
+      List.fold_left
+        (fun acc oid ->
+          match Store.Replica.lease_of t.store oid with
+          | Some lease -> Float.max acc lease.Store.Replica.expires
+          | None -> acc)
+        0. held
+    in
+    let deadline = latest +. term.config.Config.status_grace in
+    if Sim.Engine.now term.engine +. 1e-9 < deadline then
+      Sim.Engine.schedule_at term.engine ~time:deadline (watch_lease t term ~txn ~oids:held)
+    else begin
+      Metrics.note_lease_expired term.metrics;
+      status_round t term ~txn ~oids:held ~attempts:term.config.Config.status_attempts
+    end
+  end
+
+let watch_granted t ~txn ~oids ~expires =
+  match t.termination with
+  | Some term when leases_on t ->
+    Sim.Engine.schedule_at term.engine
+      ~time:(expires +. term.config.Config.status_grace)
+      (watch_lease t term ~txn ~oids)
+  | Some _ | None -> ()
+
+let enable_termination t ~engine ~rpc ~status_peers ~metrics ~config =
+  t.termination <- Some { engine; rpc; status_peers; metrics; config }
+
+(* --- request handlers --------------------------------------------------- *)
+
 let handle_commit t ~txn ~dataset ~locks =
   let valid =
     List.for_all (fun entry -> Rqv.entry_valid t.store ~txn entry) dataset
@@ -54,16 +214,21 @@ let handle_commit t ~txn ~dataset ~locks =
        transaction protected an object between the validation above and now,
        which cannot happen within one synchronous handler — but we stay
        defensive and roll back partial locks. *)
+    let expires = lease_expiry t in
     let rec lock_all acquired = function
       | [] -> true
       | oid :: rest ->
-        if Store.Replica.try_lock t.store ~oid ~txn then lock_all (oid :: acquired) rest
+        if Store.Replica.try_lock ~expires t.store ~oid ~txn then
+          lock_all (oid :: acquired) rest
         else begin
           List.iter (fun o -> Store.Replica.unlock t.store ~oid:o ~txn) acquired;
           false
         end
     in
-    if lock_all [] locks then Some (Messages.Vote { commit = true; lock_conflict = false })
+    if lock_all [] locks then begin
+      if locks <> [] then watch_granted t ~txn ~oids:locks ~expires;
+      Some (Messages.Vote { commit = true; lock_conflict = false })
+    end
     else Some (Messages.Vote { commit = false; lock_conflict = true })
   end
 
@@ -75,6 +240,8 @@ let handle_apply t ~txn ~writes ~reads =
         Store.Replica.remove_txn t.store ~oid ~txn
       end)
     writes;
+  (* Even a write-free Apply (all writes unknown here) is commit evidence. *)
+  Store.Replica.note_applied t.store ~txn;
   List.iter
     (fun oid -> if Store.Replica.mem t.store oid then Store.Replica.remove_txn t.store ~oid ~txn)
     reads
@@ -88,7 +255,33 @@ let handle_release t ~txn ~oids =
       end)
     oids
 
+let handle_status t ~txn ~oids =
+  Messages.Status_rep
+    {
+      committed = Store.Replica.was_applied t.store ~txn;
+      objects =
+        List.filter_map
+          (fun oid ->
+            match Store.Replica.find t.store oid with
+            | Some copy -> Some (oid, copy.Store.Replica.version, copy.Store.Replica.value)
+            | None -> None)
+          oids;
+    }
+
+let request_txn = function
+  | Messages.Read_req { txn; _ } -> Some txn
+  | Messages.Commit_req { txn; _ } -> Some txn
+  | Messages.Apply { txn; _ } -> Some txn
+  | Messages.Release { txn; _ } -> Some txn
+  | Messages.Sync_req | Messages.Status_req _ -> None
+
 let handle t ~src:_ request =
+  (* Any traffic from a transaction is a heartbeat for the leases it holds
+     here: a slow-but-alive coordinator keeps its locks. *)
+  if leases_on t then
+    Option.iter
+      (fun txn -> Store.Replica.renew t.store ~txn ~expires:(lease_expiry t))
+      (request_txn request);
   match request with
   | Messages.Read_req { txn; oid; dataset; write_intent; record } ->
     handle_read t ~txn ~oid ~dataset ~write_intent ~record
@@ -102,3 +295,4 @@ let handle t ~src:_ request =
     handle_release t ~txn ~oids;
     Some Messages.Ack
   | Messages.Sync_req -> Some (Messages.Sync_rep { objects = Store.Replica.dump t.store })
+  | Messages.Status_req { txn; oids } -> Some (handle_status t ~txn ~oids)

@@ -15,11 +15,42 @@
     - [Release]: abort path — drop locks held by the transaction (acked,
       idempotent).
     - [Sync_req]: crash-recovery catch-up — reply with a snapshot of the
-      committed local state. *)
+      committed local state.
+    - [Status_req]: lease-termination protocol — reply whether this replica
+      observed the transaction's Apply, plus its current copies of the
+      queried objects.
+
+    With {!enable_termination}, write locks become {e leases}: they carry an
+    expiry stamped at grant time and renewed by any traffic from the owning
+    transaction (a heartbeat).  A lease found expired (plus a grace period)
+    triggers presumed-abort termination: the replica asks a read quorum for
+    commit evidence ([Status_req]); evidence rescues the commit (the replica
+    adopts the newer copies), no evidence across a full quorum releases the
+    lease under presumed abort.  Without [enable_termination] leases are
+    granted with an infinite horizon and behaviour is unchanged. *)
 
 type t
 
 val create : node:int -> store:Store.Replica.t -> t
+
+val enable_termination :
+  t ->
+  engine:Sim.Engine.t ->
+  rpc:(Messages.request, Messages.reply) Sim.Rpc.t ->
+  status_peers:(unit -> int list) ->
+  metrics:Metrics.t ->
+  config:Config.t ->
+  unit
+(** Arm the lease/termination machinery.  [status_peers] is the set queried
+    for commit evidence; it must intersect every write quorum (a read
+    quorum is the minimum — extending it with the replica's write quorum
+    makes the intersection multi-member, so one lossy link cannot hide a
+    decided commit).  Consulted lazily at status time so membership changes
+    are respected; it may return [[]] when no quorum is reachable, in which
+    case the status round retries and eventually presumes abort.  A
+    [config] with [lease_duration = 0.] disables leases even when
+    termination is enabled. *)
+
 val node : t -> int
 val store : t -> Store.Replica.t
 

@@ -1,0 +1,377 @@
+(* Chaos testing: seeded random fault schedules against a live workload,
+   checked by two oracles after the run drains to quiescence —
+
+   - safety: the 1-copy-serializability oracle plus the bank invariant
+     (total balance conserved, robust to clients that die mid-run);
+   - liveness: a watchdog that samples commit progress on a fixed grid and
+     flags any window with in-flight transactions but zero new commits,
+     capturing the held leases and live coordinators for the stall report.
+
+   Every run is a pure function of its seed: the schedule is drawn from a
+   dedicated [Util.Rng.t] and the cluster/workload reuse the same seed, so
+   a failing seed replays exactly.  Unlike the curated failure experiments
+   (which keep clients off crash victims), chaos places clients on every
+   node — crashing a node that hosts active coordinators is precisely the
+   scenario the lease-termination protocol exists for. *)
+
+open Core
+
+type knobs = {
+  nodes : int;
+  clients : int;
+  horizon : float;
+  max_crashes : int;
+  read_level : int;
+  accounts : int;
+  calls : int;
+  read_ratio : float;
+}
+
+let default_knobs =
+  {
+    nodes = 9;
+    clients = 18;
+    horizon = 8_000.;
+    max_crashes = 2;
+    read_level = 1;
+    accounts = 24;
+    calls = 3;
+    read_ratio = 0.3;
+  }
+
+(* {2 Schedule generation} *)
+
+let distinct_nodes rng ~nodes ~count =
+  let all = Array.init nodes Fun.id in
+  Util.Rng.shuffle rng all;
+  Array.to_list (Array.sub all 0 (Stdlib.min count nodes))
+
+let span rng a b = a +. Util.Rng.float rng (b -. a)
+
+let generate knobs ~seed =
+  let rng = Util.Rng.create (seed lxor 0x5eed_cafe) in
+  let h = knobs.horizon in
+  let events = ref [] in
+  let add e = events := e :: !events in
+  (* Crash/recover pairs on distinct victims; every victim recovers well
+     before the horizon so the drain phase always has a full machine
+     complement to finish with. *)
+  let n_crashes = Util.Rng.int rng (knobs.max_crashes + 1) in
+  List.iter
+    (fun node ->
+      let at = span rng (0.10 *. h) (0.55 *. h) in
+      let outage = span rng (0.05 *. h) (0.25 *. h) in
+      add (Scenario.Crash { node; at });
+      add (Scenario.Recover { node; at = at +. outage }))
+    (distinct_nodes rng ~nodes:knobs.nodes ~count:n_crashes);
+  (* A minority partition: both sides are named so the scenario layer
+     suspects exactly the minority (the majority side keeps its quorums). *)
+  if Util.Rng.chance rng 0.5 && knobs.nodes >= 4 then begin
+    let minority_size = 1 + Util.Rng.int rng (knobs.nodes / 3) in
+    let minority = distinct_nodes rng ~nodes:knobs.nodes ~count:minority_size in
+    let majority =
+      List.init knobs.nodes Fun.id |> List.filter (fun n -> not (List.mem n minority))
+    in
+    add
+      (Scenario.Partition
+         {
+           groups = [ minority; majority ];
+           at = span rng (0.15 *. h) (0.55 *. h);
+           duration = span rng (0.05 *. h) (0.20 *. h);
+         })
+  end;
+  if Util.Rng.chance rng 0.6 then
+    add
+      (Scenario.Drop
+         {
+           p = span rng 0.01 0.08;
+           at = span rng 0. (0.5 *. h);
+           duration = Some (span rng (0.10 *. h) (0.40 *. h));
+         });
+  if Util.Rng.chance rng 0.4 then
+    add
+      (Scenario.Duplicate
+         {
+           p = span rng 0.01 0.10;
+           at = span rng 0. (0.5 *. h);
+           duration = Some (span rng (0.10 *. h) (0.40 *. h));
+         });
+  if Util.Rng.chance rng 0.4 then
+    add
+      (Scenario.Spike
+         {
+           p = span rng 0.05 0.25;
+           factor = span rng 2. 6.;
+           at = span rng 0. (0.5 *. h);
+           duration = Some (span rng (0.10 *. h) (0.30 *. h));
+         });
+  if Util.Rng.chance rng 0.4 then begin
+    match distinct_nodes rng ~nodes:knobs.nodes ~count:2 with
+    | [ a; b ] ->
+      add
+        (Scenario.Flaky
+           {
+             a;
+             b;
+             p = span rng 0.1 0.4;
+             at = span rng 0. (0.5 *. h);
+             duration = Some (span rng (0.10 *. h) (0.30 *. h));
+           })
+    | _ -> ()
+  end;
+  if Util.Rng.chance rng 0.3 then
+    add
+      (Scenario.Suspect
+         {
+           node = Util.Rng.int rng knobs.nodes;
+           at = span rng (0.10 *. h) (0.60 *. h);
+           duration = span rng (0.05 *. h) (0.15 *. h);
+         });
+  List.rev !events
+
+let render_schedule events =
+  String.concat "; " (List.map (Format.asprintf "%a" Scenario.pp_event) events)
+
+(* {2 Running one schedule} *)
+
+type stall = {
+  stall_at : float;
+  stall_in_flight : (int * Core.Ids.txn_id) list;
+  stall_leases : (int * Core.Ids.obj_id * int * float) list;
+}
+
+type result = {
+  seed : int;
+  events : Scenario.event list;
+  commits : int;
+  root_aborts : int;
+  oracle : (unit, string) Stdlib.result;
+  invariant : (unit, string) Stdlib.result;
+  stalls : stall list;
+  report : Scenario.report;
+  quiesced_at : float;
+}
+
+let passed r = r.oracle = Ok () && r.invariant = Ok () && r.stalls = []
+
+(* The watchdog window must dwarf every legitimate no-progress interval:
+   the full lease-termination pipeline (lease horizon, grace, the bounded
+   status rounds) and the longest contiguous fault window in the schedule
+   (plus failure detection), with a 2x safety factor so slow-but-alive
+   configurations don't trip it. *)
+let stall_window (config : Config.t) events =
+  let termination =
+    config.lease_duration +. config.status_grace
+    +. (Float.of_int config.status_attempts *. config.request_timeout)
+  in
+  let longest_fault =
+    List.fold_left
+      (fun acc event ->
+        let window =
+          match event with
+          | Scenario.Crash _ | Scenario.Recover _ -> 0.
+          | Scenario.Suspect { duration; _ } | Scenario.Partition { duration; _ } ->
+            duration
+          | Scenario.Drop { duration; _ }
+          | Scenario.Duplicate { duration; _ }
+          | Scenario.Spike { duration; _ }
+          | Scenario.Flaky { duration; _ } ->
+            Option.value ~default:0. duration
+        in
+        Float.max acc window)
+      0. events
+  in
+  let crash_outages =
+    (* pair each crash with its node's next recovery *)
+    List.fold_left
+      (fun acc event ->
+        match event with
+        | Scenario.Crash { node; at } ->
+          let recovery =
+            List.fold_left
+              (fun best e ->
+                match e with
+                | Scenario.Recover { node = n; at = r } when n = node && r >= at ->
+                  Float.min best r
+                | _ -> best)
+              Float.infinity events
+          in
+          if Float.is_finite recovery then Float.max acc (recovery -. at) else acc
+        | _ -> acc)
+      0. events
+  in
+  2. *. (termination +. Float.max longest_fault crash_outages) +. 1_000.
+
+let run_one ?config knobs ~seed =
+  let config =
+    match config with Some c -> c | None -> Config.default Config.Closed
+  in
+  let events = generate knobs ~seed in
+  let cluster =
+    Cluster.create ~nodes:knobs.nodes ~seed ~read_level:knobs.read_level config
+  in
+  let params =
+    {
+      Benchmarks.Workload.objects = knobs.accounts;
+      calls = knobs.calls;
+      read_ratio = knobs.read_ratio;
+      key_skew = 0.5;
+    }
+  in
+  let instance = Benchmarks.Bank.benchmark.Benchmarks.Workload.setup cluster params in
+  let tracker = Scenario.install cluster events in
+  (* Closed-loop clients on EVERY node, crash victims included.  A client
+     whose node dies is killed with it (Executor.kill_node): its root never
+     reports back and it stops resubmitting — exactly a testbed thread
+     dying with its machine. *)
+  let client_rng = Util.Rng.create (seed * 7919) in
+  let stop = ref false in
+  let rec client node rng =
+    if not !stop then begin
+      let program = instance.Benchmarks.Workload.generate rng in
+      Cluster.submit cluster ~node program ~on_done:(fun _ -> client node rng)
+    end
+  in
+  for c = 0 to knobs.clients - 1 do
+    client (c mod knobs.nodes) (Util.Rng.split client_rng)
+  done;
+  Sim.Engine.schedule_at (Cluster.engine cluster) ~time:knobs.horizon (fun () ->
+      stop := true);
+  (* Liveness watchdog: drive the engine in watchdog-window steps instead of
+     draining blindly, so a livelock shows up as a stall report rather than
+     a hang.  A window with no new commits but live coordinators (or any
+     non-quiescent engine once progress has ceased entirely) is a stall;
+     after [max_idle] commit-free windows past the horizon the run is
+     abandoned and reported.  Termination is structural: post-horizon
+     commits are bounded by the surviving clients, so the loop runs at most
+     that many progressing windows plus [max_idle]. *)
+  let window = stall_window config events in
+  let stalls = ref [] in
+  let metrics = Cluster.metrics cluster in
+  let engine = Cluster.engine cluster in
+  let note_stall () =
+    Metrics.note_stall metrics;
+    stalls :=
+      {
+        stall_at = Cluster.now cluster;
+        stall_in_flight = Cluster.in_flight cluster;
+        stall_leases = Cluster.held_leases cluster;
+      }
+      :: !stalls
+  in
+  let max_idle = 3 in
+  let rec drive ~last_commits ~idle =
+    if Sim.Engine.pending engine > 0 then begin
+      Cluster.run_for cluster window;
+      let commits = Metrics.commits metrics in
+      if Sim.Engine.pending engine > 0 then begin
+        let progressed = commits > last_commits in
+        if (not progressed) && Cluster.in_flight cluster <> [] then note_stall ();
+        let idle =
+          if progressed || Cluster.now cluster <= knobs.horizon then 0 else idle + 1
+        in
+        if idle >= max_idle then begin
+          (* Abandoned non-quiescent: events keep firing but nothing
+             commits — a liveness failure even with no coordinator alive
+             (e.g. a recovery or status loop that never converges). *)
+          if !stalls = [] then note_stall ()
+        end
+        else drive ~last_commits:commits ~idle
+      end
+    end
+  in
+  drive ~last_commits:0 ~idle:0;
+  {
+    seed;
+    events;
+    commits = Metrics.commits metrics;
+    root_aborts = Metrics.root_aborts metrics;
+    oracle = Cluster.check_consistency cluster;
+    invariant = instance.Benchmarks.Workload.check ();
+    stalls = List.rev !stalls;
+    report = Scenario.report tracker;
+    quiesced_at = Cluster.now cluster;
+  }
+
+let run_many ?config knobs ~seed ~runs =
+  List.init runs (fun i -> run_one ?config knobs ~seed:(seed + i))
+
+let failures results = List.filter (fun r -> not (passed r)) results
+
+(* {2 Rendering} *)
+
+let pp_stall ppf s =
+  let flight =
+    String.concat ", "
+      (List.map (fun (node, txn) -> Printf.sprintf "txn %d@node %d" txn node) s.stall_in_flight)
+  in
+  let leases =
+    String.concat ", "
+      (List.map
+         (fun (node, oid, owner, expires) ->
+           Printf.sprintf "oid %d@node %d owner %d exp %.0f" oid node owner expires)
+         s.stall_leases)
+  in
+  Format.fprintf ppf "stall @%.0f in-flight [%s] leases [%s]" s.stall_at flight leases
+
+let pp_result ppf r =
+  let status = function Ok () -> "ok" | Error msg -> "FAILED: " ^ msg in
+  Format.fprintf ppf
+    "@[<v>seed %d: %s@,\
+     schedule: %s@,\
+     commits %d, aborts %d, quiesced @%.0f@,\
+     oracle %s; invariant %s@,\
+     leases[expired=%d presumed=%d rescued=%d] retransmit give-ups %d@]"
+    r.seed
+    (if passed r then "PASS" else "FAIL")
+    (render_schedule r.events) r.commits r.root_aborts r.quiesced_at (status r.oracle)
+    (status r.invariant) r.report.Scenario.lease_expirations
+    r.report.Scenario.presumed_aborts r.report.Scenario.rescued_commits
+    r.report.Scenario.retransmit_exhausted;
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stall s) r.stalls
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let result_to_json r =
+  let status = function Ok () -> {|"ok"|} | Error msg -> Printf.sprintf "%S" (json_escape msg) in
+  Printf.sprintf
+    {|{"seed":%d,"pass":%b,"schedule":"%s","commits":%d,"root_aborts":%d,"quiesced_at":%.1f,"oracle":%s,"invariant":%s,"stalls":%d,"lease_expired":%d,"presumed_abort":%d,"status_rescued_commits":%d,"stalls_detected":%d,"retransmit_exhausted":%d}|}
+    r.seed (passed r)
+    (json_escape (render_schedule r.events))
+    r.commits r.root_aborts r.quiesced_at (status r.oracle) (status r.invariant)
+    (List.length r.stalls) r.report.Scenario.lease_expirations
+    r.report.Scenario.presumed_aborts r.report.Scenario.rescued_commits
+    r.report.Scenario.stalls_detected r.report.Scenario.retransmit_exhausted
+
+let results_to_json results =
+  "[" ^ String.concat "," (List.map result_to_json results) ^ "]"
+
+let summary results =
+  let failed = failures results in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  Printf.sprintf
+    "chaos: %d/%d schedules passed; commits=%d presumed_aborts=%d rescued=%d \
+     lease_expirations=%d stalls=%d retransmit_give_ups=%d%s"
+    (List.length results - List.length failed)
+    (List.length results)
+    (total (fun r -> r.commits))
+    (total (fun r -> r.report.Scenario.presumed_aborts))
+    (total (fun r -> r.report.Scenario.rescued_commits))
+    (total (fun r -> r.report.Scenario.lease_expirations))
+    (total (fun r -> List.length r.stalls))
+    (total (fun r -> r.report.Scenario.retransmit_exhausted))
+    (if failed = [] then ""
+     else
+       "; failing seeds: "
+       ^ String.concat ", " (List.map (fun r -> string_of_int r.seed) failed))

@@ -1,0 +1,80 @@
+(** Chaos testing: seeded random fault schedules with safety and liveness
+    oracles.
+
+    [run_one] draws a fault schedule from the seed (crash/recover pairs —
+    including nodes hosting active clients — minority partitions, loss,
+    duplication, latency spikes, flaky links, false suspicions), runs a
+    bank workload with clients on every node, drains to quiescence and
+    checks:
+
+    - {b safety}: the 1-copy-serializability oracle and the bank's
+      total-balance invariant;
+    - {b liveness}: a watchdog samples commit progress on a fixed grid
+      sized from the lease-termination pipeline and the schedule's longest
+      fault window; a window with in-flight transactions but no new
+      commits is reported as a stall, with the held leases and live
+      coordinators attached.
+
+    Runs are deterministic per seed: a failing seed reproduces exactly
+    (same schedule, same interleaving).  The rendered schedule replays
+    under [qr-dtm scenario] for interactive debugging. *)
+
+type knobs = {
+  nodes : int;
+  clients : int;  (** closed-loop clients, round-robin over {e all} nodes *)
+  horizon : float;  (** ms of fault + load window before drain *)
+  max_crashes : int;  (** crash/recover pairs drawn per schedule: 0..max *)
+  read_level : int;
+  accounts : int;  (** bank accounts (contention knob) *)
+  calls : int;  (** transfers/audits per transaction *)
+  read_ratio : float;
+}
+
+val default_knobs : knobs
+(** 9 nodes, 18 clients, 8 s horizon, up to 2 crashes, 24 accounts. *)
+
+val generate : knobs -> seed:int -> Scenario.event list
+(** The fault schedule for [seed] — pure, so tooling can show what a seed
+    does without running it. *)
+
+val render_schedule : Scenario.event list -> string
+(** Scenario-DSL text of a schedule (replayable via [qr-dtm scenario]). *)
+
+type stall = {
+  stall_at : float;
+  stall_in_flight : (int * Core.Ids.txn_id) list;  (** (node, txn) *)
+  stall_leases : (int * Core.Ids.obj_id * int * float) list;
+      (** (replica, oid, owner txn, expiry) *)
+}
+
+type result = {
+  seed : int;
+  events : Scenario.event list;
+  commits : int;
+  root_aborts : int;
+  oracle : (unit, string) Stdlib.result;
+  invariant : (unit, string) Stdlib.result;
+  stalls : stall list;
+  report : Scenario.report;
+  quiesced_at : float;  (** simulated ms at full quiescence *)
+}
+
+val passed : result -> bool
+(** Oracle ok, invariant ok, no stalls. *)
+
+val run_one : ?config:Core.Config.t -> knobs -> seed:int -> result
+(** Default config: [Config.default Closed] (leases enabled). *)
+
+val run_many : ?config:Core.Config.t -> knobs -> seed:int -> runs:int -> result list
+(** Seeds [seed .. seed + runs - 1], sequentially. *)
+
+val failures : result list -> result list
+
+val pp_stall : Format.formatter -> stall -> unit
+val pp_result : Format.formatter -> result -> unit
+
+val result_to_json : result -> string
+val results_to_json : result list -> string
+
+val summary : result list -> string
+(** One-line aggregate, naming failing seeds if any. *)

@@ -158,6 +158,70 @@ let crashed_nodes events =
   List.filter_map (function Crash { node; _ } -> Some node | _ -> None) events
   |> List.sort_uniq Int.compare
 
+(* {2 Validation} *)
+
+let validate ~nodes events =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_node what n k =
+    if n < 0 || n >= nodes then err "%s names node %d, outside [0, %d)" what n nodes
+    else k ()
+  in
+  let rec check_nodes what ns k =
+    match ns with
+    | [] -> k ()
+    | n :: rest -> check_node what n (fun () -> check_nodes what rest k)
+  in
+  (* Per-node crash/recover discipline: in time order the events must
+     alternate crash, recover, crash, ... — a second crash while one is
+     outstanding (or a recover with no crash pending) is a schedule bug
+     that would otherwise fail in confusing ways deep in the simulator. *)
+  let check_crash_pairing () =
+    let per_node = Hashtbl.create 8 in
+    List.iter
+      (fun event ->
+        match event with
+        | Crash { node; at } ->
+          Hashtbl.replace per_node node ((at, `Crash) :: (Option.value ~default:[] (Hashtbl.find_opt per_node node)))
+        | Recover { node; at } ->
+          Hashtbl.replace per_node node ((at, `Recover) :: (Option.value ~default:[] (Hashtbl.find_opt per_node node)))
+        | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _ -> ())
+      events;
+    Hashtbl.fold
+      (fun node entries acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          let ordered =
+            List.sort (fun (a, _) (b, _) -> Float.compare a b) (List.rev entries)
+          in
+          let rec walk down = function
+            | [] -> Ok ()
+            | (at, `Crash) :: rest ->
+              if down then
+                err "node %d crashes again at %g while already crashed" node at
+              else walk true rest
+            | (at, `Recover) :: rest ->
+              if down then walk false rest
+              else err "node %d recovers at %g without a preceding crash" node at
+          in
+          walk false ordered)
+      per_node (Ok ())
+  in
+  let rec check_events = function
+    | [] -> check_crash_pairing ()
+    | event :: rest ->
+      let continue () = check_events rest in
+      (match event with
+       | Crash { node; _ } -> check_node "crash" node continue
+       | Recover { node; _ } -> check_node "recover" node continue
+       | Suspect { node; _ } -> check_node "suspect" node continue
+       | Partition { groups; _ } ->
+         check_nodes "partition" (List.concat groups) continue
+       | Flaky { a; b; _ } -> check_nodes "flaky" [ a; b ] continue
+       | Drop _ | Duplicate _ | Spike _ -> continue ())
+  in
+  check_events events
+
 (* {2 Installation and degraded-window tracking} *)
 
 type tracker = {
@@ -265,6 +329,9 @@ let install_event t event =
       (fun () -> Sim.Network.clear_link_faults network ~a ~b)
 
 let install cluster events =
+  (match validate ~nodes:(Core.Cluster.nodes cluster) events with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Scenario.install: " ^ msg));
   let t =
     {
       cluster;
@@ -290,6 +357,11 @@ type report = {
   false_suspicions : int;
   dropped : int;
   duplicated : int;
+  retransmit_exhausted : int;
+  lease_expirations : int;
+  presumed_aborts : int;
+  rescued_commits : int;
+  stalls_detected : int;
 }
 
 let report t =
@@ -315,6 +387,11 @@ let report t =
     false_suspicions = Sim.Failure.false_suspicions (Core.Cluster.failure t.cluster);
     dropped = Core.Cluster.messages_dropped t.cluster;
     duplicated = Core.Cluster.messages_duplicated t.cluster;
+    retransmit_exhausted = Core.Cluster.retransmit_exhausted t.cluster;
+    lease_expirations = Core.Metrics.lease_expirations metrics;
+    presumed_aborts = Core.Metrics.presumed_aborts metrics;
+    rescued_commits = Core.Metrics.status_rescued_commits metrics;
+    stalls_detected = Core.Metrics.stalls_detected metrics;
   }
 
 let pp_report ppf r =
@@ -326,6 +403,12 @@ let pp_report ppf r =
      recoveries          %d (mean %.1f ms)@,\
      false suspicions    %d@,\
      messages dropped    %d@,\
-     messages duplicated %d@]"
+     messages duplicated %d@,\
+     retransmit give-ups %d@,\
+     lease expirations   %d@,\
+     presumed aborts     %d@,\
+     rescued commits     %d@,\
+     stalls detected     %d@]"
     r.events r.degraded_time r.degraded_commits r.total_commits r.syncs r.recoveries
-    r.mean_recovery_time r.false_suspicions r.dropped r.duplicated
+    r.mean_recovery_time r.false_suspicions r.dropped r.duplicated r.retransmit_exhausted
+    r.lease_expirations r.presumed_aborts r.rescued_commits r.stalls_detected

@@ -41,6 +41,12 @@ val crashed_nodes : event list -> int list
 (** Nodes hit by a [crash] event, ascending and de-duplicated — use to keep
     closed-loop clients off nodes that will die. *)
 
+val validate : nodes:int -> event list -> (unit, string) result
+(** Static checks against a cluster of [nodes] nodes: every referenced node
+    id must lie in [[0, nodes)], and per node the crash/recover events must
+    alternate in time order (no double crash, no recover without a pending
+    crash).  [install] runs this automatically. *)
+
 type tracker
 (** Scheduled scenario plus degraded-window bookkeeping.  A window opens
     when the number of in-force fault conditions rises from zero and closes
@@ -48,7 +54,8 @@ type tracker
 
 val install : Core.Cluster.t -> event list -> tracker
 (** Schedule every event against the cluster's engine.  Call before running
-    the workload (e.g. as [Experiment.run ~prepare]). *)
+    the workload (e.g. as [Experiment.run ~prepare]).  Raises
+    [Invalid_argument] when {!validate} rejects the events. *)
 
 type report = {
   events : int;
@@ -61,6 +68,12 @@ type report = {
   false_suspicions : int;
   dropped : int;  (** messages lost to the fault model *)
   duplicated : int;
+  retransmit_exhausted : int;
+      (** at-least-once deliveries that ran out of retries unacknowledged *)
+  lease_expirations : int;  (** expired lease batches (termination started) *)
+  presumed_aborts : int;  (** leases released with no commit evidence *)
+  rescued_commits : int;  (** leases resolved by adopting the decided commit *)
+  stalls_detected : int;  (** liveness-watchdog no-progress windows *)
 }
 
 val report : tracker -> report

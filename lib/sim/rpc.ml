@@ -14,6 +14,7 @@ type ('req, 'rep) t = {
   servers : (src:int -> 'req -> 'rep option) option array;
   pending : (int, ('req, 'rep) pending) Hashtbl.t;
   mutable next_rid : int;
+  mutable give_ups : int;
 }
 
 let handle_envelope t ~node ~src env =
@@ -54,6 +55,7 @@ let create ~network () =
       servers = Array.make (Network.nodes network) None;
       pending = Hashtbl.create 64;
       next_rid = 0;
+      give_ups = 0;
     }
   in
   for node = 0 to Network.nodes network - 1 do
@@ -105,7 +107,11 @@ let rec acked_send t ?kind ?(attempts = 6) ~src ~dst ~timeout req =
     ~on_reply:(fun _ -> ())
     ~on_timeout:(fun () ->
       if attempts > 1 then
-        acked_send t ?kind ~attempts:(attempts - 1) ~src ~dst ~timeout req)
+        acked_send t ?kind ~attempts:(attempts - 1) ~src ~dst ~timeout req
+      else t.give_ups <- t.give_ups + 1)
 
 let acked_multicast t ?kind ?attempts ~src ~dsts ~timeout req =
   List.iter (fun dst -> acked_send t ?kind ?attempts ~src ~dst ~timeout req) dsts
+
+let give_ups t = t.give_ups
+let reset_give_ups t = t.give_ups <- 0

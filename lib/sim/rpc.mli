@@ -74,3 +74,11 @@ val acked_multicast :
   timeout:float ->
   'req ->
   unit
+
+val give_ups : ('req, 'rep) t -> int
+(** How many {!acked_send} deliveries exhausted their retransmission budget
+    without an acknowledgement.  Each is a one-way message that may never
+    have reached its (possibly dead) destination — visible here instead of
+    failing silently. *)
+
+val reset_give_ups : ('req, 'rep) t -> unit

@@ -1,7 +1,13 @@
+(* A write lock is a *lease*: it names the owning transaction and carries an
+   expiry instant (simulated ms).  [infinity] means "never expires" — the
+   pre-lease behaviour, still used by callers that do not run the
+   termination protocol (baselines, unit tests). *)
+type lease = { owner : int; mutable expires : float }
+
 type copy = {
   mutable version : int;
   mutable value : Value.t;
-  mutable protected_by : int option;
+  mutable protected_by : lease option;
 }
 
 (* PR/PW lists are bounded: entries are removed on commit/abort
@@ -9,14 +15,30 @@ type copy = {
    cap each list and evict the oldest entry. *)
 let pr_pw_cap = 64
 
+(* Recently-applied transaction ids, kept so a status query ("did txn T
+   decide commit?") can be answered from local evidence.  Bounded: an entry
+   is only needed while some replica may still hold T's lease, i.e. for one
+   lease horizon. *)
+let applied_cap = 4096
+
 type lists = { mutable readers : int list; mutable writers : int list }
 
 type t = {
   objects : (int, copy) Hashtbl.t;
   lists : (int, lists) Hashtbl.t;
+  by_txn : (int, int list ref) Hashtbl.t;  (* txn -> oids it holds leases on *)
+  applied : (int, unit) Hashtbl.t;
+  applied_order : int Queue.t;
 }
 
-let create () = { objects = Hashtbl.create 256; lists = Hashtbl.create 256 }
+let create () =
+  {
+    objects = Hashtbl.create 256;
+    lists = Hashtbl.create 256;
+    by_txn = Hashtbl.create 16;
+    applied = Hashtbl.create 64;
+    applied_order = Queue.create ();
+  }
 
 let ensure t ~oid ~init =
   if not (Hashtbl.mem t.objects oid) then
@@ -38,21 +60,80 @@ let version t oid = (get t oid).version
 let is_protected t ~oid ~against =
   match (get t oid).protected_by with
   | None -> false
-  | Some owner -> owner <> against
+  | Some lease -> lease.owner <> against
 
-let try_lock t ~oid ~txn =
+let lease_of t oid = (get t oid).protected_by
+
+(* --- lease index -------------------------------------------------------- *)
+
+let index_add t ~oid ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | Some oids -> if not (List.mem oid !oids) then oids := oid :: !oids
+  | None -> Hashtbl.replace t.by_txn txn (ref [ oid ])
+
+let index_remove t ~oid ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some oids ->
+    oids := List.filter (fun o -> o <> oid) !oids;
+    if !oids = [] then Hashtbl.remove t.by_txn txn
+
+let leased_oids t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with Some oids -> !oids | None -> []
+
+let try_lock ?(expires = Float.infinity) t ~oid ~txn =
   let copy = get t oid in
   match copy.protected_by with
   | None ->
-    copy.protected_by <- Some txn;
+    copy.protected_by <- Some { owner = txn; expires };
+    index_add t ~oid ~txn;
     true
-  | Some owner -> owner = txn
+  | Some lease ->
+    if lease.owner = txn then begin
+      (* Idempotent re-grant by the owner also renews the lease. *)
+      lease.expires <- Float.max lease.expires expires;
+      true
+    end
+    else false
 
 let unlock t ~oid ~txn =
   let copy = get t oid in
   match copy.protected_by with
-  | Some owner when owner = txn -> copy.protected_by <- None
+  | Some lease when lease.owner = txn ->
+    copy.protected_by <- None;
+    index_remove t ~oid ~txn
   | Some _ | None -> ()
+
+(* Heartbeat renewal: any traffic from [txn] pushes the expiry of every
+   lease it holds here out to [expires] (never shortens). *)
+let renew t ~txn ~expires =
+  List.iter
+    (fun oid ->
+      match (get t oid).protected_by with
+      | Some lease when lease.owner = txn ->
+        lease.expires <- Float.max lease.expires expires
+      | Some _ | None -> ())
+    (leased_oids t ~txn)
+
+let held_leases t =
+  Hashtbl.fold
+    (fun oid copy acc ->
+      match copy.protected_by with
+      | Some lease -> (oid, lease.owner, lease.expires) :: acc
+      | None -> acc)
+    t.objects []
+
+(* --- applied-transaction evidence --------------------------------------- *)
+
+let note_applied t ~txn =
+  if not (Hashtbl.mem t.applied txn) then begin
+    Hashtbl.replace t.applied txn ();
+    Queue.push txn t.applied_order;
+    if Queue.length t.applied_order > applied_cap then
+      Hashtbl.remove t.applied (Queue.pop t.applied_order)
+  end
+
+let was_applied t ~txn = Hashtbl.mem t.applied txn
 
 let apply t ~oid ~version ~value ~txn =
   let copy = get t oid in
@@ -60,6 +141,7 @@ let apply t ~oid ~version ~value ~txn =
     copy.version <- version;
     copy.value <- value
   end;
+  note_applied t ~txn;
   unlock t ~oid ~txn
 
 let lists_of t oid =
@@ -106,20 +188,29 @@ let dump t =
   Hashtbl.fold (fun oid copy acc -> (oid, copy.version, copy.value) :: acc) t.objects []
 
 (* Merge one copy received from a sync quorum: adopt it if strictly newer
-   (a newer version also invalidates any stale local lock), install it if
+   (a newer version also invalidates any stale local lease), install it if
    the object is unknown locally. *)
 let sync_copy t ~oid ~version ~value =
   match Hashtbl.find_opt t.objects oid with
   | None -> Hashtbl.replace t.objects oid { version; value; protected_by = None }
   | Some copy ->
     if version > copy.version then begin
+      begin
+        match copy.protected_by with
+        | Some lease -> index_remove t ~oid ~txn:lease.owner
+        | None -> ()
+      end;
       copy.version <- version;
       copy.value <- value;
       copy.protected_by <- None
     end
 
-(* A crashed process loses its volatile state: locks it granted and PR/PW
-   registrations die with it.  Called when the node rejoins. *)
+(* A crashed process loses its volatile state: leases it granted, PR/PW
+   registrations and apply evidence die with it.  Called when the node
+   rejoins. *)
 let reset_transients t =
   Hashtbl.iter (fun _ copy -> copy.protected_by <- None) t.objects;
-  Hashtbl.reset t.lists
+  Hashtbl.reset t.lists;
+  Hashtbl.reset t.by_txn;
+  Hashtbl.reset t.applied;
+  Queue.clear t.applied_order

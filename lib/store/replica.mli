@@ -5,10 +5,15 @@
     the vote phase of 2PC, and the potential-readers / potential-writers
     lists (PR/PW) the paper's contention management bookkeeping uses. *)
 
+type lease = { owner : int; mutable expires : float }
+(** A write lock with an owner and an expiry instant (simulated ms);
+    [expires = infinity] never expires (callers without the termination
+    protocol). *)
+
 type copy = {
   mutable version : int;
   mutable value : Value.t;
-  mutable protected_by : int option;  (** committing transaction id *)
+  mutable protected_by : lease option;  (** committing transaction's lease *)
 }
 
 type t
@@ -34,19 +39,44 @@ val version : t -> int -> int
     @raise Invalid_argument on missing object. *)
 
 val is_protected : t -> oid:int -> against:int -> bool
-(** Whether [oid] is locked by a transaction other than [against]. *)
+(** Whether [oid] is locked by a transaction other than [against].  Lease
+    expiry is *not* consulted: an expired lease still blocks until the
+    termination protocol resolves it (presumed abort or rescued commit). *)
 
-val try_lock : t -> oid:int -> txn:int -> bool
-(** Set the protected flag for the vote phase; idempotent for the same
-    transaction; [false] if another transaction holds it. *)
+val lease_of : t -> int -> lease option
+(** The lease currently protecting [oid], if any.
+    @raise Invalid_argument on missing object. *)
+
+val try_lock : ?expires:float -> t -> oid:int -> txn:int -> bool
+(** Set the protected lease for the vote phase; idempotent for the same
+    transaction (re-granting renews the expiry); [false] if another
+    transaction holds it.  [expires] defaults to [infinity]. *)
 
 val unlock : t -> oid:int -> txn:int -> unit
-(** Clear the protected flag if held by [txn]. *)
+(** Clear the protected lease if held by [txn]. *)
+
+val renew : t -> txn:int -> expires:float -> unit
+(** Push the expiry of every lease [txn] holds out to [expires] (never
+    shortens) — called on any traffic from the owning coordinator. *)
+
+val leased_oids : t -> txn:int -> int list
+(** Objects currently leased by [txn]. *)
+
+val held_leases : t -> (int * int * float) list
+(** Every live lease as [(oid, owner txn, expires)] — stall diagnostics. *)
+
+val note_applied : t -> txn:int -> unit
+(** Record that [txn]'s 2PC second phase reached this replica (bounded
+    memory; automatic from {!apply}). *)
+
+val was_applied : t -> txn:int -> bool
+(** Whether this replica observed an Apply from [txn] — the local evidence
+    behind a [Status_rep.committed] answer. *)
 
 val apply : t -> oid:int -> version:int -> value:Value.t -> txn:int -> unit
 (** Install a committed write if [version] is newer than the local copy
     (stale applies from lagging quorum members are ignored), releasing the
-    lock if [txn] held it. *)
+    lock if [txn] held it, and recording [txn] as applied. *)
 
 val add_reader : t -> oid:int -> txn:int -> unit
 val add_writer : t -> oid:int -> txn:int -> unit

@@ -180,6 +180,199 @@ let test_scenario_crashed_nodes () =
   Alcotest.(check (list int)) "sorted, deduplicated" [ 2; 5 ]
     (Harness.Scenario.crashed_nodes events)
 
+(* {2 Scenario validation} *)
+
+let test_scenario_validation () =
+  let expect_invalid ~why events =
+    match Harness.Scenario.validate ~nodes:9 events with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "expected validation to reject: %s" why
+  in
+  let expect_valid events =
+    match Harness.Scenario.validate ~nodes:9 events with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "expected validation to accept, got: %s" msg
+  in
+  expect_valid
+    [
+      Harness.Scenario.Crash { node = 3; at = 10. };
+      Harness.Scenario.Recover { node = 3; at = 50. };
+      Harness.Scenario.Crash { node = 3; at = 90. };
+      Harness.Scenario.Partition { groups = [ [ 0; 1 ]; [ 2; 3 ] ]; at = 5.; duration = 10. };
+    ];
+  expect_invalid ~why:"node id out of range"
+    [ Harness.Scenario.Crash { node = 9; at = 1. } ];
+  expect_invalid ~why:"negative node id"
+    [ Harness.Scenario.Suspect { node = -1; at = 1.; duration = 5. } ];
+  expect_invalid ~why:"double crash"
+    [
+      Harness.Scenario.Crash { node = 2; at = 1. };
+      Harness.Scenario.Crash { node = 2; at = 5. };
+    ];
+  expect_invalid ~why:"recover without crash"
+    [ Harness.Scenario.Recover { node = 2; at = 5. } ];
+  expect_invalid ~why:"partition group member out of range"
+    [ Harness.Scenario.Partition { groups = [ [ 0; 42 ]; [ 1 ] ]; at = 1.; duration = 5. } ];
+  expect_invalid ~why:"flaky endpoint out of range"
+    [ Harness.Scenario.Flaky { a = 0; b = 12; p = 0.5; at = 1.; duration = None } ];
+  (* [install] runs the same checks and raises. *)
+  let cluster = Cluster.create ~nodes:9 ~seed:77 (Config.default Config.Closed) in
+  (try
+     ignore
+       (Harness.Scenario.install cluster
+          [ Harness.Scenario.Crash { node = 12; at = 1. } ]);
+     Alcotest.fail "install accepted an out-of-range node"
+   with Invalid_argument _ -> ())
+
+(* {2 Lease termination} *)
+
+let step_until cluster ~what p =
+  let engine = Cluster.engine cluster in
+  let rec go () =
+    if p () then ()
+    else if Sim.Engine.step engine then go ()
+    else Alcotest.failf "engine drained before %s" what
+  in
+  go ()
+
+(* The tentpole scenario: a coordinator crashes after its write-quorum
+   replicas granted locks (votes collected) but before it could decide —
+   pre-lease, those locks would deadlock the objects forever.  The leases
+   must expire, the status protocol must find no commit evidence, and the
+   locks must fall under presumed abort within the termination pipeline's
+   horizon, after which other transactions write the same object again. *)
+let test_coordinator_crash_presumed_abort () =
+  let config = Config.default Config.Closed in
+  let cluster = Cluster.create ~nodes:9 ~seed:61 config in
+  let oid = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  let outcome_delivered = ref false in
+  Cluster.submit cluster ~node:4 (fun () -> Benchmarks.Counter.increment oid)
+    ~on_done:(fun _ -> outcome_delivered := true);
+  (* Run to the instant the first replica grants a write lock: the
+     coordinator has sent its commit requests and is collecting votes. *)
+  step_until cluster ~what:"a lease was granted" (fun () ->
+      Cluster.held_leases cluster <> []);
+  let t_kill = Cluster.now cluster in
+  Cluster.fail_node_at cluster ~at:t_kill ~node:4;
+  step_until cluster ~what:"the leases fell" (fun () ->
+      Cluster.held_leases cluster = []);
+  let t_clear = Cluster.now cluster in
+  let horizon =
+    config.Config.lease_duration +. config.Config.status_grace
+    +. (float_of_int config.Config.status_attempts *. config.Config.request_timeout)
+    +. 500.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "locks released within the termination horizon (%.0f <= %.0f)"
+       (t_clear -. t_kill) horizon)
+    true
+    (t_clear -. t_kill <= horizon);
+  Cluster.drain cluster;
+  let metrics = Cluster.metrics cluster in
+  Alcotest.(check bool) "fail-stop: no outcome delivered" false !outcome_delivered;
+  Alcotest.(check bool) "the dead coordinator left no live transaction" true
+    (Cluster.in_flight cluster = []);
+  Alcotest.(check bool) "lease expiry detected" true
+    (Metrics.lease_expirations metrics >= 1);
+  Alcotest.(check bool) "presumed abort (no rescue applies: nothing committed)" true
+    (Metrics.presumed_aborts metrics >= 1);
+  Alcotest.(check int) "nothing was rescued" 0 (Metrics.status_rescued_commits metrics);
+  (* The object is writable again by everyone else. *)
+  (match
+     Cluster.run_program cluster ~node:5 (fun () -> Benchmarks.Counter.increment oid)
+   with
+  | Executor.Committed _ -> ()
+  | Executor.Failed msg -> Alcotest.failf "post-crash increment failed: %s" msg);
+  (* Let the increment's apply fan-out land before reading. *)
+  Cluster.drain cluster;
+  expect_counter cluster ~node:8 ~oid 1;
+  expect_consistent cluster
+
+(* The other half of termination: the coordinator DID decide commit (an
+   Apply reached a status peer) and then died before this replica's copy
+   arrived.  Presuming abort here would un-commit a decided transaction;
+   the status exchange must instead rescue it — adopt the newer copy and
+   release the lease. *)
+let test_status_rescues_decided_commit () =
+  let config = Config.default Config.Closed in
+  let cluster = Cluster.create ~nodes:9 ~seed:62 config in
+  let oid = Cluster.alloc_object cluster ~init:(Store.Value.Int 0) in
+  let txn = Ids.fresh_txn (Cluster.ids cluster) in
+  (* Stage the decided commit by hand over the write quorum {0,2,3,7,8}
+     (root + the subtree majorities under children 2 and 3): replica 7
+     granted the lock (vote collected), and the second-phase Apply reached
+     every other member — node 0 in particular is in 7's status peer set —
+     before the coordinator died, leaving 7's copy stale and locked. *)
+  let holder = Cluster.server_of cluster ~node:7 in
+  (match
+     Server.handle holder ~src:3
+       (Messages.Commit_req
+          { txn; dataset = [ { Messages.oid; version = 0; owner = 0 } ]; locks = [ oid ] })
+   with
+  | Some (Messages.Vote { commit = true; _ }) -> ()
+  | _ -> Alcotest.fail "replica 7 refused the vote");
+  Alcotest.(check bool) "lease held at replica 7" true
+    (Cluster.held_leases cluster <> []);
+  List.iter
+    (fun node ->
+      ignore
+        (Server.handle (Cluster.server_of cluster ~node) ~src:3
+           (Messages.Apply { txn; writes = [ (oid, 1, Store.Value.Int 7) ]; reads = [] })))
+    [ 0; 2; 3; 8 ];
+  (* The oracle must know about the decided commit, as the coordinator
+     would have reported it. *)
+  (match Cluster.oracle cluster with
+  | Some oracle ->
+    Core.Oracle.note_commit oracle ~txn ~decision:(Cluster.now cluster)
+      ~window_start:(Cluster.now cluster) ~reads:[ (oid, 0) ] ~writes:[ (oid, 1) ]
+  | None -> ());
+  Cluster.drain cluster;
+  let metrics = Cluster.metrics cluster in
+  Alcotest.(check bool) "commit rescued" true (Metrics.status_rescued_commits metrics >= 1);
+  Alcotest.(check int) "not presumed aborted" 0 (Metrics.presumed_aborts metrics);
+  Alcotest.(check bool) "all leases released" true (Cluster.held_leases cluster = []);
+  let copy = Store.Replica.get (Cluster.store_of cluster ~node:7) oid in
+  Alcotest.(check int) "replica 7 adopted the committed version" 1
+    copy.Store.Replica.version;
+  Alcotest.(check bool) "replica 7 adopted the committed value" true
+    (copy.Store.Replica.value = Store.Value.Int 7);
+  (match Cluster.run_program cluster ~node:8 (fun () -> Txn.read oid) with
+  | Executor.Committed (Store.Value.Int 7) -> ()
+  | Executor.Committed v -> Alcotest.failf "unexpected value %s" (Store.Value.to_string v)
+  | Executor.Failed msg -> Alcotest.failf "post-rescue read failed: %s" msg);
+  expect_consistent cluster
+
+(* {2 Chaos harness} *)
+
+let small_knobs =
+  { Harness.Chaos.default_knobs with clients = 8; horizon = 3000.; max_crashes = 1 }
+
+let test_chaos_deterministic () =
+  let a = Harness.Chaos.run_one small_knobs ~seed:5 in
+  let b = Harness.Chaos.run_one small_knobs ~seed:5 in
+  Alcotest.(check string) "same schedule"
+    (Harness.Chaos.render_schedule a.Harness.Chaos.events)
+    (Harness.Chaos.render_schedule b.Harness.Chaos.events);
+  Alcotest.(check int) "same commits" a.Harness.Chaos.commits b.Harness.Chaos.commits;
+  Alcotest.(check int) "same aborts" a.Harness.Chaos.root_aborts b.Harness.Chaos.root_aborts;
+  Alcotest.(check (float 0.)) "same quiescence time" a.Harness.Chaos.quiesced_at
+    b.Harness.Chaos.quiesced_at
+
+let test_chaos_small_batch () =
+  let results = Harness.Chaos.run_many small_knobs ~seed:1 ~runs:3 in
+  Alcotest.(check int) "three runs" 3 (List.length results);
+  List.iter
+    (fun r ->
+      if not (Harness.Chaos.passed r) then
+        Alcotest.failf "seed %d failed:@ %a" r.Harness.Chaos.seed
+          (fun fmt -> Format.fprintf fmt "%a" Harness.Chaos.pp_result)
+          r;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d made progress" r.Harness.Chaos.seed)
+        true
+        (r.Harness.Chaos.commits > 0))
+    results
+
 let suite =
   [
     Alcotest.test_case "crash, recover, state-sync, serve" `Quick
@@ -190,4 +383,12 @@ let suite =
     Alcotest.test_case "scenario parse" `Quick test_scenario_parse;
     Alcotest.test_case "scenario parse errors" `Quick test_scenario_parse_errors;
     Alcotest.test_case "scenario crashed nodes" `Quick test_scenario_crashed_nodes;
+    Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+    Alcotest.test_case "coordinator crash mid-2PC: presumed abort" `Quick
+      test_coordinator_crash_presumed_abort;
+    Alcotest.test_case "decided commit rescued, not presumed aborted" `Quick
+      test_status_rescues_decided_commit;
+    Alcotest.test_case "chaos runs are deterministic per seed" `Quick
+      test_chaos_deterministic;
+    Alcotest.test_case "chaos small batch passes" `Quick test_chaos_small_batch;
   ]

@@ -4,6 +4,7 @@ let () = Alcotest.run "qr_dtm" [
       ("quorum", Test_quorum.suite);
       ("store", Test_store.suite);
       ("core", Test_core_protocol.suite);
+      ("oracle", Test_oracle.suite);
       ("executor", Test_executor.suite);
       ("cluster", Test_cluster.suite);
       ("faults", Test_faults.suite);

@@ -1,0 +1,131 @@
+(* Negative-path tests for the 1-copy-serializability oracle: hand-crafted
+   histories that violate each invariant must be rejected with a message
+   naming the offence.  The positive paths are exercised implicitly by
+   every cluster test that ends in [Cluster.check_consistency]. *)
+
+open Core
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let expect_violation ~name ~needle oracle =
+  match Oracle.check oracle with
+  | Ok () -> Alcotest.failf "%s: expected a violation, got Ok" name
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %S appears in %S" name needle msg)
+      true (contains ~needle msg)
+
+let expect_ok ~name oracle =
+  match Oracle.check oracle with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: unexpected violation: %s" name msg
+
+(* A clean history: versions 1 and 2 of object 7 installed in order, each
+   update reading the version it overwrites, and a read-only transaction
+   observing a snapshot that was genuinely current. *)
+let test_consistent_history () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (7, 0) ] ~writes:[ (7, 1) ];
+  Oracle.note_commit oracle ~txn:2 ~decision:20. ~window_start:19.
+    ~reads:[ (7, 1) ] ~writes:[ (7, 2) ];
+  Oracle.note_commit oracle ~txn:3 ~decision:25. ~window_start:24.
+    ~reads:[ (7, 2) ] ~writes:[];
+  expect_ok ~name:"consistent history" oracle;
+  Alcotest.(check int) "commits recorded" 3 (Oracle.commits_recorded oracle)
+
+(* Stale read: txn 2 installs version 2 at t=20, but txn 3's validation
+   window only opens at t=30 and it still claims to have read version 1 —
+   2PC re-validates every entry, so this can only be a protocol bug. *)
+let test_stale_read () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (7, 0) ] ~writes:[ (7, 1) ];
+  Oracle.note_commit oracle ~txn:2 ~decision:20. ~window_start:19.
+    ~reads:[ (7, 1) ] ~writes:[ (7, 2) ];
+  Oracle.note_commit oracle ~txn:3 ~decision:31. ~window_start:30.
+    ~reads:[ (7, 1) ] ~writes:[ (7, 3) ];
+  expect_violation ~name:"stale read" ~needle:"stale read" oracle
+
+(* Version gap: object 5 goes 1 then 3 — version 2 was never installed, so
+   some commit was lost or misnumbered. *)
+let test_version_gap () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (5, 0) ] ~writes:[ (5, 1) ];
+  Oracle.note_commit oracle ~txn:2 ~decision:20. ~window_start:19.
+    ~reads:[ (5, 1) ] ~writes:[ (5, 3) ];
+  expect_violation ~name:"version gap" ~needle:"expected version 2" oracle
+
+(* Duplicate writer: two transactions both claim to have installed version
+   1 of object 9 — a split-brain commit. *)
+let test_duplicate_writer () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (9, 0) ] ~writes:[ (9, 1) ];
+  Oracle.note_commit oracle ~txn:2 ~decision:12. ~window_start:11.
+    ~reads:[ (9, 0) ] ~writes:[ (9, 1) ];
+  expect_violation ~name:"duplicate writer" ~needle:"written by both" oracle
+
+(* Phantom read: a committed read of a version nobody ever installed. *)
+let test_phantom_version () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (4, 2) ] ~writes:[ (4, 1) ];
+  expect_violation ~name:"phantom version" ~needle:"never committed" oracle
+
+(* Inconsistent read-only snapshot: object 1's version 0 dies at t=10
+   (overwritten by v1), object 2's version 1 is only born at t=20 — no
+   instant ever had both current, yet txn 4 claims to have read both. *)
+let test_inconsistent_snapshot () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (1, 0) ] ~writes:[ (1, 1) ];
+  Oracle.note_commit oracle ~txn:2 ~decision:20. ~window_start:19.
+    ~reads:[ (2, 0) ] ~writes:[ (2, 1) ];
+  Oracle.note_commit oracle ~txn:4 ~decision:30. ~window_start:29.
+    ~reads:[ (1, 0); (2, 1) ] ~writes:[];
+  expect_violation ~name:"inconsistent snapshot" ~needle:"inconsistent snapshot"
+    oracle
+
+(* The same pair of reads in an UPDATE transaction is judged by the
+   stricter per-entry freshness rule, not the snapshot rule: version 0 of
+   object 1 was overwritten at t=10, before the window opened at t=29. *)
+let test_update_snapshot_stricter () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (1, 0) ] ~writes:[ (1, 1) ];
+  Oracle.note_commit oracle ~txn:2 ~decision:20. ~window_start:19.
+    ~reads:[ (2, 0) ] ~writes:[ (2, 1) ];
+  Oracle.note_commit oracle ~txn:4 ~decision:30. ~window_start:29.
+    ~reads:[ (1, 0); (2, 1) ] ~writes:[ (3, 1) ];
+  expect_violation ~name:"update with dead read" ~needle:"stale read" oracle
+
+(* A read-only snapshot that trails real time is fine: txn 3 reads (1, 0)
+   after v1 was installed, but v0 and v1 of the OTHER object coexisted
+   with it before t=10, so a serialization instant exists. *)
+let test_trailing_snapshot_ok () =
+  let oracle = Oracle.create () in
+  Oracle.note_commit oracle ~txn:1 ~decision:10. ~window_start:9.
+    ~reads:[ (1, 0) ] ~writes:[ (1, 1) ];
+  Oracle.note_commit oracle ~txn:3 ~decision:15. ~window_start:14.
+    ~reads:[ (1, 0); (2, 0) ] ~writes:[];
+  expect_ok ~name:"trailing read-only snapshot" oracle
+
+let suite =
+  [
+    Alcotest.test_case "consistent history accepted" `Quick test_consistent_history;
+    Alcotest.test_case "stale read rejected" `Quick test_stale_read;
+    Alcotest.test_case "version gap rejected" `Quick test_version_gap;
+    Alcotest.test_case "duplicate writer rejected" `Quick test_duplicate_writer;
+    Alcotest.test_case "phantom version rejected" `Quick test_phantom_version;
+    Alcotest.test_case "inconsistent read-only snapshot rejected" `Quick
+      test_inconsistent_snapshot;
+    Alcotest.test_case "update transactions judged stricter" `Quick
+      test_update_snapshot_stricter;
+    Alcotest.test_case "trailing read-only snapshot accepted" `Quick
+      test_trailing_snapshot_ok;
+  ]
