@@ -22,6 +22,8 @@ type cli = {
   mutable jobs : int;
   mutable scale_name : string;
   mutable out : string;
+  mutable baseline : string option;
+  mutable max_regression : float;
 }
 
 let cli =
@@ -30,11 +32,14 @@ let cli =
     jobs = Harness.Pool.default_jobs ();
     scale_name = "quick";
     out = "BENCH_harness.json";
+    baseline = None;
+    max_regression = 2.0;
   }
 
 let usage () =
   prerr_endline
-    "usage: bench/main.exe [wall] [--jobs N] [--scale quick|full] [--out FILE]";
+    "usage: bench/main.exe [wall] [--jobs N] [--scale quick|full] [--out FILE]\n\
+    \                      [--baseline FILE] [--max-regression PCT]";
   exit 2
 
 let () =
@@ -48,6 +53,10 @@ let () =
       if s = "quick" || s = "full" then cli.scale_name <- s else usage ();
       parse rest
     | "--out" :: file :: rest -> cli.out <- file; parse rest
+    | "--baseline" :: file :: rest -> cli.baseline <- Some file; parse rest
+    | "--max-regression" :: p :: rest ->
+      (match float_of_string_opt p with Some v when v > 0. -> cli.max_regression <- v | _ -> usage ());
+      parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -360,10 +369,13 @@ let timed f =
 (* Raw simulator event throughput: drive a closed-loop bank workload for a
    fixed stretch of virtual time and divide dispatched events by wall
    seconds.  This isolates the per-event constant factor from the
-   parallel-harness speedup. *)
-let events_per_second () =
+   parallel-harness speedup.  [tracer] lets the wall bench measure the cost
+   of lifecycle tracing (enabled vs the default null tracer); the commit
+   latency percentiles of the workload ride along for BENCH_harness.json. *)
+let events_per_second ?(tracer = Obs.Tracer.null) () =
   let cluster =
-    Cluster.create ~nodes:13 ~seed:11 ~with_oracle:false (Config.default Config.Closed)
+    Cluster.create ~nodes:13 ~seed:11 ~with_oracle:false ~tracer
+      (Config.default Config.Closed)
   in
   let accounts =
     Array.init 64 (fun _ ->
@@ -389,7 +401,13 @@ let events_per_second () =
   stop := true;
   Cluster.drain cluster;
   let events = Sim.Engine.events_processed (Cluster.engine cluster) in
-  (Float.of_int events /. wall, events)
+  let metrics = Cluster.metrics cluster in
+  let percentiles =
+    ( Metrics.latency_percentile metrics 50.,
+      Metrics.latency_percentile metrics 95.,
+      Metrics.latency_percentile metrics 99. )
+  in
+  (Float.of_int events /. wall, events, percentiles)
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -404,6 +422,29 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Pull one numeric field out of a previous BENCH_harness.json without a
+   JSON dependency: find the quoted key, parse the float after the colon. *)
+let baseline_field path key =
+  let contents =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let needle = Printf.sprintf "\"%s\":" key in
+  let n = String.length contents and m = String.length needle in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub contents i m = needle then Some (i + m)
+    else find (i + 1)
+  in
+  Option.bind (find 0) (fun start ->
+      let stop = ref start in
+      while !stop < n && not (List.mem contents.[!stop] [ ','; '\n'; '}' ]) do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub contents start (!stop - start))))
+
 let wall_bench () =
   let jobs = cli.jobs in
   Printf.printf "wall bench: figure regeneration at --scale %s, --jobs 1 vs --jobs %d\n%!"
@@ -417,9 +458,20 @@ let wall_bench () =
   Printf.printf "  jobs=%d: %.2f s\n%!" jobs par_seconds;
   let identical = String.equal seq_output par_output in
   let speedup = if par_seconds > 0. then seq_seconds /. par_seconds else 0. in
-  let eps, events = events_per_second () in
+  let eps, events, (p50, p95, p99) = events_per_second () in
+  (* Same workload with the tracer live: the delta is the cost of emitting
+     ~1 ring-buffer write per protocol step.  The headline [eps] stays the
+     tracing-disabled figure — the zero-overhead-when-disabled claim is
+     what the --baseline regression gate guards. *)
+  let eps_traced, _, _ = events_per_second ~tracer:(Obs.Tracer.create ()) () in
+  let tracing_overhead_pct =
+    if eps_traced > 0. then ((eps /. eps_traced) -. 1.) *. 100. else 0.
+  in
   Printf.printf "  speedup: %.2fx, identical output: %b\n%!" speedup identical;
   Printf.printf "  simulator: %.0f events/s (%d events, bank workload)\n%!" eps events;
+  Printf.printf "  simulator (traced): %.0f events/s (tracing overhead %.2f%%)\n%!"
+    eps_traced tracing_overhead_pct;
+  Printf.printf "  commit latency: p50=%.1f p95=%.1f p99=%.1f ms (simulated)\n%!" p50 p95 p99;
   let oc = open_out cli.out in
   Printf.fprintf oc
     "{\n\
@@ -431,18 +483,41 @@ let wall_bench () =
     \  \"speedup\": %.4f,\n\
     \  \"output_identical\": %b,\n\
     \  \"events_per_second\": %.1f,\n\
+    \  \"events_per_second_traced\": %.1f,\n\
+    \  \"tracing_overhead_pct\": %.2f,\n\
+    \  \"latency_p50_ms\": %.3f,\n\
+    \  \"latency_p95_ms\": %.3f,\n\
+    \  \"latency_p99_ms\": %.3f,\n\
     \  \"events_measured\": %d,\n\
     \  \"available_cores\": %d\n\
      }\n"
     (json_escape cli.scale_name) jobs seq_seconds par_seconds speedup identical eps
-    events
+    eps_traced tracing_overhead_pct p50 p95 p99 events
     (Harness.Pool.default_jobs ());
   close_out oc;
   Printf.printf "wrote %s\n%!" cli.out;
   if not identical then begin
     prerr_endline "FAIL: parallel output differs from sequential output";
     exit 1
-  end
+  end;
+  Option.iter
+    (fun path ->
+      match baseline_field path "events_per_second" with
+      | None ->
+        Printf.eprintf "warning: no events_per_second in baseline %s; skipping comparison\n" path
+      | Some base ->
+        let regression_pct = if base > 0. then (1. -. (eps /. base)) *. 100. else 0. in
+        Printf.printf
+          "  baseline (%s): %.0f events/s -> regression %.2f%% (limit %.1f%%)\n%!"
+          path base regression_pct cli.max_regression;
+        if regression_pct > cli.max_regression then begin
+          Printf.eprintf
+            "FAIL: tracing-disabled simulator throughput regressed %.2f%% vs baseline \
+             (limit %.1f%%)\n"
+            regression_pct cli.max_regression;
+          exit 1
+        end)
+    cli.baseline
 
 let () =
   if cli.wall then wall_bench ()

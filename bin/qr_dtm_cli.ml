@@ -50,6 +50,12 @@ let selected_benchmarks = function
 
 let print_series series = print_string (Harness.Report.render series)
 
+let parse_mode = function
+  | "flat" -> Core.Config.Flat
+  | "closed" -> Core.Config.Closed
+  | "checkpoint" -> Core.Config.Checkpoint
+  | other -> failwith (Printf.sprintf "unknown mode %S" other)
+
 let figure_cmd =
   let number_arg =
     let doc = "Figure number: 5, 6, 7, 9 or 10." in
@@ -123,13 +129,7 @@ let run_cmd =
   in
   let run bench mode reads calls objects nodes clients duration seed skew =
     let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
-    let mode =
-      match mode with
-      | "flat" -> Core.Config.Flat
-      | "closed" -> Core.Config.Closed
-      | "checkpoint" -> Core.Config.Checkpoint
-      | other -> failwith (Printf.sprintf "unknown mode %S" other)
-    in
+    let mode = parse_mode mode in
     let params =
       {
         Benchmarks.Workload.objects =
@@ -174,13 +174,7 @@ let scenario_cmd =
   let seed_arg = Arg.(value & opt int 97 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.") in
   let run spec bench mode nodes clients duration seed =
     let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
-    let mode =
-      match mode with
-      | "flat" -> Core.Config.Flat
-      | "closed" -> Core.Config.Closed
-      | "checkpoint" -> Core.Config.Checkpoint
-      | other -> failwith (Printf.sprintf "unknown mode %S" other)
-    in
+    let mode = parse_mode mode in
     let events =
       match Harness.Scenario.parse spec with
       | Ok events -> events
@@ -218,6 +212,118 @@ let scenario_cmd =
       const run $ spec_arg $ bench_arg $ mode_arg $ nodes_arg $ clients_arg $ duration_arg
       $ seed_arg)
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let warn_dropped tracer =
+  let dropped = Obs.Tracer.dropped tracer in
+  if dropped > 0 then
+    Printf.eprintf
+      "warning: trace ring buffer overflowed, %d oldest events dropped (raise \
+       --trace-capacity); checker verdicts may be unreliable\n"
+      dropped
+
+let trace_cmd =
+  let mode_arg =
+    let doc = "Execution model: flat, closed or checkpoint." in
+    Arg.(value & opt string "closed" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let nodes_arg = Arg.(value & opt int 13 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.") in
+  let clients_arg =
+    Arg.(value & opt int 26 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5_000. & info [ "duration" ] ~docv:"MS" ~doc:"Window, ms.")
+  in
+  let seed_arg = Arg.(value & opt int 97 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.") in
+  let txn_arg =
+    let doc = "Print the causal history of one transaction id instead of full JSON." in
+    Arg.(value & opt (some int) None & info [ "txn" ] ~docv:"TXN" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the Chrome trace_event JSON to $(docv) (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let telemetry_arg =
+    let doc = "Also sample windowed telemetry and write it as CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+  in
+  let window_arg =
+    Arg.(value & opt float 250. & info [ "window" ] ~docv:"MS" ~doc:"Telemetry sampling window, ms.")
+  in
+  let capacity_arg =
+    let doc = "Trace ring-buffer capacity (events); oldest events drop past this." in
+    Arg.(value & opt int (1 lsl 20) & info [ "trace-capacity" ] ~docv:"N" ~doc)
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ] ~doc:"Run the offline protocol checker over the trace; exit 1 on violations.")
+  in
+  let run bench mode seed nodes clients duration txn out telemetry window capacity check =
+    let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
+    let config = Core.Config.default (parse_mode mode) in
+    let params =
+      {
+        Benchmarks.Workload.objects = Harness.Figures.benchmark_objects benchmark.name;
+        calls = 3;
+        read_ratio = 0.5;
+        key_skew = 0.5;
+      }
+    in
+    let tracer = Obs.Tracer.create ~capacity () in
+    let tele = Option.map (fun _ -> Obs.Telemetry.create ~window) telemetry in
+    let result =
+      Harness.Experiment.run ~nodes ~seed ~clients ~duration ~tracer ?telemetry:tele
+        ~config ~benchmark ~params ()
+    in
+    Format.eprintf "%a@." Harness.Experiment.pp_result result;
+    Format.eprintf "trace: %d events captured@." (Obs.Tracer.length tracer);
+    warn_dropped tracer;
+    (match (txn, out) with
+    | Some txn, _ ->
+      let history = Obs.Export.txn_history tracer ~txn in
+      if history = "" then Printf.printf "txn %d does not appear in the trace\n" txn
+      else print_string history;
+      Option.iter (fun path -> write_file path (Obs.Export.chrome_json tracer)) out
+    | None, Some path -> write_file path (Obs.Export.chrome_json tracer)
+    | None, None -> print_string (Obs.Export.chrome_json tracer));
+    Option.iter
+      (fun path -> Option.iter (fun t -> write_file path (Obs.Telemetry.to_csv t)) tele)
+      telemetry;
+    if check then begin
+      let tree = Quorum.Tree.create ~nodes () in
+      let violations =
+        Obs.Checker.check
+          ~is_write_quorum:(fun set -> Quorum.Check.covers_write_quorum tree set)
+          (Obs.Tracer.events tracer)
+      in
+      match violations with
+      | [] -> Format.eprintf "checker: ok (%d events, 0 violations)@." (Obs.Tracer.length tracer)
+      | violations ->
+        List.iter (fun v -> prerr_endline (Obs.Checker.pp_violation v)) violations;
+        Format.eprintf "checker: %d violation(s)@." (List.length violations);
+        exit 1
+    end
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:"Run one traced experiment and export its transaction-lifecycle trace"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Runs a single experiment point with the lifecycle tracer enabled and \
+             exports the trace as Chrome trace_event JSON (chrome://tracing or \
+             ui.perfetto.dev).  Tracing never perturbs the simulation: results are \
+             byte-identical to an untraced run with the same seed.";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ bench_arg $ mode_arg $ seed_arg $ nodes_arg $ clients_arg $ duration_arg
+      $ txn_arg $ out_arg $ telemetry_arg $ window_arg $ capacity_arg $ check_arg)
+
 let chaos_cmd =
   let runs_arg =
     Arg.(value & opt int 25 & info [ "runs" ] ~docv:"N" ~doc:"Seeded schedules to run.")
@@ -252,14 +358,20 @@ let chaos_cmd =
   let show_arg =
     Arg.(value & flag & info [ "show" ] ~doc:"Print each seed's generated schedule without running it.")
   in
-  let run runs seed nodes clients horizon max_crashes mode json failures_to verbose show =
-    let mode =
-      match mode with
-      | "flat" -> Core.Config.Flat
-      | "closed" -> Core.Config.Closed
-      | "checkpoint" -> Core.Config.Checkpoint
-      | other -> failwith (Printf.sprintf "unknown mode %S" other)
+  let trace_dir_arg =
+    let doc =
+      "Re-run each failing seed with tracing enabled (deterministic, so the failure \
+       reproduces exactly) and dump per-seed artifacts into $(docv): the schedule, the \
+       Chrome trace_event JSON, and the offline protocol-checker verdicts."
     in
+    Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+  in
+  let trace_all_arg =
+    Arg.(value & flag & info [ "trace-all" ] ~doc:"With --trace-dir: dump every seed, not just failures.")
+  in
+  let run runs seed nodes clients horizon max_crashes mode json failures_to verbose show
+      trace_dir trace_all =
+    let mode = parse_mode mode in
     let knobs =
       { Harness.Chaos.default_knobs with nodes; clients; horizon; max_crashes }
     in
@@ -295,7 +407,38 @@ let chaos_cmd =
           close_out oc
         end)
       failures_to;
-    if failed <> [] then exit 1
+    let checker_failed = ref false in
+    Option.iter
+      (fun dir ->
+        let to_dump = if trace_all then results else failed in
+        if to_dump <> [] then begin
+          (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+          List.iter
+            (fun (r : Harness.Chaos.result) ->
+              let seed = r.Harness.Chaos.seed in
+              let tracer = Obs.Tracer.create () in
+              let replay =
+                Harness.Chaos.run_one ~config:(Core.Config.default mode) ~tracer knobs ~seed
+              in
+              warn_dropped tracer;
+              let violations = Harness.Chaos.check_trace knobs tracer in
+              if violations <> [] then checker_failed := true;
+              let prefix = Filename.concat dir (Printf.sprintf "seed-%d" seed) in
+              write_file (prefix ^ ".trace.json") (Obs.Export.chrome_json tracer);
+              write_file (prefix ^ ".txt")
+                (Format.asprintf "%a@.%s@."
+                   Harness.Chaos.pp_result replay
+                   (match violations with
+                   | [] -> "checker: ok (0 violations)"
+                   | vs ->
+                     String.concat "\n" (List.map Obs.Checker.pp_violation vs)
+                     ^ Printf.sprintf "\nchecker: %d violation(s)" (List.length vs)));
+              Printf.eprintf "traced seed %d -> %s.{trace.json,txt} (%d events, %d violations)\n"
+                seed prefix (Obs.Tracer.length tracer) (List.length violations))
+            to_dump
+        end)
+      trace_dir;
+    if failed <> [] || !checker_failed then exit 1
   in
   let info =
     Cmd.info "chaos"
@@ -304,7 +447,8 @@ let chaos_cmd =
   Cmd.v info
     Term.(
       const run $ runs_arg $ seed_arg $ nodes_arg $ clients_arg $ horizon_arg
-      $ crashes_arg $ mode_arg $ json_arg $ failures_arg $ verbose_arg $ show_arg)
+      $ crashes_arg $ mode_arg $ json_arg $ failures_arg $ verbose_arg $ show_arg
+      $ trace_dir_arg $ trace_all_arg)
 
 let all_cmd =
   let run scale jobs =
@@ -321,6 +465,6 @@ let main =
       ~doc:"Quorum-based replicated DTM with closed nesting and checkpointing"
   in
   Cmd.group info
-    [ figure_cmd; table_cmd; summary_cmd; run_cmd; scenario_cmd; chaos_cmd; all_cmd ]
+    [ figure_cmd; table_cmd; summary_cmd; run_cmd; scenario_cmd; trace_cmd; chaos_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -67,6 +67,10 @@ let rec resync t ~node ~started ~was_killed =
   | [] -> retry ()
   | dsts ->
     Metrics.note_sync t.metrics;
+    let tracer = Sim.Engine.tracer t.engine in
+    if Obs.Tracer.enabled tracer then
+      Obs.Tracer.emit tracer ~time:(Sim.Engine.now t.engine)
+        ~kind:Obs.Sem.sync_start ~node ~a:(List.length dsts) ();
     Sim.Rpc.multicall t.rpc ~kind:Messages.sync_req_kind ~src:node ~dsts
       ~timeout:t.config.Config.request_timeout Messages.Sync_req
       ~on_done:(fun ~replies ~missing ->
@@ -86,6 +90,9 @@ let rec resync t ~node ~started ~was_killed =
               | Messages.Status_rep _ | Messages.Ack ->
                 ())
             replies;
+          if Obs.Tracer.enabled tracer then
+            Obs.Tracer.emit tracer ~time:(Sim.Engine.now t.engine)
+              ~kind:Obs.Sem.sync_done ~node ~a:(List.length replies) ();
           readmit t node;
           if was_killed then
             Metrics.note_recovery t.metrics
@@ -93,8 +100,9 @@ let rec resync t ~node ~started ~was_killed =
         end)
 
 let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_level = 1)
-    ?(detection_delay = 50.) ?(detection_jitter = 0.) ?(with_oracle = true) config =
-  let engine = Sim.Engine.create () in
+    ?(detection_delay = 50.) ?(detection_jitter = 0.) ?(with_oracle = true)
+    ?(tracer = Obs.Tracer.null) config =
+  let engine = Sim.Engine.create ~tracer () in
   let topology =
     match topology with
     | Some t -> t
@@ -109,8 +117,12 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
     Array.init nodes (fun node ->
         Server.create ~node ~store:(Store.Replica.create ()))
   in
+  let clock () = Sim.Engine.now engine in
   Array.iter
     (fun server ->
+      Server.instrument server ~tracer ~clock;
+      Store.Replica.instrument (Server.store server) ~tracer
+        ~node:(Server.node server) ~clock;
       Sim.Rpc.serve rpc ~node:(Server.node server) (fun ~src request ->
           Server.handle server ~src request))
     servers;
@@ -193,6 +205,7 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
   t
 
 let engine t = t.engine
+let tracer t = Sim.Engine.tracer t.engine
 let network t = t.network
 let executor t = t.executor
 let metrics t = t.metrics

@@ -21,13 +21,20 @@ val create :
   ?detection_delay:float ->
   ?detection_jitter:float ->
   ?with_oracle:bool ->
+  ?tracer:Obs.Tracer.t ->
   Config.t ->
   t
 (** Defaults: 13 nodes (the paper's Fig. 3 tree), metric-space topology with
     ~15 ms mean one-way latency, 0.25 ms per-message service time,
-    [read_level = 1], oracle enabled. *)
+    [read_level = 1], oracle enabled, tracing disabled.  Passing an enabled
+    [tracer] threads it through every layer (engine, network, RPC, servers,
+    replicas, executor); tracing draws no randomness and schedules no
+    events, so results stay byte-identical to an untraced run. *)
 
 val engine : t -> Sim.Engine.t
+
+(** The tracer the cluster was built with ({!Obs.Tracer.null} when off). *)
+val tracer : t -> Obs.Tracer.t
 val network : t -> (Messages.request, Messages.reply) Sim.Rpc.envelope Sim.Network.t
 val executor : t -> Executor.t
 val metrics : t -> Metrics.t

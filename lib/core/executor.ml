@@ -18,6 +18,7 @@ type t = {
   oracle : Oracle.t option;
   ids : Ids.gen;
   rng : Util.Rng.t;
+  tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
   scratch_dataset : (int, Messages.dataset_entry) Hashtbl.t;
       (* reused by [full_dataset]; an executor runs inside one simulation
          (one domain), so sharing the scratch across roots is safe *)
@@ -35,6 +36,7 @@ let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed () =
     oracle;
     ids;
     rng = Util.Rng.create seed;
+    tracer = Sim.Engine.tracer engine;
     scratch_dataset = Hashtbl.create 64;
     actives = [];
     next_active = 0;
@@ -95,6 +97,16 @@ type root = {
 }
 
 let now root = Sim.Engine.now root.exec.engine
+
+(* Transaction-lifecycle tracing.  Emission is attributed to the current
+   attempt's transaction id (fresh per attempt); it draws no randomness and
+   schedules nothing, so tracing never perturbs the run. *)
+let trace root ~kind ?oid ?a ?b ?x () =
+  let tracer = root.exec.tracer in
+  if Obs.Tracer.enabled tracer then
+    Obs.Tracer.emit tracer ~time:(now root) ~kind ~node:root.node
+      ~txn:root.txn_id ?oid ?a ?b ?x ()
+
 let rqv_active exec =
   match exec.config.mode with
   | Config.Closed | Config.Checkpoint -> true
@@ -185,6 +197,14 @@ let rec start_attempt root =
   root.commit_lock_budget <- root.exec.config.commit_lock_retries;
   root.steps <- 0;
   root.generation <- root.generation + 1;
+  trace root ~kind:Obs.Sem.txn_begin ~a:(root.attempt + 1) ();
+  (* Widened-read witnesses survive across attempts, but each attempt runs
+     under a fresh transaction id — re-announce them so per-transaction
+     trace analyses (the widen-read checker rule) see the carried-over
+     obligation. *)
+  List.iter
+    (fun witness -> trace root ~kind:Obs.Sem.widen_add ~a:witness ())
+    root.extra_read_peers;
   step root (root.program ())
 
 and step root prog =
@@ -210,6 +230,7 @@ and interpret_op root prog =
       match root.exec.config.mode with
       | Config.Closed ->
         let parent = current_scope root in
+        trace root ~kind:Obs.Sem.scope_push ~a:(parent.depth + 1) ();
         root.scopes <-
           fresh_scope ~depth:(parent.depth + 1) ~thunk:body ~cont:(Some cont)
           :: root.scopes;
@@ -269,6 +290,8 @@ and remote_fetch root ~oid ~write ~k =
       | [] -> quorum
       | extra -> List.sort_uniq Int.compare (extra @ quorum)
     in
+    if Obs.Tracer.enabled exec.tracer then
+      List.iter (fun dst -> trace root ~kind:Obs.Sem.read_send ~oid ~a:dst ()) dsts;
     root.last_validation_sent <- now root;
     let generation = root.generation in
     Sim.Rpc.multicall exec.rpc ~kind:Messages.read_req_kind ~src:root.node ~dsts
@@ -287,11 +310,17 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
        unreachable (partition, flaky link) is kept: its newer version is
        exactly what the widening exists to fetch, so the read must keep
        trying until the fault clears. *)
-    if root.extra_read_peers <> [] then
-      root.extra_read_peers <-
-        List.filter
+    if root.extra_read_peers <> [] then begin
+      let kept, pruned =
+        List.partition
           (fun n -> (not (List.mem n missing)) || exec.quorums.node_alive n)
-          root.extra_read_peers;
+          root.extra_read_peers
+      in
+      List.iter
+        (fun witness -> trace root ~kind:Obs.Sem.widen_drop ~a:witness ())
+        pruned;
+      root.extra_read_peers <- kept
+    end;
     Metrics.note_quorum_retry exec.metrics;
     schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay) (fun () ->
         remote_fetch root ~oid ~write ~k)
@@ -346,8 +375,12 @@ and install_entry root ~oid ~base_version ~read_value ~write ~remote ~k =
   begin
     match write with
     | Some value ->
+      trace root ~kind:Obs.Sem.txn_write ~oid ();
       scope.wset <- Rwset.add scope.wset { oid; version = base_version; value; owner }
     | None ->
+      trace root ~kind:Obs.Sem.txn_read ~oid ~a:base_version
+        ~b:(if remote then 1 else 0)
+        ();
       (* A locally visible object is not re-added: its entry (and owner)
          stays with the scope that fetched it. *)
       if remote then
@@ -365,6 +398,7 @@ and install_entry root ~oid ~base_version ~read_value ~write ~remote ~k =
 
 and create_checkpoint root ~resume ~continue =
   let scope = current_scope root in
+  trace root ~kind:Obs.Sem.txn_checkpoint ~a:root.next_chk ();
   root.checkpoints <-
     {
       chk_id = root.next_chk;
@@ -381,6 +415,7 @@ and create_checkpoint root ~resume ~continue =
 
 and partial_abort root ~target =
   root.generation <- root.generation + 1;
+  trace root ~kind:Obs.Sem.txn_partial_abort ~a:target ();
   match root.exec.config.mode with
   | Config.Flat -> root_abort root
   | Config.Closed ->
@@ -398,6 +433,9 @@ and partial_abort root ~target =
           scope.wset <- Rwset.empty;
           root.scopes <- scopes;
           Metrics.note_partial_abort root.exec.metrics;
+          (* [a] reports the depth actually restored, not the requested
+             target — the checker verifies they coincide. *)
+          trace root ~kind:Obs.Sem.scope_resume ~a:scope.depth ();
           schedule root
             ~delay:(jittered root.exec.rng root.exec.config.ct_retry_delay)
             (fun () -> step root (scope.thunk ()))
@@ -425,6 +463,7 @@ and partial_abort root ~target =
         root.checkpoints <- kept;
         root.since_chk <- 0;
         Metrics.note_partial_abort root.exec.metrics;
+        trace root ~kind:Obs.Sem.scope_resume ~a:chk.chk_id ();
         schedule root
           ~delay:(jittered root.exec.rng root.exec.config.ct_retry_delay)
           (fun () -> step root (chk.resume ()))
@@ -433,6 +472,7 @@ and partial_abort root ~target =
 and root_abort root =
   root.generation <- root.generation + 1;
   Metrics.note_root_abort root.exec.metrics;
+  trace root ~kind:Obs.Sem.txn_root_abort ~a:(root.attempt + 1) ();
   root.attempt <- root.attempt + 1;
   let cfg = root.exec.config in
   if cfg.max_attempts > 0 && root.attempt >= cfg.max_attempts then
@@ -461,6 +501,7 @@ and finish_scope root value =
   | [] -> invalid_arg "Executor: Return with no scope"
   | [ scope ] -> root_commit root ~scope ~value
   | child :: (parent :: _ as rest) ->
+    trace root ~kind:Obs.Sem.scope_pop ~a:child.depth ();
     (* commitCT (Algorithm 3): merge into the parent, locally.  Merged
        entries are retagged with the parent's depth: a later invalidation
        must abort the parent, the child's commit having been absorbed. *)
@@ -495,6 +536,7 @@ and root_commit root ~scope ~value =
        all closed-nested transactions) commit without remote messages. *)
     record_commit root ~scope ~window_start:root.last_validation_sent;
     Metrics.note_read_only_commit exec.metrics ~latency:(now root -. root.born);
+    trace root ~kind:Obs.Sem.txn_commit ~b:1 ~x:(now root -. root.born) ();
     finish root (Committed value)
   end
   else send_commit_request root ~scope ~value
@@ -512,6 +554,8 @@ and send_commit_request root ~scope ~value =
       Messages.dataset_of_rwset (Rwset.merge_into ~child:scope.wset ~parent:scope.rset)
     in
     let locks = Rwset.oids scope.wset in
+    trace root ~kind:Obs.Sem.commit_send ~a:(List.length locks)
+      ~b:(List.length quorum) ();
     let window_start = now root in
     (* Conservative lease horizon: leases are stamped at replica receipt
        (later than this send), so deciding commit before [lock_deadline]
@@ -539,6 +583,18 @@ and release_locks root ~quorum ~locks =
 and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
   let exec = root.exec in
   let locks = Rwset.oids scope.wset in
+  if Obs.Tracer.enabled exec.tracer then
+    List.iter
+      (fun (voter, reply) ->
+        match reply with
+        | Messages.Vote { commit; lock_conflict } ->
+          trace root ~kind:Obs.Sem.vote_recv ~a:voter
+            ~b:((if commit then 1 else 0) lor if lock_conflict then 2 else 0)
+            ()
+        | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Sync_rep _
+        | Messages.Status_rep _ | Messages.Ack ->
+          ())
+      replies;
   if missing <> [] then begin
     (* A write-quorum member failed mid-2PC: release whatever was locked
        and retry against refreshed quorums. *)
@@ -565,6 +621,7 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
          conflicting writer.  Walk away — Release is harmless whether or
          not the leases already fell. *)
       Metrics.note_commit_deadline_abort exec.metrics;
+      trace root ~kind:Obs.Sem.deadline_abort ~x:root.lock_deadline ();
       release_locks root ~quorum ~locks;
       root_abort root
     end
@@ -582,6 +639,7 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
         ~timeout:exec.config.request_timeout
         (Messages.Apply { txn = root.txn_id; writes; reads = Rwset.oids scope.rset });
       Metrics.note_commit exec.metrics ~latency:(now root -. root.born);
+      trace root ~kind:Obs.Sem.txn_commit ~b:0 ~x:(now root -. root.born) ();
       finish root (Committed value)
     end
     else begin
@@ -600,6 +658,11 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
       in
       if stale_witnesses <> [] then begin
         Metrics.note_read_widening exec.metrics;
+        List.iter
+          (fun witness ->
+            if not (List.mem witness root.extra_read_peers) then
+              trace root ~kind:Obs.Sem.widen_add ~a:witness ())
+          (List.sort_uniq Int.compare stale_witnesses);
         root.extra_read_peers <-
           List.sort_uniq Int.compare (stale_witnesses @ root.extra_read_peers)
       end;
@@ -635,6 +698,9 @@ and record_commit root ~scope ~window_start =
 
 and finish root outcome =
   if not root.finished then begin
+    trace root ~kind:Obs.Sem.txn_end
+      ~a:(match outcome with Committed _ -> 1 | Failed _ -> 0)
+      ();
     root.finished <- true;
     root.generation <- root.generation + 1;
     root.on_done outcome

@@ -134,12 +134,16 @@ let abort_rate t =
   let attempts = t.commits + total_aborts t in
   if attempts = 0 then 0. else Float.of_int (total_aborts t) /. Float.of_int attempts
 
+let latency_percentile t p =
+  if Util.Stats.count t.latencies = 0 then 0. else Util.Stats.percentile t.latencies p
+
 let summary t ~duration_ms =
   Printf.sprintf
     "commits=%d (ro=%d) throughput=%.1f/s aborts[root=%d partial=%d] ct_commits=%d \
-     checkpoints=%d reads[local=%d remote=%d] latency{%s}"
+     checkpoints=%d reads[local=%d remote=%d] latency{%s p50=%.1f p95=%.1f p99=%.1f}"
     t.commits t.read_only_commits
     (throughput t ~duration_ms)
     t.root_aborts t.partial_aborts t.ct_commits t.checkpoints t.local_reads
     t.remote_reads
     (Util.Stats.summary t.latencies)
+    (latency_percentile t 50.) (latency_percentile t 95.) (latency_percentile t 99.)

@@ -92,6 +92,10 @@ val recovery_time_stats : t -> Util.Stats.t
 
 val latency_stats : t -> Util.Stats.t
 
+val latency_percentile : t -> float -> float
+(** Commit-latency percentile (e.g. [50.], [95.], [99.]); 0 when no commits
+    have been recorded. *)
+
 val throughput : t -> duration_ms:float -> float
 (** Committed transactions per second of simulated time. *)
 

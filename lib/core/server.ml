@@ -22,10 +22,32 @@ type t = {
   mutable termination : termination option;
   mutable validations_run : int;
   mutable validations_failed : int;
+  (* Tracing: injected after construction (see [instrument]); the clock
+     closure decouples the server from needing an engine when termination
+     is off.  Inert defaults when tracing is disabled. *)
+  mutable tracer : Obs.Tracer.t;
+  mutable clock : unit -> float;
 }
 
 let create ~node ~store =
-  { node; store; termination = None; validations_run = 0; validations_failed = 0 }
+  {
+    node;
+    store;
+    termination = None;
+    validations_run = 0;
+    validations_failed = 0;
+    tracer = Obs.Tracer.null;
+    clock = (fun () -> 0.);
+  }
+
+let instrument t ~tracer ~clock =
+  t.tracer <- tracer;
+  t.clock <- clock
+
+let trace t ~kind ?txn ?oid ?a ?b ?x () =
+  if Obs.Tracer.enabled t.tracer then
+    Obs.Tracer.emit t.tracer ~time:(t.clock ()) ~kind ~node:t.node ?txn ?oid ?a
+      ?b ?x ()
 
 let node t = t.node
 let store t = t.store
@@ -43,8 +65,10 @@ let handle_read t ~txn ~oid ~dataset ~write_intent ~record =
   match verdict with
   | Some target ->
     t.validations_failed <- t.validations_failed + 1;
+    trace t ~kind:Obs.Sem.rqv_fail ~txn ~oid ~a:target ();
     Some (Messages.Read_abort { target })
   | None ->
+    if dataset <> [] then trace t ~kind:Obs.Sem.rqv_ok ~txn ~oid ();
     begin
       match Store.Replica.find t.store oid with
       | None -> Some (Messages.Read_abort { target = 0 })
@@ -82,26 +106,38 @@ let release_lease t ~txn ~oids =
     oids
 
 (* Commit evidence in a status round: either a peer saw the transaction's
-   Apply, or a peer's copy of a leased object moved past the version the
-   lease was protecting — only the owner's commit could have done that
-   while this replica held the lock. *)
+   Apply ([`Applied]), or a peer's copy of a leased object moved past the
+   version the lease was protecting ([`Version_advance]).  Only a commit
+   can advance a locked copy, but across membership views it may have been
+   a *different* transaction's commit through a quorum that bypassed this
+   replica — the two kinds are distinguished in the trace so the offline
+   checker only demands per-transaction evidence for the first. *)
 let commit_evidence t ~held ~replies =
-  List.exists
-    (fun (_, reply) ->
-      match reply with
-      | Messages.Status_rep { committed; objects } ->
-        committed
-        || List.exists
+  let status_rep f (_, reply) =
+    match reply with
+    | Messages.Status_rep { committed; objects } -> f ~committed ~objects
+    | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+    | Messages.Sync_rep _ | Messages.Ack ->
+      false
+  in
+  if List.exists (status_rep (fun ~committed ~objects:_ -> committed)) replies then
+    Some `Applied
+  else if
+    List.exists
+      (status_rep (fun ~committed:_ ~objects ->
+           List.exists
              (fun (oid, version, _) ->
                List.mem oid held && version > Store.Replica.version t.store oid)
-             objects
-      | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
-      | Messages.Sync_rep _ | Messages.Ack ->
-        false)
-    replies
+             objects))
+      replies
+  then Some `Version_advance
+  else None
 
-let rescue_commit t term ~txn ~oids ~replies =
+let rescue_commit t term ~txn ~oids ~replies ~evidence =
   Metrics.note_status_rescue term.metrics;
+  trace t ~kind:Obs.Sem.rescue ~txn ~a:(List.length oids)
+    ~b:(match evidence with `Applied -> 0 | `Version_advance -> 1)
+    ();
   (* Adopt the freshest copies carried by the replies (version-guarded, so
      older copies are ignored); sync clears the adopted objects' leases,
      and any leftover lease (reply lacking that oid) is presumed released
@@ -142,18 +178,21 @@ let rec status_round t term ~txn ~oids ~attempts =
     match term.status_peers () with
     | [] -> retry attempts
     | dsts ->
+      trace t ~kind:Obs.Sem.status_round ~txn ~a:attempts ~b:(List.length dsts) ();
       Sim.Rpc.multicall term.rpc ~kind:Messages.status_req_kind ~src:t.node ~dsts
         ~timeout:term.config.Config.request_timeout
         (Messages.Status_req { txn; oids = held })
         ~on_done:(fun ~replies ~missing ->
           let held = still_held t ~txn held in
           if held <> [] then
-            if commit_evidence t ~held ~replies then
-              rescue_commit t term ~txn ~oids:held ~replies
-            else if missing <> [] then retry attempts
+            match commit_evidence t ~held ~replies with
+            | Some evidence -> rescue_commit t term ~txn ~oids:held ~replies ~evidence
+            | None ->
+            if missing <> [] then retry attempts
             else if attempts > 1 then retry (attempts - 1)
             else begin
               Metrics.note_presumed_abort term.metrics;
+              trace t ~kind:Obs.Sem.presumed_abort ~txn ~a:(List.length held) ();
               release_lease t ~txn ~oids:held
             end)
   end
@@ -177,6 +216,9 @@ let rec watch_lease t term ~txn ~oids () =
       Sim.Engine.schedule_at term.engine ~time:deadline (watch_lease t term ~txn ~oids:held)
     else begin
       Metrics.note_lease_expired term.metrics;
+      (match held with
+      | oid :: _ -> trace t ~kind:Obs.Sem.lease_expire ~txn ~oid ~x:latest ()
+      | [] -> ());
       status_round t term ~txn ~oids:held ~attempts:term.config.Config.status_attempts
     end
   end
@@ -232,6 +274,16 @@ let handle_commit t ~txn ~dataset ~locks =
     else Some (Messages.Vote { commit = false; lock_conflict = true })
   end
 
+let trace_vote t ~txn reply =
+  (match reply with
+  | Some (Messages.Vote { commit; lock_conflict }) ->
+    trace t ~kind:Obs.Sem.vote ~txn
+      ~a:(if commit then 1 else 0)
+      ~b:(if lock_conflict then 1 else 0)
+      ()
+  | _ -> ());
+  reply
+
 let handle_apply t ~txn ~writes ~reads =
   List.iter
     (fun (oid, version, value) ->
@@ -285,13 +337,16 @@ let handle t ~src:_ request =
   match request with
   | Messages.Read_req { txn; oid; dataset; write_intent; record } ->
     handle_read t ~txn ~oid ~dataset ~write_intent ~record
-  | Messages.Commit_req { txn; dataset; locks } -> handle_commit t ~txn ~dataset ~locks
+  | Messages.Commit_req { txn; dataset; locks } ->
+    trace_vote t ~txn (handle_commit t ~txn ~dataset ~locks)
   | Messages.Apply { txn; writes; reads } ->
+    trace t ~kind:Obs.Sem.apply ~txn ~a:(List.length writes) ();
     handle_apply t ~txn ~writes ~reads;
     (* Acked so the coordinator can retransmit over lossy links; Apply is
        idempotent (version-guarded), so duplicates are harmless. *)
     Some Messages.Ack
   | Messages.Release { txn; oids } ->
+    trace t ~kind:Obs.Sem.release ~txn ~a:(List.length oids) ();
     handle_release t ~txn ~oids;
     Some Messages.Ack
   | Messages.Sync_req -> Some (Messages.Sync_rep { objects = Store.Replica.dump t.store })

@@ -33,6 +33,12 @@ type t
 
 val create : node:int -> store:Store.Replica.t -> t
 
+val instrument : t -> tracer:Obs.Tracer.t -> clock:(unit -> float) -> unit
+(** Attach a tracer (and a simulated-time source) so protocol handling
+    emits server-side trace events: Rqv verdicts, votes, applies, releases,
+    lease expiry, status rounds, presumed aborts and rescues.  The cluster
+    wires this automatically; without it the server stays silent. *)
+
 val enable_termination :
   t ->
   engine:Sim.Engine.t ->

@@ -202,13 +202,13 @@ let stall_window (config : Config.t) events =
   in
   2. *. (termination +. Float.max longest_fault crash_outages) +. 1_000.
 
-let run_one ?config knobs ~seed =
+let run_one ?config ?(tracer = Obs.Tracer.null) knobs ~seed =
   let config =
     match config with Some c -> c | None -> Config.default Config.Closed
   in
   let events = generate knobs ~seed in
   let cluster =
-    Cluster.create ~nodes:knobs.nodes ~seed ~read_level:knobs.read_level config
+    Cluster.create ~nodes:knobs.nodes ~seed ~read_level:knobs.read_level ~tracer config
   in
   let params =
     {
@@ -295,6 +295,16 @@ let run_one ?config knobs ~seed =
 
 let run_many ?config knobs ~seed ~runs =
   List.init runs (fun i -> run_one ?config knobs ~seed:(seed + i))
+
+(* Offline protocol-invariant pass over a traced run.  Chaos schedules
+   change the membership view mid-run, and the structural write-quorum rule
+   is view-dependent (a dead leaf contributes nothing; a dead interior node
+   is substituted by all its children), so validating voter sets against
+   the static full-liveness tree would flag legitimate fault-window commits.
+   The trace does not record the view, so we rely on the checker's
+   view-independent fallback: pairwise intersection across committed voter
+   sets.  [qr-dtm trace] (no fault injection) does use the structural rule. *)
+let check_trace _knobs tracer = Obs.Checker.check (Obs.Tracer.events tracer)
 
 let failures results = List.filter (fun r -> not (passed r)) results
 

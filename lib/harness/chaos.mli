@@ -62,11 +62,21 @@ type result = {
 val passed : result -> bool
 (** Oracle ok, invariant ok, no stalls. *)
 
-val run_one : ?config:Core.Config.t -> knobs -> seed:int -> result
-(** Default config: [Config.default Closed] (leases enabled). *)
+val run_one : ?config:Core.Config.t -> ?tracer:Obs.Tracer.t -> knobs -> seed:int -> result
+(** Default config: [Config.default Closed] (leases enabled).  [tracer]
+    threads a lifecycle tracer through the cluster; tracing never perturbs
+    the run, so re-running a failing seed with a tracer reproduces it
+    exactly. *)
 
 val run_many : ?config:Core.Config.t -> knobs -> seed:int -> runs:int -> result list
 (** Seeds [seed .. seed + runs - 1], sequentially. *)
+
+val check_trace : knobs -> Obs.Tracer.t -> Obs.Checker.violation list
+(** Run the offline protocol checker over a traced chaos run.  Voter sets
+    are validated by pairwise intersection (the checker's view-independent
+    fallback) rather than the structural tree rule: chaos schedules change
+    the membership view mid-run and the structural rule only holds within
+    one view. *)
 
 val failures : result list -> result list
 

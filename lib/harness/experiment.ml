@@ -16,7 +16,9 @@ type result = {
   remote_reads : int;
   local_reads : int;
   mean_latency : float;
+  p50_latency : float;
   p95_latency : float;
+  p99_latency : float;
   invariant : (unit, string) Stdlib.result;
   consistent : (unit, string) Stdlib.result;
 }
@@ -25,9 +27,11 @@ let pp_result fmt r =
   let status = function Ok () -> "ok" | Error msg -> "FAILED: " ^ msg in
   Format.fprintf fmt
     "%s: %.1f txn/s (%d commits, %d ro) aborts[root=%d partial=%d rate=%.3f] msgs=%d \
-     reads[remote=%d local=%d] latency[mean=%.1f p95=%.1f] invariant=%s oracle=%s"
+     reads[remote=%d local=%d] latency[mean=%.1f p50=%.1f p95=%.1f p99=%.1f] \
+     invariant=%s oracle=%s"
     r.label r.throughput r.commits r.read_only_commits r.root_aborts r.partial_aborts
-    r.abort_rate r.messages r.remote_reads r.local_reads r.mean_latency r.p95_latency
+    r.abort_rate r.messages r.remote_reads r.local_reads r.mean_latency r.p50_latency
+    r.p95_latency r.p99_latency
     (status r.invariant) (status r.consistent)
 
 (* Snapshot of every counter at the close of the measurement window. *)
@@ -43,7 +47,9 @@ type snapshot = {
   s_remote : int;
   s_local : int;
   s_mean : float;
+  s_p50 : float;
   s_p95 : float;
+  s_p99 : float;
 }
 
 let snapshot_of metrics ~messages ~by_kind =
@@ -60,8 +66,9 @@ let snapshot_of metrics ~messages ~by_kind =
     s_remote = Metrics.remote_reads metrics;
     s_local = Metrics.local_reads metrics;
     s_mean = Util.Stats.mean latencies;
-    s_p95 =
-      (if Util.Stats.count latencies = 0 then 0. else Util.Stats.percentile latencies 95.);
+    s_p50 = Metrics.latency_percentile metrics 50.;
+    s_p95 = Metrics.latency_percentile metrics 95.;
+    s_p99 = Metrics.latency_percentile metrics 99.;
   }
 
 let result_of_snapshot ~label ~duration ~invariant ~consistent s =
@@ -84,15 +91,19 @@ let result_of_snapshot ~label ~duration ~invariant ~consistent s =
     remote_reads = s.s_remote;
     local_reads = s.s_local;
     mean_latency = s.s_mean;
+    p50_latency = s.s_p50;
     p95_latency = s.s_p95;
+    p99_latency = s.s_p99;
     invariant;
     consistent;
   }
 
 let run ?(nodes = 13) ?(seed = 97) ?(read_level = 1) ?(clients = 26) ?(warmup = 2_000.)
     ?(duration = 30_000.) ?(with_oracle = true) ?(service_time = 0.25) ?client_nodes
-    ?prepare ~config ~benchmark ~params () =
-  let cluster = Cluster.create ~nodes ~seed ~read_level ~service_time ~with_oracle config in
+    ?prepare ?(tracer = Obs.Tracer.null) ?telemetry ~config ~benchmark ~params () =
+  let cluster =
+    Cluster.create ~nodes ~seed ~read_level ~service_time ~with_oracle ~tracer config
+  in
   let instance = (benchmark : Benchmarks.Workload.benchmark).setup cluster params in
   Option.iter (fun f -> f cluster) prepare;
   let client_rng = Util.Rng.create (seed * 7919) in
@@ -126,7 +137,29 @@ let run ?(nodes = 13) ?(seed = 97) ?(read_level = 1) ?(clients = 26) ?(warmup = 
           (snapshot_of (Cluster.metrics cluster)
              ~messages:(Cluster.messages_sent cluster)
              ~by_kind:(Cluster.messages_by_kind cluster)));
-  Cluster.drain cluster;
+  (* Telemetry is pull-model: the harness alternates bounded [run_for]
+     windows with counter samples.  No tick event ever enters the engine,
+     so the drain still terminates and traced/untraced runs stay
+     byte-identical. *)
+  (match telemetry with
+  | None -> Cluster.drain cluster
+  | Some tele ->
+    let engine = Cluster.engine cluster in
+    let window = Obs.Telemetry.window tele in
+    let metrics = Cluster.metrics cluster in
+    let sample () =
+      Obs.Telemetry.record tele ~time:(Sim.Engine.now engine)
+        ~commits:(Metrics.commits metrics)
+        ~aborts:(Metrics.total_aborts metrics)
+        ~in_flight:(List.length (Cluster.in_flight cluster))
+        ~lease_expirations:(Metrics.lease_expirations metrics)
+        ~by_kind:(Cluster.messages_by_kind cluster)
+    in
+    sample ();
+    while Sim.Engine.pending engine > 0 do
+      Cluster.run_for cluster window;
+      sample ()
+    done);
   let s =
     match !snap with
     | Some s -> s

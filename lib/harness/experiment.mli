@@ -22,7 +22,9 @@ type result = {
   remote_reads : int;
   local_reads : int;
   mean_latency : float;
+  p50_latency : float;
   p95_latency : float;
+  p99_latency : float;
   invariant : (unit, string) Stdlib.result;
   consistent : (unit, string) Stdlib.result;
 }
@@ -40,6 +42,8 @@ val run :
   ?service_time:float ->
   ?client_nodes:int list ->
   ?prepare:(Core.Cluster.t -> unit) ->
+  ?tracer:Obs.Tracer.t ->
+  ?telemetry:Obs.Telemetry.t ->
   config:Core.Config.t ->
   benchmark:Benchmarks.Workload.benchmark ->
   params:Benchmarks.Workload.params ->
@@ -47,7 +51,12 @@ val run :
   result
 (** Defaults: 13 nodes, 26 clients (2 per node), 2 s warm-up, 30 s
     measurement, oracle on.  [prepare] runs after setup and before the
-    clients start — e.g. to schedule failures (Fig. 10). *)
+    clients start — e.g. to schedule failures (Fig. 10).
+
+    [tracer] threads a lifecycle tracer through the cluster (see
+    {!Obs.Tracer}); [telemetry] samples windowed time series while the run
+    drains, pull-model, without scheduling any engine events — neither
+    perturbs results. *)
 
 (** {2 Generic systems (Fig. 9 baselines)}
 

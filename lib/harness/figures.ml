@@ -336,6 +336,16 @@ let summary ?(scale = quick) () =
     List.fold_left ( +. ) 0. values /. Float.of_int (List.length values)
   in
   let rows = rows @ [ ("AVERAGE", [ mean 0; mean 1; mean 2; mean 3 ]) ] in
+  let latency_of pick_mode =
+    let avg f =
+      let values = List.map (fun entry -> f (pick_mode entry)) per_benchmark in
+      List.fold_left ( +. ) 0. values /. Float.of_int (Stdlib.max 1 (List.length values))
+    in
+    Printf.sprintf "p50=%.1f p95=%.1f p99=%.1f"
+      (avg (fun (r : Experiment.result) -> r.p50_latency))
+      (avg (fun (r : Experiment.result) -> r.p95_latency))
+      (avg (fun (r : Experiment.result) -> r.p99_latency))
+  in
   {
     Report.title =
       "Headline summary: closed nesting & checkpointing vs flat (reference point)";
@@ -346,6 +356,10 @@ let summary ?(scale = quick) () =
     notes =
       [
         "paper: closed avg +53% (max +101%), checkpointing -16%, abort -33%, messages -34%";
+        Printf.sprintf "commit latency ms (suite average): flat %s | closed %s | chk %s"
+          (latency_of (fun (_, flat, _, _) -> flat))
+          (latency_of (fun (_, _, closed, _) -> closed))
+          (latency_of (fun (_, _, _, chk) -> chk));
       ];
   }
 

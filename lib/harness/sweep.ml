@@ -32,7 +32,9 @@ let averaged ~trials run =
       remote_reads = mean_int (pick (fun r -> r.Experiment.remote_reads));
       local_reads = mean_int (pick (fun r -> r.Experiment.local_reads));
       mean_latency = mean_float (pick (fun r -> r.Experiment.mean_latency));
+      p50_latency = mean_float (pick (fun r -> r.Experiment.p50_latency));
       p95_latency = mean_float (pick (fun r -> r.Experiment.p95_latency));
+      p99_latency = mean_float (pick (fun r -> r.Experiment.p99_latency));
       invariant =
         List.fold_left combine_checks (Ok ()) (pick (fun r -> r.Experiment.invariant));
       consistent =

@@ -1,0 +1,174 @@
+type violation = { rule : string; time : float; txn : int; detail : string }
+
+let pp_violation v =
+  Printf.sprintf "[%s] t=%.3f txn=%d: %s" v.rule v.time v.txn v.detail
+
+(* Voter flag bits, mirroring the executor's [vote.recv] encoding. *)
+let commit_bit = 1
+
+let intersects a b = List.exists (fun x -> List.mem x b) a
+
+let check ?is_write_quorum events =
+  let violations = ref [] in
+  let report rule time txn detail =
+    violations := { rule; time; txn; detail } :: !violations
+  in
+
+  (* commit-quorum: votes collected since the last commit.send per txn. *)
+  let votes : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let committed_sets : (int * int list) list ref = ref [] in
+
+  (* lease-overlap: (replica, oid) -> owning txn. *)
+  let leases : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+
+  (* partial-abort-scope: txn -> pending unwind target. *)
+  let pending_unwind : (int, int) Hashtbl.t = Hashtbl.create 16 in
+
+  (* rescue-evidence: txns with commit evidence seen so far. *)
+  let evidence : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+
+  (* widen-read: txn -> flagged witness set; txn -> open read fan-out. *)
+  let witnesses : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let open_group : (int, float * int * int list ref * int list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let close_group txn =
+    match Hashtbl.find_opt open_group txn with
+    | None -> ()
+    | Some (time, oid, dsts, flagged) ->
+      Hashtbl.remove open_group txn;
+      let missing = List.filter (fun w -> not (List.mem w !dsts)) flagged in
+      if missing <> [] then
+        report "widen-read" time txn
+          (Printf.sprintf
+             "read of oid %d fanned out to [%s] but misses flagged witness(es) [%s]"
+             oid
+             (String.concat ";" (List.map string_of_int !dsts))
+             (String.concat ";" (List.map string_of_int missing)))
+  in
+
+  List.iter
+    (fun (e : Tracer.event) ->
+      let k = e.ekind in
+      (* A transaction event other than read.send ends any open fan-out. *)
+      if e.txn >= 0 && k <> Sem.read_send then close_group e.txn;
+
+      if k = Sem.commit_send then
+        Hashtbl.replace votes e.txn (ref [])
+      else if k = Sem.vote_recv then begin
+        match Hashtbl.find_opt votes e.txn with
+        | Some l -> l := (e.a, e.b) :: !l
+        | None -> Hashtbl.replace votes e.txn (ref [ (e.a, e.b) ])
+      end
+      else if k = Sem.txn_commit && e.b <> 1 then begin
+        let round =
+          match Hashtbl.find_opt votes e.txn with Some l -> List.rev !l | None -> []
+        in
+        let voters = List.sort Int.compare (List.map fst round) in
+        let dissent = List.filter (fun (_, f) -> f land commit_bit = 0) round in
+        if dissent <> [] then
+          report "commit-quorum" e.time e.txn
+            (Printf.sprintf "committed despite %d non-commit vote(s) from [%s]"
+               (List.length dissent)
+               (String.concat ";"
+                  (List.map (fun (v, _) -> string_of_int v) dissent)));
+        (match is_write_quorum with
+        | Some valid ->
+          if not (valid voters) then
+            report "commit-quorum" e.time e.txn
+              (Printf.sprintf "voter set [%s] is not a valid write quorum"
+                 (String.concat ";" (List.map string_of_int voters)))
+        | None ->
+          List.iter
+            (fun (other_txn, other_set) ->
+              if not (intersects voters other_set) then
+                report "commit-quorum" e.time e.txn
+                  (Printf.sprintf
+                     "voter set [%s] does not intersect txn %d's write quorum"
+                     (String.concat ";" (List.map string_of_int voters))
+                     other_txn))
+            !committed_sets);
+        committed_sets := (e.txn, voters) :: !committed_sets;
+        Hashtbl.replace evidence e.txn ()
+      end
+      else if k = Sem.txn_commit then Hashtbl.replace evidence e.txn ()
+      else if k = Sem.lease_grant then begin
+        let key = (e.node, e.oid) in
+        (match Hashtbl.find_opt leases key with
+        | Some owner when owner <> e.txn ->
+          report "lease-overlap" e.time e.txn
+            (Printf.sprintf
+               "granted write lease on oid %d at node %d while txn %d still holds it"
+               e.oid e.node owner)
+        | _ -> ());
+        Hashtbl.replace leases key e.txn
+      end
+      else if k = Sem.lease_release then begin
+        let key = (e.node, e.oid) in
+        match Hashtbl.find_opt leases key with
+        | Some owner when owner = e.txn || e.txn < 0 -> Hashtbl.remove leases key
+        | _ -> ()
+      end
+      else if k = Sem.txn_partial_abort then begin
+        (match Hashtbl.find_opt pending_unwind e.txn with
+        | Some target ->
+          report "partial-abort-scope" e.time e.txn
+            (Printf.sprintf
+               "partial abort to %d while unwind to %d never resumed" e.a target)
+        | None -> ());
+        Hashtbl.replace pending_unwind e.txn e.a
+      end
+      else if k = Sem.scope_resume then begin
+        match Hashtbl.find_opt pending_unwind e.txn with
+        | Some target ->
+          Hashtbl.remove pending_unwind e.txn;
+          if e.a <> target then
+            report "partial-abort-scope" e.time e.txn
+              (Printf.sprintf "partial abort targeted %d but resumed at %d"
+                 target e.a)
+        | None ->
+          report "partial-abort-scope" e.time e.txn
+            (Printf.sprintf "scope resume at %d without a pending partial abort"
+               e.a)
+      end
+      else if k = Sem.txn_root_abort || k = Sem.txn_end then
+        (* Root abort is the legal fallback when the unwind target is gone. *)
+        Hashtbl.remove pending_unwind e.txn
+      else if k = Sem.apply then Hashtbl.replace evidence e.txn ()
+      else if k = Sem.rescue then begin
+        (* b = 1 marks version-advance evidence: the leased copy moved past
+           the protected version, which a *different* transaction's commit
+           can cause across membership views — no per-txn apply is implied. *)
+        if e.b <> 1 && not (Hashtbl.mem evidence e.txn) then
+          report "rescue-evidence" e.time e.txn
+            "rescued to commit without prior commit evidence (no apply or \
+             coordinator commit in trace)"
+      end
+      else if k = Sem.widen_add then begin
+        match Hashtbl.find_opt witnesses e.txn with
+        | Some l -> if not (List.mem e.a !l) then l := e.a :: !l
+        | None -> Hashtbl.replace witnesses e.txn (ref [ e.a ])
+      end
+      else if k = Sem.widen_drop then begin
+        match Hashtbl.find_opt witnesses e.txn with
+        | Some l -> l := List.filter (fun w -> w <> e.a) !l
+        | None -> ()
+      end
+      else if k = Sem.read_send then begin
+        match Hashtbl.find_opt open_group e.txn with
+        | Some (time, oid, dsts, _) when time = e.time && oid = e.oid ->
+          dsts := e.a :: !dsts
+        | _ ->
+          close_group e.txn;
+          let flagged =
+            match Hashtbl.find_opt witnesses e.txn with
+            | Some l -> !l
+            | None -> []
+          in
+          Hashtbl.replace open_group e.txn (e.time, e.oid, ref [ e.a ], flagged)
+      end)
+    events;
+  Hashtbl.fold (fun txn _ acc -> txn :: acc) open_group []
+  |> List.sort Int.compare
+  |> List.iter close_group;
+  List.rev !violations

@@ -1,0 +1,43 @@
+(** Offline protocol-invariant checking over a completed trace.
+
+    The checker replays the event stream (oldest first, as {!Tracer.events}
+    yields it) through per-rule state machines and reports every violation
+    it can localise.  Rules:
+
+    - [commit-quorum]: every replicated commit ([txn.commit] without the
+      read-only flag) must be decided by a round in which {e every} received
+      vote said commit, and the voter set must form a valid write quorum —
+      via [is_write_quorum] when supplied, otherwise by checking pairwise
+      intersection against every other committed voter set in the trace.
+    - [lease-overlap]: no [lease.grant] for an (object, replica) pair while
+      a different transaction's lease is still held there.
+    - [partial-abort-scope]: each [txn.partial_abort] targeting scope/
+      checkpoint [t] must resume at exactly [t] ([scope.resume] with
+      [a = t]), unless the attempt falls back to a root abort first.
+    - [rescue-evidence]: a [rescue] whose status round saw a peer report
+      the transaction applied (payload [b = 0]) must be preceded in the
+      trace by commit evidence for that transaction — an [apply] at some
+      replica or the coordinator's own [txn.commit].  Version-advance
+      rescues ([b = 1]) are exempt: another transaction's commit can move a
+      leased copy across membership views.
+    - [widen-read]: once a stale witness is flagged ([widen.add]), every
+      subsequent read fan-out by that transaction must include all
+      currently-flagged witnesses (until they are pruned by [widen.drop]).
+
+    Traces with ring-buffer overflow ({!Tracer.dropped} > 0) have lost
+    prefix events and can produce false positives — callers should size the
+    tracer for the run or warn. *)
+
+type violation = {
+  rule : string;
+  time : float;  (** time of the event that exposed the violation *)
+  txn : int;  (** transaction involved, -1 if n/a *)
+  detail : string;
+}
+
+val check :
+  ?is_write_quorum:(int list -> bool) -> Tracer.event list -> violation list
+(** Violations in trace order.  [is_write_quorum] receives the sorted voter
+    node list of a committed transaction. *)
+
+val pp_violation : violation -> string

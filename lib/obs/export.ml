@@ -1,0 +1,107 @@
+let add_field buf comma name value =
+  if !comma then Buffer.add_char buf ',';
+  comma := true;
+  Buffer.add_string buf (Printf.sprintf "%S:%s" name value)
+
+(* Instant marker on the emitting node's lane.  Payload slots go to [args]
+   so they show in the tracing UI's detail pane; message-kind tokens are
+   resolved to names for readability. *)
+let add_instant buf (e : Tracer.event) =
+  Buffer.add_char buf '{';
+  let comma = ref false in
+  let f = add_field buf comma in
+  f "name" (Printf.sprintf "%S" (Kind.name e.ekind));
+  f "ph" "\"i\"";
+  f "s" "\"t\"";
+  f "ts" (Printf.sprintf "%.3f" (e.time *. 1000.));
+  f "pid" "0";
+  f "tid" (string_of_int (if e.node >= 0 then e.node else 9999));
+  Buffer.add_string buf ",\"args\":{";
+  let comma = ref false in
+  let g = add_field buf comma in
+  if e.txn >= 0 then g "txn" (string_of_int e.txn);
+  if e.oid >= 0 then g "oid" (string_of_int e.oid);
+  if e.a >= 0 then g "a" (string_of_int e.a);
+  if e.b >= 0 then
+    if Sem.is_net e.ekind then g "kind" (Printf.sprintf "%S" (Kind.name e.b))
+    else g "b" (string_of_int e.b);
+  if e.x <> 0. then g "x" (Printf.sprintf "%.6g" e.x);
+  Buffer.add_string buf "}}"
+
+(* Async span so a transaction's lifetime renders as a bar; Chrome matches
+   begin/end on (cat, id, name). *)
+let add_span buf (e : Tracer.event) ~phase =
+  Buffer.add_char buf '{';
+  let comma = ref false in
+  let f = add_field buf comma in
+  f "name" "\"txn\"";
+  f "cat" "\"txn\"";
+  f "ph" (Printf.sprintf "%S" phase);
+  f "id" (string_of_int e.txn);
+  f "ts" (Printf.sprintf "%.3f" (e.time *. 1000.));
+  f "pid" "0";
+  f "tid" (string_of_int (if e.node >= 0 then e.node else 9999));
+  Buffer.add_char buf '}'
+
+let chrome_json_of_events events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_char buf '\n'
+  in
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Tracer.event) ->
+      if e.node >= 0 then Hashtbl.replace nodes e.node ())
+    events;
+  Hashtbl.fold (fun node () acc -> node :: acc) nodes []
+  |> List.sort Int.compare
+  |> List.iter (fun node ->
+         sep ();
+         Buffer.add_string buf
+           (Printf.sprintf
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+               \"args\":{\"name\":\"node %d\"}}"
+              node node));
+  List.iter
+    (fun (e : Tracer.event) ->
+      if e.ekind = Sem.txn_begin then begin
+        sep ();
+        add_span buf e ~phase:"b"
+      end
+      else if e.ekind = Sem.txn_end then begin
+        sep ();
+        add_span buf e ~phase:"e"
+      end;
+      sep ();
+      add_instant buf e)
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let chrome_json tracer = chrome_json_of_events (Tracer.events tracer)
+
+let pp_event buf (e : Tracer.event) =
+  Buffer.add_string buf (Printf.sprintf "%10.3f  " e.time);
+  if e.node >= 0 then Buffer.add_string buf (Printf.sprintf "n%02d  " e.node)
+  else Buffer.add_string buf "---  ";
+  Buffer.add_string buf (Printf.sprintf "%-18s" (Kind.name e.ekind));
+  if e.txn >= 0 then Buffer.add_string buf (Printf.sprintf " txn=%d" e.txn);
+  if e.oid >= 0 then Buffer.add_string buf (Printf.sprintf " oid=%d" e.oid);
+  if e.a >= 0 then Buffer.add_string buf (Printf.sprintf " a=%d" e.a);
+  if e.b >= 0 then
+    if Sem.is_net e.ekind then
+      Buffer.add_string buf (Printf.sprintf " kind=%s" (Kind.name e.b))
+    else Buffer.add_string buf (Printf.sprintf " b=%d" e.b);
+  if e.x <> 0. then Buffer.add_string buf (Printf.sprintf " x=%.6g" e.x)
+
+let txn_history tracer ~txn =
+  let buf = Buffer.create 1024 in
+  Tracer.iter tracer (fun e ->
+      if e.txn = txn then begin
+        pp_event buf e;
+        Buffer.add_char buf '\n'
+      end);
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Trace exporters.
+
+    {!chrome_json} renders a trace in Chrome's [trace_event] JSON format
+    (load via chrome://tracing or https://ui.perfetto.dev): one thread lane
+    per node, every event as an instant marker, and each transaction's
+    begin→end as an async span so overlapping transactions stack visually.
+    Timestamps convert simulated milliseconds to the format's microseconds.
+
+    {!txn_history} renders the causal history of one transaction id as
+    compact text — the [qr-dtm trace --txn] view. *)
+
+val chrome_json : Tracer.t -> string
+val chrome_json_of_events : Tracer.event list -> string
+
+val txn_history : Tracer.t -> txn:int -> string
+(** All events whose [txn] field matches, oldest first, one line each.
+    Empty string when the transaction never appears in the trace. *)
+
+val pp_event : Buffer.t -> Tracer.event -> unit
+(** One-line rendering used by {!txn_history} — exposed for checker
+    diagnostics. *)

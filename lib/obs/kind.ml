@@ -1,0 +1,45 @@
+type t = int
+
+(* The registry is global (not per-tracer) so kinds interned at module
+   initialisation time — e.g. [Messages]' request kinds and [Sem]'s event
+   catalogue — are valid for every tracer and every network instance.  The
+   mutex makes interning safe from harness worker domains; lookups after
+   interning are plain array reads. *)
+let mutex = Mutex.create ()
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 64
+let names : string array ref = ref (Array.make 64 "")
+let count = ref 0
+
+let intern name_ =
+  Mutex.lock mutex;
+  let token =
+    match Hashtbl.find_opt by_name name_ with
+    | Some token -> token
+    | None ->
+      let token = !count in
+      if token >= Array.length !names then begin
+        let grown = Array.make (2 * Array.length !names) "" in
+        Array.blit !names 0 grown 0 token;
+        names := grown
+      end;
+      !names.(token) <- name_;
+      Hashtbl.add by_name name_ token;
+      incr count;
+      token
+  in
+  Mutex.unlock mutex;
+  token
+
+(* Cold paths (rendering, array sizing): lock so a concurrent intern's
+   array swap cannot be observed half-published from another domain. *)
+let name token =
+  Mutex.lock mutex;
+  let n = if token >= 0 && token < !count then !names.(token) else "?" in
+  Mutex.unlock mutex;
+  n
+
+let registered () =
+  Mutex.lock mutex;
+  let n = !count in
+  Mutex.unlock mutex;
+  n

@@ -1,0 +1,26 @@
+(** Globally interned event/message kind labels.
+
+    One process-wide registry maps human-readable names to dense integer
+    tokens, so hot paths (tracer emission, per-kind message counting) index
+    arrays instead of hashing strings.  [Sim.Network.Kind] re-exports this
+    module, which means network message kinds and tracer event kinds live in
+    the same id space — a trace event can carry a message-kind token in a
+    payload slot and any consumer resolves it with {!name}.
+
+    Interning is mutex-protected (domain-safe: the harness pool interns from
+    worker domains); token values depend only on interning order, which is
+    fixed by module initialisation order, so they are stable within a build. *)
+
+type t = int
+(** Dense token.  Exposed as [int] so instrumentation can stash a kind in an
+    integer payload slot without a conversion function. *)
+
+val intern : string -> t
+(** Return the token for [name], allocating one on first use.  Idempotent. *)
+
+val name : t -> string
+(** Resolve a token back to its name ("?" for an unregistered token). *)
+
+val registered : unit -> int
+(** Number of kinds interned so far — an exclusive upper bound on every
+    token handed out, suitable for sizing per-kind counter arrays. *)

@@ -1,0 +1,97 @@
+type sample = {
+  s_time : float;
+  s_commits : int;
+  s_aborts : int;
+  s_in_flight : int;
+  s_lease_exp : int;
+  s_by_kind : (string * int) list;
+}
+
+type t = { win : float; mutable samples : sample list (* newest first *) }
+
+let create ~window =
+  if window <= 0. then invalid_arg "Telemetry.create: window must be positive";
+  { win = window; samples = [] }
+
+let window t = t.win
+
+let record t ~time ~commits ~aborts ~in_flight ~lease_expirations ~by_kind =
+  t.samples <-
+    {
+      s_time = time;
+      s_commits = commits;
+      s_aborts = aborts;
+      s_in_flight = in_flight;
+      s_lease_exp = lease_expirations;
+      s_by_kind = by_kind;
+    }
+    :: t.samples
+
+let samples t = List.length t.samples
+
+let kinds t =
+  List.sort_uniq String.compare
+    (List.concat_map (fun s -> List.map fst s.s_by_kind) t.samples)
+
+let columns t =
+  [ "time_ms"; "commits_per_s"; "aborts_per_s"; "in_flight"; "lease_expirations" ]
+  @ List.map (fun k -> Printf.sprintf "msg_%s_per_s" k) (kinds t)
+
+let rows t =
+  let ks = kinds t in
+  let ordered = List.rev t.samples in
+  match ordered with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+    let count kind s =
+      match List.assoc_opt kind s.s_by_kind with Some n -> n | None -> 0
+    in
+    let rate prev cur = float_of_int (cur - prev) /. t.win *. 1000. in
+    let rec walk prev = function
+      | [] -> []
+      | s :: tl ->
+        let row =
+          [
+            rate prev.s_commits s.s_commits;
+            rate prev.s_aborts s.s_aborts;
+            float_of_int s.s_in_flight;
+            float_of_int (s.s_lease_exp - prev.s_lease_exp);
+          ]
+          @ List.map (fun k -> rate (count k prev) (count k s)) ks
+        in
+        (s.s_time, row) :: walk s tl
+    in
+    walk first rest
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (columns t));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (time, row) ->
+      Buffer.add_string buf (Printf.sprintf "%.3f" time);
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%.4f" v)) row;
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"window_ms\":";
+  Buffer.add_string buf (Printf.sprintf "%.3f" t.win);
+  Buffer.add_string buf ",\"columns\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%S" c))
+    (columns t);
+  Buffer.add_string buf "],\"rows\":[";
+  List.iteri
+    (fun i (time, row) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "[%.3f" time);
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%.4f" v)) row;
+      Buffer.add_char buf ']')
+    (rows t);
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf

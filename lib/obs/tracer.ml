@@ -1,0 +1,62 @@
+type event = {
+  time : float;
+  ekind : Kind.t;
+  node : int;
+  txn : int;
+  oid : int;
+  a : int;
+  b : int;
+  x : float;
+}
+
+type t = {
+  enabled : bool;
+  buf : event array;
+  mutable start : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let dummy =
+  { time = 0.; ekind = 0; node = -1; txn = -1; oid = -1; a = -1; b = -1; x = 0. }
+
+let null = { enabled = false; buf = [||]; start = 0; len = 0; dropped = 0 }
+
+let create ?(capacity = 1 lsl 20) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { enabled = true; buf = Array.make capacity dummy; start = 0; len = 0; dropped = 0 }
+
+let enabled t = t.enabled
+
+let emit t ~time ~kind ?(node = -1) ?(txn = -1) ?(oid = -1) ?(a = -1) ?(b = -1)
+    ?(x = 0.) () =
+  if t.enabled then begin
+    let cap = Array.length t.buf in
+    let slot = (t.start + t.len) mod cap in
+    t.buf.(slot) <- { time; ekind = kind; node; txn; oid; a; b; x };
+    if t.len < cap then t.len <- t.len + 1
+    else begin
+      (* Full: the slot we just wrote was the oldest; advance the window. *)
+      t.start <- (t.start + 1) mod cap;
+      t.dropped <- t.dropped + 1
+    end
+  end
+
+let length t = t.len
+let dropped t = t.dropped
+
+let iter t f =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod cap)
+  done
+
+let events t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

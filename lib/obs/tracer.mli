@@ -1,0 +1,67 @@
+(** Ring-buffered structured event log.
+
+    A tracer is either the shared {!null} (disabled — emission is a single
+    mutable-field load and branch, no allocation) or an enabled ring buffer
+    of fixed capacity holding the most recent events.  Timestamps are
+    simulated time, so traces are deterministic per seed: the same seed
+    produces a byte-identical event stream, and enabling tracing never
+    perturbs the simulation itself (no events scheduled, no RNG draws).
+
+    Event payloads are deliberately flat — one interned kind, a node, a
+    transaction id, an object id, two generic integer slots and one float
+    slot — so emission never allocates beyond the event record itself.
+    Per-kind payload meaning is documented in {!Sem} and OBSERVABILITY.md. *)
+
+type event = {
+  time : float;  (** simulated ms *)
+  ekind : Kind.t;  (** event kind, see {!Sem} *)
+  node : int;  (** emitting node, -1 if n/a *)
+  txn : int;  (** transaction id, -1 if n/a *)
+  oid : int;  (** object id, -1 if n/a *)
+  a : int;  (** kind-specific, -1 if n/a *)
+  b : int;  (** kind-specific, -1 if n/a *)
+  x : float;  (** kind-specific, 0. if n/a *)
+}
+
+type t
+
+val null : t
+(** The shared disabled tracer: {!enabled} is [false], emission is a no-op,
+    {!events} is empty.  Every instrumented component defaults to it. *)
+
+val create : ?capacity:int -> unit -> t
+(** An enabled tracer retaining the last [capacity] events (default 2^20).
+    Older events are dropped oldest-first; {!dropped} counts them. *)
+
+val enabled : t -> bool
+(** Guard for call sites that would otherwise compute payloads eagerly. *)
+
+val emit :
+  t ->
+  time:float ->
+  kind:Kind.t ->
+  ?node:int ->
+  ?txn:int ->
+  ?oid:int ->
+  ?a:int ->
+  ?b:int ->
+  ?x:float ->
+  unit ->
+  unit
+(** Append one event (no-op on a disabled tracer). *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events evicted by ring overflow — when nonzero, offline analyses (the
+    trace checker in particular) may see a truncated history. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Iterate retained events oldest first without materialising a list. *)
+
+val clear : t -> unit
+(** Drop all retained events and zero {!dropped}; keeps the capacity. *)

@@ -15,3 +15,18 @@ let write_write_intersection ~writes =
   pairs writes
 
 let all_alive ~failed quorum = List.for_all (fun n -> not (List.mem n failed)) quorum
+
+(* Structural write-quorum rule from the paper: a set covers node [n] when
+   it contains [n] and covers a majority of [n]'s children, or — failure
+   substitution — covers ALL of [n]'s children.  One visit per tree node. *)
+let covers_write_quorum tree set =
+  let members = List.sort_uniq Int.compare set in
+  let mem n = List.mem n members in
+  let rec covers n =
+    let children = Tree.children tree n in
+    let total = List.length children in
+    let covered = List.length (List.filter covers children) in
+    (mem n && (total = 0 || covered >= (total / 2) + 1))
+    || (total > 0 && covered = total)
+  in
+  covers (Tree.root tree)

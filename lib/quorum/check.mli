@@ -16,3 +16,10 @@ val write_write_intersection : writes:int list list -> bool
 
 val all_alive : failed:int list -> int list -> bool
 (** No quorum member is in the failed set. *)
+
+val covers_write_quorum : Tree.t -> int list -> bool
+(** Structural validity of a node set as a write quorum under the paper's
+    recursive rule: the set covers node [n] when it contains [n] and covers
+    a majority of [n]'s children, or (failure substitution) covers {e all}
+    of [n]'s children; the set is a write quorum iff it covers the root.
+    Used by the trace checker to validate the vote set behind each commit. *)

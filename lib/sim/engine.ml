@@ -15,10 +15,14 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
+  tracer : Obs.Tracer.t;
 }
 
-let create () = { queue = Queue.create (); clock = 0.; next_seq = 0; processed = 0 }
+let create ?(tracer = Obs.Tracer.null) () =
+  { queue = Queue.create (); clock = 0.; next_seq = 0; processed = 0; tracer }
+
 let now t = t.clock
+let tracer t = t.tracer
 
 let schedule_at t ~time action =
   let time = Stdlib.max time t.clock in

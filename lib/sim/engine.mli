@@ -8,10 +8,19 @@
 
 type t
 
-val create : unit -> t
+val create : ?tracer:Obs.Tracer.t -> unit -> t
+(** [tracer] (default {!Obs.Tracer.null}, i.e. disabled) is the structured
+    event log every component built on this engine reports into.  The engine
+    itself only carries it — components cache it at construction — so
+    tracing adds no events, no RNG draws and no time perturbation: runs are
+    byte-identical with tracing on or off. *)
 
 val now : t -> float
 (** Current virtual time in milliseconds. *)
+
+val tracer : t -> Obs.Tracer.t
+(** The tracer supplied at {!create} — the engine is the single place the
+    whole component stack fetches it from. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. max 0. delay]. *)

@@ -9,51 +9,14 @@
    dense integer ids at module-load / setup time and counted with an array
    increment instead of a per-message string-hashtable lookup.
 
-   The registry is global (kinds are protocol vocabulary, not per-network
-   state) and mutex-protected so parallel harness domains can intern
-   concurrently; ids are only ever used as array indices and never leak
-   into rendered output, so registration order cannot affect results. *)
+   The registry itself now lives in [Obs.Kind] (global: kinds are protocol
+   vocabulary, not per-network state; mutex-protected so parallel harness
+   domains can intern concurrently).  Sharing the registry with the tracer
+   means network events can stash a message-kind token in a trace payload
+   slot and any consumer resolves it with the same [name]. *)
 module Kind = struct
-  type t = int
+  include Obs.Kind
 
-  let mutex = Mutex.create ()
-  let by_name : (string, int) Hashtbl.t = Hashtbl.create 16
-  let names = ref (Array.make 16 "")
-  let count = ref 0
-
-  let intern name =
-    Mutex.lock mutex;
-    let id =
-      match Hashtbl.find_opt by_name name with
-      | Some id -> id
-      | None ->
-        let id = !count in
-        if id = Array.length !names then begin
-          let bigger = Array.make (2 * id) "" in
-          Array.blit !names 0 bigger 0 id;
-          names := bigger
-        end;
-        !names.(id) <- name;
-        Hashtbl.replace by_name name id;
-        count := id + 1;
-        id
-    in
-    Mutex.unlock mutex;
-    id
-
-  (* Cold path (rendering counters): lock so a concurrent intern's array
-     swap cannot be observed half-published. *)
-  let name id =
-    Mutex.lock mutex;
-    let n = !names.(id) in
-    Mutex.unlock mutex;
-    n
-
-  let registered () =
-    Mutex.lock mutex;
-    let n = !count in
-    Mutex.unlock mutex;
-    n
   let other = intern "other"
   let reply = intern "reply"
 end
@@ -87,12 +50,14 @@ type 'msg t = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable kind_counts : int array; (* indexed by Kind.t; grown on demand *)
+  tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
 }
 
 let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7) () =
   let n = Topology.nodes topology in
   {
     engine;
+    tracer = Engine.tracer engine;
     topology;
     service_time;
     jitter;
@@ -194,7 +159,16 @@ let reset_counters t =
 
 (* --- delivery ----------------------------------------------------------- *)
 
-let deliver t ~src ~dst msg =
+(* Tracing emits from the fault/jitter decision points but never draws from
+   an RNG stream or schedules an event, so enabling it cannot perturb the
+   simulation — traces are byte-identical per seed and runs byte-identical
+   with tracing on or off. *)
+let trace_net t ~kind ~ekind ~src ~dst =
+  if Obs.Tracer.enabled t.tracer then
+    Obs.Tracer.emit t.tracer ~time:(Engine.now t.engine) ~kind:ekind ~node:src
+      ~a:dst ~b:kind ()
+
+let deliver t ~kind ~src ~dst msg =
   if not t.failed.(dst) then begin
     (* FIFO service queue: processing begins when the node is free. *)
     let now = Engine.now t.engine in
@@ -204,7 +178,11 @@ let deliver t ~src ~dst msg =
     Engine.schedule_at t.engine ~time:finish (fun () ->
         if not t.failed.(dst) then
           match t.handlers.(dst) with
-          | Some handler -> handler ~src msg
+          | Some handler ->
+            if src <> dst && Obs.Tracer.enabled t.tracer then
+              Obs.Tracer.emit t.tracer ~time:(Engine.now t.engine)
+                ~kind:Obs.Sem.net_deliver ~node:dst ~a:src ~b:kind ();
+            handler ~src msg
           | None -> ())
   end
 
@@ -212,31 +190,39 @@ let send t ?(kind = Kind.other) ~src ~dst msg =
   if not t.failed.(src) then begin
     if src <> dst then begin
       t.sent <- t.sent + 1;
-      count_kind t kind
+      count_kind t kind;
+      trace_net t ~kind ~ekind:Obs.Sem.net_send ~src ~dst
     end;
     let base = Topology.latency t.topology ~src ~dst in
     let jitter = base *. t.jitter *. Util.Rng.float t.rng 1.0 in
     let delay = base +. jitter in
-    if src = dst then Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
-    else if not (reachable t ~src ~dst) then t.dropped <- t.dropped + 1
+    if src = dst then
+      Engine.schedule t.engine ~delay (fun () -> deliver t ~kind ~src ~dst msg)
+    else if not (reachable t ~src ~dst) then begin
+      t.dropped <- t.dropped + 1;
+      trace_net t ~kind ~ekind:Obs.Sem.net_drop ~src ~dst
+    end
     else begin
       let plan = plan_for t ~src ~dst in
       if not (faulty plan) then
-        Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
-      else if plan.drop > 0. && Util.Rng.chance t.fault_rng plan.drop then
-        t.dropped <- t.dropped + 1
+        Engine.schedule t.engine ~delay (fun () -> deliver t ~kind ~src ~dst msg)
+      else if plan.drop > 0. && Util.Rng.chance t.fault_rng plan.drop then begin
+        t.dropped <- t.dropped + 1;
+        trace_net t ~kind ~ekind:Obs.Sem.net_drop ~src ~dst
+      end
       else begin
         let delay =
           if plan.spike_prob > 0. && Util.Rng.chance t.fault_rng plan.spike_prob then
             delay *. plan.spike_factor
           else delay
         in
-        Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg);
+        Engine.schedule t.engine ~delay (fun () -> deliver t ~kind ~src ~dst msg);
         if plan.duplicate > 0. && Util.Rng.chance t.fault_rng plan.duplicate then begin
           t.duplicated <- t.duplicated + 1;
+          trace_net t ~kind ~ekind:Obs.Sem.net_dup ~src ~dst;
           let extra = base *. (0.5 +. Util.Rng.float t.fault_rng 1.0) in
           Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
-              deliver t ~src ~dst msg)
+              deliver t ~kind ~src ~dst msg)
         end
       end
     end

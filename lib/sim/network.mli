@@ -22,15 +22,22 @@ type 'msg t
 (** Interned message-kind labels for per-kind accounting.  Interning costs
     a (mutex-protected) hashtable lookup; per-message counting is then a
     plain array increment.  Intern once at module initialisation or setup
-    time and reuse the token — never per message. *)
+    time and reuse the token — never per message.
+
+    The registry is shared with the tracer's event kinds ({!Obs.Kind}), so
+    a message-kind token stored in a trace event payload resolves with the
+    same [name] function. *)
 module Kind : sig
-  type t
+  type t = Obs.Kind.t
 
   val intern : string -> t
   (** Thread-safe and idempotent: the same name always yields the same
       token. *)
 
   val name : t -> string
+
+  val registered : unit -> int
+  (** Kinds interned so far — sizes per-kind counter arrays. *)
 
   val other : t
   (** The default label of unlabelled messages. *)

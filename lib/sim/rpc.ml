@@ -15,6 +15,7 @@ type ('req, 'rep) t = {
   pending : (int, ('req, 'rep) pending) Hashtbl.t;
   mutable next_rid : int;
   mutable give_ups : int;
+  tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
 }
 
 let handle_envelope t ~node ~src env =
@@ -56,6 +57,7 @@ let create ~network () =
       pending = Hashtbl.create 64;
       next_rid = 0;
       give_ups = 0;
+      tracer = Engine.tracer (Network.engine network);
     }
   in
   for node = 0 to Network.nodes network - 1 do
@@ -78,10 +80,17 @@ let multicall t ?kind ~src ~dsts ~timeout req ~on_done =
     Hashtbl.replace t.pending rid p;
     Network.multicast t.network ?kind ~src ~dsts
       (Request { rid; payload = req; wants_reply = true });
-    Engine.schedule (Network.engine t.network) ~delay:timeout (fun () ->
+    let engine = Network.engine t.network in
+    Engine.schedule engine ~delay:timeout (fun () ->
         if not p.finished then begin
           p.finished <- true;
           Hashtbl.remove t.pending rid;
+          if Obs.Tracer.enabled t.tracer then
+            Obs.Tracer.emit t.tracer ~time:(Engine.now engine)
+              ~kind:Obs.Sem.rpc_timeout ~node:src
+              ~a:(List.length p.awaiting)
+              ~b:(match kind with Some k -> k | None -> Network.Kind.other)
+              ();
           p.complete ~replies:(List.rev p.replies) ~missing:p.awaiting
         end)
   end
@@ -108,7 +117,15 @@ let rec acked_send t ?kind ?(attempts = 6) ~src ~dst ~timeout req =
     ~on_timeout:(fun () ->
       if attempts > 1 then
         acked_send t ?kind ~attempts:(attempts - 1) ~src ~dst ~timeout req
-      else t.give_ups <- t.give_ups + 1)
+      else begin
+        t.give_ups <- t.give_ups + 1;
+        if Obs.Tracer.enabled t.tracer then
+          Obs.Tracer.emit t.tracer
+            ~time:(Engine.now (Network.engine t.network))
+            ~kind:Obs.Sem.rpc_giveup ~node:src ~a:dst
+            ~b:(match kind with Some k -> k | None -> Network.Kind.other)
+            ()
+      end)
 
 let acked_multicast t ?kind ?attempts ~src ~dsts ~timeout req =
   List.iter (fun dst -> acked_send t ?kind ?attempts ~src ~dst ~timeout req) dsts

@@ -29,6 +29,13 @@ type t = {
   by_txn : (int, int list ref) Hashtbl.t;  (* txn -> oids it holds leases on *)
   applied : (int, unit) Hashtbl.t;
   applied_order : int Queue.t;
+  (* Tracing: the store layer has no engine handle, so the cluster injects
+     the tracer plus a clock closure and the hosting node id after
+     construction (see [instrument]).  All three stay inert defaults when
+     tracing is off. *)
+  mutable tracer : Obs.Tracer.t;
+  mutable trace_node : int;
+  mutable clock : unit -> float;
 }
 
 let create () =
@@ -38,7 +45,20 @@ let create () =
     by_txn = Hashtbl.create 16;
     applied = Hashtbl.create 64;
     applied_order = Queue.create ();
+    tracer = Obs.Tracer.null;
+    trace_node = -1;
+    clock = (fun () -> 0.);
   }
+
+let instrument t ~tracer ~node ~clock =
+  t.tracer <- tracer;
+  t.trace_node <- node;
+  t.clock <- clock
+
+let trace_lease t ~ekind ~oid ~txn ?(a = -1) ?(x = 0.) () =
+  if Obs.Tracer.enabled t.tracer then
+    Obs.Tracer.emit t.tracer ~time:(t.clock ()) ~kind:ekind ~node:t.trace_node
+      ~txn ~oid ~a ~x ()
 
 let ensure t ~oid ~init =
   if not (Hashtbl.mem t.objects oid) then
@@ -87,11 +107,13 @@ let try_lock ?(expires = Float.infinity) t ~oid ~txn =
   | None ->
     copy.protected_by <- Some { owner = txn; expires };
     index_add t ~oid ~txn;
+    trace_lease t ~ekind:Obs.Sem.lease_grant ~oid ~txn ~x:expires ();
     true
   | Some lease ->
     if lease.owner = txn then begin
       (* Idempotent re-grant by the owner also renews the lease. *)
       lease.expires <- Float.max lease.expires expires;
+      trace_lease t ~ekind:Obs.Sem.lease_renew ~oid ~txn ~x:lease.expires ();
       true
     end
     else false
@@ -101,7 +123,8 @@ let unlock t ~oid ~txn =
   match copy.protected_by with
   | Some lease when lease.owner = txn ->
     copy.protected_by <- None;
-    index_remove t ~oid ~txn
+    index_remove t ~oid ~txn;
+    trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn ~a:0 ()
   | Some _ | None -> ()
 
 (* Heartbeat renewal: any traffic from [txn] pushes the expiry of every
@@ -111,7 +134,8 @@ let renew t ~txn ~expires =
     (fun oid ->
       match (get t oid).protected_by with
       | Some lease when lease.owner = txn ->
-        lease.expires <- Float.max lease.expires expires
+        lease.expires <- Float.max lease.expires expires;
+        trace_lease t ~ekind:Obs.Sem.lease_renew ~oid ~txn ~x:lease.expires ()
       | Some _ | None -> ())
     (leased_oids t ~txn)
 
@@ -197,7 +221,9 @@ let sync_copy t ~oid ~version ~value =
     if version > copy.version then begin
       begin
         match copy.protected_by with
-        | Some lease -> index_remove t ~oid ~txn:lease.owner
+        | Some lease ->
+          index_remove t ~oid ~txn:lease.owner;
+          trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn:lease.owner ~a:1 ()
         | None -> ()
       end;
       copy.version <- version;
@@ -209,7 +235,14 @@ let sync_copy t ~oid ~version ~value =
    registrations and apply evidence die with it.  Called when the node
    rejoins. *)
 let reset_transients t =
-  Hashtbl.iter (fun _ copy -> copy.protected_by <- None) t.objects;
+  Hashtbl.iter
+    (fun oid copy ->
+      (match copy.protected_by with
+      | Some lease ->
+        trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn:lease.owner ~a:2 ()
+      | None -> ());
+      copy.protected_by <- None)
+    t.objects;
   Hashtbl.reset t.lists;
   Hashtbl.reset t.by_txn;
   Hashtbl.reset t.applied;

@@ -20,6 +20,13 @@ type t
 
 val create : unit -> t
 
+val instrument : t -> tracer:Obs.Tracer.t -> node:int -> clock:(unit -> float) -> unit
+(** Attach a tracer (with the hosting node id and a simulated-time source)
+    so lease transitions emit [lease.grant] / [lease.renew] /
+    [lease.release] trace events.  The store layer has no engine handle, so
+    the cluster injects these after construction; without instrumentation
+    the replica stays silent. *)
+
 val ensure : t -> oid:int -> init:Value.t -> unit
 (** Install the object with version 0 if absent; no-op otherwise. *)
 

@@ -100,7 +100,10 @@ let test_report_rendering () =
 let test_pct_change () =
   Alcotest.(check (float 1e-9)) "increase" 50. (Harness.Report.pct_change ~baseline:10. 15.);
   Alcotest.(check (float 1e-9)) "decrease" (-25.) (Harness.Report.pct_change ~baseline:4. 3.);
-  Alcotest.(check (float 1e-9)) "zero baseline" 0. (Harness.Report.pct_change ~baseline:0. 9.)
+  Alcotest.(check bool) "zero baseline, nonzero value" true
+    (Float.is_nan (Harness.Report.pct_change ~baseline:0. 9.));
+  Alcotest.(check (float 1e-9)) "zero baseline, zero value" 0.
+    (Harness.Report.pct_change ~baseline:0. 0.)
 
 let test_run_system_qr_and_baselines () =
   List.iter

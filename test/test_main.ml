@@ -11,6 +11,7 @@ let () = Alcotest.run "qr_dtm" [
       ("extensions", Test_extensions.suite);
       ("serializability", Test_serializability.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("smoke", Test_smoke.suite);
       ("structures", Test_structures.suite);
