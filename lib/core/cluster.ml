@@ -101,7 +101,7 @@ let rec resync t ~node ~started ~was_killed =
 
 let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_level = 1)
     ?(detection_delay = 50.) ?(detection_jitter = 0.) ?(with_oracle = true)
-    ?(tracer = Obs.Tracer.null) config =
+    ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) config =
   let engine = Sim.Engine.create ~tracer () in
   let topology =
     match topology with
@@ -110,7 +110,8 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
   in
   assert (Sim.Topology.nodes topology = nodes);
   let network =
-    Sim.Network.create ~engine ~topology ~service_time ~seed:(seed + 2) ()
+    Sim.Network.create ~engine ~topology ~service_time ~seed:(seed + 2)
+      ~batch_fanout ()
   in
   let rpc = Sim.Rpc.create ~network () in
   let servers =

@@ -22,6 +22,7 @@ val create :
   ?detection_jitter:float ->
   ?with_oracle:bool ->
   ?tracer:Obs.Tracer.t ->
+  ?batch_fanout:bool ->
   Config.t ->
   t
 (** Defaults: 13 nodes (the paper's Fig. 3 tree), metric-space topology with
@@ -29,7 +30,11 @@ val create :
     [read_level = 1], oracle enabled, tracing disabled.  Passing an enabled
     [tracer] threads it through every layer (engine, network, RPC, servers,
     replicas, executor); tracing draws no randomness and schedules no
-    events, so results stay byte-identical to an untraced run. *)
+    events, so results stay byte-identical to an untraced run.
+    [batch_fanout] (default on) lets the network coalesce quorum
+    multicasts into one pooled engine event per wave; switching it off
+    schedules per-destination events eagerly and is likewise
+    byte-identical — the determinism suite locks this equivalence in. *)
 
 val engine : t -> Sim.Engine.t
 

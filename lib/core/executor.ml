@@ -19,9 +19,16 @@ type t = {
   ids : Ids.gen;
   rng : Util.Rng.t;
   tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
-  scratch_dataset : (int, Messages.dataset_entry) Hashtbl.t;
-      (* reused by [full_dataset]; an executor runs inside one simulation
-         (one domain), so sharing the scratch across roots is safe *)
+  (* Scratch data-set builder, reused by [full_dataset] / [commit_dataset]:
+     rows are staged in the growable parallel arrays and frozen into a
+     [Messages.dataset] (three [Array.sub]s) only when a request is built.
+     An executor runs inside one simulation (one domain) and never builds
+     two data-sets at once, so sharing the scratch across roots is safe. *)
+  ds_slots : (int, int) Hashtbl.t; (* oid -> staged row; [full_dataset] dedup *)
+  mutable ds_oids : int array;
+  mutable ds_versions : int array;
+  mutable ds_owners : int array;
+  mutable ds_len : int;
   mutable actives : active list;
   mutable next_active : int;
 }
@@ -37,7 +44,11 @@ let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed () =
     ids;
     rng = Util.Rng.create seed;
     tracer = Sim.Engine.tracer engine;
-    scratch_dataset = Hashtbl.create 64;
+    ds_slots = Hashtbl.create 64;
+    ds_oids = Array.make 64 0;
+    ds_versions = Array.make 64 0;
+    ds_owners = Array.make 64 0;
+    ds_len = 0;
     actives = [];
     next_active = 0;
   }
@@ -100,12 +111,14 @@ let now root = Sim.Engine.now root.exec.engine
 
 (* Transaction-lifecycle tracing.  Emission is attributed to the current
    attempt's transaction id (fresh per attempt); it draws no randomness and
-   schedules nothing, so tracing never perturbs the run. *)
-let trace root ~kind ?oid ?a ?b ?x () =
+   schedules nothing, so tracing never perturbs the run.  All slots are
+   required ([-1] / [0.] for n/a): labelled optional arguments would box an
+   option per supplied label even with the tracer disabled. *)
+let trace root ~kind ~oid ~a ~b ~x =
   let tracer = root.exec.tracer in
   if Obs.Tracer.enabled tracer then
-    Obs.Tracer.emit tracer ~time:(now root) ~kind ~node:root.node
-      ~txn:root.txn_id ?oid ?a ?b ?x ()
+    Obs.Tracer.emit8 tracer ~time:(now root) ~kind ~node:root.node
+      ~txn:root.txn_id ~oid ~a ~b ~x
 
 let rqv_active exec =
   match exec.config.mode with
@@ -127,26 +140,77 @@ let owner_tag root =
   | Config.Closed -> (current_scope root).depth
   | Config.Checkpoint -> current_chk root
 
+(* Scratch data-set staging: append one row, growing the parallel arrays
+   geometrically (they only ever grow; an executor outlives its roots). *)
+let ds_push exec ~oid ~version ~owner =
+  let i = exec.ds_len in
+  if i = Array.length exec.ds_oids then begin
+    let cap' = 2 * Array.length exec.ds_oids in
+    let grow a =
+      let b = Array.make cap' 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    exec.ds_oids <- grow exec.ds_oids;
+    exec.ds_versions <- grow exec.ds_versions;
+    exec.ds_owners <- grow exec.ds_owners
+  end;
+  exec.ds_oids.(i) <- oid;
+  exec.ds_versions.(i) <- version;
+  exec.ds_owners.(i) <- owner;
+  exec.ds_len <- i + 1;
+  i
+
+(* Freeze the staged rows into an immutable wire payload.  The copy is
+   mandatory: the message is shared by reference with every delivery
+   (including retransmissions), so the scratch cannot travel. *)
+let ds_freeze exec =
+  if exec.ds_len = 0 then Messages.empty_dataset
+  else
+    {
+      Messages.ds_oids = Array.sub exec.ds_oids 0 exec.ds_len;
+      ds_versions = Array.sub exec.ds_versions 0 exec.ds_len;
+      ds_owners = Array.sub exec.ds_owners 0 exec.ds_len;
+    }
+
 (* Accumulated data-set across the scope chain, outermost owners winning on
    duplicate object ids (validation must name the ancestor-most owner). *)
 (* Validation is order-independent ([Rqv.validate] minimises the owner tag
-   over the whole set), so the fold order of the scratch table never shows
-   through; reusing it avoids an allocation per validated request. *)
+   over the whole set), so the staging order never shows through; reusing
+   the scratch avoids the per-request table and per-entry allocations. *)
 let full_dataset root =
-  let table = root.exec.scratch_dataset in
-  Hashtbl.clear table;
+  let exec = root.exec in
+  Hashtbl.clear exec.ds_slots;
+  exec.ds_len <- 0;
   let note (e : Rwset.entry) =
-    match Hashtbl.find_opt table e.oid with
-    | Some existing when existing.owner <= e.owner -> ()
-    | Some _ | None ->
-      Hashtbl.replace table e.oid { Messages.oid = e.oid; version = e.version; owner = e.owner }
+    match Hashtbl.find exec.ds_slots e.oid with
+    | i ->
+      if e.owner < exec.ds_owners.(i) then begin
+        exec.ds_versions.(i) <- e.version;
+        exec.ds_owners.(i) <- e.owner
+      end
+    | exception Not_found ->
+      Hashtbl.add exec.ds_slots e.oid
+        (ds_push exec ~oid:e.oid ~version:e.version ~owner:e.owner)
   in
   List.iter
     (fun scope ->
-      List.iter note (Rwset.entries scope.rset);
-      List.iter note (Rwset.entries scope.wset))
+      Rwset.iter scope.rset note;
+      Rwset.iter scope.wset note)
     root.scopes;
-  Hashtbl.fold (fun _ e acc -> e :: acc) table []
+  ds_freeze exec
+
+(* Commit-request data-set: the flat union of the final scope's sets with
+   the write set winning on collision — what [Rwset.merge_into ~child:wset
+   ~parent:rset] used to build, without materialising the merged map. *)
+let commit_dataset exec ~(scope_rset : Rwset.t) ~(scope_wset : Rwset.t) =
+  exec.ds_len <- 0;
+  Rwset.iter scope_wset (fun (e : Rwset.entry) ->
+      ignore (ds_push exec ~oid:e.oid ~version:e.version ~owner:e.owner));
+  Rwset.iter scope_rset (fun (e : Rwset.entry) ->
+      if not (Rwset.mem scope_wset e.oid) then
+        ignore (ds_push exec ~oid:e.oid ~version:e.version ~owner:e.owner));
+  ds_freeze exec
 
 (* checkParent (Algorithm 2, line 2): wset shadows rset, inner scopes shadow
    outer ones. *)
@@ -197,13 +261,14 @@ let rec start_attempt root =
   root.commit_lock_budget <- root.exec.config.commit_lock_retries;
   root.steps <- 0;
   root.generation <- root.generation + 1;
-  trace root ~kind:Obs.Sem.txn_begin ~a:(root.attempt + 1) ();
+  trace root ~kind:Obs.Sem.txn_begin ~oid:(-1) ~a:(root.attempt + 1) ~b:(-1) ~x:0.;
   (* Widened-read witnesses survive across attempts, but each attempt runs
      under a fresh transaction id — re-announce them so per-transaction
      trace analyses (the widen-read checker rule) see the carried-over
      obligation. *)
   List.iter
-    (fun witness -> trace root ~kind:Obs.Sem.widen_add ~a:witness ())
+    (fun witness ->
+      trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness ~b:(-1) ~x:0.)
     root.extra_read_peers;
   step root (root.program ())
 
@@ -230,7 +295,8 @@ and interpret_op root prog =
       match root.exec.config.mode with
       | Config.Closed ->
         let parent = current_scope root in
-        trace root ~kind:Obs.Sem.scope_push ~a:(parent.depth + 1) ();
+        trace root ~kind:Obs.Sem.scope_push ~oid:(-1) ~a:(parent.depth + 1)
+          ~b:(-1) ~x:0.;
         root.scopes <-
           fresh_scope ~depth:(parent.depth + 1) ~thunk:body ~cont:(Some cont)
           :: root.scopes;
@@ -279,7 +345,9 @@ and remote_fetch root ~oid ~write ~k =
     schedule root ~delay:(jittered exec.rng exec.config.request_timeout) (fun () ->
         remote_fetch root ~oid ~write ~k)
   | _ ->
-    let dataset = if rqv_active exec then full_dataset root else [] in
+    let dataset =
+      if rqv_active exec then full_dataset root else Messages.empty_dataset
+    in
     let record = (current_scope root).depth = 0 in
     let request =
       Messages.Read_req
@@ -291,7 +359,9 @@ and remote_fetch root ~oid ~write ~k =
       | extra -> List.sort_uniq Int.compare (extra @ quorum)
     in
     if Obs.Tracer.enabled exec.tracer then
-      List.iter (fun dst -> trace root ~kind:Obs.Sem.read_send ~oid ~a:dst ()) dsts;
+      List.iter
+        (fun dst -> trace root ~kind:Obs.Sem.read_send ~oid ~a:dst ~b:(-1) ~x:0.)
+        dsts;
     root.last_validation_sent <- now root;
     let generation = root.generation in
     Sim.Rpc.multicall exec.rpc ~kind:Messages.read_req_kind ~src:root.node ~dsts
@@ -317,7 +387,8 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
           root.extra_read_peers
       in
       List.iter
-        (fun witness -> trace root ~kind:Obs.Sem.widen_drop ~a:witness ())
+        (fun witness ->
+          trace root ~kind:Obs.Sem.widen_drop ~oid:(-1) ~a:witness ~b:(-1) ~x:0.)
         pruned;
       root.extra_read_peers <- kept
     end;
@@ -375,12 +446,12 @@ and install_entry root ~oid ~base_version ~read_value ~write ~remote ~k =
   begin
     match write with
     | Some value ->
-      trace root ~kind:Obs.Sem.txn_write ~oid ();
+      trace root ~kind:Obs.Sem.txn_write ~oid ~a:(-1) ~b:(-1) ~x:0.;
       scope.wset <- Rwset.add scope.wset { oid; version = base_version; value; owner }
     | None ->
       trace root ~kind:Obs.Sem.txn_read ~oid ~a:base_version
         ~b:(if remote then 1 else 0)
-        ();
+        ~x:0.;
       (* A locally visible object is not re-added: its entry (and owner)
          stays with the scope that fetched it. *)
       if remote then
@@ -398,7 +469,8 @@ and install_entry root ~oid ~base_version ~read_value ~write ~remote ~k =
 
 and create_checkpoint root ~resume ~continue =
   let scope = current_scope root in
-  trace root ~kind:Obs.Sem.txn_checkpoint ~a:root.next_chk ();
+  trace root ~kind:Obs.Sem.txn_checkpoint ~oid:(-1) ~a:root.next_chk ~b:(-1)
+    ~x:0.;
   root.checkpoints <-
     {
       chk_id = root.next_chk;
@@ -415,7 +487,7 @@ and create_checkpoint root ~resume ~continue =
 
 and partial_abort root ~target =
   root.generation <- root.generation + 1;
-  trace root ~kind:Obs.Sem.txn_partial_abort ~a:target ();
+  trace root ~kind:Obs.Sem.txn_partial_abort ~oid:(-1) ~a:target ~b:(-1) ~x:0.;
   match root.exec.config.mode with
   | Config.Flat -> root_abort root
   | Config.Closed ->
@@ -435,7 +507,8 @@ and partial_abort root ~target =
           Metrics.note_partial_abort root.exec.metrics;
           (* [a] reports the depth actually restored, not the requested
              target — the checker verifies they coincide. *)
-          trace root ~kind:Obs.Sem.scope_resume ~a:scope.depth ();
+          trace root ~kind:Obs.Sem.scope_resume ~oid:(-1) ~a:scope.depth ~b:(-1)
+            ~x:0.;
           schedule root
             ~delay:(jittered root.exec.rng root.exec.config.ct_retry_delay)
             (fun () -> step root (scope.thunk ()))
@@ -463,7 +536,7 @@ and partial_abort root ~target =
         root.checkpoints <- kept;
         root.since_chk <- 0;
         Metrics.note_partial_abort root.exec.metrics;
-        trace root ~kind:Obs.Sem.scope_resume ~a:chk.chk_id ();
+        trace root ~kind:Obs.Sem.scope_resume ~oid:(-1) ~a:chk.chk_id ~b:(-1) ~x:0.;
         schedule root
           ~delay:(jittered root.exec.rng root.exec.config.ct_retry_delay)
           (fun () -> step root (chk.resume ()))
@@ -472,7 +545,8 @@ and partial_abort root ~target =
 and root_abort root =
   root.generation <- root.generation + 1;
   Metrics.note_root_abort root.exec.metrics;
-  trace root ~kind:Obs.Sem.txn_root_abort ~a:(root.attempt + 1) ();
+  trace root ~kind:Obs.Sem.txn_root_abort ~oid:(-1) ~a:(root.attempt + 1)
+    ~b:(-1) ~x:0.;
   root.attempt <- root.attempt + 1;
   let cfg = root.exec.config in
   if cfg.max_attempts > 0 && root.attempt >= cfg.max_attempts then
@@ -501,7 +575,7 @@ and finish_scope root value =
   | [] -> invalid_arg "Executor: Return with no scope"
   | [ scope ] -> root_commit root ~scope ~value
   | child :: (parent :: _ as rest) ->
-    trace root ~kind:Obs.Sem.scope_pop ~a:child.depth ();
+    trace root ~kind:Obs.Sem.scope_pop ~oid:(-1) ~a:child.depth ~b:(-1) ~x:0.;
     (* commitCT (Algorithm 3): merge into the parent, locally.  Merged
        entries are retagged with the parent's depth: a later invalidation
        must abort the parent, the child's commit having been absorbed. *)
@@ -536,7 +610,8 @@ and root_commit root ~scope ~value =
        all closed-nested transactions) commit without remote messages. *)
     record_commit root ~scope ~window_start:root.last_validation_sent;
     Metrics.note_read_only_commit exec.metrics ~latency:(now root -. root.born);
-    trace root ~kind:Obs.Sem.txn_commit ~b:1 ~x:(now root -. root.born) ();
+    trace root ~kind:Obs.Sem.txn_commit ~oid:(-1) ~a:(-1) ~b:1
+      ~x:(now root -. root.born);
     finish root (Committed value)
   end
   else send_commit_request root ~scope ~value
@@ -551,11 +626,11 @@ and send_commit_request root ~scope ~value =
         send_commit_request root ~scope ~value)
   | _ ->
     let dataset =
-      Messages.dataset_of_rwset (Rwset.merge_into ~child:scope.wset ~parent:scope.rset)
+      commit_dataset exec ~scope_rset:scope.rset ~scope_wset:scope.wset
     in
     let locks = Rwset.oids scope.wset in
-    trace root ~kind:Obs.Sem.commit_send ~a:(List.length locks)
-      ~b:(List.length quorum) ();
+    trace root ~kind:Obs.Sem.commit_send ~oid:(-1) ~a:(List.length locks)
+      ~b:(List.length quorum) ~x:0.;
     let window_start = now root in
     (* Conservative lease horizon: leases are stamped at replica receipt
        (later than this send), so deciding commit before [lock_deadline]
@@ -588,9 +663,9 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
       (fun (voter, reply) ->
         match reply with
         | Messages.Vote { commit; lock_conflict } ->
-          trace root ~kind:Obs.Sem.vote_recv ~a:voter
+          trace root ~kind:Obs.Sem.vote_recv ~oid:(-1) ~a:voter
             ~b:((if commit then 1 else 0) lor if lock_conflict then 2 else 0)
-            ()
+            ~x:0.
         | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Sync_rep _
         | Messages.Status_rep _ | Messages.Ack ->
           ())
@@ -621,15 +696,40 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
          conflicting writer.  Walk away — Release is harmless whether or
          not the leases already fell. *)
       Metrics.note_commit_deadline_abort exec.metrics;
-      trace root ~kind:Obs.Sem.deadline_abort ~x:root.lock_deadline ();
+      trace root ~kind:Obs.Sem.deadline_abort ~oid:(-1) ~a:(-1) ~b:(-1)
+        ~x:root.lock_deadline;
       release_locks root ~quorum ~locks;
       root_abort root
     end
     else if all_commit then begin
       let writes =
-        List.map
-          (fun (e : Rwset.entry) -> (e.oid, e.version + 1, e.value))
-          (Rwset.entries scope.wset)
+        let n = Rwset.size scope.wset in
+        if n = 0 then Messages.empty_writes
+        else begin
+          let w =
+            {
+              Messages.wr_oids = Array.make n 0;
+              wr_versions = Array.make n 0;
+              wr_values = Array.make n Store.Value.Unit;
+            }
+          in
+          let i = ref 0 in
+          Rwset.iter scope.wset (fun (e : Rwset.entry) ->
+              w.Messages.wr_oids.(!i) <- e.oid;
+              w.Messages.wr_versions.(!i) <- e.version + 1;
+              w.Messages.wr_values.(!i) <- e.value;
+              incr i);
+          w
+        end
+      in
+      let reads =
+        let n = Rwset.size scope.rset in
+        let a = Array.make n 0 in
+        let i = ref 0 in
+        Rwset.iter scope.rset (fun (e : Rwset.entry) ->
+            a.(!i) <- e.oid;
+            incr i);
+        a
       in
       record_commit root ~scope ~window_start;
       (* At-least-once: losing an Apply at the read/write-quorum
@@ -637,9 +737,10 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
          version-guarded (idempotent), so retransmission is safe. *)
       Sim.Rpc.acked_multicast exec.rpc ~kind:Messages.apply_kind ~src:root.node ~dsts:quorum
         ~timeout:exec.config.request_timeout
-        (Messages.Apply { txn = root.txn_id; writes; reads = Rwset.oids scope.rset });
+        (Messages.Apply { txn = root.txn_id; writes; reads });
       Metrics.note_commit exec.metrics ~latency:(now root -. root.born);
-      trace root ~kind:Obs.Sem.txn_commit ~b:0 ~x:(now root -. root.born) ();
+      trace root ~kind:Obs.Sem.txn_commit ~oid:(-1) ~a:(-1) ~b:0
+        ~x:(now root -. root.born);
       finish root (Committed value)
     end
     else begin
@@ -661,7 +762,7 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
         List.iter
           (fun witness ->
             if not (List.mem witness root.extra_read_peers) then
-              trace root ~kind:Obs.Sem.widen_add ~a:witness ())
+              trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness ~b:(-1) ~x:0.)
           (List.sort_uniq Int.compare stale_witnesses);
         root.extra_read_peers <-
           List.sort_uniq Int.compare (stale_witnesses @ root.extra_read_peers)
@@ -698,9 +799,9 @@ and record_commit root ~scope ~window_start =
 
 and finish root outcome =
   if not root.finished then begin
-    trace root ~kind:Obs.Sem.txn_end
+    trace root ~kind:Obs.Sem.txn_end ~oid:(-1)
       ~a:(match outcome with Committed _ -> 1 | Failed _ -> 0)
-      ();
+      ~b:(-1) ~x:0.;
     root.finished <- true;
     root.generation <- root.generation + 1;
     root.on_done outcome

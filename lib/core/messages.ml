@@ -1,27 +1,111 @@
 type dataset_entry = { oid : Ids.obj_id; version : int; owner : int }
 
+(* The flat payloads below are frozen at construction and shared by
+   reference across every delivery of the message (fan-out waves,
+   at-least-once retransmissions) — never mutate one after sending. *)
+
+type dataset = {
+  ds_oids : int array;
+  ds_versions : int array;
+  ds_owners : int array;
+}
+
+let empty_dataset = { ds_oids = [||]; ds_versions = [||]; ds_owners = [||] }
+let dataset_len d = Array.length d.ds_oids
+
+let dataset_of_list entries =
+  match entries with
+  | [] -> empty_dataset
+  | _ ->
+    let n = List.length entries in
+    let d =
+      {
+        ds_oids = Array.make n 0;
+        ds_versions = Array.make n 0;
+        ds_owners = Array.make n 0;
+      }
+    in
+    List.iteri
+      (fun i e ->
+        d.ds_oids.(i) <- e.oid;
+        d.ds_versions.(i) <- e.version;
+        d.ds_owners.(i) <- e.owner)
+      entries;
+    d
+
+let dataset_entries d =
+  List.init (dataset_len d) (fun i ->
+      { oid = d.ds_oids.(i); version = d.ds_versions.(i); owner = d.ds_owners.(i) })
+
 let dataset_of_rwset set =
-  List.map
-    (fun (e : Rwset.entry) -> { oid = e.oid; version = e.version; owner = e.owner })
-    (Rwset.entries set)
+  let n = Rwset.size set in
+  if n = 0 then empty_dataset
+  else begin
+    let d =
+      {
+        ds_oids = Array.make n 0;
+        ds_versions = Array.make n 0;
+        ds_owners = Array.make n 0;
+      }
+    in
+    let i = ref 0 in
+    Rwset.iter set (fun (e : Rwset.entry) ->
+        d.ds_oids.(!i) <- e.oid;
+        d.ds_versions.(!i) <- e.version;
+        d.ds_owners.(!i) <- e.owner;
+        incr i);
+    d
+  end
+
+type writes = {
+  wr_oids : int array;
+  wr_versions : int array;
+  wr_values : Txn.value array;
+}
+
+let empty_writes = { wr_oids = [||]; wr_versions = [||]; wr_values = [||] }
+let writes_len w = Array.length w.wr_oids
+
+let writes_of_list entries =
+  match entries with
+  | [] -> empty_writes
+  | _ ->
+    let n = List.length entries in
+    let w =
+      {
+        wr_oids = Array.make n 0;
+        wr_versions = Array.make n 0;
+        wr_values = Array.make n Store.Value.Unit;
+      }
+    in
+    List.iteri
+      (fun i (oid, version, value) ->
+        w.wr_oids.(i) <- oid;
+        w.wr_versions.(i) <- version;
+        w.wr_values.(i) <- value)
+      entries;
+    w
+
+let writes_entries w =
+  List.init (writes_len w) (fun i -> (w.wr_oids.(i), w.wr_versions.(i), w.wr_values.(i)))
 
 type request =
   | Read_req of {
       txn : Ids.txn_id;
       oid : Ids.obj_id;
-      dataset : dataset_entry list;
+      dataset : dataset;
       write_intent : bool;
       record : bool;
     }
   | Commit_req of {
       txn : Ids.txn_id;
-      dataset : dataset_entry list;
+      dataset : dataset;
       locks : Ids.obj_id list;
     }
   | Apply of {
       txn : Ids.txn_id;
-      writes : (Ids.obj_id * int * Txn.value) list;
-      reads : Ids.obj_id list;
+      writes : writes;
+      reads : Ids.obj_id array;
     }
   | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
   | Sync_req

@@ -8,29 +8,66 @@
 
     Commit requests implement the vote phase of 2PC: the replica validates
     the full data-set and, on success, locks the write-set objects.  Apply
-    and Release are the one-way second phase. *)
+    and Release are the one-way second phase.
+
+    The bulk payloads ({!dataset}, {!writes}) are structures of flat [int]
+    arrays rather than lists of records: a steady-state commit wave builds
+    each payload as three array allocations instead of a cons cell and a
+    record per entry, and replicas validate by indexed loops without
+    chasing pointers.  Payloads are frozen at construction and shared by
+    reference across deliveries (fan-out, retransmission) — never mutated
+    after sending. *)
 
 type dataset_entry = { oid : Ids.obj_id; version : int; owner : int }
+(** Convenience view of one data-set row (construction and tests; the wire
+    form is the flat {!dataset}). *)
 
-val dataset_of_rwset : Rwset.t -> dataset_entry list
+type dataset = {
+  ds_oids : int array;
+  ds_versions : int array;  (** base version per oid *)
+  ds_owners : int array;  (** owner tag per oid (scope depth / checkpoint id) *)
+}
+(** Parallel arrays, one row per data-set entry. *)
+
+val empty_dataset : dataset
+(** The shared zero-length data-set ([dataset_len] 0 skips Rqv). *)
+
+val dataset_len : dataset -> int
+val dataset_of_list : dataset_entry list -> dataset
+val dataset_entries : dataset -> dataset_entry list
+(** Row-record view, same order as the arrays. *)
+
+val dataset_of_rwset : Rwset.t -> dataset
+
+type writes = {
+  wr_oids : int array;
+  wr_versions : int array;  (** new version to install per oid *)
+  wr_values : Txn.value array;
+}
+(** Parallel arrays, one row per written object. *)
+
+val empty_writes : writes
+val writes_len : writes -> int
+val writes_of_list : (Ids.obj_id * int * Txn.value) list -> writes
+val writes_entries : writes -> (Ids.obj_id * int * Txn.value) list
 
 type request =
   | Read_req of {
       txn : Ids.txn_id;  (** root transaction id *)
       oid : Ids.obj_id;
-      dataset : dataset_entry list;  (** entries to validate; [] skips Rqv *)
+      dataset : dataset;  (** entries to validate; empty skips Rqv *)
       write_intent : bool;  (** register in PW instead of PR *)
       record : bool;  (** root transactions only: track in PR/PW *)
     }
   | Commit_req of {
       txn : Ids.txn_id;
-      dataset : dataset_entry list;  (** full read+write set *)
+      dataset : dataset;  (** full read+write set *)
       locks : Ids.obj_id list;  (** write-set objects to protect *)
     }
   | Apply of {
       txn : Ids.txn_id;
-      writes : (Ids.obj_id * int * Txn.value) list;  (** (oid, new version, value) *)
-      reads : Ids.obj_id list;  (** for PR cleanup *)
+      writes : writes;  (** (oid, new version, value) rows *)
+      reads : Ids.obj_id array;  (** for PR cleanup *)
     }
   | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
   | Sync_req

@@ -15,6 +15,7 @@ let merge_into ~child ~parent =
   Int_map.union (fun _oid child_entry _parent_entry -> Some child_entry) child parent
 
 let retag t ~owner = Int_map.map (fun e -> { e with owner }) t
+let iter t f = Int_map.iter (fun _oid e -> f e) t
 let entries t = List.map snd (Int_map.bindings t)
 let oids t = List.map fst (Int_map.bindings t)
 

@@ -37,6 +37,9 @@ val retag : t -> owner:int -> t
 (** Set every entry's owner (used when merging a child scope into its
     parent, whose depth the surviving entries now belong to). *)
 
+val iter : t -> (entry -> unit) -> unit
+(** Ascending by object id, allocating nothing (unlike {!entries}). *)
+
 val entries : t -> entry list
 (** Ascending by object id. *)
 

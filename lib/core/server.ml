@@ -44,10 +44,13 @@ let instrument t ~tracer ~clock =
   t.tracer <- tracer;
   t.clock <- clock
 
-let trace t ~kind ?txn ?oid ?a ?b ?x () =
+(* All slots required ([-1] / [0.] for n/a): labelled optional arguments
+   would box an option per supplied label at every call site, even with the
+   tracer disabled. *)
+let trace t ~kind ~txn ~oid ~a ~b ~x =
   if Obs.Tracer.enabled t.tracer then
-    Obs.Tracer.emit t.tracer ~time:(t.clock ()) ~kind ~node:t.node ?txn ?oid ?a
-      ?b ?x ()
+    Obs.Tracer.emit8 t.tracer ~time:(t.clock ()) ~kind ~node:t.node ~txn ~oid ~a
+      ~b ~x
 
 let node t = t.node
 let store t = t.store
@@ -55,20 +58,21 @@ let validations_run t = t.validations_run
 let validations_failed t = t.validations_failed
 
 let handle_read t ~txn ~oid ~dataset ~write_intent ~record =
+  let validated = Messages.dataset_len dataset > 0 in
   let verdict =
-    match dataset with
-    | [] -> None
-    | _ ->
+    if not validated then None
+    else begin
       t.validations_run <- t.validations_run + 1;
       Rqv.validate t.store ~txn ~dataset
+    end
   in
   match verdict with
   | Some target ->
     t.validations_failed <- t.validations_failed + 1;
-    trace t ~kind:Obs.Sem.rqv_fail ~txn ~oid ~a:target ();
+    trace t ~kind:Obs.Sem.rqv_fail ~txn ~oid ~a:target ~b:(-1) ~x:0.;
     Some (Messages.Read_abort { target })
   | None ->
-    if dataset <> [] then trace t ~kind:Obs.Sem.rqv_ok ~txn ~oid ();
+    if validated then trace t ~kind:Obs.Sem.rqv_ok ~txn ~oid ~a:(-1) ~b:(-1) ~x:0.;
     begin
       match Store.Replica.find t.store oid with
       | None -> Some (Messages.Read_abort { target = 0 })
@@ -135,9 +139,9 @@ let commit_evidence t ~held ~replies =
 
 let rescue_commit t term ~txn ~oids ~replies ~evidence =
   Metrics.note_status_rescue term.metrics;
-  trace t ~kind:Obs.Sem.rescue ~txn ~a:(List.length oids)
+  trace t ~kind:Obs.Sem.rescue ~txn ~oid:(-1) ~a:(List.length oids)
     ~b:(match evidence with `Applied -> 0 | `Version_advance -> 1)
-    ();
+    ~x:0.;
   (* Adopt the freshest copies carried by the replies (version-guarded, so
      older copies are ignored); sync clears the adopted objects' leases,
      and any leftover lease (reply lacking that oid) is presumed released
@@ -178,7 +182,8 @@ let rec status_round t term ~txn ~oids ~attempts =
     match term.status_peers () with
     | [] -> retry attempts
     | dsts ->
-      trace t ~kind:Obs.Sem.status_round ~txn ~a:attempts ~b:(List.length dsts) ();
+      trace t ~kind:Obs.Sem.status_round ~txn ~oid:(-1) ~a:attempts
+        ~b:(List.length dsts) ~x:0.;
       Sim.Rpc.multicall term.rpc ~kind:Messages.status_req_kind ~src:t.node ~dsts
         ~timeout:term.config.Config.request_timeout
         (Messages.Status_req { txn; oids = held })
@@ -192,7 +197,8 @@ let rec status_round t term ~txn ~oids ~attempts =
             else if attempts > 1 then retry (attempts - 1)
             else begin
               Metrics.note_presumed_abort term.metrics;
-              trace t ~kind:Obs.Sem.presumed_abort ~txn ~a:(List.length held) ();
+              trace t ~kind:Obs.Sem.presumed_abort ~txn ~oid:(-1)
+                ~a:(List.length held) ~b:(-1) ~x:0.;
               release_lease t ~txn ~oids:held
             end)
   end
@@ -217,7 +223,8 @@ let rec watch_lease t term ~txn ~oids () =
     else begin
       Metrics.note_lease_expired term.metrics;
       (match held with
-      | oid :: _ -> trace t ~kind:Obs.Sem.lease_expire ~txn ~oid ~x:latest ()
+      | oid :: _ ->
+        trace t ~kind:Obs.Sem.lease_expire ~txn ~oid ~a:(-1) ~b:(-1) ~x:latest
       | [] -> ());
       status_round t term ~txn ~oids:held ~attempts:term.config.Config.status_attempts
     end
@@ -236,20 +243,31 @@ let enable_termination t ~engine ~rpc ~status_peers ~metrics ~config =
 
 (* --- request handlers --------------------------------------------------- *)
 
-let handle_commit t ~txn ~dataset ~locks =
-  let valid =
-    List.for_all (fun entry -> Rqv.entry_valid t.store ~txn entry) dataset
-  in
-  if not valid then begin
-    let lock_conflict =
-      List.exists
-        (fun (entry : Messages.dataset_entry) ->
-          Store.Replica.mem t.store entry.oid
-          && Store.Replica.is_protected t.store ~oid:entry.oid ~against:txn
-          && Store.Replica.version t.store entry.oid <= entry.version)
-        dataset
-    in
-    Some (Messages.Vote { commit = false; lock_conflict })
+let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks =
+  let n = Messages.dataset_len dataset in
+  let valid = ref true in
+  let i = ref 0 in
+  while !valid && !i < n do
+    if
+      not
+        (Rqv.oid_valid t.store ~txn ~oid:dataset.ds_oids.(!i)
+           ~version:dataset.ds_versions.(!i))
+    then valid := false
+    else incr i
+  done;
+  if not !valid then begin
+    let lock_conflict = ref false in
+    let j = ref 0 in
+    while (not !lock_conflict) && !j < n do
+      let oid = dataset.ds_oids.(!j) in
+      if
+        Store.Replica.mem t.store oid
+        && Store.Replica.is_protected t.store ~oid ~against:txn
+        && Store.Replica.version t.store oid <= dataset.ds_versions.(!j)
+      then lock_conflict := true
+      else incr j
+    done;
+    Some (Messages.Vote { commit = false; lock_conflict = !lock_conflict })
   end
   else begin
     (* Lock the write set.  All-or-nothing: locking can only fail if another
@@ -277,24 +295,25 @@ let handle_commit t ~txn ~dataset ~locks =
 let trace_vote t ~txn reply =
   (match reply with
   | Some (Messages.Vote { commit; lock_conflict }) ->
-    trace t ~kind:Obs.Sem.vote ~txn
+    trace t ~kind:Obs.Sem.vote ~txn ~oid:(-1)
       ~a:(if commit then 1 else 0)
       ~b:(if lock_conflict then 1 else 0)
-      ()
+      ~x:0.
   | _ -> ());
   reply
 
-let handle_apply t ~txn ~writes ~reads =
-  List.iter
-    (fun (oid, version, value) ->
-      if Store.Replica.mem t.store oid then begin
-        Store.Replica.apply t.store ~oid ~version ~value ~txn;
-        Store.Replica.remove_txn t.store ~oid ~txn
-      end)
-    writes;
+let handle_apply t ~txn ~(writes : Messages.writes) ~reads =
+  for i = 0 to Messages.writes_len writes - 1 do
+    let oid = writes.wr_oids.(i) in
+    if Store.Replica.mem t.store oid then begin
+      Store.Replica.apply t.store ~oid ~version:writes.wr_versions.(i)
+        ~value:writes.wr_values.(i) ~txn;
+      Store.Replica.remove_txn t.store ~oid ~txn
+    end
+  done;
   (* Even a write-free Apply (all writes unknown here) is commit evidence. *)
   Store.Replica.note_applied t.store ~txn;
-  List.iter
+  Array.iter
     (fun oid -> if Store.Replica.mem t.store oid then Store.Replica.remove_txn t.store ~oid ~txn)
     reads
 
@@ -340,13 +359,15 @@ let handle t ~src:_ request =
   | Messages.Commit_req { txn; dataset; locks } ->
     trace_vote t ~txn (handle_commit t ~txn ~dataset ~locks)
   | Messages.Apply { txn; writes; reads } ->
-    trace t ~kind:Obs.Sem.apply ~txn ~a:(List.length writes) ();
+    trace t ~kind:Obs.Sem.apply ~txn ~oid:(-1) ~a:(Messages.writes_len writes)
+      ~b:(-1) ~x:0.;
     handle_apply t ~txn ~writes ~reads;
     (* Acked so the coordinator can retransmit over lossy links; Apply is
        idempotent (version-guarded), so duplicates are harmless. *)
     Some Messages.Ack
   | Messages.Release { txn; oids } ->
-    trace t ~kind:Obs.Sem.release ~txn ~a:(List.length oids) ();
+    trace t ~kind:Obs.Sem.release ~txn ~oid:(-1) ~a:(List.length oids) ~b:(-1)
+      ~x:0.;
     handle_release t ~txn ~oids;
     Some Messages.Ack
   | Messages.Sync_req -> Some (Messages.Sync_rep { objects = Store.Replica.dump t.store })

@@ -202,13 +202,14 @@ let stall_window (config : Config.t) events =
   in
   2. *. (termination +. Float.max longest_fault crash_outages) +. 1_000.
 
-let run_one ?config ?(tracer = Obs.Tracer.null) knobs ~seed =
+let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) knobs ~seed =
   let config =
     match config with Some c -> c | None -> Config.default Config.Closed
   in
   let events = generate knobs ~seed in
   let cluster =
-    Cluster.create ~nodes:knobs.nodes ~seed ~read_level:knobs.read_level ~tracer config
+    Cluster.create ~nodes:knobs.nodes ~seed ~read_level:knobs.read_level ~tracer
+      ~batch_fanout config
   in
   let params =
     {

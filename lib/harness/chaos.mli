@@ -62,11 +62,18 @@ type result = {
 val passed : result -> bool
 (** Oracle ok, invariant ok, no stalls. *)
 
-val run_one : ?config:Core.Config.t -> ?tracer:Obs.Tracer.t -> knobs -> seed:int -> result
+val run_one :
+  ?config:Core.Config.t ->
+  ?tracer:Obs.Tracer.t ->
+  ?batch_fanout:bool ->
+  knobs ->
+  seed:int ->
+  result
 (** Default config: [Config.default Closed] (leases enabled).  [tracer]
     threads a lifecycle tracer through the cluster; tracing never perturbs
     the run, so re-running a failing seed with a tracer reproduces it
-    exactly. *)
+    exactly.  [batch_fanout] (default on) toggles the network's wave
+    batching; verdicts are byte-identical either way. *)
 
 val run_many : ?config:Core.Config.t -> knobs -> seed:int -> runs:int -> result list
 (** Seeds [seed .. seed + runs - 1], sequentially. *)

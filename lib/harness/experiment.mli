@@ -43,6 +43,7 @@ val run :
   ?client_nodes:int list ->
   ?prepare:(Core.Cluster.t -> unit) ->
   ?tracer:Obs.Tracer.t ->
+  ?batch_fanout:bool ->
   ?telemetry:Obs.Telemetry.t ->
   config:Core.Config.t ->
   benchmark:Benchmarks.Workload.benchmark ->

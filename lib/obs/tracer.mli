@@ -9,8 +9,11 @@
 
     Event payloads are deliberately flat — one interned kind, a node, a
     transaction id, an object id, two generic integer slots and one float
-    slot — so emission never allocates beyond the event record itself.
-    Per-kind payload meaning is documented in {!Sem} and OBSERVABILITY.md. *)
+    slot.  The ring stores them as a structure of arrays (unboxed float
+    columns, int columns), so the enabled path of {!emit8} allocates
+    nothing at all; the {!event} record below is a read-side view
+    materialised only by {!iter}/{!events}.  Per-kind payload meaning is
+    documented in {!Sem} and OBSERVABILITY.md. *)
 
 type event = {
   time : float;  (** simulated ms *)
@@ -48,7 +51,24 @@ val emit :
   ?x:float ->
   unit ->
   unit
-(** Append one event (no-op on a disabled tracer). *)
+(** Append one event (no-op on a disabled tracer).  Optional-argument
+    convenience wrapper over {!emit8}; prefer {!emit8} on hot paths — each
+    labelled optional argument boxes an option at the call site. *)
+
+val emit8 :
+  t ->
+  time:float ->
+  kind:Kind.t ->
+  node:int ->
+  txn:int ->
+  oid:int ->
+  a:int ->
+  b:int ->
+  x:float ->
+  unit
+(** Allocation-free emission: every slot explicit ([-1] / [0.] for n/a).
+    The hot-path form — a disabled tracer costs one load and branch, an
+    enabled one eight array stores. *)
 
 val length : t -> int
 (** Events currently retained. *)

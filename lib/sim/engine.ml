@@ -1,4 +1,14 @@
-type event = { time : float; seq : int; action : unit -> unit }
+(* Events are pooled mutable records: the heap holds references, and a
+   record popped by the dispatch loop goes onto a free stack to be reused
+   by the next [schedule].  Steady-state scheduling therefore allocates
+   nothing — the closure (when the caller passes a fresh one) is the only
+   per-event allocation left, and the network layer avoids even that with
+   its reusable delivery envelopes. *)
+type event = {
+  mutable time : float;
+  mutable seq : int;
+  mutable action : unit -> unit;
+}
 
 module Event_order = struct
   type t = event
@@ -10,35 +20,81 @@ end
 
 module Queue = Util.Heap.Make (Event_order)
 
+let nop () = ()
+
 type t = {
   queue : Queue.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
   tracer : Obs.Tracer.t;
+  mutable free : event array; (* stack of recycled event records *)
+  mutable free_len : int;
 }
 
 let create ?(tracer = Obs.Tracer.null) () =
-  { queue = Queue.create (); clock = 0.; next_seq = 0; processed = 0; tracer }
+  {
+    queue = Queue.create ();
+    clock = 0.;
+    next_seq = 0;
+    processed = 0;
+    tracer;
+    free = [||];
+    free_len = 0;
+  }
 
 let now t = t.clock
 let tracer t = t.tracer
 
-let schedule_at t ~time action =
-  let time = Stdlib.max time t.clock in
-  Queue.add t.queue { time; seq = t.next_seq; action };
-  t.next_seq <- t.next_seq + 1
+let acquire t ~time ~seq ~action =
+  if t.free_len > 0 then begin
+    let n = t.free_len - 1 in
+    t.free_len <- n;
+    let ev = t.free.(n) in
+    ev.time <- time;
+    ev.seq <- seq;
+    ev.action <- action;
+    ev
+  end
+  else { time; seq; action }
 
+let release t ev =
+  ev.action <- nop;
+  (* don't retain the closure through the pool *)
+  let cap = Array.length t.free in
+  if t.free_len = cap then begin
+    let cap' = if cap = 0 then 64 else 2 * cap in
+    let grown = Array.make cap' ev in
+    Array.blit t.free 0 grown 0 cap;
+    t.free <- grown
+  end;
+  t.free.(t.free_len) <- ev;
+  t.free_len <- t.free_len + 1
+
+let reserve_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
+let schedule_at_seq t ~time ~seq action =
+  let time = Stdlib.max time t.clock in
+  Queue.add t.queue (acquire t ~time ~seq ~action)
+
+let schedule_at t ~time action = schedule_at_seq t ~time ~seq:(reserve_seq t) action
 let schedule t ~delay action = schedule_at t ~time:(t.clock +. Stdlib.max 0. delay) action
 
 (* The dispatch loop is the simulator's innermost hot path: one call per
    event, millions per run.  [unsafe_pop]/[unsafe_top] keep it free of
-   option allocations (the [is_empty] guard restores safety). *)
+   option allocations (the [is_empty] guard restores safety).  The record
+   is released to the pool before the action runs, so an action that
+   schedules immediately reuses it — fields are read out first. *)
 let exec_next t =
   let ev = Queue.unsafe_pop t.queue in
+  let action = ev.action in
   t.clock <- ev.time;
   t.processed <- t.processed + 1;
-  ev.action ()
+  release t ev;
+  action ()
 
 let step t =
   if Queue.is_empty t.queue then false

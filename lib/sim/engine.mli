@@ -28,6 +28,18 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Absolute-time variant; times in the past fire immediately (at [now]). *)
 
+val reserve_seq : t -> int
+(** Claim the next tie-break sequence number without scheduling anything.
+    Events at equal times fire in ascending [seq] order, so a component
+    that wants to materialise events lazily (the network's fan-out
+    batching) can reserve the seqs its expansion will use up front and
+    keep the firing order byte-identical to eager scheduling. *)
+
+val schedule_at_seq : t -> time:float -> seq:int -> (unit -> unit) -> unit
+(** [schedule_at] with an explicit tie-break seq, previously claimed via
+    {!reserve_seq}.  Reusing a seq already in the queue is not checked —
+    callers own the discipline. *)
+
 val run : ?until:float -> t -> unit
 (** Drain the event queue, advancing virtual time.  With [until], stops once
     the next event lies strictly beyond that time (the clock is then set to

@@ -33,6 +33,38 @@ let no_faults = { drop = 0.; duplicate = 0.; spike_prob = 0.; spike_factor = 10.
 let faulty plan =
   plan.drop > 0. || plan.duplicate > 0. || plan.spike_prob > 0.
 
+(* Pooled delivery envelope: one per in-flight message, reused through a
+   free stack.  An envelope carries its own [e_fire] closure (allocated
+   once, when the record is first created), so steady-state sends schedule
+   pooled engine events pointing at pooled envelopes — no per-message
+   closure.  [e_phase] defunctionalizes the two hops of a delivery:
+   [`Arrive`] (the message reaches [e_dst] and queues for service) and
+   [`Handle`] (service completes and the handler runs). *)
+type 'msg envelope = {
+  mutable e_kind : int;
+  mutable e_src : int;
+  mutable e_dst : int;
+  mutable e_msg : 'msg option;
+  mutable e_phase : int; (* 0 = arrive at dst; 1 = invoke handler *)
+  mutable e_fire : unit -> unit; (* set at creation, references this record *)
+}
+
+(* Pooled fan-out wave (see [multicast_batch]): the per-destination
+   delivery times, engine seqs and destinations of one multicast, sorted
+   by firing order.  Exactly one engine event per wave is resident at a
+   time; firing entry [w_pos] re-arms the wave for entry [w_pos + 1]. *)
+type 'msg wave = {
+  mutable w_kind : int;
+  mutable w_src : int;
+  mutable w_msg : 'msg option;
+  mutable w_times : float array;
+  mutable w_seqs : int array;
+  mutable w_dsts : int array;
+  mutable w_len : int;
+  mutable w_pos : int;
+  mutable w_fire : unit -> unit;
+}
+
 type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
@@ -49,11 +81,23 @@ type 'msg t = {
   mutable sent : int;
   mutable dropped : int;
   mutable duplicated : int;
-  mutable kind_counts : int array; (* indexed by Kind.t; grown on demand *)
+  mutable kind_counts : int array;
+      (* indexed by Kind.t; pre-sized to [Kind.registered ()] at creation,
+         grown (rarely) if a kind is interned after that *)
   tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
+  mutable batching : bool; (* [multicast_batch] expands eagerly when false *)
+  plan_delays : float array;
+      (* [plan_send] scratch: delays of the deliveries (0..2) staged by the
+         last call.  A buffer instead of a callback so the per-message fast
+         path allocates no closure. *)
+  mutable env_free : 'msg envelope array; (* envelope free stack *)
+  mutable env_free_len : int;
+  mutable wave_free : 'msg wave array; (* wave free stack *)
+  mutable wave_free_len : int;
 }
 
-let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7) () =
+let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7)
+    ?(batch_fanout = true) () =
   let n = Topology.nodes topology in
   {
     engine;
@@ -73,7 +117,16 @@ let create ~engine ~topology ?(service_time = 0.25) ?(jitter = 0.1) ?(seed = 7) 
     dropped = 0;
     duplicated = 0;
     kind_counts = Array.make (Kind.registered ()) 0;
+    batching = batch_fanout;
+    plan_delays = Array.make 2 0.;
+    env_free = [||];
+    env_free_len = 0;
+    wave_free = [||];
+    wave_free_len = 0;
   }
+
+let set_batch_fanout t b = t.batching <- b
+let batch_fanout t = t.batching
 
 let engine t = t.engine
 let topology t = t.topology
@@ -165,68 +218,295 @@ let reset_counters t =
    with tracing on or off. *)
 let trace_net t ~kind ~ekind ~src ~dst =
   if Obs.Tracer.enabled t.tracer then
-    Obs.Tracer.emit t.tracer ~time:(Engine.now t.engine) ~kind:ekind ~node:src
-      ~a:dst ~b:kind ()
+    Obs.Tracer.emit8 t.tracer ~time:(Engine.now t.engine) ~kind:ekind ~node:src
+      ~txn:(-1) ~oid:(-1) ~a:dst ~b:kind ~x:0.
 
-let deliver t ~kind ~src ~dst msg =
+(* --- envelope pool ------------------------------------------------------ *)
+
+let release_envelope t e =
+  e.e_msg <- None;
+  (* never retain a payload through the pool *)
+  let cap = Array.length t.env_free in
+  if t.env_free_len = cap then begin
+    let cap' = if cap = 0 then 32 else 2 * cap in
+    let grown = Array.make cap' e in
+    Array.blit t.env_free 0 grown 0 cap;
+    t.env_free <- grown
+  end;
+  t.env_free.(t.env_free_len) <- e;
+  t.env_free_len <- t.env_free_len + 1
+
+(* FIFO service queue: processing begins when the node is free.  Returns
+   the instant the handler should run and pushes the node's horizon. *)
+let service_finish t dst =
+  let now = Engine.now t.engine in
+  let start = Stdlib.max now t.busy_until.(dst) in
+  let finish = start +. t.service_time in
+  t.busy_until.(dst) <- finish;
+  finish
+
+let fire_envelope t e =
+  if e.e_phase = 0 then begin
+    (* Arrival at [e_dst] at delivery time. *)
+    if t.failed.(e.e_dst) then release_envelope t e
+    else begin
+      e.e_phase <- 1;
+      Engine.schedule_at t.engine ~time:(service_finish t e.e_dst) e.e_fire
+    end
+  end
+  else begin
+    let kind = e.e_kind and src = e.e_src and dst = e.e_dst and msg = e.e_msg in
+    release_envelope t e;
+    (* released first: the handler may send, reusing this record *)
+    if not t.failed.(dst) then
+      match (t.handlers.(dst), msg) with
+      | Some handler, Some msg ->
+        if src <> dst && Obs.Tracer.enabled t.tracer then
+          Obs.Tracer.emit8 t.tracer ~time:(Engine.now t.engine)
+            ~kind:Obs.Sem.net_deliver ~node:dst ~txn:(-1) ~oid:(-1) ~a:src
+            ~b:kind ~x:0.;
+        handler ~src msg
+      | (Some _ | None), _ -> ()
+  end
+
+let acquire_envelope t ~kind ~src ~dst ~phase msg =
+  let e =
+    if t.env_free_len > 0 then begin
+      let n = t.env_free_len - 1 in
+      t.env_free_len <- n;
+      t.env_free.(n)
+    end
+    else begin
+      let rec e =
+        {
+          e_kind = 0;
+          e_src = 0;
+          e_dst = 0;
+          e_msg = None;
+          e_phase = 0;
+          e_fire = (fun () -> fire_envelope t e);
+        }
+      in
+      e
+    end
+  in
+  e.e_kind <- kind;
+  e.e_src <- src;
+  e.e_dst <- dst;
+  e.e_msg <- Some msg;
+  e.e_phase <- phase;
+  e
+
+(* --- wave pool ---------------------------------------------------------- *)
+
+let release_wave t w =
+  w.w_msg <- None;
+  w.w_len <- 0;
+  w.w_pos <- 0;
+  let cap = Array.length t.wave_free in
+  if t.wave_free_len = cap then begin
+    let cap' = if cap = 0 then 8 else 2 * cap in
+    let grown = Array.make cap' w in
+    Array.blit t.wave_free 0 grown 0 cap;
+    t.wave_free <- grown
+  end;
+  t.wave_free.(t.wave_free_len) <- w;
+  t.wave_free_len <- t.wave_free_len + 1
+
+(* Fire wave entry [w_pos]: re-arm the engine event for the next entry
+   (its (time, seq) was fixed at multicast time, so heap order is exactly
+   that of eagerly scheduled per-destination events), then run the arrival
+   for this destination. *)
+let fire_wave t w =
+  let i = w.w_pos in
+  let dst = w.w_dsts.(i) in
+  let next = i + 1 in
+  w.w_pos <- next;
+  if next < w.w_len then
+    Engine.schedule_at_seq t.engine ~time:w.w_times.(next) ~seq:w.w_seqs.(next)
+      w.w_fire;
+  let last = next >= w.w_len in
   if not t.failed.(dst) then begin
-    (* FIFO service queue: processing begins when the node is free. *)
-    let now = Engine.now t.engine in
-    let start = Stdlib.max now t.busy_until.(dst) in
-    let finish = start +. t.service_time in
-    t.busy_until.(dst) <- finish;
-    Engine.schedule_at t.engine ~time:finish (fun () ->
-        if not t.failed.(dst) then
-          match t.handlers.(dst) with
-          | Some handler ->
-            if src <> dst && Obs.Tracer.enabled t.tracer then
-              Obs.Tracer.emit t.tracer ~time:(Engine.now t.engine)
-                ~kind:Obs.Sem.net_deliver ~node:dst ~a:src ~b:kind ();
-            handler ~src msg
-          | None -> ())
+    match w.w_msg with
+    | Some msg ->
+      let e = acquire_envelope t ~kind:w.w_kind ~src:w.w_src ~dst ~phase:1 msg in
+      Engine.schedule_at t.engine ~time:(service_finish t dst) e.e_fire
+    | None -> ()
+  end;
+  if last then release_wave t w
+
+let acquire_wave t ~kind ~src msg =
+  let w =
+    if t.wave_free_len > 0 then begin
+      let n = t.wave_free_len - 1 in
+      t.wave_free_len <- n;
+      t.wave_free.(n)
+    end
+    else begin
+      let rec w =
+        {
+          w_kind = 0;
+          w_src = 0;
+          w_msg = None;
+          w_times = [||];
+          w_seqs = [||];
+          w_dsts = [||];
+          w_len = 0;
+          w_pos = 0;
+          w_fire = (fun () -> fire_wave t w);
+        }
+      in
+      w
+    end
+  in
+  w.w_kind <- kind;
+  w.w_src <- src;
+  w.w_msg <- Some msg;
+  w.w_len <- 0;
+  w.w_pos <- 0;
+  w
+
+let wave_push t w ~time ~dst =
+  let cap = Array.length w.w_times in
+  if w.w_len = cap then begin
+    let cap' = if cap = 0 then 8 else 2 * cap in
+    let times = Array.make cap' 0. in
+    let seqs = Array.make cap' 0 in
+    let dsts = Array.make cap' 0 in
+    Array.blit w.w_times 0 times 0 cap;
+    Array.blit w.w_seqs 0 seqs 0 cap;
+    Array.blit w.w_dsts 0 dsts 0 cap;
+    w.w_times <- times;
+    w.w_seqs <- seqs;
+    w.w_dsts <- dsts
+  end;
+  w.w_times.(w.w_len) <- time;
+  w.w_seqs.(w.w_len) <- Engine.reserve_seq t.engine;
+  w.w_dsts.(w.w_len) <- dst;
+  w.w_len <- w.w_len + 1
+
+(* --- send --------------------------------------------------------------- *)
+
+(* The shared front half of a send: per-message accounting, the jitter
+   draw, and the fault-model draws, in exactly the order the pre-batching
+   [send] performed them (the delivery-jitter draw always happens, fault
+   draws only under a faulty plan, each short-circuiting as before), so
+   seeds, [sent], [dropped], [duplicated] and [kind_counts] are
+   byte-identical whether the message is scheduled eagerly or planned into
+   a wave.  Stages the delivery delays (0, 1, or 2 with a duplicate) into
+   [t.plan_delays] and returns how many, so callers schedule without a
+   per-message closure — [send] makes an envelope per staged delay,
+   [multicast_batch] a wave entry.  All RNG draws for one message complete
+   before the caller consumes the buffer, so the draw order and the seq
+   order both match the eager per-destination loop exactly. *)
+let plan_send t ~kind ~src ~dst =
+  if src <> dst then begin
+    t.sent <- t.sent + 1;
+    count_kind t kind;
+    trace_net t ~kind ~ekind:Obs.Sem.net_send ~src ~dst
+  end;
+  let base = Topology.latency t.topology ~src ~dst in
+  let jitter = base *. t.jitter *. Util.Rng.float t.rng 1.0 in
+  let delay = base +. jitter in
+  if src = dst then begin
+    t.plan_delays.(0) <- delay;
+    1
+  end
+  else if not (reachable t ~src ~dst) then begin
+    t.dropped <- t.dropped + 1;
+    trace_net t ~kind ~ekind:Obs.Sem.net_drop ~src ~dst;
+    0
+  end
+  else begin
+    let plan = plan_for t ~src ~dst in
+    if not (faulty plan) then begin
+      t.plan_delays.(0) <- delay;
+      1
+    end
+    else if plan.drop > 0. && Util.Rng.chance t.fault_rng plan.drop then begin
+      t.dropped <- t.dropped + 1;
+      trace_net t ~kind ~ekind:Obs.Sem.net_drop ~src ~dst;
+      0
+    end
+    else begin
+      let delay =
+        if plan.spike_prob > 0. && Util.Rng.chance t.fault_rng plan.spike_prob then
+          delay *. plan.spike_factor
+        else delay
+      in
+      t.plan_delays.(0) <- delay;
+      if plan.duplicate > 0. && Util.Rng.chance t.fault_rng plan.duplicate then begin
+        t.duplicated <- t.duplicated + 1;
+        trace_net t ~kind ~ekind:Obs.Sem.net_dup ~src ~dst;
+        let extra = base *. (0.5 +. Util.Rng.float t.fault_rng 1.0) in
+        t.plan_delays.(1) <- delay +. extra;
+        2
+      end
+      else 1
+    end
   end
 
 let send t ?(kind = Kind.other) ~src ~dst msg =
   if not t.failed.(src) then begin
-    if src <> dst then begin
-      t.sent <- t.sent + 1;
-      count_kind t kind;
-      trace_net t ~kind ~ekind:Obs.Sem.net_send ~src ~dst
-    end;
-    let base = Topology.latency t.topology ~src ~dst in
-    let jitter = base *. t.jitter *. Util.Rng.float t.rng 1.0 in
-    let delay = base +. jitter in
-    if src = dst then
-      Engine.schedule t.engine ~delay (fun () -> deliver t ~kind ~src ~dst msg)
-    else if not (reachable t ~src ~dst) then begin
-      t.dropped <- t.dropped + 1;
-      trace_net t ~kind ~ekind:Obs.Sem.net_drop ~src ~dst
-    end
-    else begin
-      let plan = plan_for t ~src ~dst in
-      if not (faulty plan) then
-        Engine.schedule t.engine ~delay (fun () -> deliver t ~kind ~src ~dst msg)
-      else if plan.drop > 0. && Util.Rng.chance t.fault_rng plan.drop then begin
-        t.dropped <- t.dropped + 1;
-        trace_net t ~kind ~ekind:Obs.Sem.net_drop ~src ~dst
-      end
-      else begin
-        let delay =
-          if plan.spike_prob > 0. && Util.Rng.chance t.fault_rng plan.spike_prob then
-            delay *. plan.spike_factor
-          else delay
-        in
-        Engine.schedule t.engine ~delay (fun () -> deliver t ~kind ~src ~dst msg);
-        if plan.duplicate > 0. && Util.Rng.chance t.fault_rng plan.duplicate then begin
-          t.duplicated <- t.duplicated + 1;
-          trace_net t ~kind ~ekind:Obs.Sem.net_dup ~src ~dst;
-          let extra = base *. (0.5 +. Util.Rng.float t.fault_rng 1.0) in
-          Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
-              deliver t ~kind ~src ~dst msg)
-        end
-      end
-    end
+    let staged = plan_send t ~kind ~src ~dst in
+    for k = 0 to staged - 1 do
+      let e = acquire_envelope t ~kind ~src ~dst ~phase:0 msg in
+      Engine.schedule t.engine ~delay:t.plan_delays.(k) e.e_fire
+    done
   end
 
 let multicast t ?kind ~src ~dsts msg =
   List.iter (fun dst -> send t ?kind ~src ~dst msg) dsts
+
+(* Insertion sort by (time, seq) — wave entries are near-sorted already
+   (same base topology row) and tiny, so this beats a polymorphic sort
+   without allocating. *)
+let sort_wave w =
+  for i = 1 to w.w_len - 1 do
+    let time = w.w_times.(i) and seq = w.w_seqs.(i) and dst = w.w_dsts.(i) in
+    let j = ref (i - 1) in
+    while
+      !j >= 0
+      && (w.w_times.(!j) > time || (w.w_times.(!j) = time && w.w_seqs.(!j) > seq))
+    do
+      w.w_times.(!j + 1) <- w.w_times.(!j);
+      w.w_seqs.(!j + 1) <- w.w_seqs.(!j);
+      w.w_dsts.(!j + 1) <- w.w_dsts.(!j);
+      decr j
+    done;
+    w.w_times.(!j + 1) <- time;
+    w.w_seqs.(!j + 1) <- seq;
+    w.w_dsts.(!j + 1) <- dst
+  done
+
+(* One engine event per fan-out wave instead of one per destination: the
+   accounting, traces and RNG draws all happen here (multicast time),
+   exactly as the per-destination [send] loop would have performed them;
+   only the engine events are materialised lazily, each with the (time,
+   seq) the eager loop would have used.  Observationally invisible —
+   counters, traces and the event interleaving are byte-identical to
+   [multicast] — but a 5-node quorum wave costs one resident heap entry
+   and zero closures instead of five of each. *)
+let multicast_batch t ?(kind = Kind.other) ~src ~dsts msg =
+  match dsts with
+  | [] -> ()
+  | [ dst ] -> send t ~kind ~src ~dst msg
+  | dsts ->
+    if not t.batching then List.iter (fun dst -> send t ~kind ~src ~dst msg) dsts
+    else if not t.failed.(src) then begin
+      let w = acquire_wave t ~kind ~src msg in
+      let now = Engine.now t.engine in
+      List.iter
+        (fun dst ->
+          let staged = plan_send t ~kind ~src ~dst in
+          for k = 0 to staged - 1 do
+            wave_push t w ~time:(now +. Stdlib.max 0. t.plan_delays.(k)) ~dst
+          done)
+        dsts;
+      if w.w_len = 0 then release_wave t w
+      else begin
+        sort_wave w;
+        Engine.schedule_at_seq t.engine ~time:w.w_times.(0) ~seq:w.w_seqs.(0)
+          w.w_fire
+      end
+    end

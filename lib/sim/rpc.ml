@@ -78,7 +78,7 @@ let multicall t ?kind ~src ~dsts ~timeout req ~on_done =
   if dsts = [] then on_done ~replies:[] ~missing:[]
   else begin
     Hashtbl.replace t.pending rid p;
-    Network.multicast t.network ?kind ~src ~dsts
+    Network.multicast_batch t.network ?kind ~src ~dsts
       (Request { rid; payload = req; wants_reply = true });
     let engine = Network.engine t.network in
     Engine.schedule engine ~delay:timeout (fun () ->
@@ -86,11 +86,11 @@ let multicall t ?kind ~src ~dsts ~timeout req ~on_done =
           p.finished <- true;
           Hashtbl.remove t.pending rid;
           if Obs.Tracer.enabled t.tracer then
-            Obs.Tracer.emit t.tracer ~time:(Engine.now engine)
-              ~kind:Obs.Sem.rpc_timeout ~node:src
+            Obs.Tracer.emit8 t.tracer ~time:(Engine.now engine)
+              ~kind:Obs.Sem.rpc_timeout ~node:src ~txn:(-1) ~oid:(-1)
               ~a:(List.length p.awaiting)
               ~b:(match kind with Some k -> k | None -> Network.Kind.other)
-              ();
+              ~x:0.;
           p.complete ~replies:(List.rev p.replies) ~missing:p.awaiting
         end)
   end
@@ -105,8 +105,13 @@ let cast t ?kind ~src ~dst req =
   let rid = fresh_rid t in
   Network.send t.network ?kind ~src ~dst (Request { rid; payload = req; wants_reply = false })
 
+(* One rid and one shared [Request] for the whole wave: fire-and-forget
+   requests never enter the pending table, so per-destination rids bought
+   nothing but allocations. *)
 let multicast t ?kind ~src ~dsts req =
-  List.iter (fun dst -> cast t ?kind ~src ~dst req) dsts
+  let rid = fresh_rid t in
+  Network.multicast_batch t.network ?kind ~src ~dsts
+    (Request { rid; payload = req; wants_reply = false })
 
 (* At-least-once delivery for idempotent one-way messages: the request is
    re-sent until the server acknowledges it or [attempts] are exhausted
@@ -120,11 +125,11 @@ let rec acked_send t ?kind ?(attempts = 6) ~src ~dst ~timeout req =
       else begin
         t.give_ups <- t.give_ups + 1;
         if Obs.Tracer.enabled t.tracer then
-          Obs.Tracer.emit t.tracer
+          Obs.Tracer.emit8 t.tracer
             ~time:(Engine.now (Network.engine t.network))
-            ~kind:Obs.Sem.rpc_giveup ~node:src ~a:dst
+            ~kind:Obs.Sem.rpc_giveup ~node:src ~txn:(-1) ~oid:(-1) ~a:dst
             ~b:(match kind with Some k -> k | None -> Network.Kind.other)
-            ()
+            ~x:0.
       end)
 
 let acked_multicast t ?kind ?attempts ~src ~dsts ~timeout req =

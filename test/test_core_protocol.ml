@@ -102,11 +102,12 @@ let test_rqv_paper_example () =
   (* T2's commit bumped o2. *)
   Store.Replica.apply store ~oid:2 ~version:1 ~value:(Store.Value.Int 9) ~txn:99;
   let dataset =
-    [
-      { Messages.oid = 1; version = 0; owner = 0 };
-      { Messages.oid = 2; version = 0; owner = 1 };
-      { Messages.oid = 3; version = 0; owner = 2 };
-    ]
+    Messages.dataset_of_list
+      [
+        { Messages.oid = 1; version = 0; owner = 0 };
+        { Messages.oid = 2; version = 0; owner = 1 };
+        { Messages.oid = 3; version = 0; owner = 2 };
+      ]
   in
   Alcotest.(check (option int)) "abort target is o2's owner" (Some 1)
     (Rqv.validate store ~txn:1 ~dataset)
@@ -115,7 +116,8 @@ let test_rqv_valid_dataset () =
   let store = Store.Replica.create () in
   List.iter (fun oid -> Store.Replica.ensure store ~oid ~init:Store.Value.Unit) [ 1; 2 ];
   let dataset =
-    [ { Messages.oid = 1; version = 0; owner = 0 }; { Messages.oid = 2; version = 0; owner = 1 } ]
+    Messages.dataset_of_list
+      [ { Messages.oid = 1; version = 0; owner = 0 }; { Messages.oid = 2; version = 0; owner = 1 } ]
   in
   Alcotest.(check (option int)) "valid" None (Rqv.validate store ~txn:1 ~dataset)
 
@@ -125,7 +127,8 @@ let test_rqv_min_owner_wins () =
   Store.Replica.apply store ~oid:1 ~version:1 ~value:Store.Value.Unit ~txn:50;
   Store.Replica.apply store ~oid:2 ~version:1 ~value:Store.Value.Unit ~txn:51;
   let dataset =
-    [ { Messages.oid = 1; version = 0; owner = 3 }; { Messages.oid = 2; version = 0; owner = 1 } ]
+    Messages.dataset_of_list
+      [ { Messages.oid = 1; version = 0; owner = 3 }; { Messages.oid = 2; version = 0; owner = 1 } ]
   in
   (* Both invalid: the ancestor-most (minimum) owner is the target. *)
   Alcotest.(check (option int)) "min owner" (Some 1) (Rqv.validate store ~txn:1 ~dataset)
@@ -134,7 +137,7 @@ let test_rqv_protected_fails () =
   let store = Store.Replica.create () in
   Store.Replica.ensure store ~oid:1 ~init:Store.Value.Unit;
   ignore (Store.Replica.try_lock store ~oid:1 ~txn:77);
-  let dataset = [ { Messages.oid = 1; version = 0; owner = 2 } ] in
+  let dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 0; owner = 2 } ] in
   Alcotest.(check (option int)) "protected object invalidates" (Some 2)
     (Rqv.validate store ~txn:1 ~dataset);
   (* ... but not against the lock holder itself. *)
@@ -152,7 +155,8 @@ let test_server_read () =
   let server = server_with_objects [ 1 ] in
   match
     Server.handle server ~src:5
-      (Messages.Read_req { txn = 1; oid = 1; dataset = []; write_intent = false; record = true })
+      (Messages.Read_req
+         { txn = 1; oid = 1; dataset = Messages.empty_dataset; write_intent = false; record = true })
   with
   | Some (Messages.Read_ok { oid; version; value }) ->
     Alcotest.(check int) "oid" 1 oid;
@@ -164,7 +168,8 @@ let test_server_read () =
 let test_server_commit_vote_and_apply () =
   let server = server_with_objects [ 1; 2 ] in
   let dataset =
-    [ { Messages.oid = 1; version = 0; owner = 0 }; { Messages.oid = 2; version = 0; owner = 0 } ]
+    Messages.dataset_of_list
+      [ { Messages.oid = 1; version = 0; owner = 0 }; { Messages.oid = 2; version = 0; owner = 0 } ]
   in
   begin
     match
@@ -186,7 +191,12 @@ let test_server_commit_vote_and_apply () =
   (* Apply installs the write and releases the lock. *)
   ignore
     (Server.handle server ~src:5
-       (Messages.Apply { txn = 9; writes = [ (2, 1, Store.Value.Int 5) ]; reads = [ 1 ] }));
+       (Messages.Apply
+          {
+            txn = 9;
+            writes = Messages.writes_of_list [ (2, 1, Store.Value.Int 5) ];
+            reads = [| 1 |];
+          }));
   Alcotest.(check int) "version bumped" 1 (Store.Replica.version (Server.store server) 2);
   Alcotest.(check bool) "lock released" false
     (Store.Replica.is_protected (Server.store server) ~oid:2 ~against:999)
@@ -197,7 +207,11 @@ let test_server_stale_commit_denied () =
   match
     Server.handle server ~src:5
       (Messages.Commit_req
-         { txn = 9; dataset = [ { Messages.oid = 1; version = 1; owner = 0 } ]; locks = [ 1 ] })
+         {
+           txn = 9;
+           dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 1; owner = 0 } ];
+           locks = [ 1 ];
+         })
   with
   | Some (Messages.Vote { commit = false; lock_conflict }) ->
     Alcotest.(check bool) "version conflict, not lock" false lock_conflict
@@ -208,7 +222,11 @@ let test_server_release () =
   ignore
     (Server.handle server ~src:5
        (Messages.Commit_req
-          { txn = 9; dataset = [ { Messages.oid = 1; version = 0; owner = 0 } ]; locks = [ 1 ] }));
+          {
+            txn = 9;
+            dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 0; owner = 0 } ];
+            locks = [ 1 ];
+          }));
   ignore (Server.handle server ~src:5 (Messages.Release { txn = 9; oids = [ 1 ] }));
   Alcotest.(check bool) "released" false
     (Store.Replica.is_protected (Server.store server) ~oid:1 ~against:999)

@@ -307,7 +307,11 @@ let test_status_rescues_decided_commit () =
   (match
      Server.handle holder ~src:3
        (Messages.Commit_req
-          { txn; dataset = [ { Messages.oid; version = 0; owner = 0 } ]; locks = [ oid ] })
+          {
+            txn;
+            dataset = Messages.dataset_of_list [ { Messages.oid; version = 0; owner = 0 } ];
+            locks = [ oid ];
+          })
    with
   | Some (Messages.Vote { commit = true; _ }) -> ()
   | _ -> Alcotest.fail "replica 7 refused the vote");
@@ -317,7 +321,12 @@ let test_status_rescues_decided_commit () =
     (fun node ->
       ignore
         (Server.handle (Cluster.server_of cluster ~node) ~src:3
-           (Messages.Apply { txn; writes = [ (oid, 1, Store.Value.Int 7) ]; reads = [] })))
+           (Messages.Apply
+              {
+                txn;
+                writes = Messages.writes_of_list [ (oid, 1, Store.Value.Int 7) ];
+                reads = [||];
+              })))
     [ 0; 2; 3; 8 ];
   (* The oracle must know about the decided commit, as the coordinator
      would have reported it. *)

@@ -15,6 +15,7 @@ let () = Alcotest.run "qr_dtm" [
       ("parallel", Test_parallel.suite);
       ("smoke", Test_smoke.suite);
       ("structures", Test_structures.suite);
+      ("determinism", Test_determinism.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("baselines", Test_baselines.suite);
     ]
