@@ -156,9 +156,14 @@ let scenario_cmd =
     let doc =
       "Fault scenario, e.g. 'crash 11 @500; recover 11 @2500; drop 0.05 @0'. \
        Events: crash/recover/suspect N @T [for D], partition a,b|c,d @T for D, \
-       drop/dup P @T [for D], spike P F @T [for D], flaky A-B P @T [for D]."
+       drop/dup P @T [for D], spike P F @T [for D], flaky A-B P @T [for D], \
+       join N @T, leave N @T, replace L J @T."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let spares_arg =
+    let doc = "Stand-by machines outside the initial view (targets for join/replace)." in
+    Arg.(value & opt int 0 & info [ "spares" ] ~docv:"N" ~doc)
   in
   let mode_arg =
     let doc = "Execution model: flat, closed or checkpoint." in
@@ -172,7 +177,7 @@ let scenario_cmd =
     Arg.(value & opt float 5_000. & info [ "duration" ] ~docv:"MS" ~doc:"Window, ms.")
   in
   let seed_arg = Arg.(value & opt int 97 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.") in
-  let run spec bench mode nodes clients duration seed =
+  let run spec bench mode nodes spares clients duration seed =
     let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
     let mode = parse_mode mode in
     let events =
@@ -194,7 +199,7 @@ let scenario_cmd =
     in
     let tracker = ref None in
     let result =
-      Harness.Experiment.run ~nodes ~seed ~clients ~duration ~client_nodes
+      Harness.Experiment.run ~nodes ~spares ~seed ~clients ~duration ~client_nodes
         ~prepare:(fun cluster -> tracker := Some (Harness.Scenario.install cluster events))
         ~config:(Core.Config.default mode) ~benchmark ~params ()
     in
@@ -205,12 +210,13 @@ let scenario_cmd =
   in
   let info =
     Cmd.info "scenario"
-      ~doc:"Run a workload under an injected fault scenario (crashes, partitions, loss)"
+      ~doc:"Run a workload under an injected fault scenario (crashes, partitions, loss, \
+            membership changes)"
   in
   Cmd.v info
     Term.(
-      const run $ spec_arg $ bench_arg $ mode_arg $ nodes_arg $ clients_arg $ duration_arg
-      $ seed_arg)
+      const run $ spec_arg $ bench_arg $ mode_arg $ nodes_arg $ spares_arg $ clients_arg
+      $ duration_arg $ seed_arg)
 
 let write_file path contents =
   let oc = open_out path in
@@ -341,6 +347,22 @@ let chaos_cmd =
   let crashes_arg =
     Arg.(value & opt int 2 & info [ "max-crashes" ] ~docv:"N" ~doc:"Crash/recover pairs per schedule: 0..N.")
   in
+  let spares_arg =
+    let doc = "Stand-by machines outside the initial view (join/replace targets)." in
+    Arg.(value & opt int 0 & info [ "spares" ] ~docv:"N" ~doc)
+  in
+  let reconfigs_arg =
+    let doc = "Membership operations (join/leave/replace) drawn per schedule: 0..N." in
+    Arg.(value & opt int 0 & info [ "reconfigs" ] ~docv:"N" ~doc)
+  in
+  let rolling_arg =
+    let doc =
+      "Rolling-restart schedules: replace every initial node exactly once under load \
+       (implies at least one spare; uses the rolling preset horizon when --horizon is \
+       left at its default)."
+    in
+    Arg.(value & flag & info [ "rolling" ] ~doc)
+  in
   let mode_arg =
     let doc = "Execution model: flat, closed or checkpoint." in
     Arg.(value & opt string "closed" & info [ "mode" ] ~docv:"MODE" ~doc)
@@ -369,21 +391,27 @@ let chaos_cmd =
   let trace_all_arg =
     Arg.(value & flag & info [ "trace-all" ] ~doc:"With --trace-dir: dump every seed, not just failures.")
   in
-  let run runs seed nodes clients horizon max_crashes mode json failures_to verbose show
-      trace_dir trace_all =
+  let run runs seed nodes clients horizon max_crashes spares reconfigs rolling mode json
+      failures_to verbose show trace_dir trace_all =
     let mode = parse_mode mode in
-    let knobs =
-      { Harness.Chaos.default_knobs with nodes; clients; horizon; max_crashes }
+    let spares = if rolling && spares = 0 then Harness.Chaos.rolling_knobs.spares else spares in
+    let horizon = if rolling && horizon = 8_000. then Harness.Chaos.rolling_knobs.horizon else horizon in
+    let max_crashes =
+      if rolling then min max_crashes Harness.Chaos.rolling_knobs.max_crashes else max_crashes
     in
+    let knobs =
+      { Harness.Chaos.default_knobs with nodes; clients; horizon; max_crashes; spares; reconfigs }
+    in
+    let generate = if rolling then Harness.Chaos.generate_rolling else Harness.Chaos.generate in
     if show then begin
       for s = seed to seed + runs - 1 do
         Printf.printf "seed %d: %s\n" s
-          (Harness.Chaos.render_schedule (Harness.Chaos.generate knobs ~seed:s))
+          (Harness.Chaos.render_schedule (generate knobs ~seed:s))
       done;
       exit 0
     end;
     let results =
-      Harness.Chaos.run_many ~config:(Core.Config.default mode) knobs ~seed ~runs
+      Harness.Chaos.run_many ~config:(Core.Config.default mode) ~rolling knobs ~seed ~runs
     in
     let failed = Harness.Chaos.failures results in
     if json then print_endline (Harness.Chaos.results_to_json results)
@@ -418,7 +446,8 @@ let chaos_cmd =
               let seed = r.Harness.Chaos.seed in
               let tracer = Obs.Tracer.create () in
               let replay =
-                Harness.Chaos.run_one ~config:(Core.Config.default mode) ~tracer knobs ~seed
+                Harness.Chaos.run_one ~config:(Core.Config.default mode) ~tracer ~rolling
+                  knobs ~seed
               in
               warn_dropped tracer;
               let violations = Harness.Chaos.check_trace knobs tracer in
@@ -447,8 +476,8 @@ let chaos_cmd =
   Cmd.v info
     Term.(
       const run $ runs_arg $ seed_arg $ nodes_arg $ clients_arg $ horizon_arg
-      $ crashes_arg $ mode_arg $ json_arg $ failures_arg $ verbose_arg $ show_arg
-      $ trace_dir_arg $ trace_all_arg)
+      $ crashes_arg $ spares_arg $ reconfigs_arg $ rolling_arg $ mode_arg $ json_arg
+      $ failures_arg $ verbose_arg $ show_arg $ trace_dir_arg $ trace_all_arg)
 
 let all_cmd =
   let run scale jobs =

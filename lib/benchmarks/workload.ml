@@ -11,14 +11,20 @@ type benchmark = { name : string; setup : Core.Cluster.t -> params -> instance }
 
 let pick_key rng params = Util.Rng.zipf rng ~n:params.objects ~skew:params.key_skew
 
+(* Invariants are evaluated over the membership view at verdict time:
+   a decommissioned node's copies are no longer part of the replicated
+   object (and may be arbitrarily stale), so counting them — or treating
+   their absence as missing copies — would misjudge a cluster that
+   reconfigured mid-run. *)
 let latest_value cluster ~oid =
   let best = ref (-1, Store.Value.Unit) in
-  for node = 0 to Core.Cluster.nodes cluster - 1 do
-    let store = Core.Cluster.store_of cluster ~node in
-    match Store.Replica.find store oid with
-    | Some copy -> if copy.version > fst !best then best := (copy.version, copy.value)
-    | None -> ()
-  done;
+  List.iter
+    (fun node ->
+      let store = Core.Cluster.store_of cluster ~node in
+      match Store.Replica.find store oid with
+      | Some copy -> if copy.version > fst !best then best := (copy.version, copy.value)
+      | None -> ())
+    (Core.Cluster.members cluster);
   snd !best
 
 let seq programs =

@@ -1,3 +1,8 @@
+type reconfig =
+  | Join of int
+  | Leave of int
+  | Replace of { leaving : int; joining : int }
+
 type t = {
   engine : Sim.Engine.t;
   network : (Messages.request, Messages.reply) Sim.Rpc.envelope Sim.Network.t;
@@ -11,17 +16,36 @@ type t = {
   config : Config.t;
   ids : Ids.gen;
   rng : Util.Rng.t;
+  (* Membership view: the current epoch (bumped by every reconfiguration)
+     and a wedge flag raised while one is in progress.  Both are refs so
+     the executor's quorum closures and the RPC fencing hook — built
+     before the record — share them. *)
+  epoch : int ref;
+  wedged : bool ref;
+  mutable reconfig_active : bool;
+  (* Reconfigurations waiting behind the active one, in submission order.
+     FIFO matters: a replace may legitimately re-use a machine an earlier
+     queued operation decommissions, so reordering would make a valid
+     schedule fail validation. *)
+  pending_reconfigs : (reconfig * (unit -> unit) option) Queue.t;
 }
 
 (* Memoisation lives in [Tree_quorum] (generation-keyed, per salt), so these
-   are plain delegations; an unconstructible quorum degrades to [[]]. *)
+   are plain delegations; an unconstructible quorum degrades to [[]], as do
+   all quorums while a reconfiguration has the cluster wedged — callers
+   treat an empty quorum as "retry politely". *)
 let read_quorum_of t ~node =
-  Option.value ~default:[] (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
+  if !(t.wedged) then []
+  else Option.value ~default:[] (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
 
 let write_quorum_of t ~node =
-  Option.value ~default:[] (Quorum.Tree_quorum.write_quorum ~salt:node t.tree_quorum)
+  if !(t.wedged) then []
+  else Option.value ~default:[] (Quorum.Tree_quorum.write_quorum ~salt:node t.tree_quorum)
 
 let nodes t = Array.length t.servers
+let members t = Quorum.Tree_quorum.members t.tree_quorum
+let is_member t node = List.mem node (members t)
+let epoch t = !(t.epoch)
 
 (* Re-admit a node to quorum construction.  This runs only after state
    transfer completed — for recovered crashes AND cleared false
@@ -99,23 +123,43 @@ let rec resync t ~node ~started ~was_killed =
               ~duration:(Sim.Engine.now t.engine -. started)
         end)
 
-let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_level = 1)
-    ?(detection_delay = 50.) ?(detection_jitter = 0.) ?(with_oracle = true)
-    ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) config =
+let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.25)
+    ?(read_level = 1) ?(detection_delay = 50.) ?(detection_jitter = 0.)
+    ?(with_oracle = true) ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) config =
+  let total = nodes + spares in
   let engine = Sim.Engine.create ~tracer () in
   let topology =
     match topology with
     | Some t -> t
-    | None -> Sim.Topology.create ~seed:(seed + 1) ~nodes ()
+    | None -> Sim.Topology.create ~seed:(seed + 1) ~nodes:total ()
   in
-  assert (Sim.Topology.nodes topology = nodes);
+  assert (Sim.Topology.nodes topology = total);
   let network =
     Sim.Network.create ~engine ~topology ~service_time ~seed:(seed + 2)
       ~batch_fanout ()
   in
-  let rpc = Sim.Rpc.create ~network () in
+  let rpc =
+    Sim.Rpc.create ~seed:(seed + 6)
+      ~retry_base:config.Config.retransmit_backoff_base
+      ~retry_max:config.Config.retransmit_backoff_max ~network ()
+  in
+  let epoch = ref 0 in
+  let wedged = ref false in
+  (* Membership fence: every envelope is stamped with the cluster epoch at
+     send time; requests carrying quorum evidence from a superseded view
+     are dropped on arrival.  Apply/Release stay unfenced — they are
+     idempotent version-guarded installers of *decided* commits, and
+     fencing a retransmission would risk losing one.  Sync_req is catch-up
+     traffic from nodes that are stale by definition. *)
+  Sim.Rpc.set_fencing rpc
+    ~epoch_of:(fun _ -> !epoch)
+    ~fenceable:(function
+      | Messages.Read_req _ | Messages.Commit_req _ | Messages.Status_req _
+      | Messages.Handoff _ ->
+        true
+      | Messages.Apply _ | Messages.Release _ | Messages.Sync_req -> false);
   let servers =
-    Array.init nodes (fun node ->
+    Array.init total (fun node ->
         Server.create ~node ~store:(Store.Replica.create ()))
   in
   let clock () = Sim.Engine.now engine in
@@ -127,7 +171,10 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
       Sim.Rpc.serve rpc ~node:(Server.node server) (fun ~src request ->
           Server.handle server ~src request))
     servers;
-  let tree_quorum = Quorum.Tree_quorum.create ~read_level ~nodes () in
+  (* The quorum tree spans [nodes] logical positions mapped onto the
+     initial members 0..nodes-1; spare machines exist only as capacity
+     (dark until a join maps a position onto them). *)
+  let tree_quorum = Quorum.Tree_quorum.create ~read_level ~capacity:total ~nodes () in
   let metrics = Metrics.create () in
   let oracle = if with_oracle then Some (Oracle.create ()) else None in
   let ids = Ids.gen () in
@@ -135,13 +182,18 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
     {
       Executor.read_quorum =
         (fun ~node ->
-          Option.value ~default:[]
-            (Quorum.Tree_quorum.read_quorum ~salt:node tree_quorum));
+          if !wedged then []
+          else
+            Option.value ~default:[]
+              (Quorum.Tree_quorum.read_quorum ~salt:node tree_quorum));
       write_quorum =
         (fun ~node ->
-          Option.value ~default:[]
-            (Quorum.Tree_quorum.write_quorum ~salt:node tree_quorum));
+          if !wedged then []
+          else
+            Option.value ~default:[]
+              (Quorum.Tree_quorum.write_quorum ~salt:node tree_quorum));
       node_alive = (fun node -> not (Sim.Network.is_failed network node));
+      epoch = (fun () -> !epoch);
     }
   in
   let executor =
@@ -149,20 +201,23 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
   in
   (* Arm the lease-termination machinery on every replica.  The peer set —
      read quorum extended with the write quorum, both salted by the asking
-     node — is consulted lazily at status time so node failures are
-     respected.  The union intersects the lease owner's write quorum in
-     several members (every write quorum shares the root and overlapping
-     child majorities), so a decided commit stays visible even when a
-     lossy link starved one intersection node of its Apply. *)
+     node — is consulted lazily at status time so node failures and
+     membership changes are respected.  The union intersects the lease
+     owner's write quorum in several members (every write quorum shares
+     the root and overlapping child majorities), so a decided commit stays
+     visible even when a lossy link starved one intersection node of its
+     Apply. *)
   Array.iter
     (fun server ->
       Server.enable_termination server ~engine ~rpc
         ~status_peers:(fun () ->
-          let salt = Server.node server in
-          let of_opt q = Option.value ~default:[] q in
-          List.sort_uniq Int.compare
-            (of_opt (Quorum.Tree_quorum.read_quorum ~salt tree_quorum)
-            @ of_opt (Quorum.Tree_quorum.write_quorum ~salt tree_quorum)))
+          if !wedged then []
+          else
+            let salt = Server.node server in
+            let of_opt q = Option.value ~default:[] q in
+            List.sort_uniq Int.compare
+              (of_opt (Quorum.Tree_quorum.read_quorum ~salt tree_quorum)
+              @ of_opt (Quorum.Tree_quorum.write_quorum ~salt tree_quorum)))
         ~metrics ~config)
     servers;
   let failure =
@@ -195,6 +250,10 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
       config;
       ids;
       rng = Util.Rng.create (seed + 4);
+      epoch;
+      wedged;
+      reconfig_active = false;
+      pending_reconfigs = Queue.create ();
     }
   in
   Sim.Failure.on_recover failure (fun ~node ~was_killed ->
@@ -203,6 +262,12 @@ let create ?(nodes = 13) ?(seed = 1) ?topology ?(service_time = 0.25) ?(read_lev
          node kept its disk but was bypassed by quorums, so it may have
          missed commits just like a crashed one. *)
       resync t ~node ~started:(Sim.Engine.now t.engine) ~was_killed);
+  (* Spares start decommissioned: powered machines outside the view, dark
+     on the network until a join (or replace) maps a tree position onto
+     them and re-replicates state. *)
+  for node = nodes to total - 1 do
+    Sim.Network.fail t.network node
+  done;
   t
 
 let engine t = t.engine
@@ -218,7 +283,9 @@ let rng t = t.rng
 let now t = Sim.Engine.now t.engine
 
 let install_object t ~oid ~init =
-  Array.iter (fun server -> Store.Replica.install (Server.store server) ~oid ~init) t.servers
+  List.iter
+    (fun node -> Store.Replica.install (Server.store t.servers.(node)) ~oid ~init)
+    (members t)
 
 let alloc_object t ~init =
   let oid = Ids.fresh_obj t.ids in
@@ -248,6 +315,287 @@ let recover_node_at t ~at ~node = Sim.Failure.schedule_recovery t.failure ~at ~n
 let suspect_node_at ?clear_after t ~at ~node =
   Sim.Failure.schedule_false_suspicion ?clear_after t.failure ~at ~node
 
+(* ------------------------------------------------------------------ *)
+(* Epoch-based reconfiguration: join / graceful leave / replace.
+
+   Every operation runs the same fenced state machine:
+
+   1. {b wedge} — quorum construction is suspended (every quorum closure
+      returns [[]], so executors and lease watchdogs retry politely), and
+      the machine waits two request timeouts for in-flight quorum rounds
+      to land or expire.  A joining node is revived on the network now so
+      it can serve the state transfer.
+   2. {b snapshot} — the subject node pulls a read ∪ write quorum of the
+      {e outgoing} view ([Sync_req], the same path crash recovery uses)
+      and keeps the per-object maximum version: quorum intersection in
+      the old view guarantees this covers every committed write.
+   3. {b install} — the new member list is installed ([set_members]
+      rebuilds the quorum tree), the epoch is bumped, and — for joins and
+      replaces — the joiner adopts the snapshot locally.
+   4. {b handoff} — the snapshot is pushed ([Handoff], version-guarded
+      and idempotent) to every reachable member of the incoming view, so
+      new-view quorums intersect the committed prefix even where old- and
+      new-view quorums do not intersect each other.
+   5. {b unwedge} — quorums resume under the new epoch.  Envelopes
+      stamped with the old epoch are now fenced.
+   6. {b departure} (leave/replace) — the leaver drains: once it holds no
+      leases and hosts no live coordinators it is failed off the network
+      and its volatile state cleared.  Departed nodes return to the spare
+      pool and may be re-joined later (rolling restarts). *)
+
+
+let reconfig_code = function Join _ -> 0 | Leave _ -> 1 | Replace _ -> 2
+
+(* The node that sources the snapshot and handoff: the joiner where there
+   is one (it must state-sync anyway), else the leaver. *)
+let reconfig_subject = function
+  | Join node -> node
+  | Leave node -> node
+  | Replace { joining; _ } -> joining
+
+let reconfig_joining = function
+  | Join node -> Some node
+  | Leave _ -> None
+  | Replace { joining; _ } -> Some joining
+
+let reconfig_leaving = function
+  | Join _ -> None
+  | Leave node -> Some node
+  | Replace { leaving; _ } -> Some leaving
+
+let min_members = 3
+
+let validate_reconfig t op =
+  let total = nodes t in
+  let mem = members t in
+  let check_joining node =
+    if node < 0 || node >= total then
+      invalid_arg
+        (Printf.sprintf "Cluster: cannot join node %d: no such machine (capacity %d)"
+           node total);
+    if List.mem node mem then
+      invalid_arg
+        (Printf.sprintf
+           "Cluster: cannot join node %d: already a member (t=%.1f epoch=%d view=[%s])"
+           node (Sim.Engine.now t.engine) !(t.epoch)
+           (String.concat ";" (List.map string_of_int mem)))
+  in
+  let check_leaving node =
+    if not (List.mem node mem) then
+      invalid_arg (Printf.sprintf "Cluster: cannot remove node %d: not a member" node)
+  in
+  match op with
+  | Join node -> check_joining node
+  | Leave node ->
+    check_leaving node;
+    if List.length mem - 1 < min_members then
+      invalid_arg
+        (Printf.sprintf
+           "Cluster: cannot remove node %d: %d members is below the quorum-viable \
+            minimum (%d)"
+           node (List.length mem) min_members)
+  | Replace { leaving; joining } ->
+    check_leaving leaving;
+    check_joining joining
+
+let trace_view t ~kind ~node ~a ~b =
+  let tracer = Sim.Engine.tracer t.engine in
+  if Obs.Tracer.enabled tracer then
+    Obs.Tracer.emit tracer ~time:(Sim.Engine.now t.engine) ~kind ~node ~a ~b ()
+
+let rec start_reconfig t op ~on_done =
+  if t.reconfig_active || not (Queue.is_empty t.pending_reconfigs) then
+    (* One view change at a time: queue behind the active one, FIFO, and
+       validate only when actually starting — a queued replace may re-use
+       a machine an earlier operation is still decommissioning.  The queue
+       check matters even when nothing is active: [finish_reconfig] drains
+       the queue after a grace delay, and an operation arriving inside
+       that gap must not jump ahead of the ones already waiting. *)
+    Queue.add (op, on_done) t.pending_reconfigs
+  else launch_reconfig t op ~on_done
+
+and launch_reconfig t op ~on_done =
+  begin
+    validate_reconfig t op;
+    t.reconfig_active <- true;
+    t.wedged := true;
+    trace_view t ~kind:Obs.Sem.view_wedge
+      ~node:(reconfig_subject op)
+      ~a:(reconfig_code op)
+      ~b:(match reconfig_joining op with Some j -> j | None -> -1);
+    (* A joiner comes back on the network now — still outside the view —
+       so it can pull the snapshot and receive the handoff. *)
+    (match reconfig_joining op with
+    | Some j ->
+      Sim.Network.revive t.network j;
+      Quorum.Tree_quorum.revive t.tree_quorum j;
+      Sim.Failure.clear_suspicion t.failure j
+    | None -> ());
+    (* Let in-flight quorum rounds land or time out before snapshotting:
+       the wedge stops new rounds, and two request timeouts bound the
+       stragglers (a round started just before the wedge plus its reply). *)
+    Sim.Engine.schedule t.engine ~delay:(2. *. t.config.Config.request_timeout)
+      (fun () -> snapshot_phase t op ~on_done)
+  end
+
+(* Pull the committed state through the outgoing view's quorums.  The
+   union read ∪ write quorum mirrors [resync]: commits decided just before
+   the wedge may still have Applies in flight, and the wider set maximises
+   the chance of including a member that already installed them. *)
+and snapshot_phase t op ~on_done =
+  let src = reconfig_subject op in
+  let quorum =
+    let of_opt q = Option.value ~default:[] q in
+    List.sort_uniq Int.compare
+      (of_opt (Quorum.Tree_quorum.read_quorum ~salt:src t.tree_quorum)
+      @ of_opt (Quorum.Tree_quorum.write_quorum ~salt:src t.tree_quorum))
+  in
+  let retry () =
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        snapshot_phase t op ~on_done)
+  in
+  match quorum with
+  | [] -> retry ()
+  | dsts ->
+    Sim.Rpc.multicall t.rpc ~kind:Messages.sync_req_kind ~src ~dsts
+      ~timeout:t.config.Config.request_timeout Messages.Sync_req
+      ~on_done:(fun ~replies ~missing ->
+        if missing <> [] then retry ()
+        else begin
+          (* Per-object maximum over the quorum's replies = the committed
+             frontier of the outgoing view. *)
+          let best = Hashtbl.create 256 in
+          List.iter
+            (fun (_, reply) ->
+              match reply with
+              | Messages.Sync_rep { objects } ->
+                List.iter
+                  (fun (oid, version, value) ->
+                    match Hashtbl.find_opt best oid with
+                    | Some (v, _) when v >= version -> ()
+                    | _ -> Hashtbl.replace best oid (version, value))
+                  objects
+              | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+              | Messages.Status_rep _ | Messages.Ack ->
+                ())
+            replies;
+          let snapshot =
+            Hashtbl.fold (fun oid (version, value) acc -> (oid, version, value) :: acc)
+              best []
+            |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          in
+          install_phase t op ~snapshot ~on_done
+        end)
+
+and install_phase t op ~snapshot ~on_done =
+  let old_members = members t in
+  let new_members =
+    match op with
+    | Join node -> node :: old_members
+    | Leave node -> List.filter (fun n -> n <> node) old_members
+    | Replace { leaving; joining } ->
+      joining :: List.filter (fun n -> n <> leaving) old_members
+  in
+  Quorum.Tree_quorum.set_members t.tree_quorum new_members;
+  incr t.epoch;
+  Metrics.note_view_change t.metrics;
+  trace_view t ~kind:Obs.Sem.view_change
+    ~node:(reconfig_subject op)
+    ~a:!(t.epoch) ~b:(List.length new_members);
+  (* The joiner adopts the snapshot directly — this is the Sync_req /
+     Sync_rep catch-up path, applied locally instead of over the wire. *)
+  (match reconfig_joining op with
+  | Some j ->
+    let store = Server.store t.servers.(j) in
+    Store.Replica.reset_transients store;
+    List.iter
+      (fun (oid, version, value) -> Store.Replica.sync_copy store ~oid ~version ~value)
+      snapshot
+  | None -> ());
+  handoff_phase t op ~snapshot ~tries:0 ~on_done
+
+(* Re-replicate the committed frontier to every reachable member of the
+   incoming view.  Old- and new-view quorums need not intersect, so
+   without this push a new-view read quorum could miss a write committed
+   under the old view.  [sync_copy] is version-guarded and idempotent, so
+   duplicates and stale rows are harmless.  Members that are down right
+   now are skipped — their recovery resync refreshes them from the
+   (post-handoff) current view. *)
+and handoff_phase t op ~snapshot ~tries ~on_done =
+  let src = reconfig_subject op in
+  let dsts =
+    List.filter
+      (fun n -> n <> src && not (Sim.Network.is_failed t.network n))
+      (members t)
+  in
+  if dsts = [] then unwedge_phase t op ~on_done
+  else
+    Sim.Rpc.multicall t.rpc ~kind:Messages.handoff_kind ~src ~dsts
+      ~timeout:t.config.Config.request_timeout
+      (Messages.Handoff { objects = snapshot })
+      ~on_done:(fun ~replies:_ ~missing ->
+        let missing_alive =
+          List.filter (fun n -> not (Sim.Network.is_failed t.network n)) missing
+        in
+        if missing_alive <> [] && tries < 10 then
+          Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout
+            (fun () -> handoff_phase t op ~snapshot ~tries:(tries + 1) ~on_done)
+        else unwedge_phase t op ~on_done)
+
+and unwedge_phase t op ~on_done =
+  t.wedged := false;
+  match reconfig_leaving op with
+  | None -> finish_reconfig t op ~on_done
+  | Some node -> drain_departure t op ~node ~polls:0 ~on_done
+
+(* Graceful departure: wait until the leaver neither holds write-lock
+   leases nor hosts a live coordinator, then take it off the network and
+   clear its volatile state — exactly what a crash would do, except
+   nothing of value is lost.  The poll count is bounded: a coordinator
+   wedged behind a partition would otherwise hold the machine hostage,
+   and killing it after the grace window is the fail-stop the protocol
+   already tolerates. *)
+and drain_departure t op ~node ~polls ~on_done =
+  let holds_leases = Store.Replica.held_leases (Server.store t.servers.(node)) <> [] in
+  let hosts_roots =
+    List.exists (fun (n, _) -> n = node) (Executor.in_flight t.executor)
+  in
+  if (holds_leases || hosts_roots) && polls < 20 then
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        drain_departure t op ~node ~polls:(polls + 1) ~on_done)
+  else begin
+    Sim.Network.fail t.network node;
+    Store.Replica.reset_transients (Server.store t.servers.(node));
+    Executor.kill_node t.executor ~node;
+    finish_reconfig t op ~on_done
+  end
+
+and finish_reconfig t op ~on_done =
+  trace_view t ~kind:Obs.Sem.view_done ~node:(reconfig_subject op) ~a:!(t.epoch)
+    ~b:(reconfig_code op);
+  t.reconfig_active <- false;
+  (match on_done with Some f -> f () | None -> ());
+  if not (Queue.is_empty t.pending_reconfigs) then
+    (* Give the cluster one quiet timeout between view changes so retried
+       transactions see the new quorums before the next wedge.  The head
+       stays queued until the drain fires: [start_reconfig]'s queue check
+       keeps later arrivals behind it, so only this callback launches. *)
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        match Queue.take_opt t.pending_reconfigs with
+        | None -> ()
+        | Some (next, next_done) -> launch_reconfig t next ~on_done:next_done)
+
+let schedule_reconfig ?on_done t ~at op =
+  Sim.Engine.schedule t.engine
+    ~delay:(Float.max 0. (at -. now t))
+    (fun () -> start_reconfig t op ~on_done)
+
+let join_node_at ?on_done t ~at ~node = schedule_reconfig ?on_done t ~at (Join node)
+let leave_node_at ?on_done t ~at ~node = schedule_reconfig ?on_done t ~at (Leave node)
+
+let replace_node_at ?on_done t ~at ~leaving ~joining =
+  schedule_reconfig ?on_done t ~at (Replace { leaving; joining })
+
 let run_for t duration =
   Sim.Engine.run ~until:(Sim.Engine.now t.engine +. duration) t.engine
 
@@ -261,13 +609,15 @@ let check_consistency t =
 let reset_counters t =
   Metrics.reset t.metrics;
   Sim.Network.reset_counters t.network;
-  Sim.Rpc.reset_give_ups t.rpc
+  Sim.Rpc.reset_give_ups t.rpc;
+  Sim.Rpc.reset_fenced t.rpc
 
 let messages_sent t = Sim.Network.messages_sent t.network
 let messages_by_kind t = Sim.Network.messages_by_kind t.network
 let messages_dropped t = Sim.Network.messages_dropped t.network
 let messages_duplicated t = Sim.Network.messages_duplicated t.network
 let retransmit_exhausted t = Sim.Rpc.give_ups t.rpc
+let fenced_messages t = Sim.Rpc.fenced t.rpc
 let in_flight t = Executor.in_flight t.executor
 
 let held_leases t =

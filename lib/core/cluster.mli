@@ -8,12 +8,23 @@
     Quorum assignment follows the paper: each node is designated a read and
     a write quorum, derived from the ternary tree with the node id as the
     rotation salt so load spreads over equivalent majorities.  Assignments
-    are cached and recomputed when a failure is detected. *)
+    are cached and recomputed when a failure is detected.
+
+    {b Membership is a first-class mutable view}: the cluster tracks an
+    epoch number and the current member set, and supports three
+    reconfiguration operations runnable mid-experiment — {!join_node_at}
+    (a spare machine state-syncs and enters the next view),
+    {!leave_node_at} (graceful decommission with lease drain and state
+    handoff), and {!replace_node_at} (atomic swap, for rolling restarts).
+    Every protocol envelope carries the sender's epoch; traffic from a
+    superseded view is fenced (see {!Sim.Rpc.set_fencing}).  Departed
+    nodes return to the spare pool and may be joined again later. *)
 
 type t
 
 val create :
   ?nodes:int ->
+  ?spares:int ->
   ?seed:int ->
   ?topology:Sim.Topology.t ->
   ?service_time:float ->
@@ -34,7 +45,13 @@ val create :
     [batch_fanout] (default on) lets the network coalesce quorum
     multicasts into one pooled engine event per wave; switching it off
     schedules per-destination events eagerly and is likewise
-    byte-identical — the determinism suite locks this equivalence in. *)
+    byte-identical — the determinism suite locks this equivalence in.
+
+    [spares] (default 0) provisions that many extra machines beyond
+    [nodes]: they exist on the topology but start decommissioned (network
+    down, outside the view) until a {!join_node_at} or {!replace_node_at}
+    brings them in.  {!nodes} reports total capacity ([nodes + spares]);
+    {!members} is the current view. *)
 
 val engine : t -> Sim.Engine.t
 
@@ -46,16 +63,32 @@ val metrics : t -> Metrics.t
 val oracle : t -> Oracle.t option
 val config : t -> Config.t
 val failure : t -> Sim.Failure.t
+
 val nodes : t -> int
+(** Total machine capacity, including spares and departed nodes — the
+    valid range of node ids.  See {!members} for the current view. *)
+
+val members : t -> int list
+(** The current membership view, sorted ascending. *)
+
+val is_member : t -> int -> bool
+
+val epoch : t -> int
+(** The current view epoch: 0 at creation, bumped by every completed
+    reconfiguration. *)
+
 val ids : t -> Ids.gen
 val rng : t -> Util.Rng.t
 val now : t -> float
 
 val alloc_object : t -> init:Txn.value -> Ids.obj_id
-(** Allocate a fresh object id and install it (version 0) on every replica. *)
+(** Allocate a fresh object id and install it (version 0) on every member
+    replica. *)
 
 val install_object : t -> oid:Ids.obj_id -> init:Txn.value -> unit
-(** (Re)install an object at version 0 on every replica — setup-time only. *)
+(** (Re)install an object at version 0 on every current member — setup-time
+    only.  Nodes joining later receive state through the reconfiguration
+    handoff instead. *)
 
 val store_of : t -> node:int -> Store.Replica.t
 (** Direct replica access, for tests and white-box assertions. *)
@@ -87,6 +120,36 @@ val suspect_node_at : ?clear_after:float -> t -> at:float -> node:int -> unit
 (** Inject a false suspicion: the live node is excluded from new quorums at
     [at] and (if [clear_after] is given) re-admitted that much later. *)
 
+(** {2 Reconfiguration}
+
+    All three operations run the same fenced state machine: wedge (quorum
+    construction pauses; in-flight rounds land or expire), snapshot (the
+    committed frontier is pulled through an outgoing-view read ∪ write
+    quorum, the crash-recovery [Sync_req] path), install (the member list
+    and quorum tree are replaced, the epoch is bumped), handoff (the
+    frontier is re-replicated to every reachable incoming-view member),
+    unwedge, and — when a node departs — a graceful drain (the leaver
+    sheds its leases and live coordinators before going dark).
+
+    Operations are validated when they fire, against the membership at
+    that moment: joining an existing member, removing a non-member, or
+    shrinking below the quorum-viable minimum (3) raises
+    [Invalid_argument].  Concurrent operations queue behind the active
+    one.  [on_done] fires when the state machine completes. *)
+
+val join_node_at : ?on_done:(unit -> unit) -> t -> at:float -> node:int -> unit
+(** Bring a non-member machine (a spare, or a previously departed node)
+    into the view at simulated time [at]. *)
+
+val leave_node_at : ?on_done:(unit -> unit) -> t -> at:float -> node:int -> unit
+(** Gracefully decommission a member: state is handed off and leases
+    drained before the node leaves the network. *)
+
+val replace_node_at :
+  ?on_done:(unit -> unit) -> t -> at:float -> leaving:int -> joining:int -> unit
+(** Atomic swap — one epoch bump covers both the departure and the
+    arrival (rolling-restart building block). *)
+
 val run_for : t -> float -> unit
 (** Advance simulated time by the given number of milliseconds. *)
 
@@ -111,6 +174,10 @@ val retransmit_exhausted : t -> int
 (** At-least-once deliveries (Apply / Release) that ran out of
     retransmission attempts without an acknowledgement — previously silent;
     see {!Sim.Rpc.give_ups}. *)
+
+val fenced_messages : t -> int
+(** Stale-epoch envelopes dropped by the membership fence (see
+    {!Sim.Rpc.fenced}). *)
 
 val in_flight : t -> (int * Ids.txn_id) list
 (** Live root transactions as [(coordinator node, txn id)] — stall-report

@@ -22,13 +22,16 @@ type t = {
   lease_safety_margin : float;
   status_grace : float;
   status_attempts : int;
+  retransmit_backoff_base : float;
+  retransmit_backoff_max : float;
 }
 
 let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhead = 2.0)
     ?(local_op_cost = 0.02) ?(request_timeout = 400.) ?(backoff_base = 4.)
     ?(backoff_max = 250.) ?(ct_retry_delay = 1.) ?(commit_lock_retries = 0)
     ?(max_attempts = 0) ?(max_steps_per_attempt = 20_000) ?(lease_duration = 800.)
-    ?(lease_safety_margin = 100.) ?(status_grace = 200.) ?(status_attempts = 3) mode =
+    ?(lease_safety_margin = 100.) ?(status_grace = 200.) ?(status_attempts = 3)
+    ?(retransmit_backoff_base = 8.) ?(retransmit_backoff_max = 200.) mode =
   assert (checkpoint_threshold >= 1);
   assert (lease_duration = 0. || lease_duration > lease_safety_margin);
   {
@@ -48,6 +51,8 @@ let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhe
     lease_safety_margin;
     status_grace;
     status_attempts;
+    retransmit_backoff_base;
+    retransmit_backoff_max;
   }
 
 let default mode = make mode

@@ -58,12 +58,20 @@ type t = {
       (** status-query rounds against an unreachable read quorum before the
           replica falls back to presumed abort (bounded so a partitioned
           replica terminates) *)
+  retransmit_backoff_base : float;
+      (** Apply/Release retransmission backoff: re-send k of an unacked
+          one-way message waits [min (retransmit_backoff_max,
+          retransmit_backoff_base * 2^k)] ms with seeded jitter before going
+          out, so lossy-link bursts are not hammered in lock-step.  [0.]
+          restores the historical fixed-interval retransmission. *)
+  retransmit_backoff_max : float;
 }
 
 val make : ?rqv_for_flat:bool -> ?checkpoint_threshold:int -> ?checkpoint_overhead:float ->
   ?local_op_cost:float -> ?request_timeout:float -> ?backoff_base:float ->
   ?backoff_max:float -> ?ct_retry_delay:float -> ?commit_lock_retries:int ->
   ?max_attempts:int -> ?max_steps_per_attempt:int -> ?lease_duration:float ->
-  ?lease_safety_margin:float -> ?status_grace:float -> ?status_attempts:int -> mode -> t
+  ?lease_safety_margin:float -> ?status_grace:float -> ?status_attempts:int ->
+  ?retransmit_backoff_base:float -> ?retransmit_backoff_max:float -> mode -> t
 
 val default : mode -> t

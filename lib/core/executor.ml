@@ -2,6 +2,7 @@ type quorums = {
   read_quorum : node:int -> int list;
   write_quorum : node:int -> int list;
   node_alive : int -> bool;
+  epoch : unit -> int;
 }
 
 (* Handle on a live root, kept in a per-executor registry so a fail-stop of
@@ -101,6 +102,11 @@ type root = {
          adopts the newer version; the retried commit's Apply then repairs
          the stale members for every later transaction. *)
   mutable commit_lock_budget : int;
+  mutable commit_round : int;
+      (* monotone commit-round counter, stamped into Commit_req/Release so
+         replicas can drop a stale Release retransmitted from an abandoned
+         round after a later round re-locked (never reset: replicas compare
+         rounds per transaction id, which is fresh per attempt) *)
   mutable compensations : (unit -> Txn.t) list; (* open nesting; newest first *)
   mutable steps : int; (* DSL steps this attempt; zombie guard *)
   mutable generation : int;
@@ -640,22 +646,29 @@ and send_commit_request root ~scope ~value =
          window_start +. exec.config.lease_duration -. exec.config.lease_safety_margin
        else Float.infinity);
     let generation = root.generation in
+    let send_epoch = exec.quorums.epoch () in
+    root.commit_round <- root.commit_round + 1;
     Sim.Rpc.multicall exec.rpc ~kind:Messages.commit_req_kind ~src:root.node ~dsts:quorum
       ~timeout:exec.config.request_timeout
-      (Messages.Commit_req { txn = root.txn_id; dataset; locks })
+      (Messages.Commit_req { txn = root.txn_id; dataset; locks; round = root.commit_round })
       ~on_done:(fun ~replies ~missing ->
         if still_current root generation then
-          handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing)
+          handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies
+            ~missing)
 
 and release_locks root ~quorum ~locks =
   (* At-least-once: a dropped Release would leave objects locked by a dead
-     transaction forever; Release is idempotent, so retransmission is safe. *)
+     transaction forever.  The round stamp makes retransmission safe even
+     when a quorum retry races it: a later round's Commit_req re-locks with
+     a higher round, and replicas drop the then-stale Release (the root of
+     a two-writers-one-version violation otherwise). *)
   if locks <> [] then
     Sim.Rpc.acked_multicast root.exec.rpc ~kind:Messages.release_kind ~src:root.node ~dsts:quorum
       ~timeout:root.exec.config.request_timeout
-      (Messages.Release { txn = root.txn_id; oids = locks })
+      (Messages.Release { txn = root.txn_id; oids = locks; round = root.commit_round })
 
-and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
+and handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies ~missing
+    =
   let exec = root.exec in
   let locks = Rwset.oids scope.wset in
   if Obs.Tracer.enabled exec.tracer then
@@ -670,9 +683,11 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~replies ~missing =
         | Messages.Status_rep _ | Messages.Ack ->
           ())
       replies;
-  if missing <> [] then begin
-    (* A write-quorum member failed mid-2PC: release whatever was locked
-       and retry against refreshed quorums. *)
+  if missing <> [] || exec.quorums.epoch () <> send_epoch then begin
+    (* A write-quorum member failed mid-2PC, or a reconfiguration installed
+       a new view while the votes were in flight (the answering quorum need
+       not intersect current-view quorums): release whatever was locked and
+       retry against refreshed quorums. *)
     release_locks root ~quorum ~locks;
     Metrics.note_quorum_retry exec.metrics;
     schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay) (fun () ->
@@ -833,6 +848,7 @@ and spawn_root t ~node ~program ~on_done =
       lock_deadline = Float.infinity;
       extra_read_peers = [];
       commit_lock_budget = t.config.commit_lock_retries;
+      commit_round = 0;
       compensations = [];
       steps = 0;
       generation = 0;

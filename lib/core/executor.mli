@@ -28,6 +28,10 @@ type quorums = {
   node_alive : int -> bool;
       (** Ground-truth fail-stop state (not detector suspicion) — gates the
           pruning of widened-read witnesses that stop answering. *)
+  epoch : unit -> int;
+      (** Current membership-view epoch.  A commit round whose votes were
+          solicited under an older epoch is released and retried: the write
+          quorum that answered need not intersect current-view quorums. *)
 }
 
 type t

@@ -101,13 +101,22 @@ type request =
       txn : Ids.txn_id;
       dataset : dataset;
       locks : Ids.obj_id list;
+      round : int;
+          (* the coordinator's commit-round number for this transaction:
+             quorum retries re-send with a higher round, and a replica pins
+             granted locks to it so a stale Release (below) cannot free a
+             later round's lock *)
     }
   | Apply of {
       txn : Ids.txn_id;
       writes : writes;
       reads : Ids.obj_id array;
     }
-  | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
+  | Release of { txn : Ids.txn_id; oids : Ids.obj_id list; round : int }
+      (* [round] is the commit round whose locks are being walked away
+         from; at-least-once retransmission can deliver it after a later
+         round of the same transaction re-locked, and the replica must
+         ignore it then *)
   | Sync_req
       (* catch-up request from a recovering node: the receiver answers with
          a snapshot of its committed state *)
@@ -115,6 +124,11 @@ type request =
       (* termination protocol: a replica holding an expired lease of [txn]
          over [oids] asks a read quorum whether the transaction decided
          commit (presumed abort otherwise) *)
+  | Handoff of { objects : (Ids.obj_id * int * Txn.value) list }
+      (* reconfiguration re-replication: the orchestrator pushes the
+         per-object maximum of the outgoing view's committed state to every
+         member of the incoming view; merged version-guarded (sync_copy),
+         so duplicates and stale rows are harmless *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
@@ -135,6 +149,7 @@ let apply_kind = Sim.Network.Kind.intern "commit_apply"
 let release_kind = Sim.Network.Kind.intern "release"
 let sync_req_kind = Sim.Network.Kind.intern "sync_req"
 let status_req_kind = Sim.Network.Kind.intern "status_req"
+let handoff_kind = Sim.Network.Kind.intern "handoff"
 
 let kind_token_of_request = function
   | Read_req _ -> read_req_kind
@@ -143,5 +158,6 @@ let kind_token_of_request = function
   | Release _ -> release_kind
   | Sync_req -> sync_req_kind
   | Status_req _ -> status_req_kind
+  | Handoff _ -> handoff_kind
 
 let kind_of_request request = Sim.Network.Kind.name (kind_token_of_request request)

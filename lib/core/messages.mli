@@ -63,13 +63,20 @@ type request =
       txn : Ids.txn_id;
       dataset : dataset;  (** full read+write set *)
       locks : Ids.obj_id list;  (** write-set objects to protect *)
+      round : int;
+          (** the coordinator's commit-round number; replicas pin granted
+              locks to it so a stale [Release] from an abandoned earlier
+              round cannot free a later round's lock *)
     }
   | Apply of {
       txn : Ids.txn_id;
       writes : writes;  (** (oid, new version, value) rows *)
       reads : Ids.obj_id array;  (** for PR cleanup *)
     }
-  | Release of { txn : Ids.txn_id; oids : Ids.obj_id list }
+  | Release of { txn : Ids.txn_id; oids : Ids.obj_id list; round : int }
+      (** walk away from [round]'s locks; replicas ignore it if a later
+          round of [txn] has re-locked (at-least-once delivery can reorder
+          a retransmitted Release past the next round's Commit_req) *)
   | Sync_req
       (** crash-recovery catch-up: a recovering node asks a read quorum for
           snapshots of their committed state *)
@@ -78,6 +85,11 @@ type request =
           over [oids] asks a read quorum whether the transaction decided
           commit before releasing (presumed abort) or adopting its write
           (rescued commit) *)
+  | Handoff of { objects : (Ids.obj_id * int * Txn.value) list }
+      (** reconfiguration re-replication: a per-object maximum snapshot of
+          the outgoing view, pushed to every member of the incoming view and
+          merged version-guarded ([sync_copy]) — idempotent, so at-least-once
+          delivery and stale rows are harmless *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
@@ -112,6 +124,7 @@ val apply_kind : Sim.Network.Kind.t
 val release_kind : Sim.Network.Kind.t
 val sync_req_kind : Sim.Network.Kind.t
 val status_req_kind : Sim.Network.Kind.t
+val handoff_kind : Sim.Network.Kind.t
 
 val kind_token_of_request : request -> Sim.Network.Kind.t
 (** The interned accounting label of a request. *)

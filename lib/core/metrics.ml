@@ -20,6 +20,7 @@ type t = {
   mutable commit_deadline_aborts : int;
   mutable read_widenings : int;
   mutable stalls_detected : int;
+  mutable view_changes : int;
 }
 
 let create () =
@@ -45,6 +46,7 @@ let create () =
     read_widenings = 0;
     commit_deadline_aborts = 0;
     stalls_detected = 0;
+    view_changes = 0;
   }
 
 let reset t =
@@ -68,7 +70,8 @@ let reset t =
   t.status_rescued_commits <- 0;
   t.read_widenings <- 0;
   t.commit_deadline_aborts <- 0;
-  t.stalls_detected <- 0
+  t.stalls_detected <- 0;
+  t.view_changes <- 0
 
 let note_commit t ~latency =
   t.commits <- t.commits + 1;
@@ -103,6 +106,7 @@ let note_commit_deadline_abort t =
   t.commit_deadline_aborts <- t.commit_deadline_aborts + 1
 
 let note_stall t = t.stalls_detected <- t.stalls_detected + 1
+let note_view_change t = t.view_changes <- t.view_changes + 1
 
 let commits t = t.commits
 let read_only_commits t = t.read_only_commits
@@ -124,6 +128,7 @@ let status_rescued_commits t = t.status_rescued_commits
 let read_widenings t = t.read_widenings
 let commit_deadline_aborts t = t.commit_deadline_aborts
 let stalls_detected t = t.stalls_detected
+let view_changes t = t.view_changes
 let recovery_time_stats t = t.recovery_times
 let latency_stats t = t.latencies
 

@@ -61,6 +61,9 @@ val note_stall : t -> unit
 (** The liveness watchdog saw no commit progress for a full stall window
     while transactions were in flight. *)
 
+val note_view_change : t -> unit
+(** A reconfiguration installed a new membership view (epoch bump). *)
+
 val commits : t -> int
 (** All commits, including read-only. *)
 
@@ -86,6 +89,7 @@ val status_rescued_commits : t -> int
 val commit_deadline_aborts : t -> int
 val read_widenings : t -> int
 val stalls_detected : t -> int
+val view_changes : t -> int
 
 val recovery_time_stats : t -> Util.Stats.t
 (** Restart-to-re-admission durations of completed recoveries. *)

@@ -243,7 +243,7 @@ let enable_termination t ~engine ~rpc ~status_peers ~metrics ~config =
 
 (* --- request handlers --------------------------------------------------- *)
 
-let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks =
+let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks ~round =
   let n = Messages.dataset_len dataset in
   let valid = ref true in
   let i = ref 0 in
@@ -278,10 +278,15 @@ let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks =
     let rec lock_all acquired = function
       | [] -> true
       | oid :: rest ->
-        if Store.Replica.try_lock ~expires t.store ~oid ~txn then
+        if Store.Replica.try_lock ~expires ~round t.store ~oid ~txn then
           lock_all (oid :: acquired) rest
         else begin
-          List.iter (fun o -> Store.Replica.unlock t.store ~oid:o ~txn) acquired;
+          (* Round-guarded: this roll-back may be running for a reordered
+             stale Commit_req whose re-grants renewed a newer round's
+             locks — those must survive. *)
+          List.iter
+            (fun o -> Store.Replica.unlock ~round t.store ~oid:o ~txn)
+            acquired;
           false
         end
     in
@@ -317,12 +322,23 @@ let handle_apply t ~txn ~(writes : Messages.writes) ~reads =
     (fun oid -> if Store.Replica.mem t.store oid then Store.Replica.remove_txn t.store ~oid ~txn)
     reads
 
-let handle_release t ~txn ~oids =
+let handle_release t ~txn ~oids ~round =
   List.iter
     (fun oid ->
       if Store.Replica.mem t.store oid then begin
-        Store.Replica.unlock t.store ~oid ~txn;
-        Store.Replica.remove_txn t.store ~oid ~txn
+        let stale =
+          (* A retransmitted Release from an abandoned commit round,
+             arriving after a later round of [txn] re-locked here: the
+             newer round's lock (and its PR/PW bookkeeping) must survive. *)
+          match Store.Replica.lease_of t.store oid with
+          | Some lease ->
+            lease.Store.Replica.owner = txn && round < lease.Store.Replica.round
+          | None -> false
+        in
+        if not stale then begin
+          Store.Replica.unlock ~round t.store ~oid ~txn;
+          Store.Replica.remove_txn t.store ~oid ~txn
+        end
       end)
     oids
 
@@ -339,12 +355,20 @@ let handle_status t ~txn ~oids =
           oids;
     }
 
+(* Reconfiguration re-replication: merge the pushed snapshot version-guarded
+   ([sync_copy] installs unknown objects and adopts strictly newer copies),
+   so duplicates from at-least-once delivery are harmless. *)
+let handle_handoff t ~objects =
+  List.iter
+    (fun (oid, version, value) -> Store.Replica.sync_copy t.store ~oid ~version ~value)
+    objects
+
 let request_txn = function
   | Messages.Read_req { txn; _ } -> Some txn
   | Messages.Commit_req { txn; _ } -> Some txn
   | Messages.Apply { txn; _ } -> Some txn
   | Messages.Release { txn; _ } -> Some txn
-  | Messages.Sync_req | Messages.Status_req _ -> None
+  | Messages.Sync_req | Messages.Status_req _ | Messages.Handoff _ -> None
 
 let handle t ~src:_ request =
   (* Any traffic from a transaction is a heartbeat for the leases it holds
@@ -356,8 +380,8 @@ let handle t ~src:_ request =
   match request with
   | Messages.Read_req { txn; oid; dataset; write_intent; record } ->
     handle_read t ~txn ~oid ~dataset ~write_intent ~record
-  | Messages.Commit_req { txn; dataset; locks } ->
-    trace_vote t ~txn (handle_commit t ~txn ~dataset ~locks)
+  | Messages.Commit_req { txn; dataset; locks; round } ->
+    trace_vote t ~txn (handle_commit t ~txn ~dataset ~locks ~round)
   | Messages.Apply { txn; writes; reads } ->
     trace t ~kind:Obs.Sem.apply ~txn ~oid:(-1) ~a:(Messages.writes_len writes)
       ~b:(-1) ~x:0.;
@@ -365,10 +389,15 @@ let handle t ~src:_ request =
     (* Acked so the coordinator can retransmit over lossy links; Apply is
        idempotent (version-guarded), so duplicates are harmless. *)
     Some Messages.Ack
-  | Messages.Release { txn; oids } ->
-    trace t ~kind:Obs.Sem.release ~txn ~oid:(-1) ~a:(List.length oids) ~b:(-1)
+  | Messages.Release { txn; oids; round } ->
+    trace t ~kind:Obs.Sem.release ~txn ~oid:(-1) ~a:(List.length oids) ~b:round
       ~x:0.;
-    handle_release t ~txn ~oids;
+    handle_release t ~txn ~oids ~round;
     Some Messages.Ack
   | Messages.Sync_req -> Some (Messages.Sync_rep { objects = Store.Replica.dump t.store })
   | Messages.Status_req { txn; oids } -> Some (handle_status t ~txn ~oids)
+  | Messages.Handoff { objects } ->
+    handle_handoff t ~objects;
+    (* Acked so the reconfiguration orchestrator can retransmit over lossy
+       links; the merge is idempotent. *)
+    Some Messages.Ack

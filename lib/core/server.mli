@@ -19,6 +19,8 @@
     - [Status_req]: lease-termination protocol — reply whether this replica
       observed the transaction's Apply, plus its current copies of the
       queried objects.
+    - [Handoff]: reconfiguration re-replication — merge the pushed snapshot
+      version-guarded (acked, idempotent).
 
     With {!enable_termination}, write locks become {e leases}: they carry an
     expiry stamped at grant time and renewed by any traffic from the owning

@@ -25,6 +25,8 @@ type knobs = {
   accounts : int;
   calls : int;
   read_ratio : float;
+  spares : int;
+  reconfigs : int;
 }
 
 let default_knobs =
@@ -37,7 +39,15 @@ let default_knobs =
     accounts = 24;
     calls = 3;
     read_ratio = 0.3;
+    spares = 0;
+    reconfigs = 0;
   }
+
+(* Rolling-restart preset: enough spares to keep a replacement pipeline
+   going, a longer horizon so every initial node can be swapped out once,
+   and a tame crash budget (the churn itself is the fault load). *)
+let rolling_knobs =
+  { default_knobs with horizon = 16_000.; spares = 2; max_crashes = 1; reconfigs = 0 }
 
 (* {2 Schedule generation} *)
 
@@ -53,6 +63,9 @@ let generate knobs ~seed =
   let h = knobs.horizon in
   let events = ref [] in
   let add e = events := e :: !events in
+  (* Nodes already cast in another fault's role; membership churn below
+     steers clear of them so a leave never races its victim's crash. *)
+  let busy = ref [] in
   (* Crash/recover pairs on distinct victims; every victim recovers well
      before the horizon so the drain phase always has a full machine
      complement to finish with. *)
@@ -61,6 +74,7 @@ let generate knobs ~seed =
     (fun node ->
       let at = span rng (0.10 *. h) (0.55 *. h) in
       let outage = span rng (0.05 *. h) (0.25 *. h) in
+      busy := node :: !busy;
       add (Scenario.Crash { node; at });
       add (Scenario.Recover { node; at = at +. outage }))
     (distinct_nodes rng ~nodes:knobs.nodes ~count:n_crashes);
@@ -70,8 +84,13 @@ let generate knobs ~seed =
     let minority_size = 1 + Util.Rng.int rng (knobs.nodes / 3) in
     let minority = distinct_nodes rng ~nodes:knobs.nodes ~count:minority_size in
     let majority =
-      List.init knobs.nodes Fun.id |> List.filter (fun n -> not (List.mem n minority))
+      (* Spares and later joiners must land in the majority group:
+         unnamed nodes fall into the network's implicit extra group and
+         would be cut off from {e both} sides. *)
+      List.init (knobs.nodes + knobs.spares) Fun.id
+      |> List.filter (fun n -> not (List.mem n minority))
     in
+    busy := minority @ !busy;
     add
       (Scenario.Partition
          {
@@ -119,14 +138,134 @@ let generate knobs ~seed =
            })
     | _ -> ()
   end;
-  if Util.Rng.chance rng 0.3 then
+  if Util.Rng.chance rng 0.3 then begin
+    let node = Util.Rng.int rng knobs.nodes in
+    busy := node :: !busy;
     add
       (Scenario.Suspect
          {
-           node = Util.Rng.int rng knobs.nodes;
+           node;
            at = span rng (0.10 *. h) (0.60 *. h);
            duration = span rng (0.05 *. h) (0.15 *. h);
-         });
+         })
+  end;
+  (* Membership churn: up to [reconfigs] sequential join/leave/replace
+     operations over nodes not already cast as crash / partition / suspect
+     victims, tracked against the evolving member set so every drawn
+     operation is valid when it fires.  Departed nodes recycle through the
+     spare pool, so a schedule can leave a node and join it back later.
+     All the churn draws happen after the classic ones: a knobs record with
+     [reconfigs = 0] reproduces pre-churn schedules byte-for-byte. *)
+  if knobs.reconfigs > 0 then begin
+    let members = ref (List.init knobs.nodes Fun.id) in
+    let pool = ref (List.init knobs.spares (fun i -> knobs.nodes + i)) in
+    let floor = Stdlib.max 3 ((knobs.nodes / 2) + 1) in
+    let n_ops = Util.Rng.int rng (knobs.reconfigs + 1) in
+    let slot i =
+      (0.20 *. h)
+      +. (Float.of_int i *. (0.55 *. h /. Float.of_int (Stdlib.max 1 n_ops)))
+      +. span rng 0. (0.02 *. h)
+    in
+    for i = 0 to n_ops - 1 do
+      let leavable = List.filter (fun n -> not (List.mem n !busy)) !members in
+      let can_shrink = List.length !members > floor && leavable <> [] in
+      let can_join = !pool <> [] in
+      let pick_leaver () =
+        List.nth leavable (Util.Rng.int rng (List.length leavable))
+      in
+      let take_spare () =
+        match !pool with
+        | j :: rest ->
+          pool := rest;
+          j
+        | [] -> assert false
+      in
+      let choices =
+        (if can_join then [ `Join ] else [])
+        @ (if can_shrink then [ `Leave ] else [])
+        @ if can_join && leavable <> [] then [ `Replace ] else []
+      in
+      match choices with
+      | [] -> ()
+      | _ -> (
+        match List.nth choices (Util.Rng.int rng (List.length choices)) with
+        | `Join ->
+          let j = take_spare () in
+          members := j :: !members;
+          add (Scenario.Join { node = j; at = slot i })
+        | `Leave ->
+          let l = pick_leaver () in
+          members := List.filter (fun n -> n <> l) !members;
+          pool := !pool @ [ l ];
+          add (Scenario.Leave { node = l; at = slot i })
+        | `Replace ->
+          let l = pick_leaver () in
+          let j = take_spare () in
+          members := j :: List.filter (fun n -> n <> l) !members;
+          pool := !pool @ [ l ];
+          add (Scenario.Replace { leaving = l; joining = j; at = slot i }))
+    done
+  end;
+  List.rev !events
+
+(* A full rolling restart: every initial node is replaced exactly once by
+   a spare (departed nodes recycling into the pool), under a concurrent
+   crash/recover early in the run and a minority partition cutting off the
+   two nodes whose replacement comes last.  Groups name every machine —
+   spares included — because unnamed nodes fall into the network's
+   implicit extra group. *)
+let generate_rolling knobs ~seed =
+  if knobs.spares < 1 then
+    invalid_arg "Chaos.generate_rolling: rolling restarts need spares >= 1";
+  if knobs.nodes < 5 then invalid_arg "Chaos.generate_rolling: needs nodes >= 5";
+  let rng = Util.Rng.create (seed lxor 0x0011_ee77) in
+  let h = knobs.horizon in
+  let total = knobs.nodes + knobs.spares in
+  let events = ref [] in
+  let add e = events := e :: !events in
+  (* One early crash/recover, fully healed before the churn begins. *)
+  if knobs.max_crashes > 0 then begin
+    let node = Util.Rng.int rng (knobs.nodes - 2) in
+    let at = span rng (0.03 *. h) (0.06 *. h) in
+    add (Scenario.Crash { node; at });
+    add (Scenario.Recover { node; at = at +. span rng (0.04 *. h) (0.08 *. h) })
+  end;
+  (* Minority partition over the two nodes replaced last, so the churn and
+     the partition overlap without ever wedging a reconfiguration on an
+     unreachable subject. *)
+  let minority = [ knobs.nodes - 2; knobs.nodes - 1 ] in
+  let majority =
+    List.init total Fun.id |> List.filter (fun n -> not (List.mem n minority))
+  in
+  add
+    (Scenario.Partition
+       {
+         groups = [ minority; majority ];
+         at = span rng (0.28 *. h) (0.32 *. h);
+         duration = span rng (0.08 *. h) (0.12 *. h);
+       });
+  if Util.Rng.chance rng 0.5 then
+    add
+      (Scenario.Drop
+         { p = span rng 0.01 0.05; at = span rng 0. (0.3 *. h); duration = Some (0.3 *. h) });
+  (* Replace node i at its slot, drawing replacements from the spare pool;
+     each leaver re-enters the pool, so [spares >= 1] suffices for any
+     cluster size. *)
+  let pool = Queue.create () in
+  for s = 0 to knobs.spares - 1 do
+    Queue.add (knobs.nodes + s) pool
+  done;
+  for i = 0 to knobs.nodes - 1 do
+    let joining = Queue.pop pool in
+    Queue.add i pool;
+    add
+      (Scenario.Replace
+         {
+           leaving = i;
+           joining;
+           at = (0.22 *. h) +. (Float.of_int i *. (0.68 *. h /. Float.of_int knobs.nodes));
+         })
+  done;
   List.rev !events
 
 let render_schedule events =
@@ -150,6 +289,9 @@ type result = {
   stalls : stall list;
   report : Scenario.report;
   quiesced_at : float;
+  view_changes : int;
+  fenced : int;
+  final_epoch : int;
 }
 
 let passed r = r.oracle = Ok () && r.invariant = Ok () && r.stalls = []
@@ -164,6 +306,14 @@ let stall_window (config : Config.t) events =
     config.lease_duration +. config.status_grace
     +. (Float.of_int config.status_attempts *. config.request_timeout)
   in
+  (* A reconfiguration legitimately pauses commits for its wedge (two
+     request timeouts), a snapshot/handoff round or two, and — when a node
+     departs — a lease drain bounded by the lease horizon; overlapping a
+     partition can stretch the snapshot until the heal, which the fault
+     window of the partition itself already covers. *)
+  let reconfig_span =
+    (8. *. config.request_timeout) +. config.lease_duration
+  in
   let longest_fault =
     List.fold_left
       (fun acc event ->
@@ -177,6 +327,7 @@ let stall_window (config : Config.t) events =
           | Scenario.Spike { duration; _ }
           | Scenario.Flaky { duration; _ } ->
             Option.value ~default:0. duration
+          | Scenario.Join _ | Scenario.Leave _ | Scenario.Replace _ -> reconfig_span
         in
         Float.max acc window)
       0. events
@@ -202,14 +353,17 @@ let stall_window (config : Config.t) events =
   in
   2. *. (termination +. Float.max longest_fault crash_outages) +. 1_000.
 
-let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) knobs ~seed =
+let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
+    ?(rolling = false) knobs ~seed =
   let config =
     match config with Some c -> c | None -> Config.default Config.Closed
   in
-  let events = generate knobs ~seed in
+  let events =
+    if rolling then generate_rolling knobs ~seed else generate knobs ~seed
+  in
   let cluster =
-    Cluster.create ~nodes:knobs.nodes ~seed ~read_level:knobs.read_level ~tracer
-      ~batch_fanout config
+    Cluster.create ~nodes:knobs.nodes ~spares:knobs.spares ~seed
+      ~read_level:knobs.read_level ~tracer ~batch_fanout config
   in
   let params =
     {
@@ -227,10 +381,24 @@ let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) knobs ~se
      dying with its machine. *)
   let client_rng = Util.Rng.create (seed * 7919) in
   let stop = ref false in
+  (* Clients are membership-aware: a client whose home node has been
+     decommissioned resubmits through the next member up (wrapping), like
+     an application reconnecting after its server was rotated out.  A
+     {e crashed} home stays a member, so crash-death semantics are
+     unchanged — the client dies with its machine. *)
+  let route home =
+    if Cluster.is_member cluster home then home
+    else
+      let members = Cluster.members cluster in
+      match List.find_opt (fun n -> n > home) members with
+      | Some n -> n
+      | None -> List.hd members
+  in
   let rec client node rng =
     if not !stop then begin
       let program = instance.Benchmarks.Workload.generate rng in
-      Cluster.submit cluster ~node program ~on_done:(fun _ -> client node rng)
+      Cluster.submit cluster ~node:(route node) program ~on_done:(fun _ ->
+          client node rng)
     end
   in
   for c = 0 to knobs.clients - 1 do
@@ -292,10 +460,13 @@ let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) knobs ~se
     stalls = List.rev !stalls;
     report = Scenario.report tracker;
     quiesced_at = Cluster.now cluster;
+    view_changes = Metrics.view_changes metrics;
+    fenced = Cluster.fenced_messages cluster;
+    final_epoch = Cluster.epoch cluster;
   }
 
-let run_many ?config knobs ~seed ~runs =
-  List.init runs (fun i -> run_one ?config knobs ~seed:(seed + i))
+let run_many ?config ?rolling knobs ~seed ~runs =
+  List.init runs (fun i -> run_one ?config ?rolling knobs ~seed:(seed + i))
 
 (* Offline protocol-invariant pass over a traced run.  Chaos schedules
    change the membership view mid-run, and the structural write-quorum rule
@@ -332,13 +503,14 @@ let pp_result ppf r =
      schedule: %s@,\
      commits %d, aborts %d, quiesced @%.0f@,\
      oracle %s; invariant %s@,\
-     leases[expired=%d presumed=%d rescued=%d] retransmit give-ups %d@]"
+     leases[expired=%d presumed=%d rescued=%d] retransmit give-ups %d@,\
+     views[changes=%d epoch=%d fenced=%d]@]"
     r.seed
     (if passed r then "PASS" else "FAIL")
     (render_schedule r.events) r.commits r.root_aborts r.quiesced_at (status r.oracle)
     (status r.invariant) r.report.Scenario.lease_expirations
     r.report.Scenario.presumed_aborts r.report.Scenario.rescued_commits
-    r.report.Scenario.retransmit_exhausted;
+    r.report.Scenario.retransmit_exhausted r.view_changes r.final_epoch r.fenced;
   List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stall s) r.stalls
 
 let json_escape s =
@@ -357,13 +529,14 @@ let json_escape s =
 let result_to_json r =
   let status = function Ok () -> {|"ok"|} | Error msg -> Printf.sprintf "%S" (json_escape msg) in
   Printf.sprintf
-    {|{"seed":%d,"pass":%b,"schedule":"%s","commits":%d,"root_aborts":%d,"quiesced_at":%.1f,"oracle":%s,"invariant":%s,"stalls":%d,"lease_expired":%d,"presumed_abort":%d,"status_rescued_commits":%d,"stalls_detected":%d,"retransmit_exhausted":%d}|}
+    {|{"seed":%d,"pass":%b,"schedule":"%s","commits":%d,"root_aborts":%d,"quiesced_at":%.1f,"oracle":%s,"invariant":%s,"stalls":%d,"lease_expired":%d,"presumed_abort":%d,"status_rescued_commits":%d,"stalls_detected":%d,"retransmit_exhausted":%d,"view_changes":%d,"final_epoch":%d,"fenced":%d}|}
     r.seed (passed r)
     (json_escape (render_schedule r.events))
     r.commits r.root_aborts r.quiesced_at (status r.oracle) (status r.invariant)
     (List.length r.stalls) r.report.Scenario.lease_expirations
     r.report.Scenario.presumed_aborts r.report.Scenario.rescued_commits
     r.report.Scenario.stalls_detected r.report.Scenario.retransmit_exhausted
+    r.view_changes r.final_epoch r.fenced
 
 let results_to_json results =
   "[" ^ String.concat "," (List.map result_to_json results) ^ "]"
@@ -373,7 +546,8 @@ let summary results =
   let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
   Printf.sprintf
     "chaos: %d/%d schedules passed; commits=%d presumed_aborts=%d rescued=%d \
-     lease_expirations=%d stalls=%d retransmit_give_ups=%d%s"
+     lease_expirations=%d stalls=%d retransmit_give_ups=%d view_changes=%d \
+     fenced=%d%s"
     (List.length results - List.length failed)
     (List.length results)
     (total (fun r -> r.commits))
@@ -382,6 +556,8 @@ let summary results =
     (total (fun r -> r.report.Scenario.lease_expirations))
     (total (fun r -> List.length r.stalls))
     (total (fun r -> r.report.Scenario.retransmit_exhausted))
+    (total (fun r -> r.view_changes))
+    (total (fun r -> r.fenced))
     (if failed = [] then ""
      else
        "; failing seeds: "

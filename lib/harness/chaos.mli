@@ -28,14 +28,34 @@ type knobs = {
   accounts : int;  (** bank accounts (contention knob) *)
   calls : int;  (** transfers/audits per transaction *)
   read_ratio : float;
+  spares : int;  (** extra machines, dark until a join/replace uses them *)
+  reconfigs : int;
+      (** membership operations drawn per schedule: 0..max — joins, graceful
+          leaves and replaces, interleaved with the classic faults *)
 }
 
 val default_knobs : knobs
-(** 9 nodes, 18 clients, 8 s horizon, up to 2 crashes, 24 accounts. *)
+(** 9 nodes, 18 clients, 8 s horizon, up to 2 crashes, 24 accounts, no
+    spares, no membership churn. *)
+
+val rolling_knobs : knobs
+(** Preset for {!generate_rolling}: 16 s horizon, 2 spares, at most 1
+    crash. *)
 
 val generate : knobs -> seed:int -> Scenario.event list
 (** The fault schedule for [seed] — pure, so tooling can show what a seed
-    does without running it. *)
+    does without running it.  With [reconfigs > 0] the schedule also draws
+    membership churn: join/leave/replace operations over nodes not already
+    cast as crash, partition or suspicion victims, valid against the
+    evolving member set (a [knobs] with [reconfigs = 0] reproduces the
+    pre-churn schedule for the same seed byte-for-byte). *)
+
+val generate_rolling : knobs -> seed:int -> Scenario.event list
+(** A rolling-restart schedule: every initial node is replaced exactly
+    once (spares and departed nodes recycling through a pool), alongside
+    an early crash/recover, a minority partition over the last-replaced
+    nodes, and optional message loss.  Raises [Invalid_argument] when
+    [spares < 1] or [nodes < 5]. *)
 
 val render_schedule : Scenario.event list -> string
 (** Scenario-DSL text of a schedule (replayable via [qr-dtm scenario]). *)
@@ -57,6 +77,9 @@ type result = {
   stalls : stall list;
   report : Scenario.report;
   quiesced_at : float;  (** simulated ms at full quiescence *)
+  view_changes : int;  (** reconfigurations completed *)
+  fenced : int;  (** stale-epoch envelopes dropped by the fence *)
+  final_epoch : int;
 }
 
 val passed : result -> bool
@@ -66,6 +89,7 @@ val run_one :
   ?config:Core.Config.t ->
   ?tracer:Obs.Tracer.t ->
   ?batch_fanout:bool ->
+  ?rolling:bool ->
   knobs ->
   seed:int ->
   result
@@ -73,9 +97,14 @@ val run_one :
     threads a lifecycle tracer through the cluster; tracing never perturbs
     the run, so re-running a failing seed with a tracer reproduces it
     exactly.  [batch_fanout] (default on) toggles the network's wave
-    batching; verdicts are byte-identical either way. *)
+    batching; verdicts are byte-identical either way.  [rolling] swaps the
+    random schedule for {!generate_rolling}'s full rolling restart.
+    Clients are membership-aware: one whose home node was decommissioned
+    resubmits through the next member up (a {e crashed} home is still a
+    member, so crash-death semantics are unchanged). *)
 
-val run_many : ?config:Core.Config.t -> knobs -> seed:int -> runs:int -> result list
+val run_many :
+  ?config:Core.Config.t -> ?rolling:bool -> knobs -> seed:int -> runs:int -> result list
 (** Seeds [seed .. seed + runs - 1], sequentially. *)
 
 val check_trace : knobs -> Obs.Tracer.t -> Obs.Checker.violation list

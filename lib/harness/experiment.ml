@@ -98,12 +98,12 @@ let result_of_snapshot ~label ~duration ~invariant ~consistent s =
     consistent;
   }
 
-let run ?(nodes = 13) ?(seed = 97) ?(read_level = 1) ?(clients = 26) ?(warmup = 2_000.)
-    ?(duration = 30_000.) ?(with_oracle = true) ?(service_time = 0.25) ?client_nodes
-    ?prepare ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) ?telemetry ~config
-    ~benchmark ~params () =
+let run ?(nodes = 13) ?(spares = 0) ?(seed = 97) ?(read_level = 1) ?(clients = 26)
+    ?(warmup = 2_000.) ?(duration = 30_000.) ?(with_oracle = true) ?(service_time = 0.25)
+    ?client_nodes ?prepare ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) ?telemetry
+    ~config ~benchmark ~params () =
   let cluster =
-    Cluster.create ~nodes ~seed ~read_level ~service_time ~with_oracle ~tracer
+    Cluster.create ~nodes ~spares ~seed ~read_level ~service_time ~with_oracle ~tracer
       ~batch_fanout config
   in
   let instance = (benchmark : Benchmarks.Workload.benchmark).setup cluster params in

@@ -33,6 +33,7 @@ val pp_result : Format.formatter -> result -> unit
 
 val run :
   ?nodes:int ->
+  ?spares:int ->
   ?seed:int ->
   ?read_level:int ->
   ?clients:int ->
@@ -51,8 +52,10 @@ val run :
   unit ->
   result
 (** Defaults: 13 nodes, 26 clients (2 per node), 2 s warm-up, 30 s
-    measurement, oracle on.  [prepare] runs after setup and before the
-    clients start — e.g. to schedule failures (Fig. 10).
+    measurement, oracle on.  [spares] adds dark stand-by machines outside
+    the initial view for scenarios with [join]/[replace] events; clients
+    default to the initial members only.  [prepare] runs after setup and
+    before the clients start — e.g. to schedule failures (Fig. 10).
 
     [tracer] threads a lifecycle tracer through the cluster (see
     {!Obs.Tracer}); [telemetry] samples windowed time series while the run

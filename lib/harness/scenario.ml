@@ -12,6 +12,9 @@
      dup <p> @<t> [for <d>]
      spike <p> <factor> @<t> [for <d>]
      flaky <a>-<b> <p> @<t> [for <d>]
+     join <node> @<t>
+     leave <node> @<t>
+     replace <leaving> <joining> @<t>
 
    Example:
      "crash 11 @500; recover 11 @2500; drop 0.05 @0; partition 0,...|11,12 @1000 for 800"
@@ -30,6 +33,9 @@ type event =
   | Duplicate of { p : float; at : float; duration : float option }
   | Spike of { p : float; factor : float; at : float; duration : float option }
   | Flaky of { a : int; b : int; p : float; at : float; duration : float option }
+  | Join of { node : int; at : float }
+  | Leave of { node : int; at : float }
+  | Replace of { leaving : int; joining : int; at : float }
 
 let pp_event ppf = function
   | Crash { node; at } -> Format.fprintf ppf "crash %d @%g" node at
@@ -53,6 +59,10 @@ let pp_event ppf = function
   | Flaky { a; b; p; at; duration } ->
     Format.fprintf ppf "flaky %d-%d %g @%g" a b p at;
     Option.iter (Format.fprintf ppf " for %g") duration
+  | Join { node; at } -> Format.fprintf ppf "join %d @%g" node at
+  | Leave { node; at } -> Format.fprintf ppf "leave %d @%g" node at
+  | Replace { leaving; joining; at } ->
+    Format.fprintf ppf "replace %d %d @%g" leaving joining at
 
 (* {2 Parsing} *)
 
@@ -140,6 +150,15 @@ let parse_event text =
         (match String.split_on_char '-' link with
          | [ a; b ] -> Flaky { a = int_of a; b = int_of b; p = prob_of p; at; duration }
          | _ -> fail "flaky link must be <a>-<b>, got %S" link)
+      | "join", [ node ] ->
+        no_duration verb duration;
+        Join { node = int_of node; at }
+      | "leave", [ node ] ->
+        no_duration verb duration;
+        Leave { node = int_of node; at }
+      | "replace", [ leaving; joining ] ->
+        no_duration verb duration;
+        Replace { leaving = int_of leaving; joining = int_of joining; at }
       | _ ->
         fail "cannot parse event %S (verb %S with %d argument(s))" text verb
           (List.length args)
@@ -160,7 +179,12 @@ let crashed_nodes events =
 
 (* {2 Validation} *)
 
-let validate ~nodes events =
+let min_members = 3
+
+let validate ?members ~nodes events =
+  let members =
+    match members with Some m -> m | None -> List.init nodes Fun.id
+  in
   let err fmt = Format.kasprintf (fun s -> Error s) fmt in
   let check_node what n k =
     if n < 0 || n >= nodes then err "%s names node %d, outside [0, %d)" what n nodes
@@ -184,7 +208,9 @@ let validate ~nodes events =
           Hashtbl.replace per_node node ((at, `Crash) :: (Option.value ~default:[] (Hashtbl.find_opt per_node node)))
         | Recover { node; at } ->
           Hashtbl.replace per_node node ((at, `Recover) :: (Option.value ~default:[] (Hashtbl.find_opt per_node node)))
-        | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _ -> ())
+        | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _ | Join _
+        | Leave _ | Replace _ ->
+          ())
       events;
     Hashtbl.fold
       (fun node entries acc ->
@@ -207,8 +233,85 @@ let validate ~nodes events =
           walk false ordered)
       per_node (Ok ())
   in
+  (* Membership-op discipline, walked in time order over the {e evolving}
+     view: a join must target a non-member (a spare or a departed node), a
+     leave/replace must remove a live member and may not shrink the view
+     below the quorum-viable minimum, and a crash must hit a node that is
+     actually in the view when it fires.  Catching these statically keeps a
+     malformed schedule from surfacing as a baffling runtime
+     [Invalid_argument] (or a silent no-op) mid-simulation. *)
+  let check_membership () =
+    let dated =
+      List.filter_map
+        (fun event ->
+          match event with
+          | Crash { node; at } -> Some (at, `Crash node)
+          | Recover { node; at } -> Some (at, `Recover node)
+          | Join { node; at } -> Some (at, `Join node)
+          | Leave { node; at } -> Some (at, `Leave node)
+          | Replace { leaving; joining; at } -> Some (at, `Replace (leaving, joining))
+          | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _ -> None)
+        events
+      |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+    in
+    let mem = ref members in
+    let down = ref [] in
+    let is_member n = List.mem n !mem in
+    let check_join what at n k =
+      if is_member n then err "%s at %g: node %d is already a member" what at n
+      else k ()
+    in
+    let check_leave what at n k =
+      if not (is_member n) then err "%s at %g: node %d is not a member" what at n
+      else if List.mem n !down then
+        err "%s at %g: node %d is crashed (graceful departure needs a live node)"
+          what at n
+      else k ()
+    in
+    let rec walk = function
+      | [] -> Ok ()
+      | (at, op) :: rest -> (
+        match op with
+        | `Crash n ->
+          if not (is_member n) then
+            err "crash at %g: node %d is not a member of the view" at n
+          else begin
+            down := n :: !down;
+            walk rest
+          end
+        | `Recover n ->
+          down := List.filter (fun m -> m <> n) !down;
+          walk rest
+        | `Join n ->
+          check_join "join" at n (fun () ->
+              mem := n :: !mem;
+              walk rest)
+        | `Leave n ->
+          check_leave "leave" at n (fun () ->
+              if List.length !mem - 1 < min_members then
+                err
+                  "leave at %g: removing node %d leaves %d members, below the \
+                   quorum-viable minimum (%d)"
+                  at n
+                  (List.length !mem - 1)
+                  min_members
+              else begin
+                mem := List.filter (fun m -> m <> n) !mem;
+                walk rest
+              end)
+        | `Replace (l, j) ->
+          check_leave "replace" at l (fun () ->
+              check_join "replace" at j (fun () ->
+                  mem := j :: List.filter (fun m -> m <> l) !mem;
+                  walk rest)))
+    in
+    walk dated
+  in
   let rec check_events = function
-    | [] -> check_crash_pairing ()
+    | [] ->
+      (match check_crash_pairing () with
+       | Ok () -> check_membership ()
+       | Error _ as e -> e)
     | event :: rest ->
       let continue () = check_events rest in
       (match event with
@@ -218,6 +321,10 @@ let validate ~nodes events =
        | Partition { groups; _ } ->
          check_nodes "partition" (List.concat groups) continue
        | Flaky { a; b; _ } -> check_nodes "flaky" [ a; b ] continue
+       | Join { node; _ } -> check_node "join" node continue
+       | Leave { node; _ } -> check_node "leave" node continue
+       | Replace { leaving; joining; _ } ->
+         check_nodes "replace" [ leaving; joining ] continue
        | Drop _ | Duplicate _ | Spike _ -> continue ())
   in
   check_events events
@@ -283,20 +390,25 @@ let install_event t event =
     windowed ~at ~duration:(Some duration) (fun () -> ()) (fun () -> ())
   | Partition { groups; at; duration } ->
     (* Suspect everyone outside the largest group so the majority side's
-       quorum construction routes around the unreachable minority. *)
-    let largest =
-      List.fold_left
-        (fun best g -> if List.length g > List.length best then g else best)
-        [] groups
-    in
-    let outside =
-      List.init (Core.Cluster.nodes cluster) Fun.id
-      |> List.filter (fun n -> not (List.mem n largest))
-    in
-    List.iter
-      (fun node ->
-        Core.Cluster.suspect_node_at ~clear_after:duration cluster ~at ~node)
-      outside;
+       quorum construction routes around the unreachable minority.  The
+       set is computed when the partition fires, against the membership
+       view of that moment: suspecting a decommissioned machine would
+       revive it onto the network when the suspicion clears. *)
+    at_time cluster ~at (fun () ->
+        let largest =
+          List.fold_left
+            (fun best g -> if List.length g > List.length best then g else best)
+            [] groups
+        in
+        let outside =
+          Core.Cluster.members cluster
+          |> List.filter (fun n -> not (List.mem n largest))
+        in
+        List.iter
+          (fun node ->
+            Core.Cluster.suspect_node_at ~clear_after:duration cluster
+              ~at:(Core.Cluster.now cluster) ~node)
+          outside);
     windowed ~at ~duration:(Some duration)
       (fun () -> Sim.Network.partition network groups)
       (fun () -> Sim.Network.heal network)
@@ -327,9 +439,27 @@ let install_event t event =
         Sim.Network.set_link_faults network ~a ~b
           { Sim.Network.no_faults with Sim.Network.drop = p })
       (fun () -> Sim.Network.clear_link_faults network ~a ~b)
+  (* Reconfigurations are degraded windows too: quorum construction is
+     wedged for part of the state machine, and the window closes only when
+     the operation (including any departure drain) completes. *)
+  | Join { node; at } ->
+    at_time cluster ~at (fun () -> enter t);
+    Core.Cluster.join_node_at ~on_done:(fun () -> leave t) cluster ~at ~node
+  | Leave { node; at } ->
+    at_time cluster ~at (fun () -> enter t);
+    Core.Cluster.leave_node_at ~on_done:(fun () -> leave t) cluster ~at ~node
+  | Replace { leaving; joining; at } ->
+    at_time cluster ~at (fun () -> enter t);
+    Core.Cluster.replace_node_at
+      ~on_done:(fun () -> leave t)
+      cluster ~at ~leaving ~joining
 
 let install cluster events =
-  (match validate ~nodes:(Core.Cluster.nodes cluster) events with
+  (match
+     validate
+       ~members:(Core.Cluster.members cluster)
+       ~nodes:(Core.Cluster.nodes cluster) events
+   with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Scenario.install: " ^ msg));
   let t =
@@ -362,6 +492,9 @@ type report = {
   presumed_aborts : int;
   rescued_commits : int;
   stalls_detected : int;
+  view_changes : int;
+  fenced_messages : int;
+  final_epoch : int;
 }
 
 let report t =
@@ -392,6 +525,9 @@ let report t =
     presumed_aborts = Core.Metrics.presumed_aborts metrics;
     rescued_commits = Core.Metrics.status_rescued_commits metrics;
     stalls_detected = Core.Metrics.stalls_detected metrics;
+    view_changes = Core.Metrics.view_changes metrics;
+    fenced_messages = Core.Cluster.fenced_messages t.cluster;
+    final_epoch = Core.Cluster.epoch t.cluster;
   }
 
 let pp_report ppf r =
@@ -408,7 +544,10 @@ let pp_report ppf r =
      lease expirations   %d@,\
      presumed aborts     %d@,\
      rescued commits     %d@,\
-     stalls detected     %d@]"
+     stalls detected     %d@,\
+     view changes        %d (final epoch %d)@,\
+     fenced messages     %d@]"
     r.events r.degraded_time r.degraded_commits r.total_commits r.syncs r.recoveries
     r.mean_recovery_time r.false_suspicions r.dropped r.duplicated r.retransmit_exhausted
     r.lease_expirations r.presumed_aborts r.rescued_commits r.stalls_detected
+    r.view_changes r.final_epoch r.fenced_messages

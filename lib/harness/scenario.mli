@@ -12,6 +12,9 @@
     dup <p> @<t> [for <d>]         global duplication probability
     spike <p> <f> @<t> [for <d>]   latency spikes (multiplier <f>)
     flaky <a>-<b> <p> @<t> [for <d>]   lossy link between <a> and <b>
+    join <node> @<t>               bring a spare / departed node into the view
+    leave <node> @<t>              graceful decommission (drain + handoff)
+    replace <l> <j> @<t>           atomic swap: <l> departs, <j> joins
     v}
 
     Example: ["crash 11 @500; recover 11 @2500; drop 0.05 @0"].
@@ -30,6 +33,9 @@ type event =
   | Duplicate of { p : float; at : float; duration : float option }
   | Spike of { p : float; factor : float; at : float; duration : float option }
   | Flaky of { a : int; b : int; p : float; at : float; duration : float option }
+  | Join of { node : int; at : float }
+  | Leave of { node : int; at : float }
+  | Replace of { leaving : int; joining : int; at : float }
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -41,11 +47,17 @@ val crashed_nodes : event list -> int list
 (** Nodes hit by a [crash] event, ascending and de-duplicated — use to keep
     closed-loop clients off nodes that will die. *)
 
-val validate : nodes:int -> event list -> (unit, string) result
-(** Static checks against a cluster of [nodes] nodes: every referenced node
-    id must lie in [[0, nodes)], and per node the crash/recover events must
-    alternate in time order (no double crash, no recover without a pending
-    crash).  [install] runs this automatically. *)
+val validate : ?members:int list -> nodes:int -> event list -> (unit, string) result
+(** Static checks against a cluster of [nodes] machines (total capacity,
+    spares included), of which [members] (default: all) form the initial
+    view: every referenced node id must lie in [[0, nodes)]; per node the
+    crash/recover events must alternate in time order (no double crash, no
+    recover without a pending crash); and membership operations must be
+    well-formed against the {e evolving} view in time order — a [join] of
+    an existing member, a [leave]/[replace] of a non-member or crashed
+    node, and a [leave] shrinking the view below the quorum-viable minimum
+    (3 members) are all rejected with a description of the offending
+    event.  [install] runs this automatically. *)
 
 type tracker
 (** Scheduled scenario plus degraded-window bookkeeping.  A window opens
@@ -74,6 +86,9 @@ type report = {
   presumed_aborts : int;  (** leases released with no commit evidence *)
   rescued_commits : int;  (** leases resolved by adopting the decided commit *)
   stalls_detected : int;  (** liveness-watchdog no-progress windows *)
+  view_changes : int;  (** reconfigurations completed (epoch bumps) *)
+  fenced_messages : int;  (** stale-epoch envelopes dropped by the fence *)
+  final_epoch : int;  (** the view epoch when the report was taken *)
 }
 
 val report : tracker -> report

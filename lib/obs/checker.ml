@@ -14,9 +14,18 @@ let check ?is_write_quorum events =
     violations := { rule; time; txn; detail } :: !violations
   in
 
-  (* commit-quorum: votes collected since the last commit.send per txn. *)
-  let votes : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
-  let committed_sets : (int * int list) list ref = ref [] in
+  (* commit-quorum: votes collected since the last commit.send per txn,
+     each tagged with the view epoch in force when it arrived.  Committed
+     voter sets remember their epoch too: quorum intersection only holds
+     within one membership view, so the pairwise fallback must not compare
+     commits across a reconfiguration. *)
+  let votes : (int, (int * int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let committed_sets : (int * int list * int) list ref = ref [] in
+
+  (* epoch-fencing: the current view epoch (from view.change events) and
+     the epoch each commit round was sent under. *)
+  let cur_epoch = ref 0 in
+  let commit_epochs : (int, int) Hashtbl.t = Hashtbl.create 64 in
 
   (* lease-overlap: (replica, oid) -> owning txn. *)
   let leases : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -53,25 +62,51 @@ let check ?is_write_quorum events =
       (* A transaction event other than read.send ends any open fan-out. *)
       if e.txn >= 0 && k <> Sem.read_send then close_group e.txn;
 
-      if k = Sem.commit_send then
-        Hashtbl.replace votes e.txn (ref [])
+      if k = Sem.view_change then cur_epoch := e.a
+      else if k = Sem.commit_send then begin
+        Hashtbl.replace votes e.txn (ref []);
+        Hashtbl.replace commit_epochs e.txn !cur_epoch
+      end
       else if k = Sem.vote_recv then begin
         match Hashtbl.find_opt votes e.txn with
-        | Some l -> l := (e.a, e.b) :: !l
-        | None -> Hashtbl.replace votes e.txn (ref [ (e.a, e.b) ])
+        | Some l -> l := (e.a, e.b, !cur_epoch) :: !l
+        | None -> Hashtbl.replace votes e.txn (ref [ (e.a, e.b, !cur_epoch) ])
       end
       else if k = Sem.txn_commit && e.b <> 1 then begin
         let round =
           match Hashtbl.find_opt votes e.txn with Some l -> List.rev !l | None -> []
         in
-        let voters = List.sort Int.compare (List.map fst round) in
-        let dissent = List.filter (fun (_, f) -> f land commit_bit = 0) round in
+        let voters = List.sort Int.compare (List.map (fun (v, _, _) -> v) round) in
+        let dissent = List.filter (fun (_, f, _) -> f land commit_bit = 0) round in
         if dissent <> [] then
           report "commit-quorum" e.time e.txn
             (Printf.sprintf "committed despite %d non-commit vote(s) from [%s]"
                (List.length dissent)
                (String.concat ";"
-                  (List.map (fun (v, _) -> string_of_int v) dissent)));
+                  (List.map (fun (v, _, _) -> string_of_int v) dissent)));
+        (* epoch-fencing: all the evidence behind a commit must come from
+           one membership view — the view the round was sent under, still
+           in force when the commit is decided.  Quorums from different
+           views need not intersect, so mixed evidence can commit over a
+           conflicting transaction without either seeing the other. *)
+        let send_epoch =
+          Option.value ~default:0 (Hashtbl.find_opt commit_epochs e.txn)
+        in
+        let stale =
+          List.filter (fun (_, _, ep) -> ep <> send_epoch) round
+        in
+        if stale <> [] then
+          report "epoch-fencing" e.time e.txn
+            (Printf.sprintf
+               "commit uses evidence from two incompatible views: round sent in \
+                epoch %d but vote(s) from [%s] arrived in other epochs"
+               send_epoch
+               (String.concat ";" (List.map (fun (v, _, _) -> string_of_int v) stale)))
+        else if send_epoch <> !cur_epoch then
+          report "epoch-fencing" e.time e.txn
+            (Printf.sprintf
+               "commit decided in epoch %d over a round sent in epoch %d"
+               !cur_epoch send_epoch);
         (match is_write_quorum with
         | Some valid ->
           if not (valid voters) then
@@ -80,15 +115,15 @@ let check ?is_write_quorum events =
                  (String.concat ";" (List.map string_of_int voters)))
         | None ->
           List.iter
-            (fun (other_txn, other_set) ->
-              if not (intersects voters other_set) then
+            (fun (other_txn, other_set, other_epoch) ->
+              if other_epoch = send_epoch && not (intersects voters other_set) then
                 report "commit-quorum" e.time e.txn
                   (Printf.sprintf
                      "voter set [%s] does not intersect txn %d's write quorum"
                      (String.concat ";" (List.map string_of_int voters))
                      other_txn))
             !committed_sets);
-        committed_sets := (e.txn, voters) :: !committed_sets;
+        committed_sets := (e.txn, voters, send_epoch) :: !committed_sets;
         Hashtbl.replace evidence e.txn ()
       end
       else if k = Sem.txn_commit then Hashtbl.replace evidence e.txn ()

@@ -8,7 +8,14 @@
       read-only flag) must be decided by a round in which {e every} received
       vote said commit, and the voter set must form a valid write quorum —
       via [is_write_quorum] when supplied, otherwise by checking pairwise
-      intersection against every other committed voter set in the trace.
+      intersection against every other committed voter set {e of the same
+      membership epoch} in the trace (quorum intersection does not hold
+      across reconfigurations).
+    - [epoch-fencing]: no commit may rest on evidence from two incompatible
+      views — every vote must arrive in the epoch the round was sent under
+      ([commit.send] after the last [view.change]), and that epoch must
+      still be in force when the commit is decided.  Traces with no
+      [view.change] events are vacuously clean.
     - [lease-overlap]: no [lease.grant] for an (object, replica) pair while
       a different transaction's lease is still held there.
     - [partial-abort-scope]: each [txn.partial_abort] targeting scope/

@@ -49,6 +49,21 @@ let rescue = Kind.intern "rescue"
 let sync_start = Kind.intern "sync.start" (* node state-transferring in *)
 let sync_done = Kind.intern "sync.done" (* a = #sync replies merged *)
 
+(* -- Membership / reconfiguration (emitted by Core.Cluster; [node] = the
+      subject of the operation, or -1 for cluster-wide events). -- *)
+
+let view_wedge = Kind.intern "view.wedge"
+(* reconfiguration started; a = op (0 join / 1 leave / 2 replace), b = the
+   joining node (or -1) *)
+
+let view_change = Kind.intern "view.change"
+(* new view installed; a = new epoch, b = member count *)
+
+let view_done = Kind.intern "view.done" (* reconfiguration complete; a = epoch *)
+let epoch_fence = Kind.intern "epoch.fence"
+(* stale-epoch message rejected at [node]; a = src, b = message epoch,
+   x = the receiver's epoch *)
+
 (* -- Network / RPC (emitted by Sim.Network and Sim.Rpc; [b] = the interned
       message kind, resolvable with [Kind.name]). -- *)
 

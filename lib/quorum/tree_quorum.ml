@@ -1,10 +1,20 @@
 type t = {
-  tree : Tree.t;
+  (* The logical quorum tree spans *positions* [0, members); [members] maps
+     each position to the physical node currently occupying it.  A view
+     change ([set_members]) rebuilds the tree for the new member count and
+     rebinds the positions, so quorums are always drawn from the current
+     member set; [alive] and the per-salt caches stay keyed by physical
+     node id (capacity-sized) because failure detection and callers speak
+     physical ids. *)
+  mutable tree : Tree.t;
+  arity : int option;
   read_level : int;
+  capacity : int;
   alive : bool array;
-  (* Quorum construction is deterministic given [alive] and the salt, so
-     results are memoised per salt and invalidated wholesale whenever the
-     alive set actually changes ([generation] bump).  Unconstructible
+  mutable members : int array; (* position -> physical node *)
+  (* Quorum construction is deterministic given [alive], the member map and
+     the salt, so results are memoised per salt and invalidated wholesale
+     whenever either actually changes ([generation] bump).  Unconstructible
      ([None]) results are cached too: [revive] bumps the generation, so a
      recovery always clears them. *)
   mutable generation : int;
@@ -13,19 +23,39 @@ type t = {
   write_cache : int list option option array;
 }
 
-let create ?arity ?(read_level = 1) ~nodes () =
+let create ?arity ?(read_level = 1) ?capacity ~nodes () =
+  let capacity = match capacity with Some c -> Stdlib.max c nodes | None -> nodes in
   {
     tree = Tree.create ?arity ~nodes ();
+    arity;
     read_level;
-    alive = Array.make nodes true;
+    capacity;
+    alive = Array.make capacity true;
+    members = Array.init nodes Fun.id;
     generation = 0;
     cache_generation = 0;
-    read_cache = Array.make nodes None;
-    write_cache = Array.make nodes None;
+    read_cache = Array.make capacity None;
+    write_cache = Array.make capacity None;
   }
 
 let tree t = t.tree
 let read_level t = t.read_level
+let capacity t = t.capacity
+let members t = Array.to_list t.members
+
+let set_members t nodes =
+  let arr = Array.of_list (List.sort_uniq Int.compare nodes) in
+  if Array.length arr = 0 then invalid_arg "Tree_quorum.set_members: empty view";
+  Array.iter
+    (fun n ->
+      if n < 0 || n >= t.capacity then
+        invalid_arg
+          (Printf.sprintf "Tree_quorum.set_members: node %d outside capacity %d" n
+             t.capacity))
+    arr;
+  t.members <- arr;
+  t.tree <- Tree.create ?arity:t.arity ~nodes:(Array.length arr) ();
+  t.generation <- t.generation + 1
 
 let mark_failed t node =
   if t.alive.(node) then begin
@@ -47,6 +77,10 @@ let failed t =
   !acc
 
 let dedup_sorted nodes = List.sort_uniq Int.compare nodes
+
+(* Position-level liveness / identity. *)
+let pos_alive t pos = t.alive.(t.members.(pos))
+let pos_node t pos = t.members.(pos)
 
 (* Rotate a list left by [salt mod length]; used to spread majority choices
    across clients. *)
@@ -93,17 +127,17 @@ let majority_of_children t salt node build =
       | None -> None
     end
 
-(* Read quorum rooted at [node], targeting [level] more descents.  Above the
-   target level the node itself is not part of the quorum, so its liveness
-   is irrelevant; at the target level a failed node is substituted by a
-   majority of its children (one level deeper), which is how the quorum
+(* Read quorum rooted at position [node], targeting [level] more descents.
+   Above the target level the node itself is not part of the quorum, so its
+   liveness is irrelevant; at the target level a failed node is substituted
+   by a majority of its children (one level deeper), which is how the quorum
    grows by one per failure in the paper's Fig. 10 scenario. *)
 let rec read_at t salt node level =
   if level <= 0 then
-    if t.alive.(node) then Some [ node ]
+    if pos_alive t node then Some [ pos_node t node ]
     else majority_of_children t salt node (fun c -> read_at t salt c 0)
   else if Tree.is_leaf t.tree node then
-    if t.alive.(node) then Some [ node ] else None
+    if pos_alive t node then Some [ pos_node t node ] else None
   else majority_of_children t salt node (fun c -> read_at t salt c (level - 1))
 
 let cached cache t salt build =
@@ -140,11 +174,11 @@ type write_result = Poisoned | Built of int list
 
 let rec write_at t salt node =
   if Tree.is_leaf t.tree node then
-    if t.alive.(node) then Built [ node ] else Built []
-  else if t.alive.(node) then begin
+    if pos_alive t node then Built [ pos_node t node ] else Built []
+  else if pos_alive t node then begin
     let build c = match write_at t salt c with Poisoned -> None | Built q -> Some q in
     match majority_of_children t salt node build with
-    | Some q -> Built (node :: q)
+    | Some q -> Built (pos_node t node :: q)
     | None -> Poisoned
   end
   else begin

@@ -18,18 +18,39 @@
     is currently constructible (too many failures).
 
     Constructions are memoised per salt and keyed on a generation counter
-    bumped whenever {!mark_failed} or {!revive} actually changes the alive
-    set, so repeated quorum lookups between failure events are O(1); callers
-    need no cache (or invalidation) of their own. *)
+    bumped whenever {!mark_failed}, {!revive} or {!set_members} actually
+    changes the alive set or the view, so repeated quorum lookups between
+    failure events are O(1); callers need no cache (or invalidation) of
+    their own.
+
+    The tree spans logical {e positions}; {!set_members} rebinds which
+    physical node occupies each position, rebuilding the tree for the new
+    member count.  Quorums always contain physical node ids drawn from the
+    current member set; liveness flags and salts stay keyed by physical id
+    across view changes. *)
 
 type t
 
-val create : ?arity:int -> ?read_level:int -> nodes:int -> unit -> t
+val create : ?arity:int -> ?read_level:int -> ?capacity:int -> nodes:int -> unit -> t
 (** Defaults: ternary tree, [read_level = 1] (majority of the root's
-    children, matching the paper's example R1 = [{n1, n2}]). *)
+    children, matching the paper's example R1 = [{n1, n2}]).  [capacity]
+    (default [nodes]) bounds the physical node ids a later view may name —
+    size it to the full machine pool when spare nodes can join. *)
 
 val tree : t -> Tree.t
+(** The current view's tree (rebuilt by {!set_members}). *)
+
 val read_level : t -> int
+val capacity : t -> int
+
+val members : t -> int list
+(** Physical nodes of the current view, ascending. *)
+
+val set_members : t -> int list -> unit
+(** Install a new view: the quorum tree is rebuilt over the given member
+    set (sorted, de-duplicated) and every memoised quorum is invalidated.
+    Raises [Invalid_argument] on an empty view or an id outside
+    [[0, capacity)]. *)
 
 val mark_failed : t -> int -> unit
 (** Record a (detected) fail-stop; subsequent quorum constructions avoid

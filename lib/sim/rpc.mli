@@ -8,7 +8,12 @@
 
     Servers are synchronous: a handler maps a request to an optional reply,
     computed during the node's service slot.  Replies travel back over the
-    same network (and therefore pay latency, jitter and queueing again). *)
+    same network (and therefore pay latency, jitter and queueing again).
+
+    Every envelope carries the sender's view epoch (stamped at send time);
+    with {!set_fencing} installed, stale-epoch requests and replies are
+    dropped — the membership fence for epoch-based reconfiguration.
+    Without it all epochs are 0 and behaviour is unchanged. *)
 
 type ('req, 'rep) envelope
 (** The wire type: build a {!Network.t} carrying [('req,'rep) envelope]
@@ -16,10 +21,31 @@ type ('req, 'rep) envelope
 
 type ('req, 'rep) t
 
-val create : network:('req, 'rep) envelope Network.t -> unit -> ('req, 'rep) t
+val create :
+  ?seed:int ->
+  ?retry_base:float ->
+  ?retry_max:float ->
+  network:('req, 'rep) envelope Network.t ->
+  unit ->
+  ('req, 'rep) t
+(** [retry_base] / [retry_max] shape {!acked_send}'s retransmission
+    backoff: re-send k waits [min (retry_max, retry_base * 2^k)] ms with
+    seeded jitter drawn from [seed].  The default [retry_base = 0.] retries
+    immediately (the historical fixed-interval behaviour), drawing no
+    randomness. *)
 
 val serve : ('req, 'rep) t -> node:int -> (src:int -> 'req -> 'rep option) -> unit
 (** Install the request handler of [node]; [None] sends no reply. *)
+
+val set_fencing :
+  ('req, 'rep) t -> epoch_of:(int -> int) -> fenceable:('req -> bool) -> unit
+(** Arm epoch fencing: outgoing envelopes are stamped with
+    [epoch_of src]; an incoming request whose stamp is older than
+    [epoch_of dst] is dropped when [fenceable] accepts its payload
+    (quorum-evidence traffic — catch-up messages like [Sync_req] should
+    answer regardless of the asker's view).  Stale replies are always
+    dropped: the caller's round times out and its retry re-stamps the
+    current epoch. *)
 
 val call :
   ('req, 'rep) t ->
@@ -62,8 +88,10 @@ val acked_send :
   unit
 (** At-least-once delivery for idempotent one-way messages: re-send until
     the server acknowledges (any reply counts) or [attempts] (default 6)
-    are exhausted — the destination may be genuinely dead.  Duplicates are
-    possible by construction; the request must tolerate them. *)
+    are exhausted — the destination may be genuinely dead.  Re-sends back
+    off exponentially with seeded jitter (see {!create}'s [retry_base]).
+    Duplicates are possible by construction; the request must tolerate
+    them. *)
 
 val acked_multicast :
   ('req, 'rep) t ->
@@ -82,3 +110,9 @@ val give_ups : ('req, 'rep) t -> int
     failing silently. *)
 
 val reset_give_ups : ('req, 'rep) t -> unit
+
+val fenced : ('req, 'rep) t -> int
+(** Stale-epoch envelopes dropped by the membership fence since creation
+    (or the last {!reset_fenced}). *)
+
+val reset_fenced : ('req, 'rep) t -> unit

@@ -2,7 +2,7 @@
    expiry instant (simulated ms).  [infinity] means "never expires" — the
    pre-lease behaviour, still used by callers that do not run the
    termination protocol (baselines, unit tests). *)
-type lease = { owner : int; mutable expires : float }
+type lease = { owner : int; mutable expires : float; mutable round : int }
 
 type copy = {
   mutable version : int;
@@ -101,30 +101,41 @@ let index_remove t ~oid ~txn =
 let leased_oids t ~txn =
   match Hashtbl.find_opt t.by_txn txn with Some oids -> !oids | None -> []
 
-let try_lock ?(expires = Float.infinity) t ~oid ~txn =
+let try_lock ?(expires = Float.infinity) ?(round = 0) t ~oid ~txn =
   let copy = get t oid in
   match copy.protected_by with
   | None ->
-    copy.protected_by <- Some { owner = txn; expires };
+    copy.protected_by <- Some { owner = txn; expires; round };
     index_add t ~oid ~txn;
     trace_lease t ~ekind:Obs.Sem.lease_grant ~oid ~txn ~x:expires ();
     true
   | Some lease ->
     if lease.owner = txn then begin
-      (* Idempotent re-grant by the owner also renews the lease. *)
+      (* Idempotent re-grant by the owner also renews the lease.  A
+         reordered re-grant from an abandoned earlier round must not roll
+         the round back, so keep the highest seen. *)
       lease.expires <- Float.max lease.expires expires;
+      lease.round <- Stdlib.max lease.round round;
       trace_lease t ~ekind:Obs.Sem.lease_renew ~oid ~txn ~x:lease.expires ();
       true
     end
     else false
 
-let unlock t ~oid ~txn =
+let unlock ?round t ~oid ~txn =
   let copy = get t oid in
   match copy.protected_by with
   | Some lease when lease.owner = txn ->
-    copy.protected_by <- None;
-    index_remove t ~oid ~txn;
-    trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn ~a:0 ()
+    let stale =
+      (* A Release retransmitted from an abandoned commit round can arrive
+         after a later round of the same transaction re-acquired the lock;
+         freeing it would let a conflicting writer in mid-2PC. *)
+      match round with Some r -> r < lease.round | None -> false
+    in
+    if not stale then begin
+      copy.protected_by <- None;
+      index_remove t ~oid ~txn;
+      trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn ~a:0 ()
+    end
   | Some _ | None -> ()
 
 (* Heartbeat renewal: any traffic from [txn] pushes the expiry of every

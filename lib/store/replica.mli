@@ -5,10 +5,13 @@
     the vote phase of 2PC, and the potential-readers / potential-writers
     lists (PR/PW) the paper's contention management bookkeeping uses. *)
 
-type lease = { owner : int; mutable expires : float }
-(** A write lock with an owner and an expiry instant (simulated ms);
+type lease = { owner : int; mutable expires : float; mutable round : int }
+(** A write lock with an owner, an expiry instant (simulated ms) and the
+    owner's commit-round number that granted (or last re-granted) it;
     [expires = infinity] never expires (callers without the termination
-    protocol). *)
+    protocol).  The round lets a replica drop a stale [Release] from an
+    abandoned earlier commit round of the same transaction — retransmitted
+    at-least-once, it can land after a later round re-acquired the lock. *)
 
 type copy = {
   mutable version : int;
@@ -54,13 +57,18 @@ val lease_of : t -> int -> lease option
 (** The lease currently protecting [oid], if any.
     @raise Invalid_argument on missing object. *)
 
-val try_lock : ?expires:float -> t -> oid:int -> txn:int -> bool
+val try_lock : ?expires:float -> ?round:int -> t -> oid:int -> txn:int -> bool
 (** Set the protected lease for the vote phase; idempotent for the same
-    transaction (re-granting renews the expiry); [false] if another
-    transaction holds it.  [expires] defaults to [infinity]. *)
+    transaction (re-granting renews the expiry and keeps the highest round
+    seen); [false] if another transaction holds it.  [expires] defaults to
+    [infinity], [round] to [0]. *)
 
-val unlock : t -> oid:int -> txn:int -> unit
-(** Clear the protected lease if held by [txn]. *)
+val unlock : ?round:int -> t -> oid:int -> txn:int -> unit
+(** Clear the protected lease if held by [txn].  With [round], the release
+    is ignored when the lease was (re-)granted by a later round than the
+    one being released — a stale Release retransmission must not free a
+    newer round's lock.  Without [round] the release is unconditional
+    (decided-commit cleanup, presumed abort). *)
 
 val renew : t -> txn:int -> expires:float -> unit
 (** Push the expiry of every lease [txn] holds out to [expires] (never

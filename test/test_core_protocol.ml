@@ -173,7 +173,7 @@ let test_server_commit_vote_and_apply () =
   in
   begin
     match
-      Server.handle server ~src:5 (Messages.Commit_req { txn = 9; dataset; locks = [ 2 ] })
+      Server.handle server ~src:5 (Messages.Commit_req { txn = 9; dataset; locks = [ 2 ]; round = 1 })
     with
     | Some (Messages.Vote { commit = true; _ }) -> ()
     | Some _ | None -> Alcotest.fail "expected commit vote"
@@ -183,7 +183,7 @@ let test_server_commit_vote_and_apply () =
   (* A competing committer must be denied with lock_conflict. *)
   begin
     match
-      Server.handle server ~src:6 (Messages.Commit_req { txn = 10; dataset; locks = [ 2 ] })
+      Server.handle server ~src:6 (Messages.Commit_req { txn = 10; dataset; locks = [ 2 ]; round = 1 })
     with
     | Some (Messages.Vote { commit = false; lock_conflict = true }) -> ()
     | Some _ | None -> Alcotest.fail "expected lock-conflict denial"
@@ -211,6 +211,7 @@ let test_server_stale_commit_denied () =
            txn = 9;
            dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 1; owner = 0 } ];
            locks = [ 1 ];
+           round = 1;
          })
   with
   | Some (Messages.Vote { commit = false; lock_conflict }) ->
@@ -226,9 +227,37 @@ let test_server_release () =
             txn = 9;
             dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 0; owner = 0 } ];
             locks = [ 1 ];
+            round = 1;
           }));
-  ignore (Server.handle server ~src:5 (Messages.Release { txn = 9; oids = [ 1 ] }));
+  ignore (Server.handle server ~src:5 (Messages.Release { txn = 9; oids = [ 1 ]; round = 1 }));
   Alcotest.(check bool) "released" false
+    (Store.Replica.is_protected (Server.store server) ~oid:1 ~against:999)
+
+(* A Release is retransmitted at-least-once, so one from an abandoned
+   commit round can land after a later round of the same transaction
+   re-acquired the lock.  Freeing it then would let a competing writer
+   commit the same version (seen in the wild as chaos seed 35's
+   two-writers-one-version oracle violation). *)
+let test_server_stale_release_ignored () =
+  let server = server_with_objects [ 1 ] in
+  let dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 0; owner = 0 } ] in
+  ignore
+    (Server.handle server ~src:5
+       (Messages.Commit_req { txn = 9; dataset; locks = [ 1 ]; round = 1 }));
+  (* The coordinator timed out on round 1, released, and retried: round 2
+     re-locks here... *)
+  ignore
+    (Server.handle server ~src:5
+       (Messages.Commit_req { txn = 9; dataset; locks = [ 1 ]; round = 2 }));
+  (* ...then round 1's Release retransmission finally arrives. *)
+  ignore (Server.handle server ~src:5 (Messages.Release { txn = 9; oids = [ 1 ]; round = 1 }));
+  Alcotest.(check bool) "stale release ignored" true
+    (Store.Replica.is_protected (Server.store server) ~oid:1 ~against:999);
+  Alcotest.(check bool) "still blocks competing committer" false
+    (Store.Replica.try_lock (Server.store server) ~oid:1 ~txn:10);
+  (* The current round's Release does free the lock. *)
+  ignore (Server.handle server ~src:5 (Messages.Release { txn = 9; oids = [ 1 ]; round = 2 }));
+  Alcotest.(check bool) "current-round release frees" false
     (Store.Replica.is_protected (Server.store server) ~oid:1 ~against:999)
 
 (* --- Oracle ------------------------------------------------------------- *)
@@ -309,6 +338,8 @@ let suite =
     Alcotest.test_case "server 2PC vote/lock/apply" `Quick test_server_commit_vote_and_apply;
     Alcotest.test_case "server stale commit denied" `Quick test_server_stale_commit_denied;
     Alcotest.test_case "server release" `Quick test_server_release;
+    Alcotest.test_case "server stale-round release ignored" `Quick
+      test_server_stale_release_ignored;
     Alcotest.test_case "oracle accepts serial" `Quick test_oracle_accepts_serial;
     Alcotest.test_case "oracle rejects stale read" `Quick test_oracle_rejects_stale_read;
     Alcotest.test_case "oracle read-only snapshot semantics" `Quick

@@ -311,6 +311,7 @@ let test_status_rescues_decided_commit () =
             txn;
             dataset = Messages.dataset_of_list [ { Messages.oid; version = 0; owner = 0 } ];
             locks = [ oid ];
+            round = 1;
           })
    with
   | Some (Messages.Vote { commit = true; _ }) -> ()

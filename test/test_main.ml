@@ -8,6 +8,7 @@ let () = Alcotest.run "qr_dtm" [
       ("executor", Test_executor.suite);
       ("cluster", Test_cluster.suite);
       ("faults", Test_faults.suite);
+      ("membership", Test_membership.suite);
       ("extensions", Test_extensions.suite);
       ("serializability", Test_serializability.suite);
       ("harness", Test_harness.suite);
