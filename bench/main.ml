@@ -30,6 +30,7 @@ type cli = {
   mutable max_regression : float;
   mutable max_traced_overhead : float;
   mutable max_alloc_regression : float;
+  mutable min_batch_speedup : float;
 }
 
 let cli =
@@ -43,13 +44,15 @@ let cli =
     max_regression = 2.0;
     max_traced_overhead = 15.0;
     max_alloc_regression = 20.0;
+    min_batch_speedup = 3.0;
   }
 
 let usage () =
   prerr_endline
     "usage: bench/main.exe [wall|alloc] [--jobs N] [--scale quick|full] [--out FILE]\n\
     \                      [--baseline FILE] [--max-regression PCT]\n\
-    \                      [--max-traced-overhead PCT] [--max-alloc-regression PCT]";
+    \                      [--max-traced-overhead PCT] [--max-alloc-regression PCT]\n\
+    \                      [--min-batch-speedup X]";
   exit 2
 
 let () =
@@ -76,6 +79,11 @@ let () =
     | "--max-alloc-regression" :: p :: rest ->
       (match float_of_string_opt p with
       | Some v when v > 0. -> cli.max_alloc_regression <- v
+      | _ -> usage ());
+      parse rest
+    | "--min-batch-speedup" :: p :: rest ->
+      (match float_of_string_opt p with
+      | Some v when v > 0. -> cli.min_batch_speedup <- v
       | _ -> usage ());
       parse rest
     | _ -> usage ()
@@ -465,6 +473,78 @@ let events_per_second ?(tracer = Obs.Tracer.null) () =
     p99 = Metrics.latency_percentile metrics 99.;
   }
 
+(* --- batch-commit vs sequential commit throughput ----------------------- *)
+
+(* Write-heavy contended bank (few hot accounts, 2 transfers per txn):
+   the regime PROTOCOL.md §9's commit queues target.  Sequentially, hot
+   transactions serialize through stale-read aborts — roughly one commit
+   per quorum round trip per hot object.  Batched, conflicting updates
+   chain through the coordinator's write images and an entire chain
+   commits in one round. *)
+type batch_stats = {
+  seq_cps : float;
+  batch_cps : float;
+  batch_speedup : float;
+  occupancy_p50 : float;
+  occupancy_p95 : float;
+  spec_aborts : int;
+}
+
+let measure_batch () =
+  let point ~batch_commit =
+    Harness.Experiment.run ~nodes:9 ~clients:24 ~seed:131 ~warmup:500.
+      ~duration:3_000. ~batch_commit
+      ~config:(Config.default Config.Flat)
+      ~benchmark:Benchmarks.Bank.benchmark
+      ~params:
+        { Benchmarks.Workload.objects = 8; calls = 2; read_ratio = 0.1; key_skew = 0.5 }
+      ()
+  in
+  let guard label (r : Harness.Experiment.result) =
+    (match r.invariant with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "FAIL: %s bank invariant: %s\n" label msg;
+      exit 1);
+    match r.consistent with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "FAIL: %s serializability oracle: %s\n" label msg;
+      exit 1
+  in
+  let seq = point ~batch_commit:false in
+  let batch = point ~batch_commit:true in
+  guard "sequential" seq;
+  guard "batch" batch;
+  let stats =
+    {
+      seq_cps = seq.throughput;
+      batch_cps = batch.throughput;
+      batch_speedup =
+        (if seq.throughput > 0. then batch.throughput /. seq.throughput else 0.);
+      occupancy_p50 = batch.batch_occupancy_p50;
+      occupancy_p95 = batch.batch_occupancy_p95;
+      spec_aborts = batch.speculation_aborts;
+    }
+  in
+  Printf.printf
+    "  batch commit: %.1f -> %.1f commits/s (%.1fx), occupancy p50=%.0f p95=%.0f, \
+     %d speculation aborts\n%!"
+    stats.seq_cps stats.batch_cps stats.batch_speedup stats.occupancy_p50
+    stats.occupancy_p95 stats.spec_aborts;
+  stats
+
+let emit_batch_fields oc (b : batch_stats) =
+  Printf.fprintf oc
+    "  \"commits_per_sec_seq\": %.2f,\n\
+    \  \"commits_per_sec_batch\": %.2f,\n\
+    \  \"batch_speedup\": %.3f,\n\
+    \  \"batch_occupancy_p50\": %.1f,\n\
+    \  \"batch_occupancy_p95\": %.1f,\n\
+    \  \"speculation_aborts\": %d,\n"
+    b.seq_cps b.batch_cps b.batch_speedup b.occupancy_p50 b.occupancy_p95
+    b.spec_aborts
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -553,10 +633,16 @@ let measure_simulator () =
 (* The regression gates shared by `wall` and `alloc`.  A baseline written
    before this bench grew a field reports "n/a" and skips that check rather
    than comparing against nan or 0. *)
-let run_gates ~(untraced : eps_stats) ~tracing_overhead_pct =
+let run_gates ~(untraced : eps_stats) ~tracing_overhead_pct ~(batch : batch_stats) =
   if tracing_overhead_pct > cli.max_traced_overhead then begin
     Printf.eprintf "FAIL: tracing overhead %.2f%% exceeds limit %.1f%%\n"
       tracing_overhead_pct cli.max_traced_overhead;
+    exit 1
+  end;
+  if batch.batch_speedup < cli.min_batch_speedup then begin
+    Printf.eprintf
+      "FAIL: batch-commit speedup %.2fx below required %.2fx (%.1f -> %.1f commits/s)\n"
+      batch.batch_speedup cli.min_batch_speedup batch.seq_cps batch.batch_cps;
     exit 1
   end;
   Option.iter
@@ -623,6 +709,7 @@ let wall_bench () =
   if par_ran then
     Printf.printf "  speedup: %.2fx, identical output: %b\n%!" speedup identical;
   let untraced, traced, tracing_overhead_pct = measure_simulator () in
+  let batch = measure_batch () in
   let oc = open_out cli.out in
   Printf.fprintf oc
     "{\n\
@@ -642,6 +729,7 @@ let wall_bench () =
       "  \"wall_seconds_jobsN\": null,\n\
       \  \"speedup\": null,\n\
       \  \"output_identical\": null,\n";
+  emit_batch_fields oc batch;
   emit_sim_fields oc ~untraced ~traced ~tracing_overhead_pct;
   Printf.fprintf oc "}\n";
   close_out oc;
@@ -650,21 +738,23 @@ let wall_bench () =
     prerr_endline "FAIL: parallel output differs from sequential output";
     exit 1
   end;
-  run_gates ~untraced ~tracing_overhead_pct
+  run_gates ~untraced ~tracing_overhead_pct ~batch
 
 (* `alloc` mode: just the simulator hot-path measurement — fast enough to
    run on every push, gating both throughput and allocation rate. *)
 let alloc_bench () =
   print_endline "alloc bench: GC counters over the simulator hot path (bank workload)";
   let untraced, traced, tracing_overhead_pct = measure_simulator () in
+  let batch = measure_batch () in
   let oc = open_out cli.out in
   Printf.fprintf oc "{\n  \"bench\": \"harness_alloc\",\n  \"scale\": \"%s\",\n"
     (json_escape cli.scale_name);
+  emit_batch_fields oc batch;
   emit_sim_fields oc ~untraced ~traced ~tracing_overhead_pct;
   Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" cli.out;
-  run_gates ~untraced ~tracing_overhead_pct
+  run_gates ~untraced ~tracing_overhead_pct ~batch
 
 let () =
   if cli.wall then wall_bench ()

@@ -50,6 +50,14 @@ let selected_benchmarks = function
 
 let print_series series = print_string (Harness.Report.render series)
 
+let batch_commit_arg =
+  let doc =
+    "Speculative batch-commit mode (PROTOCOL.md §9): coordinators queue commit \
+     requests and decide each batch with a single quorum round; queued successors \
+     read predecessors' uncommitted write images speculatively."
+  in
+  Arg.(value & flag & info [ "batch-commit" ] ~doc)
+
 let parse_mode = function
   | "flat" -> Core.Config.Flat
   | "closed" -> Core.Config.Closed
@@ -127,7 +135,7 @@ let run_cmd =
   let skew_arg =
     Arg.(value & opt float 0.5 & info [ "skew" ] ~docv:"S" ~doc:"Zipf key skew.")
   in
-  let run bench mode reads calls objects nodes clients duration seed skew =
+  let run bench mode reads calls objects nodes clients duration seed skew batch_commit =
     let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
     let mode = parse_mode mode in
     let params =
@@ -140,7 +148,7 @@ let run_cmd =
       }
     in
     let result =
-      Harness.Experiment.run ~nodes ~seed ~clients ~duration
+      Harness.Experiment.run ~nodes ~seed ~clients ~duration ~batch_commit
         ~config:(Core.Config.default mode) ~benchmark ~params ()
     in
     Format.printf "%a@." Harness.Experiment.pp_result result
@@ -149,7 +157,7 @@ let run_cmd =
   Cmd.v info
     Term.(
       const run $ bench_arg $ mode_arg $ reads_arg $ calls_arg $ objects_arg $ nodes_arg
-      $ clients_arg $ duration_arg $ seed_arg $ skew_arg)
+      $ clients_arg $ duration_arg $ seed_arg $ skew_arg $ batch_commit_arg)
 
 let scenario_cmd =
   let spec_arg =
@@ -391,8 +399,8 @@ let chaos_cmd =
   let trace_all_arg =
     Arg.(value & flag & info [ "trace-all" ] ~doc:"With --trace-dir: dump every seed, not just failures.")
   in
-  let run runs seed nodes clients horizon max_crashes spares reconfigs rolling mode json
-      failures_to verbose show trace_dir trace_all =
+  let run runs seed nodes clients horizon max_crashes spares reconfigs rolling mode
+      batch_commit json failures_to verbose show trace_dir trace_all =
     let mode = parse_mode mode in
     let spares = if rolling && spares = 0 then Harness.Chaos.rolling_knobs.spares else spares in
     let horizon = if rolling && horizon = 8_000. then Harness.Chaos.rolling_knobs.horizon else horizon in
@@ -411,7 +419,8 @@ let chaos_cmd =
       exit 0
     end;
     let results =
-      Harness.Chaos.run_many ~config:(Core.Config.default mode) ~rolling knobs ~seed ~runs
+      Harness.Chaos.run_many ~config:(Core.Config.default mode) ~batch_commit ~rolling
+        knobs ~seed ~runs
     in
     let failed = Harness.Chaos.failures results in
     if json then print_endline (Harness.Chaos.results_to_json results)
@@ -446,8 +455,8 @@ let chaos_cmd =
               let seed = r.Harness.Chaos.seed in
               let tracer = Obs.Tracer.create () in
               let replay =
-                Harness.Chaos.run_one ~config:(Core.Config.default mode) ~tracer ~rolling
-                  knobs ~seed
+                Harness.Chaos.run_one ~config:(Core.Config.default mode) ~tracer
+                  ~batch_commit ~rolling knobs ~seed
               in
               warn_dropped tracer;
               let violations = Harness.Chaos.check_trace knobs tracer in
@@ -476,8 +485,9 @@ let chaos_cmd =
   Cmd.v info
     Term.(
       const run $ runs_arg $ seed_arg $ nodes_arg $ clients_arg $ horizon_arg
-      $ crashes_arg $ spares_arg $ reconfigs_arg $ rolling_arg $ mode_arg $ json_arg
-      $ failures_arg $ verbose_arg $ show_arg $ trace_dir_arg $ trace_all_arg)
+      $ crashes_arg $ spares_arg $ reconfigs_arg $ rolling_arg $ mode_arg
+      $ batch_commit_arg $ json_arg $ failures_arg $ verbose_arg $ show_arg
+      $ trace_dir_arg $ trace_all_arg)
 
 let all_cmd =
   let run scale jobs =

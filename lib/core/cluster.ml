@@ -111,7 +111,7 @@ let rec resync t ~node ~started ~was_killed =
                     Store.Replica.sync_copy store ~oid ~version ~value)
                   objects
               | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
-              | Messages.Status_rep _ | Messages.Ack ->
+              | Messages.Status_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
                 ())
             replies;
           if Obs.Tracer.enabled tracer then
@@ -125,7 +125,8 @@ let rec resync t ~node ~started ~was_killed =
 
 let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.25)
     ?(read_level = 1) ?(detection_delay = 50.) ?(detection_jitter = 0.)
-    ?(with_oracle = true) ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) config =
+    ?(with_oracle = true) ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
+    ?(batch_commit = false) config =
   let total = nodes + spares in
   let engine = Sim.Engine.create ~tracer () in
   let topology =
@@ -154,8 +155,8 @@ let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.
   Sim.Rpc.set_fencing rpc
     ~epoch_of:(fun _ -> !epoch)
     ~fenceable:(function
-      | Messages.Read_req _ | Messages.Commit_req _ | Messages.Status_req _
-      | Messages.Handoff _ ->
+      | Messages.Read_req _ | Messages.Commit_req _ | Messages.Batch_commit_req _
+      | Messages.Status_req _ | Messages.Handoff _ ->
         true
       | Messages.Apply _ | Messages.Release _ | Messages.Sync_req -> false);
   let servers =
@@ -197,7 +198,8 @@ let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.
     }
   in
   let executor =
-    Executor.create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed:(seed + 3) ()
+    Executor.create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~batch_commit
+      ~ids ~seed:(seed + 3) ()
   in
   (* Arm the lease-termination machinery on every replica.  The peer set —
      read quorum extended with the write quorum, both salted by the asking
@@ -476,7 +478,7 @@ and snapshot_phase t op ~on_done =
                     | _ -> Hashtbl.replace best oid (version, value))
                   objects
               | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
-              | Messages.Status_rep _ | Messages.Ack ->
+              | Messages.Status_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
                 ())
             replies;
           let snapshot =

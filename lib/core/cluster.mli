@@ -34,6 +34,7 @@ val create :
   ?with_oracle:bool ->
   ?tracer:Obs.Tracer.t ->
   ?batch_fanout:bool ->
+  ?batch_commit:bool ->
   Config.t ->
   t
 (** Defaults: 13 nodes (the paper's Fig. 3 tree), metric-space topology with
@@ -46,6 +47,12 @@ val create :
     multicasts into one pooled engine event per wave; switching it off
     schedules per-destination events eagerly and is likewise
     byte-identical — the determinism suite locks this equivalence in.
+
+    [batch_commit] (default off) turns on queue-oriented speculative batch
+    commit (PROTOCOL.md §9): commit requests are queued and decided one
+    quorum round per batch, with queued successors executing speculatively
+    against predecessors' write images.  Off, behavior is byte-identical
+    to the sequential per-transaction protocol.
 
     [spares] (default 0) provisions that many extra machines beyond
     [nodes]: they exist on the topology but start decommissioned (network

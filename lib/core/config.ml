@@ -24,6 +24,8 @@ type t = {
   status_attempts : int;
   retransmit_backoff_base : float;
   retransmit_backoff_max : float;
+  batch_size : int;
+  batch_delay : float;
 }
 
 let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhead = 2.0)
@@ -31,9 +33,12 @@ let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhe
     ?(backoff_max = 250.) ?(ct_retry_delay = 1.) ?(commit_lock_retries = 0)
     ?(max_attempts = 0) ?(max_steps_per_attempt = 20_000) ?(lease_duration = 800.)
     ?(lease_safety_margin = 100.) ?(status_grace = 200.) ?(status_attempts = 3)
-    ?(retransmit_backoff_base = 8.) ?(retransmit_backoff_max = 200.) mode =
+    ?(retransmit_backoff_base = 8.) ?(retransmit_backoff_max = 200.)
+    ?(batch_size = 8) ?(batch_delay = 5.) mode =
   assert (checkpoint_threshold >= 1);
   assert (lease_duration = 0. || lease_duration > lease_safety_margin);
+  assert (batch_size >= 1);
+  assert (batch_delay >= 0.);
   {
     mode;
     rqv_for_flat;
@@ -53,6 +58,8 @@ let make ?(rqv_for_flat = false) ?(checkpoint_threshold = 1) ?(checkpoint_overhe
     status_attempts;
     retransmit_backoff_base;
     retransmit_backoff_max;
+    batch_size;
+    batch_delay;
   }
 
 let default mode = make mode

@@ -65,6 +65,13 @@ type t = {
           out, so lossy-link bursts are not hammered in lock-step.  [0.]
           restores the historical fixed-interval retransmission. *)
   retransmit_backoff_max : float;
+  batch_size : int;
+      (** batch-commit mode: cut the commit queue as soon as this many
+          transactions are waiting (and no batch round is in flight).
+          Ignored when the executor runs with [batch_commit] off. *)
+  batch_delay : float;
+      (** batch-commit mode: maximum ms an enqueued transaction waits for
+          the queue to fill before a deadline cut ships a partial batch *)
 }
 
 val make : ?rqv_for_flat:bool -> ?checkpoint_threshold:int -> ?checkpoint_overhead:float ->
@@ -72,6 +79,7 @@ val make : ?rqv_for_flat:bool -> ?checkpoint_threshold:int -> ?checkpoint_overhe
   ?backoff_max:float -> ?ct_retry_delay:float -> ?commit_lock_retries:int ->
   ?max_attempts:int -> ?max_steps_per_attempt:int -> ?lease_duration:float ->
   ?lease_safety_margin:float -> ?status_grace:float -> ?status_attempts:int ->
-  ?retransmit_backoff_base:float -> ?retransmit_backoff_max:float -> mode -> t
+  ?retransmit_backoff_base:float -> ?retransmit_backoff_max:float ->
+  ?batch_size:int -> ?batch_delay:float -> mode -> t
 
 val default : mode -> t

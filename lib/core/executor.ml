@@ -10,57 +10,15 @@ type quorums = {
    machine) and so diagnostics can list in-flight transactions. *)
 type active = { a_id : int; a_node : int; a_txn : unit -> int; a_kill : unit -> unit }
 
-type t = {
-  engine : Sim.Engine.t;
-  rpc : (Messages.request, Messages.reply) Sim.Rpc.t;
-  quorums : quorums;
-  config : Config.t;
-  metrics : Metrics.t;
-  oracle : Oracle.t option;
-  ids : Ids.gen;
-  rng : Util.Rng.t;
-  tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
-  (* Scratch data-set builder, reused by [full_dataset] / [commit_dataset]:
-     rows are staged in the growable parallel arrays and frozen into a
-     [Messages.dataset] (three [Array.sub]s) only when a request is built.
-     An executor runs inside one simulation (one domain) and never builds
-     two data-sets at once, so sharing the scratch across roots is safe. *)
-  ds_slots : (int, int) Hashtbl.t; (* oid -> staged row; [full_dataset] dedup *)
-  mutable ds_oids : int array;
-  mutable ds_versions : int array;
-  mutable ds_owners : int array;
-  mutable ds_len : int;
-  mutable actives : active list;
-  mutable next_active : int;
-}
-
-let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ~ids ~seed () =
-  {
-    engine;
-    rpc;
-    quorums;
-    config;
-    metrics;
-    oracle;
-    ids;
-    rng = Util.Rng.create seed;
-    tracer = Sim.Engine.tracer engine;
-    ds_slots = Hashtbl.create 64;
-    ds_oids = Array.make 64 0;
-    ds_versions = Array.make 64 0;
-    ds_owners = Array.make 64 0;
-    ds_len = 0;
-    actives = [];
-    next_active = 0;
-  }
-
-let config t = t.config
-let metrics t = t.metrics
-
 type outcome = Committed of Txn.value | Failed of string
 
 (* One closed-nesting scope.  The root transaction is the depth-0 scope;
-   [cont] is the parent's continuation, absent for the root. *)
+   [cont] is the parent's continuation, absent for the root.
+
+   The group below is mutually recursive because batch-commit mode hangs a
+   commit queue off the executor itself: a [pending] queue entry references
+   the [root] (and its final [scope]) it will decide, while every root
+   points back at its executor. *)
 type scope = {
   depth : int;
   thunk : unit -> Txn.t;
@@ -69,14 +27,14 @@ type scope = {
   mutable wset : Rwset.t;
 }
 
-type checkpoint = {
+and checkpoint = {
   chk_id : int;
   resume : unit -> Txn.t;
   saved_rset : Rwset.t;
   saved_wset : Rwset.t;
 }
 
-type root = {
+and root = {
   exec : t;
   node : int;
   program : unit -> Txn.t;
@@ -111,7 +69,124 @@ type root = {
   mutable steps : int; (* DSL steps this attempt; zombie guard *)
   mutable generation : int;
   mutable finished : bool;
+  mutable spec_deps : Ids.txn_id list;
+      (* batch mode: queued predecessors whose uncommitted write images this
+         attempt read.  Deps accumulate for the whole attempt and reset only
+         in [start_attempt]: narrowing them on a partial abort is unsound,
+         because a closed-nested commit merges (and retags) the child's
+         read entries into the parent, so the entry backing a dep can
+         outlive a later rollback of the depth it was read at — the value
+         then survives in the working set while the filtered dep would be
+         forgotten.  The root must not commit unless every dependency
+         decided commit first; dropping a dep late costs at worst a
+         spurious speculation abort, never safety. *)
 }
+
+(* One enqueued commit: the root went through [root_commit] and waits for a
+   batch round to decide it.  [p_generation] is captured at enqueue so a
+   fail-stop of the hosting node (the only generation bump a quiescent
+   queued root can suffer) is detected at cut/decision time. *)
+and pending = {
+  p_root : root;
+  p_scope : scope;
+  p_value : Txn.value;
+  p_txn : Ids.txn_id;
+  p_generation : int;
+}
+
+(* The newest write image per object across the commit queue: queued
+   successors read it instead of paying a read-quorum round.  [img_committed]
+   flips when the writer's batch round decides commit — the image then acts
+   as a committed-value cache (every write flows through the queue, so it is
+   always the newest committed version); while false, readers record a
+   speculative dependency on [img_txn]. *)
+and image = {
+  mutable img_txn : Ids.txn_id;
+  mutable img_version : int;
+  mutable img_value : Txn.value;
+  mutable img_committed : bool;
+}
+
+and t = {
+  engine : Sim.Engine.t;
+  rpc : (Messages.request, Messages.reply) Sim.Rpc.t;
+  quorums : quorums;
+  config : Config.t;
+  metrics : Metrics.t;
+  oracle : Oracle.t option;
+  ids : Ids.gen;
+  rng : Util.Rng.t;
+  tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
+  (* Scratch data-set builder, reused by [full_dataset] / [commit_dataset]:
+     rows are staged in the growable parallel arrays and frozen into a
+     [Messages.dataset] (three [Array.sub]s) only when a request is built.
+     An executor runs inside one simulation (one domain) and never builds
+     two data-sets at once, so sharing the scratch across roots is safe. *)
+  ds_slots : (int, int) Hashtbl.t; (* oid -> staged row; [full_dataset] dedup *)
+  mutable ds_oids : int array;
+  mutable ds_versions : int array;
+  mutable ds_owners : int array;
+  mutable ds_len : int;
+  mutable actives : active list;
+  mutable next_active : int;
+  (* Batch-commit mode (PROTOCOL.md §9).  All of it is inert when
+     [batch_commit] is false: no field is touched, no event scheduled. *)
+  batch_commit : bool;
+  mutable batch_queue : pending list; (* newest first; reversed at cut *)
+  mutable batch_queue_len : int;
+  mutable batch_inflight : bool; (* at most one batch round in flight *)
+  mutable batch_cut_scheduled : bool; (* a deadline cut is pending *)
+  mutable batch_seq : int; (* batch id for traces *)
+  images : (Ids.obj_id, image) Hashtbl.t;
+  (* Decisions of recent batch entries, consulted to resolve speculative
+     dependencies.  Bounded FIFO: a dependency is always decided by the
+     time its reader decides (one batch in flight, decided in order), so
+     eviction of old entries is safe; an evicted/unknown dependency reads
+     as "not committed", which only ever aborts conservatively. *)
+  spec_outcomes : (Ids.txn_id, bool) Hashtbl.t;
+  spec_outcome_order : Ids.txn_id Queue.t;
+  (* Transactions committed in the last two batch rounds, shipped with the
+     next Batch_commit_req: their Applies may still be in flight, and a
+     replica may hand their moribund leases to a successor that read past
+     them (PROTOCOL.md §9). *)
+  mutable last_commits : Ids.txn_id list;
+  mutable prev_commits : Ids.txn_id list;
+}
+
+let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ?(batch_commit = false)
+    ~ids ~seed () =
+  {
+    engine;
+    rpc;
+    quorums;
+    config;
+    metrics;
+    oracle;
+    ids;
+    rng = Util.Rng.create seed;
+    tracer = Sim.Engine.tracer engine;
+    ds_slots = Hashtbl.create 64;
+    ds_oids = Array.make 64 0;
+    ds_versions = Array.make 64 0;
+    ds_owners = Array.make 64 0;
+    ds_len = 0;
+    actives = [];
+    next_active = 0;
+    batch_commit;
+    batch_queue = [];
+    batch_queue_len = 0;
+    batch_inflight = false;
+    batch_cut_scheduled = false;
+    batch_seq = 0;
+    images = Hashtbl.create 64;
+    spec_outcomes = Hashtbl.create 256;
+    spec_outcome_order = Queue.create ();
+    last_commits = [];
+    prev_commits = [];
+  }
+
+let config t = t.config
+let metrics t = t.metrics
 
 let now root = Sim.Engine.now root.exec.engine
 
@@ -253,6 +328,104 @@ let backoff_delay root =
   let base = cfg.backoff_base *. Float.of_int (1 lsl exp) in
   jittered root.exec.rng (Stdlib.min cfg.backoff_max base)
 
+(* Commit-time read repair (see [extra_read_peers]): remember write-quorum
+   members that vetoed as stale with no lock conflict, so subsequent reads
+   include them. *)
+let widen_to_witnesses root stale_witnesses =
+  if stale_witnesses <> [] then begin
+    Metrics.note_read_widening root.exec.metrics;
+    List.iter
+      (fun witness ->
+        if not (List.mem witness root.extra_read_peers) then
+          trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness ~b:(-1) ~x:0.)
+      (List.sort_uniq Int.compare stale_witnesses);
+    root.extra_read_peers <-
+      List.sort_uniq Int.compare (stale_witnesses @ root.extra_read_peers)
+  end
+
+(* Apply payload of a committing scope: each written object advances one
+   version past the base the transaction read. *)
+let writes_of_wset (wset : Rwset.t) =
+  let n = Rwset.size wset in
+  if n = 0 then Messages.empty_writes
+  else begin
+    let w =
+      {
+        Messages.wr_oids = Array.make n 0;
+        wr_versions = Array.make n 0;
+        wr_values = Array.make n Store.Value.Unit;
+      }
+    in
+    let i = ref 0 in
+    Rwset.iter wset (fun (e : Rwset.entry) ->
+        w.Messages.wr_oids.(!i) <- e.oid;
+        w.Messages.wr_versions.(!i) <- e.version + 1;
+        w.Messages.wr_values.(!i) <- e.value;
+        incr i);
+    w
+  end
+
+let reads_of_rset (rset : Rwset.t) =
+  let n = Rwset.size rset in
+  let a = Array.make n 0 in
+  let i = ref 0 in
+  Rwset.iter rset (fun (e : Rwset.entry) ->
+      a.(!i) <- e.oid;
+      incr i);
+  a
+
+(* --- batch-commit state helpers (inert when batch_commit is off) -------- *)
+
+(* Publish/overwrite the write image of [oid]: last enqueued writer wins,
+   and queued successors read this instead of the store. *)
+let set_image exec ~oid ~txn ~version ~value =
+  match Hashtbl.find_opt exec.images oid with
+  | Some img ->
+    img.img_txn <- txn;
+    img.img_version <- version;
+    img.img_value <- value;
+    img.img_committed <- false
+  | None ->
+    Hashtbl.add exec.images oid
+      { img_txn = txn; img_version = version; img_value = value; img_committed = false }
+
+(* Drop [txn]'s still-owned images on abort (a later writer's image
+   survives — it never read this one, or it carries its own dependency). *)
+let drop_images exec ~txn ~wset =
+  Rwset.iter wset (fun (e : Rwset.entry) ->
+      match Hashtbl.find_opt exec.images e.oid with
+      | Some img when img.img_txn = txn -> Hashtbl.remove exec.images e.oid
+      | Some _ | None -> ())
+
+let commit_images exec ~txn ~wset =
+  Rwset.iter wset (fun (e : Rwset.entry) ->
+      match Hashtbl.find_opt exec.images e.oid with
+      | Some img when img.img_txn = txn -> img.img_committed <- true
+      | Some _ | None -> ())
+
+let spec_outcome_cap = 16_384
+
+let record_spec_outcome exec ~txn ~committed =
+  Hashtbl.replace exec.spec_outcomes txn committed;
+  Queue.push txn exec.spec_outcome_order;
+  if Queue.length exec.spec_outcome_order > spec_outcome_cap then
+    Hashtbl.remove exec.spec_outcomes (Queue.pop exec.spec_outcome_order)
+
+(* Resolve a root's speculative dependencies.  [`Undecided] covers both a
+   predecessor still waiting on a batch round (an order violation if we are
+   deciding right now — it was re-queued past us) and one evicted from the
+   bounded outcome table; both read conservatively as "cannot commit". *)
+let dep_status exec deps =
+  let rec go undecided = function
+    | [] -> (match undecided with Some txn -> `Undecided txn | None -> `Ok)
+    | txn :: rest ->
+      (match Hashtbl.find_opt exec.spec_outcomes txn with
+      | Some true -> go undecided rest
+      | Some false -> `Failed txn
+      | None -> go (Some txn) rest)
+  in
+  go None deps
+
 let fresh_scope ~depth ~thunk ~cont =
   { depth; thunk; cont; rset = Rwset.empty; wset = Rwset.empty }
 
@@ -266,6 +439,7 @@ let rec start_attempt root =
   root.lock_deadline <- Float.infinity;
   root.commit_lock_budget <- root.exec.config.commit_lock_retries;
   root.steps <- 0;
+  root.spec_deps <- [];
   root.generation <- root.generation + 1;
   trace root ~kind:Obs.Sem.txn_begin ~oid:(-1) ~a:(root.attempt + 1) ~b:(-1) ~x:0.;
   (* Widened-read witnesses survive across attempts, but each attempt runs
@@ -338,7 +512,27 @@ and access root ~oid ~write ~k =
     Metrics.note_local_read root.exec.metrics;
     install_entry root ~oid ~base_version:entry.version
       ~read_value:entry.value ~write ~remote:false ~k
-  | None -> remote_fetch root ~oid ~write ~k
+  | None ->
+    let exec = root.exec in
+    if exec.batch_commit then begin
+      (* Speculative read-from-queue: serve the newest queued (or committed)
+         write image before paying a remote round.  The entry is installed
+         [~remote:true] — it must be re-validated at commit exactly like a
+         quorum-served read. *)
+      match Hashtbl.find_opt exec.images oid with
+      | Some img ->
+        Metrics.note_speculative_read exec.metrics;
+        let pending_dep = not img.img_committed in
+        if pending_dep && not (List.mem img.img_txn root.spec_deps) then
+          root.spec_deps <- img.img_txn :: root.spec_deps;
+        trace root ~kind:Obs.Sem.spec_read ~oid ~a:img.img_txn
+          ~b:(if pending_dep then 1 else 0)
+          ~x:0.;
+        install_entry root ~oid ~base_version:img.img_version
+          ~read_value:img.img_value ~write ~remote:true ~k
+      | None -> remote_fetch root ~oid ~write ~k
+    end
+    else remote_fetch root ~oid ~write ~k
 
 and remote_fetch root ~oid ~write ~k =
   let exec = root.exec in
@@ -410,7 +604,7 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
           | Messages.Read_abort { target } ->
             Some (match acc with None -> target | Some t -> Stdlib.min t target)
           | Messages.Read_ok _ | Messages.Vote _ | Messages.Sync_rep _ | Messages.Status_rep _
-          | Messages.Ack ->
+          | Messages.Ack | Messages.Batch_commit_rep _ ->
             acc)
         None replies
     in
@@ -429,7 +623,7 @@ and handle_read_replies root ~oid ~write ~k ~replies ~missing =
                   | Some _ | None -> Some (version, value)
                 end
               | Messages.Read_abort _ | Messages.Vote _ | Messages.Sync_rep _ | Messages.Status_rep _
-              | Messages.Ack ->
+              | Messages.Ack | Messages.Batch_commit_rep _ ->
                 acc)
             None replies
         in
@@ -510,6 +704,9 @@ and partial_abort root ~target =
           scope.rset <- Rwset.empty;
           scope.wset <- Rwset.empty;
           root.scopes <- scopes;
+          (* [spec_deps] is deliberately left alone: a merged-and-retagged
+             entry from a committed child can survive this rollback, so the
+             dep behind it must too (see the field's comment). *)
           Metrics.note_partial_abort root.exec.metrics;
           (* [a] reports the depth actually restored, not the requested
              target — the checker verifies they coincide. *)
@@ -541,6 +738,8 @@ and partial_abort root ~target =
         scope.wset <- chk.saved_wset;
         root.checkpoints <- kept;
         root.since_chk <- 0;
+        (* [spec_deps] is deliberately left alone — see the field's
+           comment; deps persist for the attempt. *)
         Metrics.note_partial_abort root.exec.metrics;
         trace root ~kind:Obs.Sem.scope_resume ~oid:(-1) ~a:chk.chk_id ~b:(-1) ~x:0.;
         schedule root
@@ -611,16 +810,35 @@ and root_commit root ~scope ~value =
     | Config.Flat -> exec.config.rqv_for_flat
     | Config.Checkpoint -> false
   in
-  if read_only && local_ro_commit then begin
-    (* Rqv keeps the read-set continuously validated: read-only roots (and
-       all closed-nested transactions) commit without remote messages. *)
-    record_commit root ~scope ~window_start:root.last_validation_sent;
-    Metrics.note_read_only_commit exec.metrics ~latency:(now root -. root.born);
-    trace root ~kind:Obs.Sem.txn_commit ~oid:(-1) ~a:(-1) ~b:1
-      ~x:(now root -. root.born);
-    finish root (Committed value)
+  if not exec.batch_commit then begin
+    if read_only && local_ro_commit then commit_read_only root ~scope ~value
+    else send_commit_request root ~scope ~value
   end
-  else send_commit_request root ~scope ~value
+  else begin
+    (* Batch mode: updates enqueue for the next batch round.  A read-only
+       root keeps the local commit only if it owes nothing to undecided
+       predecessors — a speculative read of an image whose writer later
+       aborts must never commit, even locally. *)
+    match dep_status exec root.spec_deps with
+    | `Failed dep -> speculation_abort root ~dep
+    | `Ok when read_only && local_ro_commit -> commit_read_only root ~scope ~value
+    | `Ok | `Undecided _ -> enqueue_commit root ~scope ~value
+  end
+
+and commit_read_only root ~scope ~value =
+  (* Rqv keeps the read-set continuously validated: read-only roots (and
+     all closed-nested transactions) commit without remote messages. *)
+  let exec = root.exec in
+  record_commit root ~scope ~window_start:root.last_validation_sent;
+  Metrics.note_read_only_commit exec.metrics ~latency:(now root -. root.born);
+  trace root ~kind:Obs.Sem.txn_commit ~oid:(-1) ~a:(-1) ~b:1
+    ~x:(now root -. root.born);
+  finish root (Committed value)
+
+and speculation_abort root ~dep =
+  Metrics.note_speculation_abort root.exec.metrics;
+  trace root ~kind:Obs.Sem.spec_abort ~oid:(-1) ~a:dep ~b:(-1) ~x:0.;
+  root_abort root
 
 and send_commit_request root ~scope ~value =
   let exec = root.exec in
@@ -680,7 +898,7 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies ~
             ~b:((if commit then 1 else 0) lor if lock_conflict then 2 else 0)
             ~x:0.
         | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Sync_rep _
-        | Messages.Status_rep _ | Messages.Ack ->
+        | Messages.Status_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
           ())
       replies;
   if missing <> [] || exec.quorums.epoch () <> send_epoch then begin
@@ -701,7 +919,7 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies ~
           | Messages.Vote { commit; lock_conflict } ->
             (all && commit, lock || lock_conflict)
           | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Sync_rep _ | Messages.Status_rep _
-          | Messages.Ack ->
+          | Messages.Ack | Messages.Batch_commit_rep _ ->
             (false, lock))
         (true, false) replies
     in
@@ -717,35 +935,8 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies ~
       root_abort root
     end
     else if all_commit then begin
-      let writes =
-        let n = Rwset.size scope.wset in
-        if n = 0 then Messages.empty_writes
-        else begin
-          let w =
-            {
-              Messages.wr_oids = Array.make n 0;
-              wr_versions = Array.make n 0;
-              wr_values = Array.make n Store.Value.Unit;
-            }
-          in
-          let i = ref 0 in
-          Rwset.iter scope.wset (fun (e : Rwset.entry) ->
-              w.Messages.wr_oids.(!i) <- e.oid;
-              w.Messages.wr_versions.(!i) <- e.version + 1;
-              w.Messages.wr_values.(!i) <- e.value;
-              incr i);
-          w
-        end
-      in
-      let reads =
-        let n = Rwset.size scope.rset in
-        let a = Array.make n 0 in
-        let i = ref 0 in
-        Rwset.iter scope.rset (fun (e : Rwset.entry) ->
-            a.(!i) <- e.oid;
-            incr i);
-        a
-      in
+      let writes = writes_of_wset scope.wset in
+      let reads = reads_of_rset scope.rset in
       record_commit root ~scope ~window_start;
       (* At-least-once: losing an Apply at the read/write-quorum
          intersection node would let later reads miss this commit; Apply is
@@ -768,20 +959,11 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies ~
             match reply with
             | Messages.Vote { commit = false; lock_conflict = false } -> Some n
             | Messages.Vote _ | Messages.Read_ok _ | Messages.Read_abort _
-            | Messages.Sync_rep _ | Messages.Status_rep _ | Messages.Ack ->
+            | Messages.Sync_rep _ | Messages.Status_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
               None)
           replies
       in
-      if stale_witnesses <> [] then begin
-        Metrics.note_read_widening exec.metrics;
-        List.iter
-          (fun witness ->
-            if not (List.mem witness root.extra_read_peers) then
-              trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness ~b:(-1) ~x:0.)
-          (List.sort_uniq Int.compare stale_witnesses);
-        root.extra_read_peers <-
-          List.sort_uniq Int.compare (stale_witnesses @ root.extra_read_peers)
-      end;
+      widen_to_witnesses root stale_witnesses;
       if any_lock_conflict && root.commit_lock_budget > 0 then begin
         (* Ablation knob: a lock conflict may resolve as soon as the holder
            finishes its 2PC; optionally retry the commit before aborting. *)
@@ -811,6 +993,374 @@ and record_commit root ~scope ~window_start =
     in
     Oracle.note_commit oracle ~txn:root.txn_id ~decision:(now root) ~window_start
       ~reads:(reads @ read_bases_of_writes) ~writes
+
+(* --- batch-commit mode (PROTOCOL.md §9) --------------------------------- *)
+
+(* Queue the root for the next batch round.  Its write images are published
+   immediately: queue order is commit order, so successors reading them
+   speculate on exactly the state this entry will install if it commits. *)
+and enqueue_commit root ~scope ~value =
+  let exec = root.exec in
+  (* Early queue validation: if the local image table already holds a newer
+     version than an entry's base, a predecessor in queue order has
+     overwritten this snapshot and the batch round is guaranteed to veto
+     it.  Abort here — at memory speed, before taking a queue slot — so
+     the doomed write images are never published for successors to read
+     (one organic stale entry otherwise seeds a whole cascade of
+     speculation aborts).  Racing siblings of a hot object thus resolve
+     locally: one enqueues, the rest retry against its fresh image. *)
+  let doomed = ref false in
+  let check (e : Rwset.entry) =
+    match Hashtbl.find_opt exec.images e.oid with
+    | Some img when img.img_version > e.version && img.img_txn <> root.txn_id
+      ->
+      doomed := true
+    | Some _ | None -> ()
+  in
+  Rwset.iter scope.rset check;
+  Rwset.iter scope.wset check;
+  if !doomed then root_abort root
+  else begin
+  Rwset.iter scope.wset (fun (e : Rwset.entry) ->
+      set_image exec ~oid:e.oid ~txn:root.txn_id ~version:(e.version + 1)
+        ~value:e.value);
+  exec.batch_queue <-
+    {
+      p_root = root;
+      p_scope = scope;
+      p_value = value;
+      p_txn = root.txn_id;
+      p_generation = root.generation;
+    }
+    :: exec.batch_queue;
+  exec.batch_queue_len <- exec.batch_queue_len + 1;
+  if not exec.batch_inflight then begin
+    if exec.batch_queue_len >= exec.config.batch_size then cut_batch exec
+    else schedule_cut exec ~delay:exec.config.batch_delay
+  end
+  end
+
+(* Re-admit a live entry whose round failed to decide it (lock conflict).
+   It must go to the queue's {e oldest} side, not the newest: readers of its
+   images enqueued while the round was in flight are already in the queue,
+   and batch order must decide the writer before its readers — prepending
+   would invert that and spec-abort every dependent. *)
+and requeue_commit root ~scope ~value =
+  let exec = root.exec in
+  Rwset.iter scope.wset (fun (e : Rwset.entry) ->
+      set_image exec ~oid:e.oid ~txn:root.txn_id ~version:(e.version + 1)
+        ~value:e.value);
+  exec.batch_queue <-
+    exec.batch_queue
+    @ [
+        {
+          p_root = root;
+          p_scope = scope;
+          p_value = value;
+          p_txn = root.txn_id;
+          p_generation = root.generation;
+        };
+      ];
+  exec.batch_queue_len <- exec.batch_queue_len + 1
+
+and schedule_cut exec ~delay =
+  if not exec.batch_cut_scheduled then begin
+    exec.batch_cut_scheduled <- true;
+    Sim.Engine.schedule exec.engine ~delay (fun () ->
+        exec.batch_cut_scheduled <- false;
+        if (not exec.batch_inflight) && exec.batch_queue <> [] then cut_batch exec)
+  end
+
+(* Cut the whole queue into one batch round.  Dead entries (their root was
+   fail-stopped while queued) are dropped here, with their outcome recorded
+   as aborted so speculative readers of their images fail fast. *)
+and cut_batch exec =
+  let entries =
+    List.filter
+      (fun p ->
+        if still_current p.p_root p.p_generation then true
+        else begin
+          record_spec_outcome exec ~txn:p.p_txn ~committed:false;
+          drop_images exec ~txn:p.p_txn ~wset:p.p_scope.wset;
+          false
+        end)
+      (List.rev exec.batch_queue) (* oldest first = commit order *)
+  in
+  exec.batch_queue <- [];
+  exec.batch_queue_len <- 0;
+  match entries with
+  | [] -> ()
+  | first :: _ -> begin
+    (* The round is sent from the oldest entry's node: any member's quorum
+       works (every entry is validated by the same voter set), and the
+       multicall timeout is an engine event, so even that node's death
+       cannot stall the decision. *)
+    let src = first.p_root.node in
+    match exec.quorums.write_quorum ~node:src with
+    | [] ->
+      (* no write quorum constructible right now (wedged / too many
+         failures): requeue everything and retry after a delay *)
+      Metrics.note_quorum_retry exec.metrics;
+      exec.batch_queue <- List.rev entries;
+      exec.batch_queue_len <- List.length entries;
+      schedule_cut exec ~delay:(jittered exec.rng exec.config.request_timeout)
+    | quorum ->
+      let ea = Array.of_list entries in
+      let n = Array.length ea in
+      let quorum_size = List.length quorum in
+      let batch_id = exec.batch_seq in
+      exec.batch_seq <- batch_id + 1;
+      let sent_at = Sim.Engine.now exec.engine in
+      let txns = Array.make n 0 in
+      let rounds = Array.make n 0 in
+      let datasets = Array.make n Messages.empty_dataset in
+      let writes_by_entry = Array.make n Messages.empty_writes in
+      let reads_by_entry = Array.make n [||] in
+      let locks_by_entry = Array.make n [] in
+      for i = 0 to n - 1 do
+        let p = ea.(i) in
+        let root = p.p_root in
+        let scope = p.p_scope in
+        (* Per-entry commit-round stamping, as in send_commit_request: the
+           replica pins granted leases to it, so a stale Release from an
+           abandoned earlier round cannot free a later round's lock. *)
+        root.commit_round <- root.commit_round + 1;
+        txns.(i) <- root.txn_id;
+        rounds.(i) <- root.commit_round;
+        datasets.(i) <-
+          commit_dataset exec ~scope_rset:scope.rset ~scope_wset:scope.wset;
+        let locks = Rwset.oids scope.wset in
+        locks_by_entry.(i) <- locks;
+        root.lock_deadline <-
+          (if exec.config.lease_duration > 0. && locks <> [] then
+             sent_at +. exec.config.lease_duration -. exec.config.lease_safety_margin
+           else Float.infinity);
+        writes_by_entry.(i) <- writes_of_wset scope.wset;
+        reads_by_entry.(i) <- reads_of_rset scope.rset;
+        trace root ~kind:Obs.Sem.batch_entry ~oid:(-1) ~a:batch_id ~b:i ~x:0.;
+        trace root ~kind:Obs.Sem.commit_send ~oid:(-1) ~a:(List.length locks)
+          ~b:quorum_size ~x:0.
+      done;
+      let ds_offsets = Array.make (n + 1) 0 in
+      let wr_offsets = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        ds_offsets.(i + 1) <- ds_offsets.(i) + Messages.dataset_len datasets.(i);
+        wr_offsets.(i + 1) <- wr_offsets.(i) + Messages.writes_len writes_by_entry.(i)
+      done;
+      let dataset =
+        if ds_offsets.(n) = 0 then Messages.empty_dataset
+        else begin
+          let d =
+            {
+              Messages.ds_oids = Array.make ds_offsets.(n) 0;
+              ds_versions = Array.make ds_offsets.(n) 0;
+              ds_owners = Array.make ds_offsets.(n) 0;
+            }
+          in
+          for i = 0 to n - 1 do
+            let s = datasets.(i) in
+            let len = Messages.dataset_len s in
+            Array.blit s.Messages.ds_oids 0 d.Messages.ds_oids ds_offsets.(i) len;
+            Array.blit s.Messages.ds_versions 0 d.Messages.ds_versions
+              ds_offsets.(i) len;
+            Array.blit s.Messages.ds_owners 0 d.Messages.ds_owners ds_offsets.(i)
+              len
+          done;
+          d
+        end
+      in
+      let writes =
+        if wr_offsets.(n) = 0 then Messages.empty_writes
+        else begin
+          let w =
+            {
+              Messages.wr_oids = Array.make wr_offsets.(n) 0;
+              wr_versions = Array.make wr_offsets.(n) 0;
+              wr_values = Array.make wr_offsets.(n) Store.Value.Unit;
+            }
+          in
+          for i = 0 to n - 1 do
+            let s = writes_by_entry.(i) in
+            let len = Messages.writes_len s in
+            Array.blit s.Messages.wr_oids 0 w.Messages.wr_oids wr_offsets.(i) len;
+            Array.blit s.Messages.wr_versions 0 w.Messages.wr_versions
+              wr_offsets.(i) len;
+            Array.blit s.Messages.wr_values 0 w.Messages.wr_values wr_offsets.(i)
+              len
+          done;
+          w
+        end
+      in
+      let decided =
+        match (exec.last_commits, exec.prev_commits) with
+        | [], [] -> [||]
+        | last, prev -> Array.of_list (last @ prev)
+      in
+      Metrics.note_batch exec.metrics ~occupancy:n;
+      trace first.p_root ~kind:Obs.Sem.batch_send ~oid:(-1) ~a:n ~b:quorum_size
+        ~x:0.;
+      let send_epoch = exec.quorums.epoch () in
+      exec.batch_inflight <- true;
+      Sim.Rpc.multicall exec.rpc ~kind:Messages.batch_commit_req_kind ~src
+        ~dsts:quorum ~timeout:exec.config.request_timeout
+        (Messages.Batch_commit_req
+           { txns; rounds; ds_offsets; dataset; wr_offsets; writes; decided })
+        ~on_done:(fun ~replies ~missing ->
+          decide_batch exec ~entries:ea ~writes_by_entry ~reads_by_entry
+            ~locks_by_entry ~quorum ~batch_id ~send_epoch ~sent_at ~replies
+            ~missing)
+  end
+
+(* Decide every entry of a batch round, in queue order.  The multicall
+   timeout is an engine event, so this runs even if the sending node died
+   mid-round — each entry's own liveness is checked individually. *)
+and decide_batch exec ~entries ~writes_by_entry ~reads_by_entry ~locks_by_entry
+    ~quorum ~batch_id ~send_epoch ~sent_at ~replies ~missing =
+  let n = Array.length entries in
+  if missing <> [] || exec.quorums.epoch () <> send_epoch then begin
+    (* A quorum member failed mid-round, or a reconfiguration installed a
+       new view while the votes were in flight: nothing decided.  This is
+       the epoch fence's "uncut tail" — the round is walked away from
+       (Release per entry) and every live entry requeued in order for a
+       fresh cut against refreshed quorums; batches decided earlier stand
+       untouched. *)
+    Metrics.note_quorum_retry exec.metrics;
+    let requeued = ref [] in
+    for i = 0 to n - 1 do
+      let p = entries.(i) in
+      if still_current p.p_root p.p_generation then begin
+        release_locks p.p_root ~quorum ~locks:locks_by_entry.(i);
+        requeued := p :: !requeued
+      end
+      else begin
+        record_spec_outcome exec ~txn:p.p_txn ~committed:false;
+        drop_images exec ~txn:p.p_txn ~wset:p.p_scope.wset
+      end
+    done;
+    (* These entries are older than anything enqueued while the round was
+       in flight: append them at the queue's tail (its oldest side). *)
+    exec.batch_queue <- exec.batch_queue @ !requeued;
+    exec.batch_queue_len <- exec.batch_queue_len + List.length !requeued;
+    exec.batch_inflight <- false;
+    if exec.batch_queue <> [] then
+      schedule_cut exec ~delay:(jittered exec.rng exec.config.ct_retry_delay)
+  end
+  else begin
+    let now_ = Sim.Engine.now exec.engine in
+    let committed_now = ref [] in
+    for i = 0 to n - 1 do
+      let p = entries.(i) in
+      let root = p.p_root in
+      if not (still_current root p.p_generation) then begin
+        (* The root was fail-stopped while the round was in flight.  No
+           Release is sent on its behalf (a dead coordinator cannot speak);
+           its leases expire and replica-side termination resolves them. *)
+        record_spec_outcome exec ~txn:p.p_txn ~committed:false;
+        drop_images exec ~txn:p.p_txn ~wset:p.p_scope.wset
+      end
+      else begin
+        let scope = p.p_scope in
+        let all_commit = ref true in
+        let lock_conflict = ref false in
+        List.iter
+          (fun (voter, reply) ->
+            match reply with
+            | Messages.Batch_commit_rep { commits; conflicts } ->
+              if not commits.(i) then all_commit := false;
+              if conflicts.(i) then lock_conflict := true;
+              if Obs.Tracer.enabled exec.tracer then
+                trace root ~kind:Obs.Sem.vote_recv ~oid:(-1) ~a:voter
+                  ~b:
+                    ((if commits.(i) then 1 else 0)
+                    lor if conflicts.(i) then 2 else 0)
+                  ~x:0.
+            | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+            | Messages.Sync_rep _ | Messages.Status_rep _ | Messages.Ack ->
+              all_commit := false)
+          replies;
+        match dep_status exec root.spec_deps with
+        | `Failed dep | `Undecided dep ->
+          (* A predecessor this entry read from aborted (or was requeued
+             past it — a batch-order violation): the entry read state that
+             never committed and must retry, whatever the replicas voted. *)
+          release_locks root ~quorum ~locks:locks_by_entry.(i);
+          record_spec_outcome exec ~txn:root.txn_id ~committed:false;
+          drop_images exec ~txn:root.txn_id ~wset:scope.wset;
+          trace root ~kind:Obs.Sem.batch_decide ~oid:(-1) ~a:batch_id ~b:0 ~x:0.;
+          speculation_abort root ~dep
+        | `Ok ->
+          if !all_commit && now_ <= root.lock_deadline then begin
+            record_commit root ~scope ~window_start:sent_at;
+            Sim.Rpc.acked_multicast exec.rpc ~kind:Messages.apply_kind
+              ~src:root.node ~dsts:quorum ~timeout:exec.config.request_timeout
+              (Messages.Apply
+                 { txn = root.txn_id; writes = writes_by_entry.(i);
+                   reads = reads_by_entry.(i) });
+            Metrics.note_commit exec.metrics ~latency:(now_ -. root.born);
+            trace root ~kind:Obs.Sem.txn_commit ~oid:(-1) ~a:(-1) ~b:0
+              ~x:(now_ -. root.born);
+            trace root ~kind:Obs.Sem.batch_decide ~oid:(-1) ~a:batch_id ~b:1
+              ~x:0.;
+            record_spec_outcome exec ~txn:root.txn_id ~committed:true;
+            commit_images exec ~txn:root.txn_id ~wset:scope.wset;
+            if locks_by_entry.(i) <> [] then
+              committed_now := root.txn_id :: !committed_now;
+            finish root (Committed p.p_value)
+          end
+          else if !all_commit then begin
+            (* votes arrived past the coordinator's lease horizon *)
+            Metrics.note_commit_deadline_abort exec.metrics;
+            trace root ~kind:Obs.Sem.deadline_abort ~oid:(-1) ~a:(-1) ~b:(-1)
+              ~x:root.lock_deadline;
+            release_locks root ~quorum ~locks:locks_by_entry.(i);
+            record_spec_outcome exec ~txn:root.txn_id ~committed:false;
+            drop_images exec ~txn:root.txn_id ~wset:scope.wset;
+            trace root ~kind:Obs.Sem.batch_decide ~oid:(-1) ~a:batch_id ~b:0
+              ~x:0.;
+            root_abort root
+          end
+          else begin
+            release_locks root ~quorum ~locks:locks_by_entry.(i);
+            let stale_witnesses =
+              List.filter_map
+                (fun (voter, reply) ->
+                  match reply with
+                  | Messages.Batch_commit_rep { commits; conflicts } ->
+                    if (not commits.(i)) && not conflicts.(i) then Some voter
+                    else None
+                  | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+                  | Messages.Sync_rep _ | Messages.Status_rep _ | Messages.Ack ->
+                    None)
+                replies
+            in
+            widen_to_witnesses root stale_witnesses;
+            if !lock_conflict && root.commit_lock_budget > 0 then begin
+              (* The conflict may clear by the next round (e.g. a foreign
+                 Apply still in flight): straight back into the queue, on
+                 its oldest side so the entry still decides before any
+                 reader of its images.  No outcome is recorded and the
+                 images are republished — readers still legitimately
+                 depend on this entry. *)
+              root.commit_lock_budget <- root.commit_lock_budget - 1;
+              requeue_commit root ~scope ~value:p.p_value
+            end
+            else begin
+              record_spec_outcome exec ~txn:root.txn_id ~committed:false;
+              drop_images exec ~txn:root.txn_id ~wset:scope.wset;
+              trace root ~kind:Obs.Sem.batch_decide ~oid:(-1) ~a:batch_id ~b:0
+                ~x:0.;
+              root_abort root
+            end
+          end
+      end
+    done;
+    exec.prev_commits <- exec.last_commits;
+    exec.last_commits <- !committed_now;
+    exec.batch_inflight <- false;
+    (* keep the pipeline full: anything queued while this round was in
+       flight (or requeued on a lock conflict above) cuts immediately *)
+    if exec.batch_queue <> [] then cut_batch exec
+  end
 
 and finish root outcome =
   if not root.finished then begin
@@ -847,6 +1397,7 @@ and spawn_root t ~node ~program ~on_done =
       last_validation_sent = Sim.Engine.now t.engine;
       lock_deadline = Float.infinity;
       extra_read_peers = [];
+      spec_deps = [];
       commit_lock_budget = t.config.commit_lock_retries;
       commit_round = 0;
       compensations = [];

@@ -43,10 +43,18 @@ val create :
   config:Config.t ->
   metrics:Metrics.t ->
   ?oracle:Oracle.t ->
+  ?batch_commit:bool ->
   ids:Ids.gen ->
   seed:int ->
   unit ->
   t
+(** [batch_commit] (default [false]) turns on queue-oriented speculative
+    batch commit (PROTOCOL.md §9): roots reaching their commit point are
+    enqueued, cut into batches of up to {!Config.batch_size} (or after
+    {!Config.batch_delay} ms), and decided by one quorum round per batch;
+    queued successors read predecessors' uncommitted write images and abort
+    speculatively if a predecessor fails.  Off, the executor behaves
+    byte-identically to the sequential per-transaction 2PC. *)
 
 type outcome =
   | Committed of Txn.value

@@ -129,6 +129,28 @@ type request =
          per-object maximum of the outgoing view's committed state to every
          member of the incoming view; merged version-guarded (sync_copy),
          so duplicates and stale rows are harmless *)
+  | Batch_commit_req of {
+      txns : Ids.txn_id array;  (* one entry per queued transaction, queue order *)
+      rounds : int array;  (* per-entry commit round (lease pinning, as Commit_req) *)
+      ds_offsets : int array;
+          (* length n+1: entry i's data-set rows are [ds_offsets.(i),
+             ds_offsets.(i+1)) of [dataset] *)
+      dataset : dataset;  (* all entries' data-sets, concatenated *)
+      wr_offsets : int array;  (* length n+1, segments of [writes] as above *)
+      writes : writes;
+          (* all entries' write-sets, concatenated; an entry's lock set is
+             its segment's oids (the write set IS what Commit_req locks) *)
+      decided : Ids.txn_id array;
+          (* transactions committed in recent batch rounds whose Applies may
+             still be in flight: a lease they hold here is moribund (their
+             Apply will release it version-guarded), so a batch entry that
+             read PAST their write may take the lease over instead of
+             conflicting on it *)
+    }
+      (* one quorum round for a whole commit queue: replicas validate and
+         lock the entries in order, each against the overlay of its
+         locally-valid predecessors, so a batch of chained speculative
+         transactions votes in a single round trip *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
@@ -140,6 +162,10 @@ type reply =
          [objects]: its current copies of the queried oids, so a decided
          commit's write can be adopted by the asking replica *)
   | Ack  (* acknowledges idempotent one-way messages (Apply, Release) *)
+  | Batch_commit_rep of { commits : bool array; conflicts : bool array }
+      (* per-entry votes, indexed like the request's [txns]; [conflicts]
+         mirrors Vote.lock_conflict (the entry failed on a foreign lease,
+         not hopeless staleness) *)
 
 (* Accounting labels, interned once at module load so the network layer
    counts messages with an array increment rather than a string lookup. *)
@@ -150,6 +176,7 @@ let release_kind = Sim.Network.Kind.intern "release"
 let sync_req_kind = Sim.Network.Kind.intern "sync_req"
 let status_req_kind = Sim.Network.Kind.intern "status_req"
 let handoff_kind = Sim.Network.Kind.intern "handoff"
+let batch_commit_req_kind = Sim.Network.Kind.intern "batch_commit_req"
 
 let kind_token_of_request = function
   | Read_req _ -> read_req_kind
@@ -159,5 +186,6 @@ let kind_token_of_request = function
   | Sync_req -> sync_req_kind
   | Status_req _ -> status_req_kind
   | Handoff _ -> handoff_kind
+  | Batch_commit_req _ -> batch_commit_req_kind
 
 let kind_of_request request = Sim.Network.Kind.name (kind_token_of_request request)

@@ -90,6 +90,30 @@ type request =
           the outgoing view, pushed to every member of the incoming view and
           merged version-guarded ([sync_copy]) — idempotent, so at-least-once
           delivery and stale rows are harmless *)
+  | Batch_commit_req of {
+      txns : Ids.txn_id array;  (** one entry per queued transaction, queue order *)
+      rounds : int array;  (** per-entry commit round (lease pinning, as [Commit_req]) *)
+      ds_offsets : int array;
+          (** length n+1: entry i's data-set rows are
+              [[ds_offsets.(i), ds_offsets.(i+1))] of [dataset] *)
+      dataset : dataset;  (** all entries' data-sets, concatenated *)
+      wr_offsets : int array;  (** length n+1, segments of [writes] as above *)
+      writes : writes;
+          (** all entries' write-sets, concatenated; an entry's lock set is
+              its segment's oids (the write set IS what [Commit_req] locks) *)
+      decided : Ids.txn_id array;
+          (** transactions committed in recent batch rounds whose Applies
+              may still be in flight: a lease they hold is moribund (their
+              Apply will release it version-guarded), so a batch entry that
+              read {e past} their write may take the lease over instead of
+              conflicting on it *)
+    }
+      (** batch-commit mode: one quorum round for a whole commit queue.
+          Replicas validate and lock the entries in queue order, each
+          against the overlay of its locally-valid predecessors, handing
+          in-batch leases from predecessor to successor, so a chain of
+          speculative transactions votes in a single round trip
+          (PROTOCOL.md §9) *)
 
 type reply =
   | Read_ok of { oid : Ids.obj_id; version : int; value : Txn.value }
@@ -110,6 +134,10 @@ type reply =
   | Ack
       (** acknowledges the idempotent one-way messages (Apply / Release) so
           they can be retransmitted over lossy links *)
+  | Batch_commit_rep of { commits : bool array; conflicts : bool array }
+      (** per-entry votes, indexed like the request's [txns]; [conflicts]
+          mirrors [Vote.lock_conflict] (the entry failed on a foreign
+          lease, not hopeless staleness) *)
 
 (** {2 Message-accounting labels}
 
@@ -125,6 +153,7 @@ val release_kind : Sim.Network.Kind.t
 val sync_req_kind : Sim.Network.Kind.t
 val status_req_kind : Sim.Network.Kind.t
 val handoff_kind : Sim.Network.Kind.t
+val batch_commit_req_kind : Sim.Network.Kind.t
 
 val kind_token_of_request : request -> Sim.Network.Kind.t
 (** The interned accounting label of a request. *)

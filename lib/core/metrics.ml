@@ -21,6 +21,10 @@ type t = {
   mutable read_widenings : int;
   mutable stalls_detected : int;
   mutable view_changes : int;
+  mutable speculative_reads : int;
+  mutable speculation_aborts : int;
+  mutable batches : int;
+  mutable batch_occupancy : Util.Stats.t;
 }
 
 let create () =
@@ -47,6 +51,10 @@ let create () =
     commit_deadline_aborts = 0;
     stalls_detected = 0;
     view_changes = 0;
+    speculative_reads = 0;
+    speculation_aborts = 0;
+    batches = 0;
+    batch_occupancy = Util.Stats.create ();
   }
 
 let reset t =
@@ -71,7 +79,11 @@ let reset t =
   t.read_widenings <- 0;
   t.commit_deadline_aborts <- 0;
   t.stalls_detected <- 0;
-  t.view_changes <- 0
+  t.view_changes <- 0;
+  t.speculative_reads <- 0;
+  t.speculation_aborts <- 0;
+  t.batches <- 0;
+  t.batch_occupancy <- Util.Stats.create ()
 
 let note_commit t ~latency =
   t.commits <- t.commits + 1;
@@ -106,6 +118,15 @@ let note_commit_deadline_abort t =
   t.commit_deadline_aborts <- t.commit_deadline_aborts + 1
 
 let note_stall t = t.stalls_detected <- t.stalls_detected + 1
+let note_speculative_read t = t.speculative_reads <- t.speculative_reads + 1
+
+let note_speculation_abort t =
+  (* a speculation abort is also a root abort (the attempt retries) *)
+  t.speculation_aborts <- t.speculation_aborts + 1
+
+let note_batch t ~occupancy =
+  t.batches <- t.batches + 1;
+  Util.Stats.add t.batch_occupancy (Float.of_int occupancy)
 let note_view_change t = t.view_changes <- t.view_changes + 1
 
 let commits t = t.commits
@@ -129,6 +150,15 @@ let read_widenings t = t.read_widenings
 let commit_deadline_aborts t = t.commit_deadline_aborts
 let stalls_detected t = t.stalls_detected
 let view_changes t = t.view_changes
+let speculative_reads t = t.speculative_reads
+let speculation_aborts t = t.speculation_aborts
+let batches t = t.batches
+let batch_occupancy_stats t = t.batch_occupancy
+
+let batch_occupancy_percentile t p =
+  if Util.Stats.count t.batch_occupancy = 0 then 0.
+  else Util.Stats.percentile t.batch_occupancy p
+
 let recovery_time_stats t = t.recovery_times
 let latency_stats t = t.latencies
 

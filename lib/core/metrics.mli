@@ -64,6 +64,20 @@ val note_stall : t -> unit
 val note_view_change : t -> unit
 (** A reconfiguration installed a new membership view (epoch bump). *)
 
+val note_speculative_read : t -> unit
+(** Batch mode: a read was served from a queued transaction's write image
+    instead of a remote quorum round. *)
+
+val note_speculation_abort : t -> unit
+(** Batch mode: a speculative transaction aborted because a predecessor it
+    read from failed to commit.  Distinct from plain conflict aborts so
+    speculation retries are not misread as contention; the retry's root
+    abort is counted separately by {!note_root_abort}. *)
+
+val note_batch : t -> occupancy:int -> unit
+(** Batch mode: one batch quorum round was sent carrying [occupancy]
+    queued transactions. *)
+
 val commits : t -> int
 (** All commits, including read-only. *)
 
@@ -90,6 +104,18 @@ val commit_deadline_aborts : t -> int
 val read_widenings : t -> int
 val stalls_detected : t -> int
 val view_changes : t -> int
+val speculative_reads : t -> int
+val speculation_aborts : t -> int
+
+val batches : t -> int
+(** Batch quorum rounds sent. *)
+
+val batch_occupancy_stats : t -> Util.Stats.t
+(** Transactions carried per batch round. *)
+
+val batch_occupancy_percentile : t -> float -> float
+(** Batch-occupancy percentile (e.g. [50.], [95.]); 0 when no batches have
+    been sent. *)
 
 val recovery_time_stats : t -> Util.Stats.t
 (** Restart-to-re-admission durations of completed recoveries. *)

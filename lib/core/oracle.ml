@@ -62,7 +62,15 @@ let check_version_sequences commits table =
     (fun oid versions acc ->
       let* () = acc in
       let ordered =
-        List.sort (fun (_, t1) (_, t2) -> Float.compare t1 t2) versions
+        (* Equal decision times tie-break by version: a batch round decides
+           a chain of consecutive versions at one instant (its multi-version
+           install is atomic), and version order IS its commit order.
+           Duplicate installs of one version are still caught above by the
+           [version_times] uniqueness check. *)
+        List.sort
+          (fun (v1, t1) (v2, t2) ->
+            match Float.compare t1 t2 with 0 -> compare v1 v2 | c -> c)
+          versions
       in
       let rec consecutive expected = function
         | [] -> Ok ()

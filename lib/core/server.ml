@@ -121,7 +121,7 @@ let commit_evidence t ~held ~replies =
     match reply with
     | Messages.Status_rep { committed; objects } -> f ~committed ~objects
     | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
-    | Messages.Sync_rep _ | Messages.Ack ->
+    | Messages.Sync_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
       false
   in
   if List.exists (status_rep (fun ~committed ~objects:_ -> committed)) replies then
@@ -156,7 +156,7 @@ let rescue_commit t term ~txn ~oids ~replies ~evidence =
               Store.Replica.sync_copy t.store ~oid ~version ~value)
           objects
       | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
-      | Messages.Sync_rep _ | Messages.Ack ->
+      | Messages.Sync_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
         ())
     replies;
   release_lease t ~txn ~oids:(still_held t ~txn oids)
@@ -239,7 +239,14 @@ let watch_granted t ~txn ~oids ~expires =
   | Some _ | None -> ()
 
 let enable_termination t ~engine ~rpc ~status_peers ~metrics ~config =
-  t.termination <- Some { engine; rpc; status_peers; metrics; config }
+  t.termination <- Some { engine; rpc; status_peers; metrics; config };
+  (* A lease restored from a batch handover may have outlived the watcher
+     armed at its original grant (the watcher dies when [still_held] sees
+     the successor as owner), so re-arm one: left unwatched, a restored
+     lease would block readers forever — expiry is only enforced by the
+     status protocol. *)
+  Store.Replica.set_on_restore t.store (fun ~oid ~owner ~expires ->
+      watch_granted t ~txn:owner ~oids:[ oid ] ~expires)
 
 (* --- request handlers --------------------------------------------------- *)
 
@@ -296,6 +303,165 @@ let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks ~round =
     end
     else Some (Messages.Vote { commit = false; lock_conflict = true })
   end
+
+(* --- batch commit (PROTOCOL.md §9) -------------------------------------- *)
+
+(* Validate and lock a whole commit queue in one quorum round.  Entries are
+   processed in queue order; each validates against an overlay of the
+   versions its locally-valid predecessors will install, so a chain of
+   speculative transactions (each having read the previous one's
+   uncommitted write image) votes commit in a single round trip.  Leases
+   move down the chain: when a locally-valid predecessor holds the
+   in-batch lease on an object a later entry also writes, the grant is
+   handed over to the successor (the predecessor's second phase stays
+   safe — Apply installs version-guarded and its Release is round-guarded,
+   so out-of-order arrivals compose).  Invalid entries leave no trace:
+   they touch neither overlay nor locks, so their successors validate
+   against the store exactly as if the entry had never been queued —
+   mirroring the coordinator, which aborts them without applying. *)
+let handle_batch_commit t ~(txns : Ids.txn_id array) ~(rounds : int array)
+    ~(ds_offsets : int array) ~(dataset : Messages.dataset)
+    ~(wr_offsets : int array) ~(writes : Messages.writes)
+    ~(decided : Ids.txn_id array) =
+  let n = Array.length txns in
+  let commits = Array.make n false in
+  let conflicts = Array.make n false in
+  (* oid -> version the latest locally-valid predecessor installs *)
+  let overlay : (Ids.obj_id, int) Hashtbl.t = Hashtbl.create 16 in
+  (* oid -> batch entry currently holding the in-batch lease *)
+  let chain : (Ids.obj_id, Ids.txn_id) Hashtbl.t = Hashtbl.create 16 in
+  let decided_owner o = Array.exists (fun d -> d = o) decided in
+  let expires = lease_expiry t in
+  for i = 0 to n - 1 do
+    let txn = txns.(i) in
+    (* the batch is heartbeat traffic for every queued transaction *)
+    if leases_on t then Store.Replica.renew t.store ~txn ~expires;
+    t.validations_run <- t.validations_run + 1;
+    (* In-batch leases are not conflicts: predecessors hand them over.
+       Neither is a moribund lease of a [decided] transaction — but only
+       when the reader's base version is strictly ahead of the version
+       visible here ([row > visible]), i.e. it read past the decided write.
+       At [row = visible] the reader saw the pre-commit value, and the
+       lease must veto it exactly as in the vote-to-apply window of the
+       sequential protocol. *)
+    let lease_blocks oid ~row ~visible =
+      match Store.Replica.lease_of t.store oid with
+      | Some lease ->
+        let owner = lease.Store.Replica.owner in
+        owner <> txn
+        && (match Hashtbl.find_opt chain oid with
+           | Some holder -> owner <> holder
+           | None -> true)
+        && not (decided_owner owner && row > visible)
+      | None -> false
+    in
+    let visible oid =
+      match Hashtbl.find_opt overlay oid with
+      | Some v -> Some v
+      | None ->
+        if Store.Replica.mem t.store oid then
+          Some (Store.Replica.version t.store oid)
+        else None
+    in
+    let valid = ref true in
+    let lo = ds_offsets.(i) and hi = ds_offsets.(i + 1) in
+    let r = ref lo in
+    while !valid && !r < hi do
+      let oid = dataset.ds_oids.(!r) in
+      let row = dataset.ds_versions.(!r) in
+      (match visible oid with
+      | None -> valid := false
+      | Some v -> if row < v || lease_blocks oid ~row ~visible:v then valid := false);
+      if !valid then incr r
+    done;
+    if not !valid then begin
+      t.validations_failed <- t.validations_failed + 1;
+      (* Mirror handle_commit's conflict probe: a foreign lease on a
+         not-yet-superseded read is retryable; staleness is hopeless. *)
+      let j = ref lo in
+      while (not conflicts.(i)) && !j < hi do
+        let oid = dataset.ds_oids.(!j) in
+        let row = dataset.ds_versions.(!j) in
+        (match visible oid with
+        | Some v when v <= row && lease_blocks oid ~row ~visible:v ->
+          conflicts.(i) <- true
+        | Some _ | None -> ());
+        incr j
+      done
+    end
+    else begin
+      let wlo = wr_offsets.(i) and whi = wr_offsets.(i + 1) in
+      let rec lock_all acquired r =
+        if r >= whi then true
+        else begin
+          let oid = writes.wr_oids.(r) in
+          if not (Store.Replica.mem t.store oid) then lock_all acquired (r + 1)
+          else begin
+            (* Hand the lease down the chain — from the in-batch
+               predecessor, or from a [decided] owner whose Apply (which
+               would release it) is still in flight.  The write base was
+               validated above, and a base read past a decided write has
+               [row > visible], so the override already vetted this.  The
+               displaced lease is kept ([Replica.handover]): it may be the
+               only protection for a committed write whose Apply was lost,
+               and releasing the successor (speculation abort, requeue)
+               must restore it, not strand the object unleased. *)
+            let prev_owner =
+              match Store.Replica.lease_of t.store oid with
+              | Some lease ->
+                let owner = lease.Store.Replica.owner in
+                if
+                  owner <> txn
+                  && ((match Hashtbl.find_opt chain oid with
+                      | Some holder -> owner = holder
+                      | None -> false)
+                     || decided_owner owner)
+                then Some owner
+                else None
+              | None -> None
+            in
+            let locked =
+              match prev_owner with
+              | Some prev_owner ->
+                Store.Replica.handover ~expires ~round:rounds.(i) t.store ~oid
+                  ~prev_owner ~txn
+              | None ->
+                Store.Replica.try_lock ~expires ~round:rounds.(i) t.store ~oid ~txn
+            in
+            if locked then lock_all (oid :: acquired) (r + 1)
+            else begin
+              (* Unreachable in a synchronous handler (validation already
+                 rejected foreign leases); stay defensive like
+                 handle_commit and roll back round-guarded. *)
+              List.iter
+                (fun o -> Store.Replica.unlock ~round:rounds.(i) t.store ~oid:o ~txn)
+                acquired;
+              false
+            end
+          end
+        end
+      in
+      if lock_all [] wlo then begin
+        let locked = ref [] in
+        for r = whi - 1 downto wlo do
+          let oid = writes.wr_oids.(r) in
+          if Store.Replica.mem t.store oid then begin
+            Hashtbl.replace chain oid txn;
+            Hashtbl.replace overlay oid writes.wr_versions.(r);
+            locked := oid :: !locked
+          end
+        done;
+        if !locked <> [] then watch_granted t ~txn ~oids:!locked ~expires;
+        commits.(i) <- true
+      end
+      else conflicts.(i) <- true
+    end;
+    trace t ~kind:Obs.Sem.vote ~txn ~oid:(-1)
+      ~a:(if commits.(i) then 1 else 0)
+      ~b:(if conflicts.(i) then 1 else 0)
+      ~x:0.
+  done;
+  Messages.Batch_commit_rep { commits; conflicts }
 
 let trace_vote t ~txn reply =
   (match reply with
@@ -369,6 +535,8 @@ let request_txn = function
   | Messages.Apply { txn; _ } -> Some txn
   | Messages.Release { txn; _ } -> Some txn
   | Messages.Sync_req | Messages.Status_req _ | Messages.Handoff _ -> None
+  (* per-entry renewal happens inside handle_batch_commit *)
+  | Messages.Batch_commit_req _ -> None
 
 let handle t ~src:_ request =
   (* Any traffic from a transaction is a heartbeat for the leases it holds
@@ -401,3 +569,8 @@ let handle t ~src:_ request =
     (* Acked so the reconfiguration orchestrator can retransmit over lossy
        links; the merge is idempotent. *)
     Some Messages.Ack
+  | Messages.Batch_commit_req
+      { txns; rounds; ds_offsets; dataset; wr_offsets; writes; decided } ->
+    Some
+      (handle_batch_commit t ~txns ~rounds ~ds_offsets ~dataset ~wr_offsets
+         ~writes ~decided)

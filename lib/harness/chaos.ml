@@ -354,7 +354,7 @@ let stall_window (config : Config.t) events =
   2. *. (termination +. Float.max longest_fault crash_outages) +. 1_000.
 
 let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
-    ?(rolling = false) knobs ~seed =
+    ?(batch_commit = false) ?(rolling = false) knobs ~seed =
   let config =
     match config with Some c -> c | None -> Config.default Config.Closed
   in
@@ -363,7 +363,7 @@ let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
   in
   let cluster =
     Cluster.create ~nodes:knobs.nodes ~spares:knobs.spares ~seed
-      ~read_level:knobs.read_level ~tracer ~batch_fanout config
+      ~read_level:knobs.read_level ~tracer ~batch_fanout ~batch_commit config
   in
   let params =
     {
@@ -465,8 +465,9 @@ let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
     final_epoch = Cluster.epoch cluster;
   }
 
-let run_many ?config ?rolling knobs ~seed ~runs =
-  List.init runs (fun i -> run_one ?config ?rolling knobs ~seed:(seed + i))
+let run_many ?config ?batch_commit ?rolling knobs ~seed ~runs =
+  List.init runs (fun i ->
+      run_one ?config ?batch_commit ?rolling knobs ~seed:(seed + i))
 
 (* Offline protocol-invariant pass over a traced run.  Chaos schedules
    change the membership view mid-run, and the structural write-quorum rule

@@ -89,6 +89,7 @@ val run_one :
   ?config:Core.Config.t ->
   ?tracer:Obs.Tracer.t ->
   ?batch_fanout:bool ->
+  ?batch_commit:bool ->
   ?rolling:bool ->
   knobs ->
   seed:int ->
@@ -97,14 +98,22 @@ val run_one :
     threads a lifecycle tracer through the cluster; tracing never perturbs
     the run, so re-running a failing seed with a tracer reproduces it
     exactly.  [batch_fanout] (default on) toggles the network's wave
-    batching; verdicts are byte-identical either way.  [rolling] swaps the
-    random schedule for {!generate_rolling}'s full rolling restart.
-    Clients are membership-aware: one whose home node was decommissioned
-    resubmits through the next member up (a {e crashed} home is still a
-    member, so crash-death semantics are unchanged). *)
+    batching; verdicts are byte-identical either way.  [batch_commit]
+    (default off) runs the cluster in speculative batch-commit mode
+    (PROTOCOL.md §9) — the same oracles and watchdog apply.  [rolling]
+    swaps the random schedule for {!generate_rolling}'s full rolling
+    restart.  Clients are membership-aware: one whose home node was
+    decommissioned resubmits through the next member up (a {e crashed}
+    home is still a member, so crash-death semantics are unchanged). *)
 
 val run_many :
-  ?config:Core.Config.t -> ?rolling:bool -> knobs -> seed:int -> runs:int -> result list
+  ?config:Core.Config.t ->
+  ?batch_commit:bool ->
+  ?rolling:bool ->
+  knobs ->
+  seed:int ->
+  runs:int ->
+  result list
 (** Seeds [seed .. seed + runs - 1], sequentially. *)
 
 val check_trace : knobs -> Obs.Tracer.t -> Obs.Checker.violation list

@@ -19,6 +19,10 @@ type result = {
   p50_latency : float;
   p95_latency : float;
   p99_latency : float;
+  speculation_aborts : int;
+  batches : int;
+  batch_occupancy_p50 : float;
+  batch_occupancy_p95 : float;
   invariant : (unit, string) Stdlib.result;
   consistent : (unit, string) Stdlib.result;
 }
@@ -50,6 +54,10 @@ type snapshot = {
   s_p50 : float;
   s_p95 : float;
   s_p99 : float;
+  s_spec_aborts : int;
+  s_batches : int;
+  s_occ_p50 : float;
+  s_occ_p95 : float;
 }
 
 let snapshot_of metrics ~messages ~by_kind =
@@ -69,6 +77,10 @@ let snapshot_of metrics ~messages ~by_kind =
     s_p50 = Metrics.latency_percentile metrics 50.;
     s_p95 = Metrics.latency_percentile metrics 95.;
     s_p99 = Metrics.latency_percentile metrics 99.;
+    s_spec_aborts = Metrics.speculation_aborts metrics;
+    s_batches = Metrics.batches metrics;
+    s_occ_p50 = Metrics.batch_occupancy_percentile metrics 50.;
+    s_occ_p95 = Metrics.batch_occupancy_percentile metrics 95.;
   }
 
 let result_of_snapshot ~label ~duration ~invariant ~consistent s =
@@ -94,17 +106,21 @@ let result_of_snapshot ~label ~duration ~invariant ~consistent s =
     p50_latency = s.s_p50;
     p95_latency = s.s_p95;
     p99_latency = s.s_p99;
+    speculation_aborts = s.s_spec_aborts;
+    batches = s.s_batches;
+    batch_occupancy_p50 = s.s_occ_p50;
+    batch_occupancy_p95 = s.s_occ_p95;
     invariant;
     consistent;
   }
 
 let run ?(nodes = 13) ?(spares = 0) ?(seed = 97) ?(read_level = 1) ?(clients = 26)
     ?(warmup = 2_000.) ?(duration = 30_000.) ?(with_oracle = true) ?(service_time = 0.25)
-    ?client_nodes ?prepare ?(tracer = Obs.Tracer.null) ?(batch_fanout = true) ?telemetry
-    ~config ~benchmark ~params () =
+    ?client_nodes ?prepare ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
+    ?(batch_commit = false) ?telemetry ~config ~benchmark ~params () =
   let cluster =
     Cluster.create ~nodes ~spares ~seed ~read_level ~service_time ~with_oracle ~tracer
-      ~batch_fanout config
+      ~batch_fanout ~batch_commit config
   in
   let instance = (benchmark : Benchmarks.Workload.benchmark).setup cluster params in
   Option.iter (fun f -> f cluster) prepare;
@@ -155,7 +171,9 @@ let run ?(nodes = 13) ?(spares = 0) ?(seed = 97) ?(read_level = 1) ?(clients = 2
         ~aborts:(Metrics.total_aborts metrics)
         ~in_flight:(List.length (Cluster.in_flight cluster))
         ~lease_expirations:(Metrics.lease_expirations metrics)
-        ~by_kind:(Cluster.messages_by_kind cluster)
+        ~speculation_aborts:(Metrics.speculation_aborts metrics)
+        ~batches:(Metrics.batches metrics)
+        ~by_kind:(Cluster.messages_by_kind cluster) ()
     in
     sample ();
     while Sim.Engine.pending engine > 0 do

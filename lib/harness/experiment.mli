@@ -25,6 +25,11 @@ type result = {
   p50_latency : float;
   p95_latency : float;
   p99_latency : float;
+  speculation_aborts : int;
+      (** batch mode: retries forced by a failed predecessor (0 sequential) *)
+  batches : int;  (** batch quorum rounds sent (0 sequential) *)
+  batch_occupancy_p50 : float;  (** median transactions per batch round *)
+  batch_occupancy_p95 : float;
   invariant : (unit, string) Stdlib.result;
   consistent : (unit, string) Stdlib.result;
 }
@@ -45,6 +50,7 @@ val run :
   ?prepare:(Core.Cluster.t -> unit) ->
   ?tracer:Obs.Tracer.t ->
   ?batch_fanout:bool ->
+  ?batch_commit:bool ->
   ?telemetry:Obs.Telemetry.t ->
   config:Core.Config.t ->
   benchmark:Benchmarks.Workload.benchmark ->

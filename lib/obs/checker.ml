@@ -36,6 +36,14 @@ let check ?is_write_quorum events =
   (* rescue-evidence: txns with commit evidence seen so far. *)
   let evidence : (int, unit) Hashtbl.t = Hashtbl.create 64 in
 
+  (* batch-order: each txn's (batch id, queue position) from batch.entry;
+     the last decided position per batch; per-txn batch outcomes; and the
+     still-undecided predecessors each speculative reader depends on. *)
+  let batch_entry_of : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let last_decided : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let batch_outcome : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let spec_deps_of : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+
   (* widen-read: txn -> flagged witness set; txn -> open read fan-out. *)
   let witnesses : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
   let open_group : (int, float * int * int list ref * int list) Hashtbl.t =
@@ -144,7 +152,69 @@ let check ?is_write_quorum events =
         | Some owner when owner = e.txn || e.txn < 0 -> Hashtbl.remove leases key
         | _ -> ()
       end
+      else if k = Sem.batch_entry then
+        Hashtbl.replace batch_entry_of e.txn (e.a, e.b)
+      else if k = Sem.spec_read then begin
+        (* b = 1 marks an undecided predecessor: a true speculative
+           dependency.  b = 0 images are already-committed state. *)
+        if e.b = 1 then begin
+          match Hashtbl.find_opt spec_deps_of e.txn with
+          | Some l -> if not (List.mem e.a !l) then l := e.a :: !l
+          | None -> Hashtbl.replace spec_deps_of e.txn (ref [ e.a ])
+        end
+      end
+      else if k = Sem.batch_decide then begin
+        (* (a) within one batch, entries decide in strictly increasing
+           queue order — decide order IS version-install order, so a
+           regression would apply versions against queue order. *)
+        (match Hashtbl.find_opt batch_entry_of e.txn with
+        | Some (batch, pos) when batch = e.a ->
+          (match Hashtbl.find_opt last_decided batch with
+          | Some (last, other) when pos <= last ->
+            report "batch-order" e.time e.txn
+              (Printf.sprintf
+                 "batch %d decided queue position %d after position %d (txn \
+                  %d): applied versions would not respect queue order"
+                 batch pos last other)
+          | Some _ | None -> ());
+          Hashtbl.replace last_decided batch (pos, e.txn)
+        | Some (batch, _) ->
+          report "batch-order" e.time e.txn
+            (Printf.sprintf "decided in batch %d but last cut into batch %d"
+               e.a batch)
+        | None ->
+          report "batch-order" e.time e.txn
+            (Printf.sprintf "decided in batch %d without a batch.entry" e.a));
+        Hashtbl.replace batch_outcome e.txn (e.b = 1);
+        (* (b) a speculative txn never commits in a round its predecessor
+           aborted in (or before the predecessor is decided at all). *)
+        if e.b = 1 then begin
+          match Hashtbl.find_opt spec_deps_of e.txn with
+          | Some deps ->
+            List.iter
+              (fun w ->
+                match Hashtbl.find_opt batch_outcome w with
+                | Some true -> ()
+                | Some false ->
+                  report "batch-order" e.time e.txn
+                    (Printf.sprintf
+                       "speculative txn committed though predecessor %d it \
+                        read from aborted" w)
+                | None ->
+                  report "batch-order" e.time e.txn
+                    (Printf.sprintf
+                       "speculative txn committed before predecessor %d it \
+                        read from was decided" w))
+              !deps
+          | None -> ()
+        end
+      end
       else if k = Sem.txn_partial_abort then begin
+        (* A partial abort may roll speculative reads back with the scope;
+           the surviving dependency set is not reconstructible from the
+           trace, so drop the txn's deps (conservative: misses violations,
+           never fabricates one — re-executed reads re-record theirs). *)
+        Hashtbl.remove spec_deps_of e.txn;
         (match Hashtbl.find_opt pending_unwind e.txn with
         | Some target ->
           report "partial-abort-scope" e.time e.txn

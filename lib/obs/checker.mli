@@ -30,6 +30,14 @@
     - [widen-read]: once a stale witness is flagged ([widen.add]), every
       subsequent read fan-out by that transaction must include all
       currently-flagged witnesses (until they are pruned by [widen.drop]).
+    - [batch-order]: within one batch round ([batch.decide] events sharing
+      a batch id), entries decide in strictly increasing queue position —
+      decide order is version-install order, so a regression would apply
+      versions against queue order.  And a speculative transaction (one
+      with a [spec.read] of an undecided predecessor's image, [b = 1])
+      never commits in a round its predecessor aborted in, nor before the
+      predecessor is decided at all.  Traces from sequential-commit runs
+      have no batch events and are vacuously clean.
 
     Traces with ring-buffer overflow ({!Tracer.dropped} > 0) have lost
     prefix events and can produce false positives — callers should size the

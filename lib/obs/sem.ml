@@ -26,6 +26,27 @@ let commit_send = Kind.intern "commit.send" (* a = #locks; b = quorum size *)
 let vote_recv = Kind.intern "vote.recv" (* a = voter; b = bit0 commit, bit1 lock-conflict *)
 let deadline_abort = Kind.intern "deadline.abort" (* x = lease deadline *)
 
+(* -- Batch-commit mode (emitted by Core.Executor; PROTOCOL.md §9). -- *)
+
+let spec_read = Kind.intern "spec.read"
+(* oid served from a queued write image; a = writer txn, b = 1 if the
+   writer is still undecided (a speculative dependency) / 0 committed *)
+
+let batch_entry = Kind.intern "batch.entry"
+(* txn cut into a batch; a = batch id, b = queue position *)
+
+let batch_send = Kind.intern "batch.send"
+(* node = coordinator the round is sent from; a = batch occupancy,
+   b = quorum size; txn = first entry *)
+
+let batch_decide = Kind.intern "batch.decide"
+(* per-entry outcome of a batch round, emitted in queue order;
+   a = batch id, b = 1 commit / 0 abort *)
+
+let spec_abort = Kind.intern "spec.abort"
+(* speculation failed: a predecessor this txn read from did not commit;
+   a = the failed predecessor's txn id *)
+
 (* -- Server / replica side (emitted by Core.Server and Store.Replica;
       [node] = the replica). -- *)
 

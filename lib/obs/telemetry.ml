@@ -4,6 +4,8 @@ type sample = {
   s_aborts : int;
   s_in_flight : int;
   s_lease_exp : int;
+  s_spec_aborts : int;
+  s_batches : int;
   s_by_kind : (string * int) list;
 }
 
@@ -15,7 +17,8 @@ let create ~window =
 
 let window t = t.win
 
-let record t ~time ~commits ~aborts ~in_flight ~lease_expirations ~by_kind =
+let record t ~time ~commits ~aborts ~in_flight ~lease_expirations
+    ?(speculation_aborts = 0) ?(batches = 0) ~by_kind () =
   t.samples <-
     {
       s_time = time;
@@ -23,6 +26,8 @@ let record t ~time ~commits ~aborts ~in_flight ~lease_expirations ~by_kind =
       s_aborts = aborts;
       s_in_flight = in_flight;
       s_lease_exp = lease_expirations;
+      s_spec_aborts = speculation_aborts;
+      s_batches = batches;
       s_by_kind = by_kind;
     }
     :: t.samples
@@ -34,7 +39,10 @@ let kinds t =
     (List.concat_map (fun s -> List.map fst s.s_by_kind) t.samples)
 
 let columns t =
-  [ "time_ms"; "commits_per_s"; "aborts_per_s"; "in_flight"; "lease_expirations" ]
+  [
+    "time_ms"; "commits_per_s"; "aborts_per_s"; "in_flight";
+    "lease_expirations"; "speculation_aborts"; "batches_per_s";
+  ]
   @ List.map (fun k -> Printf.sprintf "msg_%s_per_s" k) (kinds t)
 
 let rows t =
@@ -56,6 +64,8 @@ let rows t =
             rate prev.s_aborts s.s_aborts;
             float_of_int s.s_in_flight;
             float_of_int (s.s_lease_exp - prev.s_lease_exp);
+            float_of_int (s.s_spec_aborts - prev.s_spec_aborts);
+            rate prev.s_batches s.s_batches;
           ]
           @ List.map (fun k -> rate (count k prev) (count k s)) ks
         in

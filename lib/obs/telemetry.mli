@@ -27,16 +27,23 @@ val record :
   aborts:int ->
   in_flight:int ->
   lease_expirations:int ->
+  ?speculation_aborts:int ->
+  ?batches:int ->
   by_kind:(string * int) list ->
+  unit ->
   unit
+(** [speculation_aborts] and [batches] (both running totals, default 0)
+    feed the batch-commit columns; sequential-mode harnesses may omit
+    them. *)
 
 val samples : t -> int
 (** Number of raw samples recorded so far. *)
 
 val columns : t -> string list
 (** Export header: time_ms, commits_per_s, aborts_per_s, in_flight,
-    lease_expirations, then one [msg_<kind>_per_s] column per message kind
-    ever seen (sorted by name). *)
+    lease_expirations, speculation_aborts, batches_per_s, then one
+    [msg_<kind>_per_s] column per message kind ever seen (sorted by
+    name). *)
 
 val rows : t -> (float * float list) list
 (** One row per sample after the first: (sample time, values in {!columns}

@@ -2,7 +2,20 @@
    expiry instant (simulated ms).  [infinity] means "never expires" — the
    pre-lease behaviour, still used by callers that do not run the
    termination protocol (baselines, unit tests). *)
-type lease = { owner : int; mutable expires : float; mutable round : int }
+type lease = {
+  owner : int;
+  mutable expires : float;
+  mutable round : int;
+  (* The lease this one displaced through an in-batch / decided-owner
+     handover (batch commit, PROTOCOL.md §9).  A displaced lease may be the
+     only protection for a committed-but-not-yet-applied predecessor write:
+     if the successor is released before its own Apply lands (speculation
+     abort, requeue), dropping the lease outright would let a reader of the
+     stale copy validate cleanly and commit a duplicate version.  [unlock]
+     therefore restores [prev] instead of clearing, except on the Apply
+     path where the installed write makes predecessor protection moot. *)
+  mutable prev : lease option;
+}
 
 type copy = {
   mutable version : int;
@@ -36,6 +49,11 @@ type t = {
   mutable tracer : Obs.Tracer.t;
   mutable trace_node : int;
   mutable clock : unit -> float;
+  (* Fired when [unlock] restores a displaced lease (see [lease.prev]): the
+     restored lease may have outlived its original termination watcher, so
+     the server re-arms one.  Inert default for callers without the
+     termination protocol. *)
+  mutable on_restore : oid:int -> owner:int -> expires:float -> unit;
 }
 
 let create () =
@@ -48,12 +66,15 @@ let create () =
     tracer = Obs.Tracer.null;
     trace_node = -1;
     clock = (fun () -> 0.);
+    on_restore = (fun ~oid:_ ~owner:_ ~expires:_ -> ());
   }
 
 let instrument t ~tracer ~node ~clock =
   t.tracer <- tracer;
   t.trace_node <- node;
   t.clock <- clock
+
+let set_on_restore t f = t.on_restore <- f
 
 let trace_lease t ~ekind ~oid ~txn ?(a = -1) ?(x = 0.) () =
   if Obs.Tracer.enabled t.tracer then
@@ -105,7 +126,7 @@ let try_lock ?(expires = Float.infinity) ?(round = 0) t ~oid ~txn =
   let copy = get t oid in
   match copy.protected_by with
   | None ->
-    copy.protected_by <- Some { owner = txn; expires; round };
+    copy.protected_by <- Some { owner = txn; expires; round; prev = None };
     index_add t ~oid ~txn;
     trace_lease t ~ekind:Obs.Sem.lease_grant ~oid ~txn ~x:expires ();
     true
@@ -121,7 +142,24 @@ let try_lock ?(expires = Float.infinity) ?(round = 0) t ~oid ~txn =
     end
     else false
 
-let unlock ?round t ~oid ~txn =
+(* Transfer the lease on [oid] from [prev_owner] (an in-batch chain
+   predecessor or a decided owner whose Apply is in flight) to [txn],
+   keeping the displaced lease in [prev] so a later [unlock] of the
+   successor restores it.  Falls back to a plain [try_lock] when the lease
+   moved under us. *)
+let handover ?(expires = Float.infinity) ?(round = 0) t ~oid ~prev_owner ~txn =
+  let copy = get t oid in
+  match copy.protected_by with
+  | Some lease when lease.owner = prev_owner ->
+    copy.protected_by <- Some { owner = txn; expires; round; prev = Some lease };
+    index_remove t ~oid ~txn:prev_owner;
+    index_add t ~oid ~txn;
+    trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn:prev_owner ~a:3 ();
+    trace_lease t ~ekind:Obs.Sem.lease_grant ~oid ~txn ~x:expires ();
+    true
+  | Some _ | None -> try_lock ~expires ~round t ~oid ~txn
+
+let unlock ?round ?(restore = true) t ~oid ~txn =
   let copy = get t oid in
   match copy.protected_by with
   | Some lease when lease.owner = txn ->
@@ -132,9 +170,15 @@ let unlock ?round t ~oid ~txn =
       match round with Some r -> r < lease.round | None -> false
     in
     if not stale then begin
-      copy.protected_by <- None;
       index_remove t ~oid ~txn;
-      trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn ~a:0 ()
+      trace_lease t ~ekind:Obs.Sem.lease_release ~oid ~txn ~a:0 ();
+      match (if restore then lease.prev else None) with
+      | Some p ->
+        copy.protected_by <- Some p;
+        index_add t ~oid ~txn:p.owner;
+        trace_lease t ~ekind:Obs.Sem.lease_grant ~oid ~txn:p.owner ~x:p.expires ();
+        t.on_restore ~oid ~owner:p.owner ~expires:p.expires
+      | None -> copy.protected_by <- None
     end
   | Some _ | None -> ()
 
@@ -177,7 +221,23 @@ let apply t ~oid ~version ~value ~txn =
     copy.value <- value
   end;
   note_applied t ~txn;
-  unlock t ~oid ~txn
+  (* The installed write supersedes any protection [txn] was providing, so
+     drop [txn] from displaced-lease chains (see [lease.prev]) instead of
+     letting a later restore resurrect a moot lease, and clear rather than
+     restore when [txn] holds the lease itself. *)
+  (match copy.protected_by with
+  | Some lease ->
+    let rec scrub l =
+      match l.prev with
+      | Some p when p.owner = txn ->
+        l.prev <- p.prev;
+        scrub l
+      | Some p -> scrub p
+      | None -> ()
+    in
+    scrub lease
+  | None -> ());
+  unlock ~restore:false t ~oid ~txn
 
 let lists_of t oid =
   match Hashtbl.find_opt t.lists oid with

@@ -5,13 +5,23 @@
     the vote phase of 2PC, and the potential-readers / potential-writers
     lists (PR/PW) the paper's contention management bookkeeping uses. *)
 
-type lease = { owner : int; mutable expires : float; mutable round : int }
+type lease = {
+  owner : int;
+  mutable expires : float;
+  mutable round : int;
+  mutable prev : lease option;
+      (** lease displaced by a batch-commit handover; restored on unlock *)
+}
 (** A write lock with an owner, an expiry instant (simulated ms) and the
     owner's commit-round number that granted (or last re-granted) it;
     [expires = infinity] never expires (callers without the termination
     protocol).  The round lets a replica drop a stale [Release] from an
     abandoned earlier commit round of the same transaction — retransmitted
-    at-least-once, it can land after a later round re-acquired the lock. *)
+    at-least-once, it can land after a later round re-acquired the lock.
+    [prev] holds the lease a batch-commit handover ({!handover}) displaced:
+    it may be the only protection for a committed-but-not-yet-applied
+    predecessor write, so {!unlock} restores it rather than clearing —
+    except on the Apply path, where the installed write makes it moot. *)
 
 type copy = {
   mutable version : int;
@@ -63,12 +73,26 @@ val try_lock : ?expires:float -> ?round:int -> t -> oid:int -> txn:int -> bool
     seen); [false] if another transaction holds it.  [expires] defaults to
     [infinity], [round] to [0]. *)
 
-val unlock : ?round:int -> t -> oid:int -> txn:int -> unit
+val handover :
+  ?expires:float -> ?round:int -> t -> oid:int -> prev_owner:int -> txn:int -> bool
+(** Transfer the lease on [oid] from [prev_owner] — an in-batch chain
+    predecessor, or a decided transaction whose Apply is still in flight —
+    to [txn], keeping the displaced lease so {!unlock} can restore it.
+    Falls back to {!try_lock} if [prev_owner] no longer holds the lease. *)
+
+val unlock : ?round:int -> ?restore:bool -> t -> oid:int -> txn:int -> unit
 (** Clear the protected lease if held by [txn].  With [round], the release
     is ignored when the lease was (re-)granted by a later round than the
     one being released — a stale Release retransmission must not free a
     newer round's lock.  Without [round] the release is unconditional
-    (decided-commit cleanup, presumed abort). *)
+    (decided-commit cleanup, presumed abort).  If the lease was obtained by
+    {!handover}, the displaced lease is restored instead of cleared unless
+    [restore] is [false] (Apply-path cleanup). *)
+
+val set_on_restore : t -> (oid:int -> owner:int -> expires:float -> unit) -> unit
+(** Hook fired when {!unlock} restores a displaced lease — the restored
+    lease may have outlived its original termination watcher, so the server
+    re-arms one.  Inert by default. *)
 
 val renew : t -> txn:int -> expires:float -> unit
 (** Push the expiry of every lease [txn] holds out to [expires] (never

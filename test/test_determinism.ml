@@ -139,6 +139,55 @@ let test_chaos_identity () =
           b.root_aborts (List.length a.stalls) (List.length b.stalls))
     [ 7; 8; 9; 10; 11; 12 ]
 
+(* --- batch commit on/off ------------------------------------------------ *)
+
+(* Batch-commit mode changes the protocol (one quorum round per batch), so
+   runs are NOT byte-identical to sequential ones — but the {e verdicts}
+   must agree: over many chaos seeds, both modes pass the 1-copy oracle,
+   conserve the bank balance, and stall nowhere.  22 seeds cover schedules
+   with crashes, partitions, lossy links and suspicions. *)
+let test_batch_mode_verdict_equivalence () =
+  List.iter
+    (fun seed ->
+      let on = Harness.Chaos.run_one chaos_knobs ~batch_commit:true ~seed in
+      let off = Harness.Chaos.run_one chaos_knobs ~batch_commit:false ~seed in
+      let verdict (r : Harness.Chaos.result) =
+        (Harness.Chaos.passed r, r.oracle, r.invariant)
+      in
+      if not (Harness.Chaos.passed on) then
+        Alcotest.failf "seed %d: batch-mode chaos failed:@.%a" seed
+          Harness.Chaos.pp_result on;
+      if verdict on <> verdict off then
+        Alcotest.failf "seed %d: batch on/off verdicts differ" seed)
+    (List.init 22 (fun i -> 500 + i))
+
+(* Same seed, batch mode on, run twice: the batch scheduler (cut timers,
+   speculation, requeues) must be a pure function of the seed — the full
+   result records compare equal, floats bitwise included. *)
+let test_batch_mode_self_identity () =
+  List.iter
+    (fun seed ->
+      let a =
+        Harness.Experiment.run ~seed ~clients:8 ~warmup:200. ~duration:1_000.
+          ~batch_commit:true
+          ~config:(Config.default Config.Flat)
+          ~benchmark:Benchmarks.Bank.benchmark ~params:bank_params ()
+      in
+      let b =
+        Harness.Experiment.run ~seed ~clients:8 ~warmup:200. ~duration:1_000.
+          ~batch_commit:true
+          ~config:(Config.default Config.Flat)
+          ~benchmark:Benchmarks.Bank.benchmark ~params:bank_params ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: batch run commits" seed)
+        true
+        (a.Harness.Experiment.commits > 0);
+      if a <> b then
+        Alcotest.failf "seed %d: two batch-mode runs differ:@.%a@.vs@.%a" seed
+          Harness.Experiment.pp_result a Harness.Experiment.pp_result b)
+    [ 601; 602; 603 ]
+
 (* --- kind-counter pre-sizing -------------------------------------------- *)
 
 (* [Network.create] pre-sizes the per-kind counter array from the global
@@ -225,6 +274,10 @@ let suite =
     Alcotest.test_case "traces: batched = unbatched (faulty)" `Quick
       test_trace_identity_faulty;
     Alcotest.test_case "chaos: batched = unbatched verdicts" `Quick test_chaos_identity;
+    Alcotest.test_case "chaos: batch-commit on/off verdicts agree" `Quick
+      test_batch_mode_verdict_equivalence;
+    Alcotest.test_case "batch-commit runs are self-identical" `Quick
+      test_batch_mode_self_identity;
     Alcotest.test_case "kind interned after network create" `Quick
       test_kind_interned_after_create;
     Alcotest.test_case "minor words per commit within budget" `Quick

@@ -16,6 +16,7 @@ let () = Alcotest.run "qr_dtm" [
       ("parallel", Test_parallel.suite);
       ("smoke", Test_smoke.suite);
       ("structures", Test_structures.suite);
+      ("batch", Test_batch.suite);
       ("determinism", Test_determinism.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("baselines", Test_baselines.suite);

@@ -261,21 +261,24 @@ let test_checker_on_real_trace () =
 let test_telemetry_rates () =
   let tele = Obs.Telemetry.create ~window:500. in
   Obs.Telemetry.record tele ~time:0. ~commits:0 ~aborts:0 ~in_flight:0
-    ~lease_expirations:0 ~by_kind:[ ("apply", 0) ];
+    ~lease_expirations:0 ~by_kind:[ ("apply", 0) ] ();
   Obs.Telemetry.record tele ~time:500. ~commits:10 ~aborts:2 ~in_flight:3
-    ~lease_expirations:1 ~by_kind:[ ("apply", 50) ];
+    ~lease_expirations:1 ~by_kind:[ ("apply", 50) ] ();
   Alcotest.(check int) "two samples" 2 (Obs.Telemetry.samples tele);
   Alcotest.(check (list string)) "columns"
     [ "time_ms"; "commits_per_s"; "aborts_per_s"; "in_flight";
-      "lease_expirations"; "msg_apply_per_s" ]
+      "lease_expirations"; "speculation_aborts"; "batches_per_s";
+      "msg_apply_per_s" ]
     (Obs.Telemetry.columns tele);
   (match Obs.Telemetry.rows tele with
-  | [ (time, [ commits_s; aborts_s; in_flight; lease; apply_s ]) ] ->
+  | [ (time, [ commits_s; aborts_s; in_flight; lease; spec; batches_s; apply_s ]) ] ->
     Alcotest.(check (float 1e-9)) "row time" 500. time;
     Alcotest.(check (float 1e-9)) "commit rate" 20. commits_s;
     Alcotest.(check (float 1e-9)) "abort rate" 4. aborts_s;
     Alcotest.(check (float 1e-9)) "in-flight gauge" 3. in_flight;
     Alcotest.(check (float 1e-9)) "lease delta" 1. lease;
+    Alcotest.(check (float 1e-9)) "spec abort delta" 0. spec;
+    Alcotest.(check (float 1e-9)) "batch rate" 0. batches_s;
     Alcotest.(check (float 1e-9)) "apply msg rate" 100. apply_s
   | rows -> Alcotest.failf "unexpected rows: %d" (List.length rows));
   let csv = Obs.Telemetry.to_csv tele in
@@ -285,7 +288,7 @@ let test_telemetry_rates () =
 let test_telemetry_first_sample_seeds () =
   let tele = Obs.Telemetry.create ~window:100. in
   Obs.Telemetry.record tele ~time:0. ~commits:5 ~aborts:0 ~in_flight:1
-    ~lease_expirations:0 ~by_kind:[];
+    ~lease_expirations:0 ~by_kind:[] ();
   Alcotest.(check int) "first sample yields no row" 0
     (List.length (Obs.Telemetry.rows tele))
 
