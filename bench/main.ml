@@ -123,7 +123,7 @@ let run_mode ?(config_of = Config.default) mode =
   Harness.Experiment.run ~seed:7 ~clients:scale.clients ~warmup:scale.warmup
     ~duration:scale.duration ~config:(config_of mode)
     ~benchmark:Benchmarks.Bank.benchmark
-    ~params:{ Benchmarks.Workload.objects = 96; calls = 3; read_ratio = 0.5; key_skew = 0.5 }
+    ~params:{ Benchmarks.Workload.default_params with objects = 96; calls = 3; read_ratio = 0.5; key_skew = 0.5 }
     ()
 
 let ablation_rqv_for_flat () =
@@ -187,7 +187,7 @@ let ablation_read_level () =
         ~warmup:scale.warmup ~duration:scale.duration
         ~config:(Config.default Config.Closed) ~benchmark:Benchmarks.Bank.benchmark
         ~params:
-          { Benchmarks.Workload.objects = 96; calls = 3; read_ratio = 0.5; key_skew = 0.5 }
+          { Benchmarks.Workload.default_params with objects = 96; calls = 3; read_ratio = 0.5; key_skew = 0.5 }
         ()
     in
     [ result.Harness.Experiment.throughput; Float.of_int result.messages ]
@@ -497,7 +497,7 @@ let measure_batch () =
       ~config:(Config.default Config.Flat)
       ~benchmark:Benchmarks.Bank.benchmark
       ~params:
-        { Benchmarks.Workload.objects = 8; calls = 2; read_ratio = 0.1; key_skew = 0.5 }
+        { Benchmarks.Workload.default_params with objects = 8; calls = 2; read_ratio = 0.1; key_skew = 0.5 }
       ()
   in
   let guard label (r : Harness.Experiment.result) =

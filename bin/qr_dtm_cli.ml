@@ -64,6 +64,26 @@ let parse_mode = function
   | "checkpoint" -> Core.Config.Checkpoint
   | other -> failwith (Printf.sprintf "unknown mode %S" other)
 
+let shards_arg =
+  let doc =
+    "Shards the object space is partitioned into (each shard runs its own \
+     member view, epoch and tree quorum; needs at least 3 nodes per shard). \
+     1 reproduces the unsharded protocol byte-for-byte."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let cross_shard_prob_arg =
+  let doc =
+    "Fraction of workload operations steered across shard boundaries \
+     (bank transfer pairs spanning two shards; hashmap keys homed on a \
+     drawn shard).  Requires --shards > 1 to have any effect."
+  in
+  Arg.(value & opt float 0. & info [ "cross-shard-prob" ] ~docv:"P" ~doc)
+
+let shard_skew_arg =
+  let doc = "Zipf skew of the target-shard draw on cross-shard operations (0 = uniform)." in
+  Arg.(value & opt float 0. & info [ "shard-skew" ] ~docv:"S" ~doc)
+
 let figure_cmd =
   let number_arg =
     let doc = "Figure number: 5, 6, 7, 9 or 10." in
@@ -135,7 +155,8 @@ let run_cmd =
   let skew_arg =
     Arg.(value & opt float 0.5 & info [ "skew" ] ~docv:"S" ~doc:"Zipf key skew.")
   in
-  let run bench mode reads calls objects nodes clients duration seed skew batch_commit =
+  let run bench mode reads calls objects nodes clients duration seed skew batch_commit
+      shards cross_shard_prob shard_skew =
     let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
     let mode = parse_mode mode in
     let params =
@@ -145,10 +166,12 @@ let run_cmd =
         calls;
         read_ratio = reads;
         key_skew = skew;
+        cross_shard_prob;
+        shard_skew;
       }
     in
     let result =
-      Harness.Experiment.run ~nodes ~seed ~clients ~duration ~batch_commit
+      Harness.Experiment.run ~nodes ~seed ~clients ~duration ~batch_commit ~shards
         ~config:(Core.Config.default mode) ~benchmark ~params ()
     in
     Format.printf "%a@." Harness.Experiment.pp_result result
@@ -157,7 +180,8 @@ let run_cmd =
   Cmd.v info
     Term.(
       const run $ bench_arg $ mode_arg $ reads_arg $ calls_arg $ objects_arg $ nodes_arg
-      $ clients_arg $ duration_arg $ seed_arg $ skew_arg $ batch_commit_arg)
+      $ clients_arg $ duration_arg $ seed_arg $ skew_arg $ batch_commit_arg $ shards_arg
+      $ cross_shard_prob_arg $ shard_skew_arg)
 
 let scenario_cmd =
   let spec_arg =
@@ -165,7 +189,7 @@ let scenario_cmd =
       "Fault scenario, e.g. 'crash 11 @500; recover 11 @2500; drop 0.05 @0'. \
        Events: crash/recover/suspect N @T [for D], partition a,b|c,d @T for D, \
        drop/dup P @T [for D], spike P F @T [for D], flaky A-B P @T [for D], \
-       join N @T, leave N @T, replace L J @T."
+       join N @T, leave N @T, replace L J @T, shardmove OID S @T, shardsplit S @T."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
   in
@@ -185,7 +209,8 @@ let scenario_cmd =
     Arg.(value & opt float 5_000. & info [ "duration" ] ~docv:"MS" ~doc:"Window, ms.")
   in
   let seed_arg = Arg.(value & opt int 97 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.") in
-  let run spec bench mode nodes spares clients duration seed =
+  let run spec bench mode nodes spares clients duration seed shards cross_shard_prob
+      shard_skew =
     let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
     let mode = parse_mode mode in
     let events =
@@ -203,11 +228,13 @@ let scenario_cmd =
         calls = 3;
         read_ratio = 0.5;
         key_skew = 0.5;
+        cross_shard_prob;
+        shard_skew;
       }
     in
     let tracker = ref None in
     let result =
-      Harness.Experiment.run ~nodes ~spares ~seed ~clients ~duration ~client_nodes
+      Harness.Experiment.run ~nodes ~spares ~seed ~clients ~duration ~client_nodes ~shards
         ~prepare:(fun cluster -> tracker := Some (Harness.Scenario.install cluster events))
         ~config:(Core.Config.default mode) ~benchmark ~params ()
     in
@@ -219,12 +246,12 @@ let scenario_cmd =
   let info =
     Cmd.info "scenario"
       ~doc:"Run a workload under an injected fault scenario (crashes, partitions, loss, \
-            membership changes)"
+            membership changes, shard moves/splits)"
   in
   Cmd.v info
     Term.(
       const run $ spec_arg $ bench_arg $ mode_arg $ nodes_arg $ spares_arg $ clients_arg
-      $ duration_arg $ seed_arg)
+      $ duration_arg $ seed_arg $ shards_arg $ cross_shard_prob_arg $ shard_skew_arg)
 
 let write_file path contents =
   let oc = open_out path in
@@ -279,7 +306,8 @@ let trace_cmd =
     let config = Core.Config.default (parse_mode mode) in
     let params =
       {
-        Benchmarks.Workload.objects = Harness.Figures.benchmark_objects benchmark.name;
+        Benchmarks.Workload.default_params with
+        objects = Harness.Figures.benchmark_objects benchmark.name;
         calls = 3;
         read_ratio = 0.5;
         key_skew = 0.5;
@@ -363,6 +391,13 @@ let chaos_cmd =
     let doc = "Membership operations (join/leave/replace) drawn per schedule: 0..N." in
     Arg.(value & opt int 0 & info [ "reconfigs" ] ~docv:"N" ~doc)
   in
+  let shard_ops_arg =
+    let doc =
+      "Shard-directory operations (object moves, shard splits) drawn per schedule: \
+       0..N.  Requires --shards > 1."
+    in
+    Arg.(value & opt int 0 & info [ "shard-ops" ] ~docv:"N" ~doc)
+  in
   let rolling_arg =
     let doc =
       "Rolling-restart schedules: replace every initial node exactly once under load \
@@ -400,7 +435,8 @@ let chaos_cmd =
     Arg.(value & flag & info [ "trace-all" ] ~doc:"With --trace-dir: dump every seed, not just failures.")
   in
   let run runs seed nodes clients horizon max_crashes spares reconfigs rolling mode
-      batch_commit json failures_to verbose show trace_dir trace_all =
+      batch_commit json failures_to verbose show trace_dir trace_all shards shard_ops
+      cross_shard_prob =
     let mode = parse_mode mode in
     let spares = if rolling && spares = 0 then Harness.Chaos.rolling_knobs.spares else spares in
     let horizon = if rolling && horizon = 8_000. then Harness.Chaos.rolling_knobs.horizon else horizon in
@@ -408,7 +444,18 @@ let chaos_cmd =
       if rolling then min max_crashes Harness.Chaos.rolling_knobs.max_crashes else max_crashes
     in
     let knobs =
-      { Harness.Chaos.default_knobs with nodes; clients; horizon; max_crashes; spares; reconfigs }
+      {
+        Harness.Chaos.default_knobs with
+        nodes;
+        clients;
+        horizon;
+        max_crashes;
+        spares;
+        reconfigs;
+        shards;
+        shard_ops;
+        cross_shard_prob;
+      }
     in
     let generate = if rolling then Harness.Chaos.generate_rolling else Harness.Chaos.generate in
     if show then begin
@@ -487,7 +534,8 @@ let chaos_cmd =
       const run $ runs_arg $ seed_arg $ nodes_arg $ clients_arg $ horizon_arg
       $ crashes_arg $ spares_arg $ reconfigs_arg $ rolling_arg $ mode_arg
       $ batch_commit_arg $ json_arg $ failures_arg $ verbose_arg $ show_arg
-      $ trace_dir_arg $ trace_all_arg)
+      $ trace_dir_arg $ trace_all_arg $ shards_arg $ shard_ops_arg
+      $ cross_shard_prob_arg)
 
 let all_cmd =
   let run scale jobs =

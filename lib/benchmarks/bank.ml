@@ -24,13 +24,47 @@ let setup cluster (params : Workload.params) =
     Array.init params.objects (fun _ ->
         Cluster.alloc_object cluster ~init:(Store.Value.Int initial_balance))
   in
+  (* Cross-shard transfers: a [cross_shard_prob] fraction of pairs is
+     forced to span two shards — the second account is drawn from a
+     Zipf-chosen target shard other than the first account's.  All of
+     this (including the bucket index) is gated so that shard-local runs
+     consume the exact pre-knob random sequence. *)
+  let shards = Cluster.shard_count cluster in
+  let by_shard =
+    if params.cross_shard_prob <= 0. || shards <= 1 then [||]
+    else begin
+      let buckets = Array.make shards [] in
+      Array.iteri
+        (fun i oid ->
+          let s = Cluster.shard_of_oid cluster oid in
+          buckets.(s) <- i :: buckets.(s))
+        accounts;
+      Array.map (fun l -> Array.of_list (List.rev l)) buckets
+    end
+  in
+  let populated =
+    Array.fold_left (fun n b -> if Array.length b > 0 then n + 1 else n) 0 by_shard
+  in
+  let xshard = populated > 1 in
+  let pick_cross rng a =
+    let home = Cluster.shard_of_oid cluster accounts.(a) in
+    let rec target () =
+      let s = Workload.pick_shard rng params ~shards in
+      if s = home || Array.length by_shard.(s) = 0 then target () else s
+    in
+    let s = target () in
+    by_shard.(s).(Util.Rng.int rng (Array.length by_shard.(s)))
+  in
   let pick_two rng =
     let a = Workload.pick_key rng params in
-    let rec other () =
-      let b = Workload.pick_key rng params in
-      if b = a then other () else b
-    in
-    (accounts.(a), accounts.(other ()))
+    if xshard && Util.Rng.chance rng params.cross_shard_prob then
+      (accounts.(a), accounts.(pick_cross rng a))
+    else
+      let rec other () =
+        let b = Workload.pick_key rng params in
+        if b = a then other () else b
+      in
+      (accounts.(a), accounts.(other ()))
   in
   let generate rng =
     let ops =

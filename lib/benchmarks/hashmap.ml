@@ -134,10 +134,46 @@ let check_chains cluster h =
 
 let setup cluster (params : Workload.params) =
   let h = create cluster ~keys:(Stdlib.max params.objects bucket_count) in
+  (* Cross-shard steering: a [cross_shard_prob] fraction of operations
+     targets a key whose node object is homed on a Zipf-drawn shard, so
+     the chain walk (bucket head on its own shard, nodes on the target's)
+     spans shard boundaries.  Gated so shard-local runs consume the exact
+     pre-knob random sequence. *)
+  let shards = Cluster.shard_count cluster in
+  let keys_by_shard =
+    if params.cross_shard_prob <= 0. || shards <= 1 then [||]
+    else begin
+      let buckets = Array.make shards [] in
+      Array.iteri
+        (fun key oid ->
+          let s = Cluster.shard_of_oid cluster oid in
+          buckets.(s) <- key :: buckets.(s))
+        h.pool;
+      Array.map (fun l -> Array.of_list (List.rev l)) buckets
+    end
+  in
+  let populated =
+    Array.fold_left
+      (fun n b -> if Array.length b > 0 then n + 1 else n)
+      0 keys_by_shard
+  in
+  let xshard = populated > 1 in
+  let pick_sharded rng =
+    let rec target () =
+      let s = Workload.pick_shard rng params ~shards in
+      if Array.length keys_by_shard.(s) = 0 then target () else s
+    in
+    let s = target () in
+    keys_by_shard.(s).(Util.Rng.int rng (Array.length keys_by_shard.(s)))
+  in
   let generate rng =
     let ops =
       List.init params.calls (fun _ ->
-          let key = Workload.pick_key rng { params with objects = h.keys } in
+          let key =
+            if xshard && Util.Rng.chance rng params.cross_shard_prob then
+              pick_sharded rng
+            else Workload.pick_key rng { params with objects = h.keys }
+          in
           if Util.Rng.chance rng params.read_ratio then get h ~key
           else if Util.Rng.bool rng then put h ~key ~data:(Util.Rng.int rng 1000)
           else remove h ~key)

@@ -1,6 +1,21 @@
-type params = { objects : int; calls : int; read_ratio : float; key_skew : float }
+type params = {
+  objects : int;
+  calls : int;
+  read_ratio : float;
+  key_skew : float;
+  cross_shard_prob : float;
+  shard_skew : float;
+}
 
-let default_params = { objects = 64; calls = 3; read_ratio = 0.5; key_skew = 0.6 }
+let default_params =
+  {
+    objects = 64;
+    calls = 3;
+    read_ratio = 0.5;
+    key_skew = 0.6;
+    cross_shard_prob = 0.;
+    shard_skew = 0.;
+  }
 
 type instance = {
   generate : Util.Rng.t -> unit -> Core.Txn.t;
@@ -10,6 +25,11 @@ type instance = {
 type benchmark = { name : string; setup : Core.Cluster.t -> params -> instance }
 
 let pick_key rng params = Util.Rng.zipf rng ~n:params.objects ~skew:params.key_skew
+
+(* Benchmarks draw from this ONLY on the cross-shard branch (guarded by
+   [cross_shard_prob > 0.] and a passed [chance] draw), so unsharded runs
+   consume the exact same random sequence as before the knob existed. *)
+let pick_shard rng params ~shards = Util.Rng.zipf rng ~n:shards ~skew:params.shard_skew
 
 (* Invariants are evaluated over the membership view at verdict time:
    a decommissioned node's copies are no longer part of the replicated

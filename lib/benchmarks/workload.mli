@@ -23,10 +23,18 @@ type params = {
   calls : int;
   read_ratio : float;
   key_skew : float;  (** Zipf skew of key selection; 0. = uniform *)
+  cross_shard_prob : float;
+      (** fraction of operations steered across shard boundaries (Bank:
+          transfer pairs spanning two shards; Hashmap: keys homed on a
+          drawn target shard); 0. = shard-local, and the workload draws
+          no extra randomness, so unsharded runs are byte-identical *)
+  shard_skew : float;
+      (** Zipf skew of the target-shard draw on cross-shard operations;
+          0. = uniform over shards *)
 }
 
 val default_params : params
-(** 64 objects, 3 calls, 50% reads, skew 0.6. *)
+(** 64 objects, 3 calls, 50% reads, skew 0.6, no cross-shard traffic. *)
 
 type instance = {
   generate : Util.Rng.t -> unit -> Core.Txn.t;
@@ -45,6 +53,11 @@ type benchmark = {
 
 val pick_key : Util.Rng.t -> params -> int
 (** Zipf-distributed key in [\[0, params.objects)]. *)
+
+val pick_shard : Util.Rng.t -> params -> shards:int -> int
+(** Zipf-distributed target shard in [\[0, shards)] using [shard_skew].
+    Call only on the cross-shard branch — see the determinism note on
+    {!type-params}. *)
 
 val latest_value : Core.Cluster.t -> oid:Core.Ids.obj_id -> Core.Txn.value
 (** The highest-versioned copy across all replicas — the committed state an

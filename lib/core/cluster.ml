@@ -3,12 +3,57 @@ type reconfig =
   | Leave of int
   | Replace of { leaving : int; joining : int }
 
+(* Shard-directory operations: relocate one object or split a shard's
+   member set (and object population) in two.  Like membership
+   reconfigurations they run wedged and epoch-fenced, but they operate on
+   the {e object -> shard} mapping rather than a shard's member list. *)
+type shard_op =
+  | Move_object of { oid : int; to_shard : int }
+  | Split_shard of int
+
+(* One shard: an independent membership view over a disjoint slice of the
+   machines, with its own quorum tree, epoch, wedge flag and
+   reconfiguration queue.  The epoch and wedge are refs so the executor's
+   quorum closures and the RPC fencing hook — built before the cluster
+   record — share them. *)
+type shard_state = {
+  sh_id : int;
+  sh_tq : Quorum.Tree_quorum.t;
+  sh_epoch : int ref;
+  sh_wedged : bool ref;
+  mutable sh_reconfig_active : bool;
+  (* Reconfigurations waiting behind the active one, in submission order.
+     FIFO matters: a replace may legitimately re-use a machine an earlier
+     queued operation decommissions, so reordering would make a valid
+     schedule fail validation. *)
+  sh_pending : (reconfig * (unit -> unit) option) Queue.t;
+}
+
+(* The shard directory and per-shard state.  [states] and [dir] are
+   mutable fields (not just mutable contents) because a split appends a
+   shard and the directory grows with the object space; every closure
+   capturing this record sees the updates. *)
+type sharding = {
+  mutable states : shard_state array;
+  mutable dir : int array; (* oid -> owning shard, for allocated oids *)
+  mutable dir_len : int;
+  dir_default : int;
+      (* the initial shard count: an oid without a directory entry maps to
+         [oid mod dir_default].  Deliberately frozen at creation — shards
+         minted by splits receive objects only through explicit moves, so
+         the default mapping stays stable across the run. *)
+  home : int array; (* node -> the shard it replicates *)
+  read_level : int; (* for quorum trees minted by splits *)
+  mutable shard_op_active : bool;
+  shard_pending : (shard_op * (unit -> unit) option) Queue.t;
+}
+
 type t = {
   engine : Sim.Engine.t;
   network : (Messages.request, Messages.reply) Sim.Rpc.envelope Sim.Network.t;
   rpc : (Messages.request, Messages.reply) Sim.Rpc.t;
   servers : Server.t array;
-  tree_quorum : Quorum.Tree_quorum.t;
+  sharding : sharding;
   failure : Sim.Failure.t;
   executor : Executor.t;
   metrics : Metrics.t;
@@ -16,50 +61,111 @@ type t = {
   config : Config.t;
   ids : Ids.gen;
   rng : Util.Rng.t;
-  (* Membership view: the current epoch (bumped by every reconfiguration)
-     and a wedge flag raised while one is in progress.  Both are refs so
-     the executor's quorum closures and the RPC fencing hook — built
-     before the record — share them. *)
-  epoch : int ref;
-  wedged : bool ref;
-  mutable reconfig_active : bool;
-  (* Reconfigurations waiting behind the active one, in submission order.
-     FIFO matters: a replace may legitimately re-use a machine an earlier
-     queued operation decommissions, so reordering would make a valid
-     schedule fail validation. *)
-  pending_reconfigs : (reconfig * (unit -> unit) option) Queue.t;
 }
+
+let min_members = 3
+
+let shard_of_oid_s sharding oid =
+  if oid >= 0 && oid < sharding.dir_len then sharding.dir.(oid)
+  else oid mod sharding.dir_default
+
+(* Record [oid]'s directory entry (default placement) if it has none. *)
+let ensure_dir sharding ~oid =
+  if oid >= Array.length sharding.dir then begin
+    let cap = Stdlib.max (oid + 1) (2 * (Array.length sharding.dir + 1)) in
+    let grown = Array.make cap 0 in
+    Array.blit sharding.dir 0 grown 0 sharding.dir_len;
+    sharding.dir <- grown
+  end;
+  if oid >= sharding.dir_len then begin
+    for i = sharding.dir_len to oid do
+      sharding.dir.(i) <- i mod sharding.dir_default
+    done;
+    sharding.dir_len <- oid + 1
+  end
+
+(* The shard whose epoch fences a request, keyed on the payload: the owner
+   of the first object the message names.  Keyed on the payload — not the
+   receiving node — so sender stamp and receiver fence always evaluate the
+   same epoch, even for cross-shard traffic (a Status_req from shard A's
+   termination protocol delivered to a shard-B peer is fenced by A's
+   epoch, the view its lease evidence belongs to). *)
+let request_shard sharding = function
+  | Messages.Read_req { oid; _ } -> shard_of_oid_s sharding oid
+  | Messages.Commit_req { locks = oid :: _; _ } -> shard_of_oid_s sharding oid
+  | Messages.Commit_req { dataset; _ } | Messages.Batch_commit_req { dataset; _ }
+    ->
+    if Array.length dataset.Messages.ds_oids > 0 then
+      shard_of_oid_s sharding dataset.Messages.ds_oids.(0)
+    else 0
+  | Messages.Apply { writes; _ } ->
+    if Array.length writes.Messages.wr_oids > 0 then
+      shard_of_oid_s sharding writes.Messages.wr_oids.(0)
+    else 0
+  | Messages.Release { oids = oid :: _; _ } -> shard_of_oid_s sharding oid
+  | Messages.Release _ -> 0
+  | Messages.Status_req { oids = oid :: _; _ } -> shard_of_oid_s sharding oid
+  | Messages.Status_req _ -> 0
+  | Messages.Handoff { objects = (oid, _, _) :: _ } -> shard_of_oid_s sharding oid
+  | Messages.Handoff _ -> 0
+  | Messages.Sync_req -> 0
+
+let shard_count t = Array.length t.sharding.states
+let shard_of_oid t oid = shard_of_oid_s t.sharding oid
+
+let shard_members t ~shard =
+  Quorum.Tree_quorum.members t.sharding.states.(shard).sh_tq
+
+let shard_epoch t ~shard = !(t.sharding.states.(shard).sh_epoch)
+let home_shard_of t ~node = t.sharding.home.(node)
 
 (* Memoisation lives in [Tree_quorum] (generation-keyed, per salt), so these
    are plain delegations; an unconstructible quorum degrades to [[]], as do
-   all quorums while a reconfiguration has the cluster wedged — callers
-   treat an empty quorum as "retry politely". *)
+   all quorums while a reconfiguration has the shard wedged — callers
+   treat an empty quorum as "retry politely".  The per-node accessors serve
+   the node's {e home} shard (the objects it replicates). *)
 let read_quorum_of t ~node =
-  if !(t.wedged) then []
-  else Option.value ~default:[] (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
+  let st = t.sharding.states.(t.sharding.home.(node)) in
+  if !(st.sh_wedged) then []
+  else Option.value ~default:[] (Quorum.Tree_quorum.read_quorum ~salt:node st.sh_tq)
 
 let write_quorum_of t ~node =
-  if !(t.wedged) then []
-  else Option.value ~default:[] (Quorum.Tree_quorum.write_quorum ~salt:node t.tree_quorum)
+  let st = t.sharding.states.(t.sharding.home.(node)) in
+  if !(st.sh_wedged) then []
+  else Option.value ~default:[] (Quorum.Tree_quorum.write_quorum ~salt:node st.sh_tq)
 
 let nodes t = Array.length t.servers
-let members t = Quorum.Tree_quorum.members t.tree_quorum
+
+let members t =
+  List.sort_uniq Int.compare
+    (Array.fold_left
+       (fun acc st -> Quorum.Tree_quorum.members st.sh_tq @ acc)
+       [] t.sharding.states)
+
 let is_member t node = List.mem node (members t)
-let epoch t = !(t.epoch)
+
+(* The cluster-wide epoch: the sum of the shard epochs, i.e. the number of
+   completed view changes across the whole deployment (identical to the
+   single epoch when there is one shard). *)
+let epoch t =
+  Array.fold_left (fun acc st -> acc + !(st.sh_epoch)) 0 t.sharding.states
 
 (* Re-admit a node to quorum construction.  This runs only after state
    transfer completed — for recovered crashes AND cleared false
-   suspicions alike (see [resync]). *)
+   suspicions alike (see [resync]).  Liveness flags are keyed by physical
+   id in every quorum tree, so reviving across all shards is exact. *)
 let readmit t node =
-  Quorum.Tree_quorum.revive t.tree_quorum node;
+  Array.iter
+    (fun st -> Quorum.Tree_quorum.revive st.sh_tq node)
+    t.sharding.states;
   Sim.Failure.clear_suspicion t.failure node
 
 (* Catch-up protocol for a node rejoining the membership view: refresh the
-   stale replica from a full read quorum (which intersects every write
-   quorum {e of the current view}, so the per-object maximum version over
-   the replies covers every committed write), then rejoin.  The node
-   itself is still marked failed in the quorum layer, so the sync quorum
-   never includes it.
+   stale replica from a full read quorum of its home shard (which
+   intersects every write quorum {e of the current view}, so the
+   per-object maximum version over the replies covers every committed
+   write), then rejoin.  The node itself is still marked failed in the
+   quorum layer, so the sync quorum never includes it.
 
    Crucially this runs for cleared false suspicions too, not just crash
    recoveries: while a node is suspected, quorum construction routes
@@ -77,15 +183,41 @@ let rec resync t ~node ~started ~was_killed =
      before this sync may still have Applies in flight, and the wider set
      maximises the chance of hitting a member that already installed
      them. *)
+  let tq = t.sharding.states.(t.sharding.home.(node)).sh_tq in
   let quorum =
     let of_opt q = Option.value ~default:[] q in
     List.sort_uniq Int.compare
-      (of_opt (Quorum.Tree_quorum.read_quorum ~salt:node t.tree_quorum)
-      @ of_opt (Quorum.Tree_quorum.write_quorum ~salt:node t.tree_quorum))
+      (of_opt (Quorum.Tree_quorum.read_quorum ~salt:node tq)
+      @ of_opt (Quorum.Tree_quorum.write_quorum ~salt:node tq))
   in
   let retry () =
     Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
         resync t ~node ~started ~was_killed)
+  in
+  (* Mutual-rescue deadlock breaker: if {e every} member of the home shard
+     is out of the view at once (e.g. one member crashed while the rest sat
+     in a suspected partition minority — impossible unsharded, where the
+     sync quorum comes from the whole cluster, but routine with 3-member
+     shards), no member can ever build the sync quorum the others are
+     waiting on, and the shard wedges forever.  The safe escape is a
+     full-membership round: every committed write reached a write quorum of
+     the members under some view, so the per-object maximum version over
+     {e all} members' durable stores (the node's own retained copies
+     included — [reset_transients] keeps them) covers every commit.  Hard
+     requirement: all other members must reply, so the round keeps
+     retrying until crashed members come back — exactly the durability
+     assumption the unsharded recovery already makes. *)
+  let quorum =
+    match quorum with
+    | [] ->
+      let failed = Quorum.Tree_quorum.failed tq in
+      let others =
+        List.filter (fun m -> m <> node) (Quorum.Tree_quorum.members tq)
+      in
+      if others <> [] && List.for_all (fun m -> List.mem m failed) others then
+        others
+      else []
+    | q -> q
   in
   match quorum with
   | [] -> retry ()
@@ -126,7 +258,13 @@ let rec resync t ~node ~started ~was_killed =
 let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.25)
     ?(read_level = 1) ?(detection_delay = 50.) ?(detection_jitter = 0.)
     ?(with_oracle = true) ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
-    ?(batch_commit = false) config =
+    ?(batch_commit = false) ?(shards = 1) config =
+  if shards < 1 then invalid_arg "Cluster: shards must be >= 1";
+  if nodes < shards * min_members then
+    invalid_arg
+      (Printf.sprintf
+         "Cluster: %d initial members cannot populate %d shards (minimum %d each)"
+         nodes shards min_members);
   let total = nodes + spares in
   let engine = Sim.Engine.create ~tracer () in
   let topology =
@@ -144,21 +282,6 @@ let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.
       ~retry_base:config.Config.retransmit_backoff_base
       ~retry_max:config.Config.retransmit_backoff_max ~network ()
   in
-  let epoch = ref 0 in
-  let wedged = ref false in
-  (* Membership fence: every envelope is stamped with the cluster epoch at
-     send time; requests carrying quorum evidence from a superseded view
-     are dropped on arrival.  Apply/Release stay unfenced — they are
-     idempotent version-guarded installers of *decided* commits, and
-     fencing a retransmission would risk losing one.  Sync_req is catch-up
-     traffic from nodes that are stale by definition. *)
-  Sim.Rpc.set_fencing rpc
-    ~epoch_of:(fun _ -> !epoch)
-    ~fenceable:(function
-      | Messages.Read_req _ | Messages.Commit_req _ | Messages.Batch_commit_req _
-      | Messages.Status_req _ | Messages.Handoff _ ->
-        true
-      | Messages.Apply _ | Messages.Release _ | Messages.Sync_req -> false);
   let servers =
     Array.init total (fun node ->
         Server.create ~node ~store:(Store.Replica.create ()))
@@ -172,29 +295,84 @@ let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.
       Sim.Rpc.serve rpc ~node:(Server.node server) (fun ~src request ->
           Server.handle server ~src request))
     servers;
-  (* The quorum tree spans [nodes] logical positions mapped onto the
-     initial members 0..nodes-1; spare machines exist only as capacity
-     (dark until a join maps a position onto them). *)
-  let tree_quorum = Quorum.Tree_quorum.create ~read_level ~capacity:total ~nodes () in
+  (* Each shard's quorum tree spans its slice of the initial members —
+     contiguous, near-equal partitions of 0..nodes-1 — with capacity sized
+     to the full machine pool so spares can join any shard.  Spare machines
+     exist only as capacity (dark until a join maps a position onto
+     them). *)
+  let states =
+    Array.init shards (fun s ->
+        let base = nodes / shards and rem = nodes mod shards in
+        let size = base + if s < rem then 1 else 0 in
+        let start = (s * base) + Stdlib.min s rem in
+        let tq =
+          Quorum.Tree_quorum.create ~read_level ~capacity:total ~nodes:size ()
+        in
+        if start > 0 then
+          Quorum.Tree_quorum.set_members tq (List.init size (fun i -> start + i));
+        {
+          sh_id = s;
+          sh_tq = tq;
+          sh_epoch = ref 0;
+          sh_wedged = ref false;
+          sh_reconfig_active = false;
+          sh_pending = Queue.create ();
+        })
+  in
+  let home = Array.make total 0 in
+  Array.iter
+    (fun st ->
+      List.iter (fun n -> home.(n) <- st.sh_id) (Quorum.Tree_quorum.members st.sh_tq))
+    states;
+  let sharding =
+    {
+      states;
+      dir = [||];
+      dir_len = 0;
+      dir_default = shards;
+      home;
+      read_level;
+      shard_op_active = false;
+      shard_pending = Queue.create ();
+    }
+  in
+  (* Membership fence: every envelope is stamped with its shard's epoch at
+     send time (see [request_shard]); requests carrying quorum evidence
+     from a superseded view are dropped on arrival.  Apply/Release stay
+     unfenced — they are idempotent version-guarded installers of
+     *decided* commits, and fencing a retransmission would risk losing
+     one.  Sync_req is catch-up traffic from nodes that are stale by
+     definition. *)
+  Sim.Rpc.set_fencing rpc
+    ~epoch_of:(fun req -> !(sharding.states.(request_shard sharding req).sh_epoch))
+    ~fenceable:(function
+      | Messages.Read_req _ | Messages.Commit_req _ | Messages.Batch_commit_req _
+      | Messages.Status_req _ | Messages.Handoff _ ->
+        true
+      | Messages.Apply _ | Messages.Release _ | Messages.Sync_req -> false);
   let metrics = Metrics.create () in
   let oracle = if with_oracle then Some (Oracle.create ()) else None in
   let ids = Ids.gen () in
   let quorums =
     {
       Executor.read_quorum =
-        (fun ~node ->
-          if !wedged then []
+        (fun ~shard ~node ->
+          let st = sharding.states.(shard) in
+          if !(st.sh_wedged) then []
           else
             Option.value ~default:[]
-              (Quorum.Tree_quorum.read_quorum ~salt:node tree_quorum));
+              (Quorum.Tree_quorum.read_quorum ~salt:node st.sh_tq));
       write_quorum =
-        (fun ~node ->
-          if !wedged then []
+        (fun ~shard ~node ->
+          let st = sharding.states.(shard) in
+          if !(st.sh_wedged) then []
           else
             Option.value ~default:[]
-              (Quorum.Tree_quorum.write_quorum ~salt:node tree_quorum));
+              (Quorum.Tree_quorum.write_quorum ~salt:node st.sh_tq));
       node_alive = (fun node -> not (Sim.Network.is_failed network node));
-      epoch = (fun () -> !epoch);
+      epoch = (fun ~shard -> !(sharding.states.(shard).sh_epoch));
+      shard_of = (fun oid -> shard_of_oid_s sharding oid);
+      home_shard = (fun node -> sharding.home.(node));
     }
   in
   let executor =
@@ -202,24 +380,29 @@ let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.
       ~ids ~seed:(seed + 3) ()
   in
   (* Arm the lease-termination machinery on every replica.  The peer set —
-     read quorum extended with the write quorum, both salted by the asking
-     node — is consulted lazily at status time so node failures and
-     membership changes are respected.  The union intersects the lease
-     owner's write quorum in several members (every write quorum shares
-     the root and overlapping child majorities), so a decided commit stays
-     visible even when a lossy link starved one intersection node of its
-     Apply. *)
+     read quorum extended with the write quorum of the replica's home
+     shard, both salted by the asking node — is consulted lazily at status
+     time so node failures and membership changes are respected.  The
+     union intersects the lease owner's write quorum in several members
+     (every write quorum shares the root and overlapping child
+     majorities), so a decided commit stays visible even when a lossy
+     link starved one intersection node of its Apply.  [node_alive] gates
+     the cross-shard peers a Commit_req pinned (they cannot be recomputed
+     from this shard's trees). *)
   Array.iter
     (fun server ->
-      Server.enable_termination server ~engine ~rpc
+      Server.enable_termination server
+        ~node_alive:(fun n -> not (Sim.Network.is_failed network n))
+        ~engine ~rpc
         ~status_peers:(fun () ->
-          if !wedged then []
+          let node = Server.node server in
+          let st = sharding.states.(sharding.home.(node)) in
+          if !(st.sh_wedged) then []
           else
-            let salt = Server.node server in
             let of_opt q = Option.value ~default:[] q in
             List.sort_uniq Int.compare
-              (of_opt (Quorum.Tree_quorum.read_quorum ~salt tree_quorum)
-              @ of_opt (Quorum.Tree_quorum.write_quorum ~salt tree_quorum)))
+              (of_opt (Quorum.Tree_quorum.read_quorum ~salt:node st.sh_tq)
+              @ of_opt (Quorum.Tree_quorum.write_quorum ~salt:node st.sh_tq)))
         ~metrics ~config)
     servers;
   let failure =
@@ -237,14 +420,16 @@ let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.
       ()
   in
   Sim.Failure.on_detect failure (fun node ->
-      Quorum.Tree_quorum.mark_failed tree_quorum node);
+      Array.iter
+        (fun st -> Quorum.Tree_quorum.mark_failed st.sh_tq node)
+        sharding.states);
   let t =
     {
       engine;
       network;
       rpc;
       servers;
-      tree_quorum;
+      sharding;
       failure;
       executor;
       metrics;
@@ -252,10 +437,6 @@ let create ?(nodes = 13) ?(spares = 0) ?(seed = 1) ?topology ?(service_time = 0.
       config;
       ids;
       rng = Util.Rng.create (seed + 4);
-      epoch;
-      wedged;
-      reconfig_active = false;
-      pending_reconfigs = Queue.create ();
     }
   in
   Sim.Failure.on_recover failure (fun ~node ~was_killed ->
@@ -284,10 +465,14 @@ let ids t = t.ids
 let rng t = t.rng
 let now t = Sim.Engine.now t.engine
 
+(* Objects live on their owning shard's members only; the directory entry
+   is recorded at install time, so later splits relocate exactly the oids
+   that exist. *)
 let install_object t ~oid ~init =
+  ensure_dir t.sharding ~oid;
   List.iter
     (fun node -> Store.Replica.install (Server.store t.servers.(node)) ~oid ~init)
-    (members t)
+    (shard_members t ~shard:(shard_of_oid t oid))
 
 let alloc_object t ~init =
   let oid = Ids.fresh_obj t.ids in
@@ -318,22 +503,24 @@ let suspect_node_at ?clear_after t ~at ~node =
   Sim.Failure.schedule_false_suspicion ?clear_after t.failure ~at ~node
 
 (* ------------------------------------------------------------------ *)
-(* Epoch-based reconfiguration: join / graceful leave / replace.
+(* Epoch-based reconfiguration: join / graceful leave / replace — now
+   per shard.
 
-   Every operation runs the same fenced state machine:
+   Every operation runs the same fenced state machine on one shard:
 
-   1. {b wedge} — quorum construction is suspended (every quorum closure
-      returns [[]], so executors and lease watchdogs retry politely), and
-      the machine waits two request timeouts for in-flight quorum rounds
-      to land or expire.  A joining node is revived on the network now so
-      it can serve the state transfer.
+   1. {b wedge} — the shard's quorum construction is suspended (every
+      quorum closure returns [[]], so executors and lease watchdogs retry
+      politely), and the machine waits two request timeouts for in-flight
+      quorum rounds to land or expire.  A joining node is revived on the
+      network now so it can serve the state transfer.  Other shards run
+      undisturbed.
    2. {b snapshot} — the subject node pulls a read ∪ write quorum of the
-      {e outgoing} view ([Sync_req], the same path crash recovery uses)
-      and keeps the per-object maximum version: quorum intersection in
-      the old view guarantees this covers every committed write.
+      shard's {e outgoing} view ([Sync_req], the same path crash recovery
+      uses) and keeps the per-object maximum version: quorum intersection
+      in the old view guarantees this covers every committed write.
    3. {b install} — the new member list is installed ([set_members]
-      rebuilds the quorum tree), the epoch is bumped, and — for joins and
-      replaces — the joiner adopts the snapshot locally.
+      rebuilds the quorum tree), the shard epoch is bumped, and — for
+      joins and replaces — the joiner adopts the snapshot locally.
    4. {b handoff} — the snapshot is pushed ([Handoff], version-guarded
       and idempotent) to every reachable member of the incoming view, so
       new-view quorums intersect the committed prefix even where old- and
@@ -344,7 +531,6 @@ let suspect_node_at ?clear_after t ~at ~node =
       leases and hosts no live coordinators it is failed off the network
       and its volatile state cleared.  Departed nodes return to the spare
       pool and may be re-joined later (rolling restarts). *)
-
 
 let reconfig_code = function Join _ -> 0 | Leave _ -> 1 | Replace _ -> 2
 
@@ -365,11 +551,12 @@ let reconfig_leaving = function
   | Leave node -> Some node
   | Replace { leaving; _ } -> Some leaving
 
-let min_members = 3
-
-let validate_reconfig t op =
+let validate_reconfig t st op =
   let total = nodes t in
+  (* A machine serves at most one shard, so joining is checked against the
+     union view; leaving against the shard's own members. *)
   let mem = members t in
+  let shard_mem = Quorum.Tree_quorum.members st.sh_tq in
   let check_joining node =
     if node < 0 || node >= total then
       invalid_arg
@@ -379,82 +566,85 @@ let validate_reconfig t op =
       invalid_arg
         (Printf.sprintf
            "Cluster: cannot join node %d: already a member (t=%.1f epoch=%d view=[%s])"
-           node (Sim.Engine.now t.engine) !(t.epoch)
+           node (Sim.Engine.now t.engine) !(st.sh_epoch)
            (String.concat ";" (List.map string_of_int mem)))
   in
   let check_leaving node =
-    if not (List.mem node mem) then
+    if not (List.mem node shard_mem) then
       invalid_arg (Printf.sprintf "Cluster: cannot remove node %d: not a member" node)
   in
   match op with
   | Join node -> check_joining node
   | Leave node ->
     check_leaving node;
-    if List.length mem - 1 < min_members then
+    if List.length shard_mem - 1 < min_members then
       invalid_arg
         (Printf.sprintf
            "Cluster: cannot remove node %d: %d members is below the quorum-viable \
             minimum (%d)"
-           node (List.length mem) min_members)
+           node (List.length shard_mem) min_members)
   | Replace { leaving; joining } ->
     check_leaving leaving;
     check_joining joining
 
-let trace_view t ~kind ~node ~a ~b =
+let trace_view t ~kind ~node ~a ~b ~shard =
   let tracer = Sim.Engine.tracer t.engine in
   if Obs.Tracer.enabled tracer then
-    Obs.Tracer.emit tracer ~time:(Sim.Engine.now t.engine) ~kind ~node ~a ~b ()
+    Obs.Tracer.emit8 tracer ~time:(Sim.Engine.now t.engine) ~kind ~node ~txn:(-1)
+      ~oid:(-1) ~a ~b ~x:(Float.of_int shard)
 
-let rec start_reconfig t op ~on_done =
-  if t.reconfig_active || not (Queue.is_empty t.pending_reconfigs) then
-    (* One view change at a time: queue behind the active one, FIFO, and
-       validate only when actually starting — a queued replace may re-use
-       a machine an earlier operation is still decommissioning.  The queue
-       check matters even when nothing is active: [finish_reconfig] drains
-       the queue after a grace delay, and an operation arriving inside
-       that gap must not jump ahead of the ones already waiting. *)
-    Queue.add (op, on_done) t.pending_reconfigs
-  else launch_reconfig t op ~on_done
+let rec start_reconfig t st op ~on_done =
+  if st.sh_reconfig_active || not (Queue.is_empty st.sh_pending) then
+    (* One view change at a time per shard: queue behind the active one,
+       FIFO, and validate only when actually starting — a queued replace
+       may re-use a machine an earlier operation is still decommissioning.
+       The queue check matters even when nothing is active:
+       [finish_reconfig] drains the queue after a grace delay, and an
+       operation arriving inside that gap must not jump ahead of the ones
+       already waiting. *)
+    Queue.add (op, on_done) st.sh_pending
+  else launch_reconfig t st op ~on_done
 
-and launch_reconfig t op ~on_done =
+and launch_reconfig t st op ~on_done =
   begin
-    validate_reconfig t op;
-    t.reconfig_active <- true;
-    t.wedged := true;
+    validate_reconfig t st op;
+    st.sh_reconfig_active <- true;
+    st.sh_wedged := true;
     trace_view t ~kind:Obs.Sem.view_wedge
       ~node:(reconfig_subject op)
       ~a:(reconfig_code op)
-      ~b:(match reconfig_joining op with Some j -> j | None -> -1);
+      ~b:(match reconfig_joining op with Some j -> j | None -> -1)
+      ~shard:st.sh_id;
     (* A joiner comes back on the network now — still outside the view —
        so it can pull the snapshot and receive the handoff. *)
     (match reconfig_joining op with
     | Some j ->
       Sim.Network.revive t.network j;
-      Quorum.Tree_quorum.revive t.tree_quorum j;
+      Array.iter (fun s -> Quorum.Tree_quorum.revive s.sh_tq j) t.sharding.states;
       Sim.Failure.clear_suspicion t.failure j
     | None -> ());
     (* Let in-flight quorum rounds land or time out before snapshotting:
        the wedge stops new rounds, and two request timeouts bound the
        stragglers (a round started just before the wedge plus its reply). *)
     Sim.Engine.schedule t.engine ~delay:(2. *. t.config.Config.request_timeout)
-      (fun () -> snapshot_phase t op ~on_done)
+      (fun () -> snapshot_phase t st op ~on_done)
   end
 
 (* Pull the committed state through the outgoing view's quorums.  The
    union read ∪ write quorum mirrors [resync]: commits decided just before
    the wedge may still have Applies in flight, and the wider set maximises
    the chance of including a member that already installed them. *)
-and snapshot_phase t op ~on_done =
+and snapshot_phase t st op ~on_done =
   let src = reconfig_subject op in
   let quorum =
     let of_opt q = Option.value ~default:[] q in
     List.sort_uniq Int.compare
-      (of_opt (Quorum.Tree_quorum.read_quorum ~salt:src t.tree_quorum)
-      @ of_opt (Quorum.Tree_quorum.write_quorum ~salt:src t.tree_quorum))
+      (of_opt (Quorum.Tree_quorum.read_quorum ~salt:src st.sh_tq)
+      @ of_opt (Quorum.Tree_quorum.write_quorum ~salt:src st.sh_tq))
   in
   let retry () =
     Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
-        snapshot_phase t op ~on_done)
+        snapshot_phase t st op ~on_done)
   in
   match quorum with
   | [] -> retry ()
@@ -486,11 +676,11 @@ and snapshot_phase t op ~on_done =
               best []
             |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
           in
-          install_phase t op ~snapshot ~on_done
+          install_phase t st op ~snapshot ~on_done
         end)
 
-and install_phase t op ~snapshot ~on_done =
-  let old_members = members t in
+and install_phase t st op ~snapshot ~on_done =
+  let old_members = Quorum.Tree_quorum.members st.sh_tq in
   let new_members =
     match op with
     | Join node -> node :: old_members
@@ -498,23 +688,27 @@ and install_phase t op ~snapshot ~on_done =
     | Replace { leaving; joining } ->
       joining :: List.filter (fun n -> n <> leaving) old_members
   in
-  Quorum.Tree_quorum.set_members t.tree_quorum new_members;
-  incr t.epoch;
+  Quorum.Tree_quorum.set_members st.sh_tq new_members;
+  incr st.sh_epoch;
   Metrics.note_view_change t.metrics;
   trace_view t ~kind:Obs.Sem.view_change
     ~node:(reconfig_subject op)
-    ~a:!(t.epoch) ~b:(List.length new_members);
+    ~a:!(st.sh_epoch)
+    ~b:(List.length new_members)
+    ~shard:st.sh_id;
   (* The joiner adopts the snapshot directly — this is the Sync_req /
-     Sync_rep catch-up path, applied locally instead of over the wire. *)
+     Sync_rep catch-up path, applied locally instead of over the wire —
+     and becomes one of this shard's replicas. *)
   (match reconfig_joining op with
   | Some j ->
+    t.sharding.home.(j) <- st.sh_id;
     let store = Server.store t.servers.(j) in
     Store.Replica.reset_transients store;
     List.iter
       (fun (oid, version, value) -> Store.Replica.sync_copy store ~oid ~version ~value)
       snapshot
   | None -> ());
-  handoff_phase t op ~snapshot ~tries:0 ~on_done
+  handoff_phase t st op ~snapshot ~tries:0 ~on_done
 
 (* Re-replicate the committed frontier to every reachable member of the
    incoming view.  Old- and new-view quorums need not intersect, so
@@ -523,14 +717,14 @@ and install_phase t op ~snapshot ~on_done =
    duplicates and stale rows are harmless.  Members that are down right
    now are skipped — their recovery resync refreshes them from the
    (post-handoff) current view. *)
-and handoff_phase t op ~snapshot ~tries ~on_done =
+and handoff_phase t st op ~snapshot ~tries ~on_done =
   let src = reconfig_subject op in
   let dsts =
     List.filter
       (fun n -> n <> src && not (Sim.Network.is_failed t.network n))
-      (members t)
+      (Quorum.Tree_quorum.members st.sh_tq)
   in
-  if dsts = [] then unwedge_phase t op ~on_done
+  if dsts = [] then unwedge_phase t st op ~on_done
   else
     Sim.Rpc.multicall t.rpc ~kind:Messages.handoff_kind ~src ~dsts
       ~timeout:t.config.Config.request_timeout
@@ -541,14 +735,14 @@ and handoff_phase t op ~snapshot ~tries ~on_done =
         in
         if missing_alive <> [] && tries < 10 then
           Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout
-            (fun () -> handoff_phase t op ~snapshot ~tries:(tries + 1) ~on_done)
-        else unwedge_phase t op ~on_done)
+            (fun () -> handoff_phase t st op ~snapshot ~tries:(tries + 1) ~on_done)
+        else unwedge_phase t st op ~on_done)
 
-and unwedge_phase t op ~on_done =
-  t.wedged := false;
+and unwedge_phase t st op ~on_done =
+  st.sh_wedged := false;
   match reconfig_leaving op with
-  | None -> finish_reconfig t op ~on_done
-  | Some node -> drain_departure t op ~node ~polls:0 ~on_done
+  | None -> finish_reconfig t st op ~on_done
+  | Some node -> drain_departure t st op ~node ~polls:0 ~on_done
 
 (* Graceful departure: wait until the leaver neither holds write-lock
    leases nor hosts a live coordinator, then take it off the network and
@@ -557,46 +751,346 @@ and unwedge_phase t op ~on_done =
    wedged behind a partition would otherwise hold the machine hostage,
    and killing it after the grace window is the fail-stop the protocol
    already tolerates. *)
-and drain_departure t op ~node ~polls ~on_done =
+and drain_departure t st op ~node ~polls ~on_done =
   let holds_leases = Store.Replica.held_leases (Server.store t.servers.(node)) <> [] in
   let hosts_roots =
     List.exists (fun (n, _) -> n = node) (Executor.in_flight t.executor)
   in
   if (holds_leases || hosts_roots) && polls < 20 then
     Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
-        drain_departure t op ~node ~polls:(polls + 1) ~on_done)
+        drain_departure t st op ~node ~polls:(polls + 1) ~on_done)
   else begin
     Sim.Network.fail t.network node;
     Store.Replica.reset_transients (Server.store t.servers.(node));
     Executor.kill_node t.executor ~node;
-    finish_reconfig t op ~on_done
+    finish_reconfig t st op ~on_done
   end
 
-and finish_reconfig t op ~on_done =
-  trace_view t ~kind:Obs.Sem.view_done ~node:(reconfig_subject op) ~a:!(t.epoch)
-    ~b:(reconfig_code op);
-  t.reconfig_active <- false;
+and finish_reconfig t st op ~on_done =
+  trace_view t ~kind:Obs.Sem.view_done ~node:(reconfig_subject op) ~a:!(st.sh_epoch)
+    ~b:(reconfig_code op) ~shard:st.sh_id;
+  st.sh_reconfig_active <- false;
   (match on_done with Some f -> f () | None -> ());
-  if not (Queue.is_empty t.pending_reconfigs) then
-    (* Give the cluster one quiet timeout between view changes so retried
-       transactions see the new quorums before the next wedge.  The head
-       stays queued until the drain fires: [start_reconfig]'s queue check
-       keeps later arrivals behind it, so only this callback launches. *)
-    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
-        match Queue.take_opt t.pending_reconfigs with
-        | None -> ()
-        | Some (next, next_done) -> launch_reconfig t next ~on_done:next_done)
+  kick_pending t st
 
-let schedule_reconfig ?on_done t ~at op =
+(* Drain one queued reconfiguration after a quiet timeout, so retried
+   transactions see the new quorums before the next wedge.  The head
+   stays queued until the drain fires: [start_reconfig]'s queue check
+   keeps later arrivals behind it.  If a shard-directory operation
+   grabbed the shard meanwhile, poll again — its own finish also kicks,
+   and a drained queue makes the extra poll a no-op. *)
+and kick_pending t st =
+  if not (Queue.is_empty st.sh_pending) then
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        if st.sh_reconfig_active then kick_pending t st
+        else
+          match Queue.take_opt st.sh_pending with
+          | None -> ()
+          | Some (next, next_done) -> launch_reconfig t st next ~on_done:next_done)
+
+let schedule_reconfig ?on_done ?(shard = 0) t ~at op =
   Sim.Engine.schedule t.engine
     ~delay:(Float.max 0. (at -. now t))
-    (fun () -> start_reconfig t op ~on_done)
+    (fun () ->
+      if shard < 0 || shard >= shard_count t then
+        invalid_arg
+          (Printf.sprintf "Cluster: no such shard %d (%d shards)" shard
+             (shard_count t));
+      start_reconfig t t.sharding.states.(shard) op ~on_done)
 
-let join_node_at ?on_done t ~at ~node = schedule_reconfig ?on_done t ~at (Join node)
-let leave_node_at ?on_done t ~at ~node = schedule_reconfig ?on_done t ~at (Leave node)
+let join_node_at ?on_done ?shard t ~at ~node =
+  schedule_reconfig ?on_done ?shard t ~at (Join node)
 
-let replace_node_at ?on_done t ~at ~leaving ~joining =
-  schedule_reconfig ?on_done t ~at (Replace { leaving; joining })
+let leave_node_at ?on_done ?shard t ~at ~node =
+  schedule_reconfig ?on_done ?shard t ~at (Leave node)
+
+let replace_node_at ?on_done ?shard t ~at ~leaving ~joining =
+  schedule_reconfig ?on_done ?shard t ~at (Replace { leaving; joining })
+
+(* ------------------------------------------------------------------ *)
+(* Shard-directory operations: move one object between shards, or split a
+   shard in two.  Same wedge / snapshot / install / handoff / unwedge
+   discipline as membership reconfiguration, but the involved shards are
+   wedged together and both epochs bump — commit rounds in flight against
+   either view must re-fetch quorums, and stale envelopes fence. *)
+
+let shard_op_code = function Move_object _ -> 3 | Split_shard _ -> 4
+
+let validate_shard_op t op =
+  let nsh = shard_count t in
+  match op with
+  | Move_object { oid; to_shard } ->
+    if to_shard < 0 || to_shard >= nsh then
+      invalid_arg
+        (Printf.sprintf "Cluster: cannot move object %d: no such shard %d (%d shards)"
+           oid to_shard nsh);
+    if oid < 0 || oid >= t.sharding.dir_len then
+      invalid_arg
+        (Printf.sprintf "Cluster: cannot move object %d: not an allocated object" oid);
+    if t.sharding.dir.(oid) = to_shard then
+      invalid_arg
+        (Printf.sprintf "Cluster: cannot move object %d: already on shard %d" oid
+           to_shard)
+  | Split_shard shard ->
+    if shard < 0 || shard >= nsh then
+      invalid_arg
+        (Printf.sprintf "Cluster: cannot split shard %d: no such shard (%d shards)"
+           shard nsh);
+    let m = List.length (shard_members t ~shard) in
+    if m < 2 * min_members then
+      invalid_arg
+        (Printf.sprintf
+           "Cluster: cannot split shard %d: %d members cannot form two quorum-viable \
+            shards (minimum %d each)"
+           shard m min_members)
+
+let shard_op_source t = function
+  | Move_object { oid; _ } -> t.sharding.dir.(oid)
+  | Split_shard shard -> shard
+
+let involved_shards t = function
+  | Move_object { oid; to_shard } -> [ t.sharding.dir.(oid); to_shard ]
+  | Split_shard shard -> [ shard ]
+
+let rec start_shard_op t op ~on_done =
+  if t.sharding.shard_op_active || not (Queue.is_empty t.sharding.shard_pending)
+  then Queue.add (op, on_done) t.sharding.shard_pending
+  else launch_shard_op t op ~on_done
+
+and launch_shard_op t op ~on_done =
+  validate_shard_op t op;
+  let involved = involved_shards t op in
+  if
+    List.exists (fun s -> t.sharding.states.(s).sh_reconfig_active) involved
+  then
+    (* a membership reconfiguration owns one of the shards: poll until
+       it finishes (its queue drain cannot start us — shard ops live in
+       their own queue) *)
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        launch_shard_op t op ~on_done)
+  else begin
+    t.sharding.shard_op_active <- true;
+    List.iter
+      (fun s ->
+        let st = t.sharding.states.(s) in
+        st.sh_reconfig_active <- true;
+        st.sh_wedged := true)
+      involved;
+    trace_view t ~kind:Obs.Sem.view_wedge ~node:(-1) ~a:(shard_op_code op)
+      ~b:(match op with Move_object { oid; _ } -> oid | Split_shard _ -> -1)
+      ~shard:(shard_op_source t op);
+    (* Same grace window as membership ops: let in-flight quorum rounds
+       land or expire under the wedge before touching the directory. *)
+    Sim.Engine.schedule t.engine ~delay:(2. *. t.config.Config.request_timeout)
+      (fun () -> shard_snapshot_phase t op ~involved ~on_done)
+  end
+
+(* Pull the source shard's committed frontier through its (outgoing-view)
+   read ∪ write quorum union, exactly like the membership snapshot — the
+   data a move or split redistributes must cover every committed write. *)
+and shard_snapshot_phase t op ~involved ~on_done =
+  let src_shard = shard_op_source t op in
+  let st = t.sharding.states.(src_shard) in
+  let salt = List.hd (Quorum.Tree_quorum.members st.sh_tq) in
+  let quorum =
+    let of_opt q = Option.value ~default:[] q in
+    List.sort_uniq Int.compare
+      (of_opt (Quorum.Tree_quorum.read_quorum ~salt st.sh_tq)
+      @ of_opt (Quorum.Tree_quorum.write_quorum ~salt st.sh_tq))
+  in
+  let retry () =
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        shard_snapshot_phase t op ~involved ~on_done)
+  in
+  match quorum with
+  | [] -> retry ()
+  | dsts ->
+    Sim.Rpc.multicall t.rpc ~kind:Messages.sync_req_kind ~src:salt ~dsts
+      ~timeout:t.config.Config.request_timeout Messages.Sync_req
+      ~on_done:(fun ~replies ~missing ->
+        if missing <> [] then retry ()
+        else begin
+          let best = Hashtbl.create 256 in
+          List.iter
+            (fun (_, reply) ->
+              match reply with
+              | Messages.Sync_rep { objects } ->
+                List.iter
+                  (fun (oid, version, value) ->
+                    match Hashtbl.find_opt best oid with
+                    | Some (v, _) when v >= version -> ()
+                    | _ -> Hashtbl.replace best oid (version, value))
+                  objects
+              | Messages.Read_ok _ | Messages.Read_abort _ | Messages.Vote _
+              | Messages.Status_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
+                ())
+            replies;
+          let snapshot =
+            Hashtbl.fold (fun oid (version, value) acc -> (oid, version, value) :: acc)
+              best []
+            |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          in
+          match op with
+          | Move_object { oid; to_shard } ->
+            shard_move_install t ~oid ~to_shard ~src_shard ~snapshot ~involved
+              ~on_done
+          | Split_shard shard ->
+            shard_split_install t ~shard ~snapshot ~involved ~on_done
+        end)
+
+(* Move: push the object's committed row to the destination shard's
+   members, then flip the directory entry and bump both epochs. *)
+and shard_move_install t ~oid ~to_shard ~src_shard ~snapshot ~involved ~on_done =
+  let row =
+    List.filter (fun (o, _, _) -> o = oid) snapshot
+  in
+  let push ~tries ~k =
+    let dst = t.sharding.states.(to_shard) in
+    let dsts =
+      List.filter
+        (fun n -> not (Sim.Network.is_failed t.network n))
+        (Quorum.Tree_quorum.members dst.sh_tq)
+    in
+    if row = [] || dsts = [] then k ()
+    else
+      let rec attempt tries =
+        Sim.Rpc.multicall t.rpc ~kind:Messages.handoff_kind
+          ~src:(List.hd (Quorum.Tree_quorum.members t.sharding.states.(src_shard).sh_tq))
+          ~dsts ~timeout:t.config.Config.request_timeout
+          (Messages.Handoff { objects = row })
+          ~on_done:(fun ~replies:_ ~missing ->
+            let missing_alive =
+              List.filter (fun n -> not (Sim.Network.is_failed t.network n)) missing
+            in
+            if missing_alive <> [] && tries < 10 then
+              Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout
+                (fun () -> attempt (tries + 1))
+            else k ())
+      in
+      attempt tries
+  in
+  push ~tries:0 ~k:(fun () ->
+      t.sharding.dir.(oid) <- to_shard;
+      List.iter
+        (fun s ->
+          let st = t.sharding.states.(s) in
+          incr st.sh_epoch;
+          Metrics.note_view_change t.metrics;
+          trace_view t ~kind:Obs.Sem.view_change ~node:(-1) ~a:!(st.sh_epoch)
+            ~b:(List.length (Quorum.Tree_quorum.members st.sh_tq))
+            ~shard:s)
+        involved;
+      finish_shard_op t ~involved ~on_done)
+
+(* Split: the first half of the member list keeps the shard, the second
+   half becomes a brand-new shard; the shard's objects alternate between
+   the halves (even directory positions stay, odd ones move).  Both halves
+   get the full committed frontier pushed — their new, smaller quorums
+   need not intersect the old shard's write quorums. *)
+and shard_split_install t ~shard ~snapshot ~involved ~on_done =
+  let st = t.sharding.states.(shard) in
+  let old_members = Quorum.Tree_quorum.members st.sh_tq in
+  let n = List.length old_members in
+  let keep_n = (n + 1) / 2 in
+  let keep = List.filteri (fun i _ -> i < keep_n) old_members in
+  let moved = List.filteri (fun i _ -> i >= keep_n) old_members in
+  let new_id = Array.length t.sharding.states in
+  let ntq =
+    Quorum.Tree_quorum.create ~read_level:t.sharding.read_level
+      ~capacity:(nodes t) ~nodes:(List.length moved) ()
+  in
+  Quorum.Tree_quorum.set_members ntq moved;
+  (* Carry the failure knowledge over: liveness flags are keyed by
+     physical id, and a crashed member must not appear in the new shard's
+     quorums before its recovery resync. *)
+  List.iter (Quorum.Tree_quorum.mark_failed ntq) (Quorum.Tree_quorum.failed st.sh_tq);
+  Quorum.Tree_quorum.set_members st.sh_tq keep;
+  (* Odd-indexed objects of the shard move to the new half. *)
+  let idx = ref 0 in
+  for oid = 0 to t.sharding.dir_len - 1 do
+    if t.sharding.dir.(oid) = shard then begin
+      if !idx land 1 = 1 then t.sharding.dir.(oid) <- new_id;
+      incr idx
+    end
+  done;
+  List.iter (fun nd -> t.sharding.home.(nd) <- new_id) moved;
+  incr st.sh_epoch;
+  Metrics.note_view_change t.metrics;
+  trace_view t ~kind:Obs.Sem.view_change ~node:(-1) ~a:!(st.sh_epoch)
+    ~b:(List.length keep) ~shard;
+  let nst =
+    {
+      sh_id = new_id;
+      sh_tq = ntq;
+      sh_epoch = ref !(st.sh_epoch);
+      sh_wedged = ref true;
+      sh_reconfig_active = true;
+      sh_pending = Queue.create ();
+    }
+  in
+  t.sharding.states <-
+    Array.init (new_id + 1) (fun i ->
+        if i < new_id then t.sharding.states.(i) else nst);
+  Metrics.note_view_change t.metrics;
+  trace_view t ~kind:Obs.Sem.view_change ~node:(-1) ~a:!(nst.sh_epoch)
+    ~b:(List.length moved) ~shard:new_id;
+  (* Level every member of both halves to the committed frontier. *)
+  let src = List.hd keep in
+  let rec push tries =
+    let dsts =
+      List.filter
+        (fun nd -> nd <> src && not (Sim.Network.is_failed t.network nd))
+        old_members
+    in
+    if snapshot = [] || dsts = [] then
+      finish_shard_op t ~involved:(new_id :: involved) ~on_done
+    else
+      Sim.Rpc.multicall t.rpc ~kind:Messages.handoff_kind ~src ~dsts
+        ~timeout:t.config.Config.request_timeout
+        (Messages.Handoff { objects = snapshot })
+        ~on_done:(fun ~replies:_ ~missing ->
+          let missing_alive =
+            List.filter (fun nd -> not (Sim.Network.is_failed t.network nd)) missing
+          in
+          if missing_alive <> [] && tries < 10 then
+            Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout
+              (fun () -> push (tries + 1))
+          else finish_shard_op t ~involved:(new_id :: involved) ~on_done)
+  in
+  push 0
+
+and finish_shard_op t ~involved ~on_done =
+  List.iter
+    (fun s ->
+      let st = t.sharding.states.(s) in
+      st.sh_wedged := false;
+      st.sh_reconfig_active <- false;
+      trace_view t ~kind:Obs.Sem.view_done ~node:(-1) ~a:!(st.sh_epoch) ~b:(-1)
+        ~shard:s)
+    (List.sort_uniq Int.compare involved);
+  t.sharding.shard_op_active <- false;
+  (match on_done with Some f -> f () | None -> ());
+  (* Membership reconfigurations queued while we held these shards. *)
+  List.iter
+    (fun s -> kick_pending t t.sharding.states.(s))
+    (List.sort_uniq Int.compare involved);
+  if not (Queue.is_empty t.sharding.shard_pending) then
+    Sim.Engine.schedule t.engine ~delay:t.config.Config.request_timeout (fun () ->
+        if not t.sharding.shard_op_active then
+          match Queue.take_opt t.sharding.shard_pending with
+          | None -> ()
+          | Some (next, next_done) -> launch_shard_op t next ~on_done:next_done)
+
+let schedule_shard_op ?on_done t ~at op =
+  Sim.Engine.schedule t.engine
+    ~delay:(Float.max 0. (at -. now t))
+    (fun () -> start_shard_op t op ~on_done)
+
+let move_object_at ?on_done t ~at ~oid ~to_shard =
+  schedule_shard_op ?on_done t ~at (Move_object { oid; to_shard })
+
+let split_shard_at ?on_done t ~at ~shard =
+  schedule_shard_op ?on_done t ~at (Split_shard shard)
 
 let run_for t duration =
   Sim.Engine.run ~until:(Sim.Engine.now t.engine +. duration) t.engine

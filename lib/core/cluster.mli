@@ -18,7 +18,18 @@
     handoff), and {!replace_node_at} (atomic swap, for rolling restarts).
     Every protocol envelope carries the sender's epoch; traffic from a
     superseded view is fenced (see {!Sim.Rpc.set_fencing}).  Departed
-    nodes return to the spare pool and may be joined again later. *)
+    nodes return to the spare pool and may be joined again later.
+
+    {b The object space can be sharded}: with [~shards:k], the machines are
+    partitioned into [k] disjoint shards, each with its own member view,
+    epoch, quorum tree and reconfiguration queue; a shard directory maps
+    every object to its owning shard.  Transactions touching one shard run
+    today's one-round commit; transactions spanning shards commit through
+    a presumed-abort two-phase protocol across the participant shards'
+    write quorums (PROTOCOL.md §10).  {!move_object_at} and
+    {!split_shard_at} reshape the directory mid-run.  With the default
+    [~shards:1] everything below behaves — byte-identically — as the
+    unsharded cluster. *)
 
 type t
 
@@ -35,6 +46,7 @@ val create :
   ?tracer:Obs.Tracer.t ->
   ?batch_fanout:bool ->
   ?batch_commit:bool ->
+  ?shards:int ->
   Config.t ->
   t
 (** Defaults: 13 nodes (the paper's Fig. 3 tree), metric-space topology with
@@ -58,7 +70,12 @@ val create :
     [nodes]: they exist on the topology but start decommissioned (network
     down, outside the view) until a {!join_node_at} or {!replace_node_at}
     brings them in.  {!nodes} reports total capacity ([nodes + spares]);
-    {!members} is the current view. *)
+    {!members} is the current view.
+
+    [shards] (default 1) partitions the initial members into that many
+    contiguous, near-equal shards; objects map to shard [oid mod shards]
+    until moved.  Raises [Invalid_argument] unless every shard gets at
+    least 3 members. *)
 
 val engine : t -> Sim.Engine.t
 
@@ -76,13 +93,34 @@ val nodes : t -> int
     valid range of node ids.  See {!members} for the current view. *)
 
 val members : t -> int list
-(** The current membership view, sorted ascending. *)
+(** The current membership view — the union of every shard's members —
+    sorted ascending. *)
 
 val is_member : t -> int -> bool
 
 val epoch : t -> int
-(** The current view epoch: 0 at creation, bumped by every completed
-    reconfiguration. *)
+(** The cluster-wide view epoch: 0 at creation, bumped by every completed
+    view change on any shard (with one shard, exactly that shard's
+    epoch). *)
+
+(** {2 Shards} *)
+
+val shard_count : t -> int
+(** Number of shards (1 unless created with [~shards] or grown by
+    {!split_shard_at}). *)
+
+val shard_of_oid : t -> Ids.obj_id -> int
+(** The shard directory: which shard owns this object right now. *)
+
+val shard_members : t -> shard:int -> int list
+(** One shard's current member view, sorted ascending. *)
+
+val shard_epoch : t -> shard:int -> int
+(** One shard's view epoch (each shard fences its own traffic). *)
+
+val home_shard_of : t -> node:int -> int
+(** The shard a node replicates (spares report the shard they last
+    served, 0 before any join). *)
 
 val ids : t -> Ids.gen
 val rng : t -> Util.Rng.t
@@ -93,9 +131,9 @@ val alloc_object : t -> init:Txn.value -> Ids.obj_id
     replica. *)
 
 val install_object : t -> oid:Ids.obj_id -> init:Txn.value -> unit
-(** (Re)install an object at version 0 on every current member — setup-time
-    only.  Nodes joining later receive state through the reconfiguration
-    handoff instead. *)
+(** (Re)install an object at version 0 on every member of its owning
+    shard — setup-time only.  Nodes joining later receive state through
+    the reconfiguration handoff instead. *)
 
 val store_of : t -> node:int -> Store.Replica.t
 (** Direct replica access, for tests and white-box assertions. *)
@@ -105,6 +143,9 @@ val server_of : t -> node:int -> Server.t
     (e.g. staging a decided-but-partially-applied commit). *)
 
 val read_quorum_of : t -> node:int -> int list
+(** The node's designated read quorum over its {e home} shard (empty while
+    that shard is wedged or quorum-starved). *)
+
 val write_quorum_of : t -> node:int -> int list
 
 val submit :
@@ -139,23 +180,57 @@ val suspect_node_at : ?clear_after:float -> t -> at:float -> node:int -> unit
     sheds its leases and live coordinators before going dark).
 
     Operations are validated when they fire, against the membership at
-    that moment: joining an existing member, removing a non-member, or
-    shrinking below the quorum-viable minimum (3) raises
-    [Invalid_argument].  Concurrent operations queue behind the active
-    one.  [on_done] fires when the state machine completes. *)
+    that moment: joining an existing member (of any shard), removing a
+    non-member, or shrinking a shard below the quorum-viable minimum (3)
+    raises [Invalid_argument].  Concurrent operations on one shard queue
+    behind the active one; different shards reconfigure independently.
+    [on_done] fires when the state machine completes.  [shard] (default
+    0) selects the shard the operation applies to. *)
 
-val join_node_at : ?on_done:(unit -> unit) -> t -> at:float -> node:int -> unit
+val join_node_at :
+  ?on_done:(unit -> unit) -> ?shard:int -> t -> at:float -> node:int -> unit
 (** Bring a non-member machine (a spare, or a previously departed node)
-    into the view at simulated time [at]. *)
+    into [shard]'s view at simulated time [at]. *)
 
-val leave_node_at : ?on_done:(unit -> unit) -> t -> at:float -> node:int -> unit
+val leave_node_at :
+  ?on_done:(unit -> unit) -> ?shard:int -> t -> at:float -> node:int -> unit
 (** Gracefully decommission a member: state is handed off and leases
     drained before the node leaves the network. *)
 
 val replace_node_at :
-  ?on_done:(unit -> unit) -> t -> at:float -> leaving:int -> joining:int -> unit
+  ?on_done:(unit -> unit) ->
+  ?shard:int ->
+  t ->
+  at:float ->
+  leaving:int ->
+  joining:int ->
+  unit
 (** Atomic swap — one epoch bump covers both the departure and the
     arrival (rolling-restart building block). *)
+
+(** {2 Shard-directory operations}
+
+    Both run the same wedge / snapshot / install / handoff / unwedge
+    machine as membership reconfiguration, wedging every involved shard
+    together and bumping each involved shard's epoch (stale commit rounds
+    fence).  Validation happens when the operation fires: a malformed
+    request — moving to a nonexistent shard, moving an unallocated or
+    already-resident object, splitting a shard that cannot yield two
+    quorum-viable halves (< 6 members) — raises [Invalid_argument].
+    Shard-directory operations run one at a time, queued FIFO, and wait
+    politely for any membership reconfiguration holding an involved
+    shard. *)
+
+val move_object_at :
+  ?on_done:(unit -> unit) -> t -> at:float -> oid:Ids.obj_id -> to_shard:int -> unit
+(** Relocate one object: its committed row is pushed to the destination
+    shard's members before the directory entry flips. *)
+
+val split_shard_at : ?on_done:(unit -> unit) -> t -> at:float -> shard:int -> unit
+(** Split a shard in two: the first half of the member list keeps the
+    shard id, the second half becomes a brand-new shard (id
+    {!shard_count}), and the shard's objects alternate between the
+    halves. *)
 
 val run_for : t -> float -> unit
 (** Advance simulated time by the given number of milliseconds. *)

@@ -1,8 +1,10 @@
 type quorums = {
-  read_quorum : node:int -> int list;
-  write_quorum : node:int -> int list;
+  read_quorum : shard:int -> node:int -> int list;
+  write_quorum : shard:int -> node:int -> int list;
   node_alive : int -> bool;
-  epoch : unit -> int;
+  epoch : shard:int -> int;
+  shard_of : int -> int;
+  home_shard : int -> int;
 }
 
 (* Handle on a live root, kept in a per-executor registry so a fail-stop of
@@ -132,11 +134,10 @@ and t = {
   (* Batch-commit mode (PROTOCOL.md §9).  All of it is inert when
      [batch_commit] is false: no field is touched, no event scheduled. *)
   batch_commit : bool;
-  mutable batch_queue : pending list; (* newest first; reversed at cut *)
-  mutable batch_queue_len : int;
-  mutable batch_inflight : bool; (* at most one batch round in flight *)
-  mutable batch_cut_scheduled : bool; (* a deadline cut is pending *)
-  mutable batch_seq : int; (* batch id for traces *)
+  mutable batch_queues : batchq array;
+      (* one commit queue per shard, grown on demand ([batchq]); a batch
+         round is a single-shard quorum round, so entries never mix shards *)
+  mutable batch_seq : int; (* batch id for traces; unique across shards *)
   images : (Ids.obj_id, image) Hashtbl.t;
   (* Decisions of recent batch entries, consulted to resolve speculative
      dependencies.  Bounded FIFO: a dependency is always decided by the
@@ -145,12 +146,23 @@ and t = {
      as "not committed", which only ever aborts conservatively. *)
   spec_outcomes : (Ids.txn_id, bool) Hashtbl.t;
   spec_outcome_order : Ids.txn_id Queue.t;
-  (* Transactions committed in the last two batch rounds, shipped with the
-     next Batch_commit_req: their Applies may still be in flight, and a
-     replica may hand their moribund leases to a successor that read past
-     them (PROTOCOL.md §9). *)
-  mutable last_commits : Ids.txn_id list;
-  mutable prev_commits : Ids.txn_id list;
+}
+
+(* Per-shard batch-commit queue.  Queue order is commit order {e within a
+   shard}; rounds on different shards are independent (disjoint member
+   sets), so each shard pipelines its own cuts. *)
+and batchq = {
+  bq_shard : int;
+  mutable bq_queue : pending list; (* newest first; reversed at cut *)
+  mutable bq_len : int;
+  mutable bq_inflight : bool; (* at most one batch round in flight per shard *)
+  mutable bq_cut_scheduled : bool; (* a deadline cut is pending *)
+  (* Transactions committed in this shard's last two batch rounds, shipped
+     with the next Batch_commit_req: their Applies may still be in flight,
+     and a replica may hand their moribund leases to a successor that read
+     past them (PROTOCOL.md §9). *)
+  mutable bq_last_commits : Ids.txn_id list;
+  mutable bq_prev_commits : Ids.txn_id list;
 }
 
 let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ?(batch_commit = false)
@@ -173,17 +185,32 @@ let create ~engine ~rpc ~quorums ~config ~metrics ?oracle ?(batch_commit = false
     actives = [];
     next_active = 0;
     batch_commit;
-    batch_queue = [];
-    batch_queue_len = 0;
-    batch_inflight = false;
-    batch_cut_scheduled = false;
+    batch_queues = [||];
     batch_seq = 0;
     images = Hashtbl.create 64;
     spec_outcomes = Hashtbl.create 256;
     spec_outcome_order = Queue.create ();
-    last_commits = [];
-    prev_commits = [];
   }
+
+(* The shard's batch queue, materialised on first use (shards can appear
+   mid-run: a split mints a new shard id). *)
+let batchq exec ~shard =
+  let n = Array.length exec.batch_queues in
+  if shard >= n then
+    exec.batch_queues <-
+      Array.init (shard + 1) (fun i ->
+          if i < n then exec.batch_queues.(i)
+          else
+            {
+              bq_shard = i;
+              bq_queue = [];
+              bq_len = 0;
+              bq_inflight = false;
+              bq_cut_scheduled = false;
+              bq_last_commits = [];
+              bq_prev_commits = [];
+            });
+  exec.batch_queues.(shard)
 
 let config t = t.config
 let metrics t = t.metrics
@@ -293,6 +320,50 @@ let commit_dataset exec ~(scope_rset : Rwset.t) ~(scope_wset : Rwset.t) =
         ignore (ds_push exec ~oid:e.oid ~version:e.version ~owner:e.owner));
   ds_freeze exec
 
+(* The participant shards of a commit: every shard owning an object in the
+   final scope's sets, ascending.  A transaction that touched nothing still
+   names shard 0 so the (empty) commit round has a home. *)
+let commit_shards exec ~(scope_rset : Rwset.t) ~(scope_wset : Rwset.t) =
+  let acc = ref [] in
+  let note (e : Rwset.entry) =
+    let s = exec.quorums.shard_of e.oid in
+    if not (List.mem s !acc) then acc := s :: !acc
+  in
+  Rwset.iter scope_wset note;
+  Rwset.iter scope_rset note;
+  match List.sort Int.compare !acc with [] -> [ 0 ] | shards -> shards
+
+(* Per-shard slice of a frozen commit data-set: only the rows a shard hosts
+   are sent to (and validated by) its quorum.  Returns the original array
+   set when every row already belongs to [shard]. *)
+let dataset_slice exec (full : Messages.dataset) ~shard =
+  let n = Array.length full.Messages.ds_oids in
+  let keep = ref 0 in
+  for i = 0 to n - 1 do
+    if exec.quorums.shard_of full.Messages.ds_oids.(i) = shard then incr keep
+  done;
+  if !keep = n then full
+  else if !keep = 0 then Messages.empty_dataset
+  else begin
+    let d =
+      {
+        Messages.ds_oids = Array.make !keep 0;
+        ds_versions = Array.make !keep 0;
+        ds_owners = Array.make !keep 0;
+      }
+    in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if exec.quorums.shard_of full.Messages.ds_oids.(i) = shard then begin
+        d.Messages.ds_oids.(!j) <- full.Messages.ds_oids.(i);
+        d.Messages.ds_versions.(!j) <- full.Messages.ds_versions.(i);
+        d.Messages.ds_owners.(!j) <- full.Messages.ds_owners.(i);
+        incr j
+      end
+    done;
+    d
+  end
+
 (* checkParent (Algorithm 2, line 2): wset shadows rset, inner scopes shadow
    outer ones. *)
 let lookup_local root oid =
@@ -337,7 +408,8 @@ let widen_to_witnesses root stale_witnesses =
     List.iter
       (fun witness ->
         if not (List.mem witness root.extra_read_peers) then
-          trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness ~b:(-1) ~x:0.)
+          trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness
+            ~b:(root.exec.quorums.home_shard witness) ~x:0.)
       (List.sort_uniq Int.compare stale_witnesses);
     root.extra_read_peers <-
       List.sort_uniq Int.compare (stale_witnesses @ root.extra_read_peers)
@@ -403,6 +475,22 @@ let commit_images exec ~txn ~wset =
       | Some img when img.img_txn = txn -> img.img_committed <- true
       | Some _ | None -> ())
 
+(* A cross-shard commit bypasses the batch queue, so its writes never become
+   queued images — but a {e committed} image it overtook would now be stale
+   and poison every later speculative read of the object (a guaranteed veto).
+   Refresh such images in place; an uncommitted image (a queued writer racing
+   us) is left alone — its own batch round vetoes it against the installed
+   version, and the early doomed-check fails fast its readers. *)
+let refresh_committed_images exec ~txn ~wset =
+  Rwset.iter wset (fun (e : Rwset.entry) ->
+      match Hashtbl.find_opt exec.images e.oid with
+      | Some img when img.img_committed && img.img_version <= e.version + 1 ->
+        img.img_txn <- txn;
+        img.img_version <- e.version + 1;
+        img.img_value <- e.value;
+        img.img_committed <- true
+      | Some _ | None -> ())
+
 let spec_outcome_cap = 16_384
 
 let record_spec_outcome exec ~txn ~committed =
@@ -448,7 +536,8 @@ let rec start_attempt root =
      obligation. *)
   List.iter
     (fun witness ->
-      trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness ~b:(-1) ~x:0.)
+      trace root ~kind:Obs.Sem.widen_add ~oid:(-1) ~a:witness
+        ~b:(root.exec.quorums.home_shard witness) ~x:0.)
     root.extra_read_peers;
   step root (root.program ())
 
@@ -536,7 +625,8 @@ and access root ~oid ~write ~k =
 
 and remote_fetch root ~oid ~write ~k =
   let exec = root.exec in
-  let quorum = exec.quorums.read_quorum ~node:root.node in
+  let shard = exec.quorums.shard_of oid in
+  let quorum = exec.quorums.read_quorum ~shard ~node:root.node in
   match quorum with
   | [] ->
     (* No read quorum constructible right now (too many failures); retry
@@ -546,7 +636,11 @@ and remote_fetch root ~oid ~write ~k =
         remote_fetch root ~oid ~write ~k)
   | _ ->
     let dataset =
-      if rqv_active exec then full_dataset root else Messages.empty_dataset
+      (* Only the rows this shard hosts: its replicas cannot attest to
+         foreign copies, and an unsliced set would read as permanently
+         stale there.  Single-shard slices are the full set unchanged. *)
+      if rqv_active exec then dataset_slice exec (full_dataset root) ~shard
+      else Messages.empty_dataset
     in
     let record = (current_scope root).depth = 0 in
     let request =
@@ -554,13 +648,17 @@ and remote_fetch root ~oid ~write ~k =
         { txn = root.txn_id; oid; dataset; write_intent = Option.is_some write; record }
     in
     let dsts =
-      match root.extra_read_peers with
+      (* Widened-read witnesses from another shard cannot serve this
+         object — only this shard's members host it. *)
+      match
+        List.filter (fun n -> exec.quorums.home_shard n = shard) root.extra_read_peers
+      with
       | [] -> quorum
       | extra -> List.sort_uniq Int.compare (extra @ quorum)
     in
     if Obs.Tracer.enabled exec.tracer then
       List.iter
-        (fun dst -> trace root ~kind:Obs.Sem.read_send ~oid ~a:dst ~b:(-1) ~x:0.)
+        (fun dst -> trace root ~kind:Obs.Sem.read_send ~oid ~a:dst ~b:shard ~x:0.)
         dsts;
     root.last_validation_sent <- now root;
     let generation = root.generation in
@@ -822,7 +920,18 @@ and root_commit root ~scope ~value =
     match dep_status exec root.spec_deps with
     | `Failed dep -> speculation_abort root ~dep
     | `Ok when read_only && local_ro_commit -> commit_read_only root ~scope ~value
-    | `Ok | `Undecided _ -> enqueue_commit root ~scope ~value
+    | (`Ok | `Undecided _) as status -> (
+      match commit_shards exec ~scope_rset:scope.rset ~scope_wset:scope.wset with
+      | [ shard ] -> enqueue_commit root ~scope ~value ~shard
+      | shards -> (
+        (* A cross-shard commit bypasses the (single-shard) batch queues
+           and runs the sharded 2PC directly; speculative dependencies
+           still queued must decide before it can — wait them out. *)
+        match status with
+        | `Undecided _ ->
+          schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay)
+            (fun () -> root_commit root ~scope ~value)
+        | `Ok -> send_commit_sharded root ~scope ~value ~shards))
   end
 
 and commit_read_only root ~scope ~value =
@@ -841,8 +950,13 @@ and speculation_abort root ~dep =
   root_abort root
 
 and send_commit_request root ~scope ~value =
+  match commit_shards root.exec ~scope_rset:scope.rset ~scope_wset:scope.wset with
+  | [ shard ] -> send_commit_single root ~scope ~value ~shard
+  | shards -> send_commit_sharded root ~scope ~value ~shards
+
+and send_commit_single root ~scope ~value ~shard =
   let exec = root.exec in
-  let quorum = exec.quorums.write_quorum ~node:root.node in
+  let quorum = exec.quorums.write_quorum ~shard ~node:root.node in
   match quorum with
   | [] ->
     Metrics.note_quorum_retry exec.metrics;
@@ -854,7 +968,7 @@ and send_commit_request root ~scope ~value =
     in
     let locks = Rwset.oids scope.wset in
     trace root ~kind:Obs.Sem.commit_send ~oid:(-1) ~a:(List.length locks)
-      ~b:(List.length quorum) ~x:0.;
+      ~b:(List.length quorum) ~x:(Float.of_int shard);
     let window_start = now root in
     (* Conservative lease horizon: leases are stamped at replica receipt
        (later than this send), so deciding commit before [lock_deadline]
@@ -864,15 +978,211 @@ and send_commit_request root ~scope ~value =
          window_start +. exec.config.lease_duration -. exec.config.lease_safety_margin
        else Float.infinity);
     let generation = root.generation in
-    let send_epoch = exec.quorums.epoch () in
+    let send_epoch = exec.quorums.epoch ~shard in
     root.commit_round <- root.commit_round + 1;
     Sim.Rpc.multicall exec.rpc ~kind:Messages.commit_req_kind ~src:root.node ~dsts:quorum
       ~timeout:exec.config.request_timeout
-      (Messages.Commit_req { txn = root.txn_id; dataset; locks; round = root.commit_round })
+      (Messages.Commit_req
+         { txn = root.txn_id; dataset; locks; round = root.commit_round; peers = [] })
       ~on_done:(fun ~replies ~missing ->
         if still_current root generation then
-          handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies
-            ~missing)
+          handle_votes root ~scope ~value ~shard ~quorum ~window_start ~send_epoch
+            ~replies ~missing)
+
+(* Cross-shard presumed-abort 2PC (PROTOCOL.md §10).  Participant shards
+   are prepared sequentially in ascending shard order, each round locking
+   and validating only the rows that shard hosts; a veto, a missing voter
+   or an epoch change on any shard releases every contacted shard and
+   retries (or aborts) the whole transaction — no shard applies until all
+   have voted commit.  Each shard's Commit_req pins [peers], the other
+   participants' quorum members, so replica-side lease termination can pull
+   commit evidence across shards before presuming abort. *)
+and send_commit_sharded root ~scope ~value ~shards =
+  let exec = root.exec in
+  let quorums =
+    List.map (fun s -> (s, exec.quorums.write_quorum ~shard:s ~node:root.node)) shards
+  in
+  if List.exists (fun (_, q) -> q = []) quorums then begin
+    (* some participant shard has no constructible write quorum right now
+       (wedged mid-reconfiguration / too many failures) *)
+    Metrics.note_quorum_retry exec.metrics;
+    schedule root ~delay:(jittered exec.rng exec.config.request_timeout) (fun () ->
+        send_commit_request root ~scope ~value)
+  end
+  else begin
+    let full = commit_dataset exec ~scope_rset:scope.rset ~scope_wset:scope.wset in
+    let locks = Rwset.oids scope.wset in
+    let nshards = List.length shards in
+    let parts =
+      List.map
+        (fun (s, quorum) ->
+          ( s,
+            quorum,
+            dataset_slice exec full ~shard:s,
+            List.filter (fun oid -> exec.quorums.shard_of oid = s) locks ))
+        quorums
+    in
+    let window_start = now root in
+    (* One lease horizon for the whole 2PC, anchored at the first send:
+       every shard's leases are stamped at replica receipt, later than
+       this, so a decision before the horizon beats every presumed abort. *)
+    root.lock_deadline <-
+      (if exec.config.lease_duration > 0. && locks <> [] then
+         window_start +. exec.config.lease_duration -. exec.config.lease_safety_margin
+       else Float.infinity);
+    root.commit_round <- root.commit_round + 1;
+    let generation = root.generation in
+    let release_parts ps =
+      List.iter
+        (fun (_, quorum, _, lslice) -> release_locks root ~quorum ~locks:lslice)
+        ps
+    in
+    let retry () =
+      Metrics.note_quorum_retry exec.metrics;
+      schedule root ~delay:(jittered exec.rng exec.config.ct_retry_delay) (fun () ->
+          send_commit_request root ~scope ~value)
+    in
+    let abort_2pc () =
+      Metrics.note_cross_shard_abort exec.metrics;
+      trace root ~kind:Obs.Sem.xshard_decide ~oid:(-1) ~a:0 ~b:nshards ~x:0.;
+      root_abort root
+    in
+    let rec prepare prepared todo =
+      match todo with
+      | [] -> decide (List.rev prepared)
+      | ((s, quorum, slice, lslice) as part) :: rest ->
+        let peers =
+          List.sort_uniq Int.compare
+            (List.concat_map (fun (s', q, _, _) -> if s' = s then [] else q) parts)
+        in
+        trace root ~kind:Obs.Sem.xshard_prepare ~oid:(-1) ~a:s ~b:nshards ~x:0.;
+        trace root ~kind:Obs.Sem.commit_send ~oid:(-1) ~a:(List.length lslice)
+          ~b:(List.length quorum) ~x:(Float.of_int s);
+        let send_epoch = exec.quorums.epoch ~shard:s in
+        Sim.Rpc.multicall exec.rpc ~kind:Messages.commit_req_kind ~src:root.node
+          ~dsts:quorum ~timeout:exec.config.request_timeout
+          (Messages.Commit_req
+             {
+               txn = root.txn_id;
+               dataset = slice;
+               locks = lslice;
+               round = root.commit_round;
+               peers;
+             })
+          ~on_done:(fun ~replies ~missing ->
+            if still_current root generation then begin
+              if Obs.Tracer.enabled exec.tracer then
+                List.iter
+                  (fun (voter, reply) ->
+                    match reply with
+                    | Messages.Vote { commit; lock_conflict } ->
+                      trace root ~kind:Obs.Sem.vote_recv ~oid:(-1) ~a:voter
+                        ~b:
+                          ((if commit then 1 else 0)
+                          lor if lock_conflict then 2 else 0)
+                        ~x:0.
+                    | Messages.Read_ok _ | Messages.Read_abort _
+                    | Messages.Sync_rep _ | Messages.Status_rep _ | Messages.Ack
+                    | Messages.Batch_commit_rep _ ->
+                      ())
+                  replies;
+              let contacted = part :: List.map fst prepared in
+              if missing <> [] || exec.quorums.epoch ~shard:s <> send_epoch then begin
+                release_parts contacted;
+                retry ()
+              end
+              else begin
+                let all_commit, any_lock_conflict =
+                  List.fold_left
+                    (fun (all, lock) (_, reply) ->
+                      match reply with
+                      | Messages.Vote { commit; lock_conflict } ->
+                        (all && commit, lock || lock_conflict)
+                      | Messages.Read_ok _ | Messages.Read_abort _
+                      | Messages.Sync_rep _ | Messages.Status_rep _
+                      | Messages.Ack | Messages.Batch_commit_rep _ ->
+                        (false, lock))
+                    (true, false) replies
+                in
+                if all_commit then prepare ((part, send_epoch) :: prepared) rest
+                else begin
+                  release_parts contacted;
+                  let stale_witnesses =
+                    List.filter_map
+                      (fun (n, reply) ->
+                        match reply with
+                        | Messages.Vote { commit = false; lock_conflict = false }
+                          ->
+                          Some n
+                        | Messages.Vote _ | Messages.Read_ok _
+                        | Messages.Read_abort _ | Messages.Sync_rep _
+                        | Messages.Status_rep _ | Messages.Ack
+                        | Messages.Batch_commit_rep _ ->
+                          None)
+                      replies
+                  in
+                  widen_to_witnesses root stale_witnesses;
+                  if any_lock_conflict && root.commit_lock_budget > 0 then begin
+                    root.commit_lock_budget <- root.commit_lock_budget - 1;
+                    schedule root
+                      ~delay:(jittered exec.rng exec.config.ct_retry_delay)
+                      (fun () -> send_commit_request root ~scope ~value)
+                  end
+                  else abort_2pc ()
+                end
+              end
+            end)
+    and decide prepared =
+      if
+        List.exists
+          (fun ((s, _, _, _), e) -> exec.quorums.epoch ~shard:s <> e)
+          prepared
+      then begin
+        (* A shard reconfigured after voting: its locked quorum need not
+           intersect the new view's quorums — walk away and retry. *)
+        release_parts (List.map fst prepared);
+        retry ()
+      end
+      else if now root > root.lock_deadline then begin
+        (* Votes complete but past the coordinator's lease horizon: some
+           participant may already be presuming abort. *)
+        Metrics.note_commit_deadline_abort exec.metrics;
+        trace root ~kind:Obs.Sem.deadline_abort ~oid:(-1) ~a:(-1) ~b:(-1)
+          ~x:root.lock_deadline;
+        release_parts (List.map fst prepared);
+        abort_2pc ()
+      end
+      else begin
+        let writes = writes_of_wset scope.wset in
+        let reads = reads_of_rset scope.rset in
+        record_commit root ~scope ~window_start;
+        (* The FULL write set goes to every participant quorum: each shard
+           installs its own rows and retains the foreign ones as commit
+           evidence, so cross-shard lease termination can rescue the
+           decision from any surviving participant. *)
+        let dsts =
+          List.sort_uniq Int.compare
+            (List.concat_map (fun ((_, quorum, _, _), _) -> quorum) prepared)
+        in
+        Sim.Rpc.acked_multicast exec.rpc ~kind:Messages.apply_kind ~src:root.node
+          ~dsts ~timeout:exec.config.request_timeout
+          (Messages.Apply { txn = root.txn_id; writes; reads });
+        if exec.batch_commit then begin
+          (* Keep the speculation machinery coherent: successors may have
+             read this root's inputs from committed images. *)
+          record_spec_outcome exec ~txn:root.txn_id ~committed:true;
+          refresh_committed_images exec ~txn:root.txn_id ~wset:scope.wset
+        end;
+        Metrics.note_commit exec.metrics ~latency:(now root -. root.born);
+        Metrics.note_cross_shard_commit exec.metrics;
+        trace root ~kind:Obs.Sem.xshard_decide ~oid:(-1) ~a:1 ~b:nshards ~x:0.;
+        trace root ~kind:Obs.Sem.txn_commit ~oid:(-1) ~a:(-1) ~b:0
+          ~x:(now root -. root.born);
+        finish root (Committed value)
+      end
+    in
+    prepare [] parts
+  end
 
 and release_locks root ~quorum ~locks =
   (* At-least-once: a dropped Release would leave objects locked by a dead
@@ -885,8 +1195,8 @@ and release_locks root ~quorum ~locks =
       ~timeout:root.exec.config.request_timeout
       (Messages.Release { txn = root.txn_id; oids = locks; round = root.commit_round })
 
-and handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies ~missing
-    =
+and handle_votes root ~scope ~value ~shard ~quorum ~window_start ~send_epoch
+    ~replies ~missing =
   let exec = root.exec in
   let locks = Rwset.oids scope.wset in
   if Obs.Tracer.enabled exec.tracer then
@@ -901,7 +1211,7 @@ and handle_votes root ~scope ~value ~quorum ~window_start ~send_epoch ~replies ~
         | Messages.Status_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
           ())
       replies;
-  if missing <> [] || exec.quorums.epoch () <> send_epoch then begin
+  if missing <> [] || exec.quorums.epoch ~shard <> send_epoch then begin
     (* A write-quorum member failed mid-2PC, or a reconfiguration installed
        a new view while the votes were in flight (the answering quorum need
        not intersect current-view quorums): release whatever was locked and
@@ -999,7 +1309,7 @@ and record_commit root ~scope ~window_start =
 (* Queue the root for the next batch round.  Its write images are published
    immediately: queue order is commit order, so successors reading them
    speculate on exactly the state this entry will install if it commits. *)
-and enqueue_commit root ~scope ~value =
+and enqueue_commit root ~scope ~value ~shard =
   let exec = root.exec in
   (* Early queue validation: if the local image table already holds a newer
      version than an entry's base, a predecessor in queue order has
@@ -1021,10 +1331,11 @@ and enqueue_commit root ~scope ~value =
   Rwset.iter scope.wset check;
   if !doomed then root_abort root
   else begin
+  let bq = batchq exec ~shard in
   Rwset.iter scope.wset (fun (e : Rwset.entry) ->
       set_image exec ~oid:e.oid ~txn:root.txn_id ~version:(e.version + 1)
         ~value:e.value);
-  exec.batch_queue <-
+  bq.bq_queue <-
     {
       p_root = root;
       p_scope = scope;
@@ -1032,11 +1343,11 @@ and enqueue_commit root ~scope ~value =
       p_txn = root.txn_id;
       p_generation = root.generation;
     }
-    :: exec.batch_queue;
-  exec.batch_queue_len <- exec.batch_queue_len + 1;
-  if not exec.batch_inflight then begin
-    if exec.batch_queue_len >= exec.config.batch_size then cut_batch exec
-    else schedule_cut exec ~delay:exec.config.batch_delay
+    :: bq.bq_queue;
+  bq.bq_len <- bq.bq_len + 1;
+  if not bq.bq_inflight then begin
+    if bq.bq_len >= exec.config.batch_size then cut_batch exec ~bq
+    else schedule_cut exec ~bq ~delay:exec.config.batch_delay
   end
   end
 
@@ -1045,13 +1356,13 @@ and enqueue_commit root ~scope ~value =
    images enqueued while the round was in flight are already in the queue,
    and batch order must decide the writer before its readers — prepending
    would invert that and spec-abort every dependent. *)
-and requeue_commit root ~scope ~value =
+and requeue_commit root ~scope ~value ~bq =
   let exec = root.exec in
   Rwset.iter scope.wset (fun (e : Rwset.entry) ->
       set_image exec ~oid:e.oid ~txn:root.txn_id ~version:(e.version + 1)
         ~value:e.value);
-  exec.batch_queue <-
-    exec.batch_queue
+  bq.bq_queue <-
+    bq.bq_queue
     @ [
         {
           p_root = root;
@@ -1061,20 +1372,20 @@ and requeue_commit root ~scope ~value =
           p_generation = root.generation;
         };
       ];
-  exec.batch_queue_len <- exec.batch_queue_len + 1
+  bq.bq_len <- bq.bq_len + 1
 
-and schedule_cut exec ~delay =
-  if not exec.batch_cut_scheduled then begin
-    exec.batch_cut_scheduled <- true;
+and schedule_cut exec ~bq ~delay =
+  if not bq.bq_cut_scheduled then begin
+    bq.bq_cut_scheduled <- true;
     Sim.Engine.schedule exec.engine ~delay (fun () ->
-        exec.batch_cut_scheduled <- false;
-        if (not exec.batch_inflight) && exec.batch_queue <> [] then cut_batch exec)
+        bq.bq_cut_scheduled <- false;
+        if (not bq.bq_inflight) && bq.bq_queue <> [] then cut_batch exec ~bq)
   end
 
 (* Cut the whole queue into one batch round.  Dead entries (their root was
    fail-stopped while queued) are dropped here, with their outcome recorded
    as aborted so speculative readers of their images fail fast. *)
-and cut_batch exec =
+and cut_batch exec ~bq =
   let entries =
     List.filter
       (fun p ->
@@ -1084,10 +1395,10 @@ and cut_batch exec =
           drop_images exec ~txn:p.p_txn ~wset:p.p_scope.wset;
           false
         end)
-      (List.rev exec.batch_queue) (* oldest first = commit order *)
+      (List.rev bq.bq_queue) (* oldest first = commit order *)
   in
-  exec.batch_queue <- [];
-  exec.batch_queue_len <- 0;
+  bq.bq_queue <- [];
+  bq.bq_len <- 0;
   match entries with
   | [] -> ()
   | first :: _ -> begin
@@ -1096,14 +1407,14 @@ and cut_batch exec =
        multicall timeout is an engine event, so even that node's death
        cannot stall the decision. *)
     let src = first.p_root.node in
-    match exec.quorums.write_quorum ~node:src with
+    match exec.quorums.write_quorum ~shard:bq.bq_shard ~node:src with
     | [] ->
       (* no write quorum constructible right now (wedged / too many
          failures): requeue everything and retry after a delay *)
       Metrics.note_quorum_retry exec.metrics;
-      exec.batch_queue <- List.rev entries;
-      exec.batch_queue_len <- List.length entries;
-      schedule_cut exec ~delay:(jittered exec.rng exec.config.request_timeout)
+      bq.bq_queue <- List.rev entries;
+      bq.bq_len <- List.length entries;
+      schedule_cut exec ~bq ~delay:(jittered exec.rng exec.config.request_timeout)
     | quorum ->
       let ea = Array.of_list entries in
       let n = Array.length ea in
@@ -1139,7 +1450,7 @@ and cut_batch exec =
         reads_by_entry.(i) <- reads_of_rset scope.rset;
         trace root ~kind:Obs.Sem.batch_entry ~oid:(-1) ~a:batch_id ~b:i ~x:0.;
         trace root ~kind:Obs.Sem.commit_send ~oid:(-1) ~a:(List.length locks)
-          ~b:quorum_size ~x:0.
+          ~b:quorum_size ~x:(Float.of_int bq.bq_shard)
       done;
       let ds_offsets = Array.make (n + 1) 0 in
       let wr_offsets = Array.make (n + 1) 0 in
@@ -1192,21 +1503,21 @@ and cut_batch exec =
         end
       in
       let decided =
-        match (exec.last_commits, exec.prev_commits) with
+        match (bq.bq_last_commits, bq.bq_prev_commits) with
         | [], [] -> [||]
         | last, prev -> Array.of_list (last @ prev)
       in
       Metrics.note_batch exec.metrics ~occupancy:n;
       trace first.p_root ~kind:Obs.Sem.batch_send ~oid:(-1) ~a:n ~b:quorum_size
-        ~x:0.;
-      let send_epoch = exec.quorums.epoch () in
-      exec.batch_inflight <- true;
+        ~x:(Float.of_int bq.bq_shard);
+      let send_epoch = exec.quorums.epoch ~shard:bq.bq_shard in
+      bq.bq_inflight <- true;
       Sim.Rpc.multicall exec.rpc ~kind:Messages.batch_commit_req_kind ~src
         ~dsts:quorum ~timeout:exec.config.request_timeout
         (Messages.Batch_commit_req
            { txns; rounds; ds_offsets; dataset; wr_offsets; writes; decided })
         ~on_done:(fun ~replies ~missing ->
-          decide_batch exec ~entries:ea ~writes_by_entry ~reads_by_entry
+          decide_batch exec ~bq ~entries:ea ~writes_by_entry ~reads_by_entry
             ~locks_by_entry ~quorum ~batch_id ~send_epoch ~sent_at ~replies
             ~missing)
   end
@@ -1214,10 +1525,10 @@ and cut_batch exec =
 (* Decide every entry of a batch round, in queue order.  The multicall
    timeout is an engine event, so this runs even if the sending node died
    mid-round — each entry's own liveness is checked individually. *)
-and decide_batch exec ~entries ~writes_by_entry ~reads_by_entry ~locks_by_entry
-    ~quorum ~batch_id ~send_epoch ~sent_at ~replies ~missing =
+and decide_batch exec ~bq ~entries ~writes_by_entry ~reads_by_entry
+    ~locks_by_entry ~quorum ~batch_id ~send_epoch ~sent_at ~replies ~missing =
   let n = Array.length entries in
-  if missing <> [] || exec.quorums.epoch () <> send_epoch then begin
+  if missing <> [] || exec.quorums.epoch ~shard:bq.bq_shard <> send_epoch then begin
     (* A quorum member failed mid-round, or a reconfiguration installed a
        new view while the votes were in flight: nothing decided.  This is
        the epoch fence's "uncut tail" — the round is walked away from
@@ -1239,11 +1550,11 @@ and decide_batch exec ~entries ~writes_by_entry ~reads_by_entry ~locks_by_entry
     done;
     (* These entries are older than anything enqueued while the round was
        in flight: append them at the queue's tail (its oldest side). *)
-    exec.batch_queue <- exec.batch_queue @ !requeued;
-    exec.batch_queue_len <- exec.batch_queue_len + List.length !requeued;
-    exec.batch_inflight <- false;
-    if exec.batch_queue <> [] then
-      schedule_cut exec ~delay:(jittered exec.rng exec.config.ct_retry_delay)
+    bq.bq_queue <- bq.bq_queue @ !requeued;
+    bq.bq_len <- bq.bq_len + List.length !requeued;
+    bq.bq_inflight <- false;
+    if bq.bq_queue <> [] then
+      schedule_cut exec ~bq ~delay:(jittered exec.rng exec.config.ct_retry_delay)
   end
   else begin
     let now_ = Sim.Engine.now exec.engine in
@@ -1342,7 +1653,7 @@ and decide_batch exec ~entries ~writes_by_entry ~reads_by_entry ~locks_by_entry
                  images are republished — readers still legitimately
                  depend on this entry. *)
               root.commit_lock_budget <- root.commit_lock_budget - 1;
-              requeue_commit root ~scope ~value:p.p_value
+              requeue_commit root ~scope ~value:p.p_value ~bq
             end
             else begin
               record_spec_outcome exec ~txn:root.txn_id ~committed:false;
@@ -1354,12 +1665,12 @@ and decide_batch exec ~entries ~writes_by_entry ~reads_by_entry ~locks_by_entry
           end
       end
     done;
-    exec.prev_commits <- exec.last_commits;
-    exec.last_commits <- !committed_now;
-    exec.batch_inflight <- false;
+    bq.bq_prev_commits <- bq.bq_last_commits;
+    bq.bq_last_commits <- !committed_now;
+    bq.bq_inflight <- false;
     (* keep the pipeline full: anything queued while this round was in
        flight (or requeued on a lock conflict above) cuts immediately *)
-    if exec.batch_queue <> [] then cut_batch exec
+    if bq.bq_queue <> [] then cut_batch exec ~bq
   end
 
 and finish root outcome =

@@ -23,15 +23,24 @@
     to its final commit, across aborts. *)
 
 type quorums = {
-  read_quorum : node:int -> int list;
-  write_quorum : node:int -> int list;
+  read_quorum : shard:int -> node:int -> int list;
+  write_quorum : shard:int -> node:int -> int list;
   node_alive : int -> bool;
       (** Ground-truth fail-stop state (not detector suspicion) — gates the
           pruning of widened-read witnesses that stop answering. *)
-  epoch : unit -> int;
-      (** Current membership-view epoch.  A commit round whose votes were
-          solicited under an older epoch is released and retried: the write
-          quorum that answered need not intersect current-view quorums. *)
+  epoch : shard:int -> int;
+      (** Current membership-view epoch of one shard.  A commit round whose
+          votes were solicited under an older epoch is released and retried:
+          the write quorum that answered need not intersect current-view
+          quorums. *)
+  shard_of : int -> int;
+      (** Object id -> owning shard (the shard directory).  Determines which
+          shard's quorums serve a read and which shards participate in a
+          commit; a transaction touching several shards commits through the
+          cross-shard 2PC. *)
+  home_shard : int -> int;
+      (** Node -> the shard it replicates.  Gates widened-read witnesses:
+          a witness from another shard cannot serve this shard's objects. *)
 }
 
 type t

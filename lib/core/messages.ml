@@ -106,6 +106,12 @@ type request =
              quorum retries re-send with a higher round, and a replica pins
              granted locks to it so a stale Release (below) cannot free a
              later round's lock *)
+      peers : int list;
+          (* cross-shard 2PC only ([] for single-shard commits): the other
+             participant shards' read∪write quorum members.  A replica whose
+             lease of [txn] expires must include them in its Status_req
+             round — commit evidence for a cross-shard transaction may live
+             exclusively on another shard's replicas *)
     }
   | Apply of {
       txn : Ids.txn_id;

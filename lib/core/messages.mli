@@ -67,6 +67,12 @@ type request =
           (** the coordinator's commit-round number; replicas pin granted
               locks to it so a stale [Release] from an abandoned earlier
               round cannot free a later round's lock *)
+      peers : int list;
+          (** cross-shard 2PC only ([] for single-shard commits): the other
+              participant shards' read∪write quorum members, to be included
+              in any termination-protocol [Status_req] round for [txn] —
+              commit evidence for a cross-shard transaction may live
+              exclusively on another shard's replicas *)
     }
   | Apply of {
       txn : Ids.txn_id;

@@ -25,6 +25,8 @@ type t = {
   mutable speculation_aborts : int;
   mutable batches : int;
   mutable batch_occupancy : Util.Stats.t;
+  mutable cross_shard_commits : int;
+  mutable cross_shard_aborts : int;
 }
 
 let create () =
@@ -55,6 +57,8 @@ let create () =
     speculation_aborts = 0;
     batches = 0;
     batch_occupancy = Util.Stats.create ();
+    cross_shard_commits = 0;
+    cross_shard_aborts = 0;
   }
 
 let reset t =
@@ -83,7 +87,9 @@ let reset t =
   t.speculative_reads <- 0;
   t.speculation_aborts <- 0;
   t.batches <- 0;
-  t.batch_occupancy <- Util.Stats.create ()
+  t.batch_occupancy <- Util.Stats.create ();
+  t.cross_shard_commits <- 0;
+  t.cross_shard_aborts <- 0
 
 let note_commit t ~latency =
   t.commits <- t.commits + 1;
@@ -128,6 +134,11 @@ let note_batch t ~occupancy =
   t.batches <- t.batches + 1;
   Util.Stats.add t.batch_occupancy (Float.of_int occupancy)
 let note_view_change t = t.view_changes <- t.view_changes + 1
+let note_cross_shard_commit t = t.cross_shard_commits <- t.cross_shard_commits + 1
+
+let note_cross_shard_abort t =
+  (* counted alongside the root abort the 2PC failure also records *)
+  t.cross_shard_aborts <- t.cross_shard_aborts + 1
 
 let commits t = t.commits
 let read_only_commits t = t.read_only_commits
@@ -154,6 +165,12 @@ let speculative_reads t = t.speculative_reads
 let speculation_aborts t = t.speculation_aborts
 let batches t = t.batches
 let batch_occupancy_stats t = t.batch_occupancy
+let cross_shard_commits t = t.cross_shard_commits
+let cross_shard_aborts t = t.cross_shard_aborts
+
+let cross_shard_share t =
+  if t.commits = 0 then 0.
+  else Float.of_int t.cross_shard_commits /. Float.of_int t.commits
 
 let batch_occupancy_percentile t p =
   if Util.Stats.count t.batch_occupancy = 0 then 0.

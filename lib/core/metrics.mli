@@ -78,6 +78,16 @@ val note_batch : t -> occupancy:int -> unit
 (** Batch mode: one batch quorum round was sent carrying [occupancy]
     queued transactions. *)
 
+val note_cross_shard_commit : t -> unit
+(** A transaction spanning several shards committed through the cross-shard
+    2PC (counted on top of {!note_commit}). *)
+
+val note_cross_shard_abort : t -> unit
+(** A cross-shard 2PC ended in abort (veto, missed quorum member past the
+    retry budget, or the lease deadline) — distinct from single-shard
+    conflict aborts; the accompanying root abort is still counted by
+    {!note_root_abort}. *)
+
 val commits : t -> int
 (** All commits, including read-only. *)
 
@@ -116,6 +126,12 @@ val batch_occupancy_stats : t -> Util.Stats.t
 val batch_occupancy_percentile : t -> float -> float
 (** Batch-occupancy percentile (e.g. [50.], [95.]); 0 when no batches have
     been sent. *)
+
+val cross_shard_commits : t -> int
+val cross_shard_aborts : t -> int
+
+val cross_shard_share : t -> float
+(** Fraction of commits that were cross-shard ([0.] with no commits). *)
 
 val recovery_time_stats : t -> Util.Stats.t
 (** Restart-to-re-admission durations of completed recoveries. *)

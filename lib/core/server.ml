@@ -12,6 +12,11 @@ type termination = {
   engine : Sim.Engine.t;
   rpc : (Messages.request, Messages.reply) Sim.Rpc.t;
   status_peers : unit -> int list;
+  node_alive : int -> bool;
+      (* Cross-shard termination peers arrive frozen in [Commit_req.peers];
+         unlike [status_peers] they cannot be recomputed each round, so
+         permanently crashed members must be pruned here or a status round
+         would wait on the dead forever. *)
   metrics : Metrics.t;
   config : Config.t;
 }
@@ -109,6 +114,12 @@ let release_lease t ~txn ~oids =
       Store.Replica.remove_txn t.store ~oid ~txn)
     oids
 
+(* Cross-shard termination peers live exactly as long as the leases whose
+   status rounds need them. *)
+let drop_xpeers_if_done t ~txn =
+  if Store.Replica.leased_oids t.store ~txn = [] then
+    Store.Replica.clear_status_peers t.store ~txn
+
 (* Commit evidence in a status round: either a peer saw the transaction's
    Apply ([`Applied]), or a peer's copy of a leased object moved past the
    version the lease was protecting ([`Version_advance]).  Only a commit
@@ -159,7 +170,8 @@ let rescue_commit t term ~txn ~oids ~replies ~evidence =
       | Messages.Sync_rep _ | Messages.Ack | Messages.Batch_commit_rep _ ->
         ())
     replies;
-  release_lease t ~txn ~oids:(still_held t ~txn oids)
+  release_lease t ~txn ~oids:(still_held t ~txn oids);
+  drop_xpeers_if_done t ~txn
 
 (* Presumed abort is only sound after a FULLY answered, evidence-less
    round: the peer set intersects every write quorum, so "every peer
@@ -179,9 +191,24 @@ let rec status_round t term ~txn ~oids ~attempts =
       Sim.Engine.schedule term.engine ~delay:term.config.Config.request_timeout
         (fun () -> status_round t term ~txn ~oids:held ~attempts)
     in
+    (* A cross-shard transaction's commit evidence may live exclusively on
+       another participant shard's replicas (the coordinator may have died
+       after applying there and before applying here), so the round must
+       also ask the peers pinned by its Commit_req.  An own-shard wedge
+       ([status_peers () = []]) still retries: presumed abort needs a fully
+       answered round through this shard's quorum too. *)
     match term.status_peers () with
     | [] -> retry attempts
-    | dsts ->
+    | shard_peers ->
+      let dsts =
+        match
+          List.filter
+            (fun n -> n <> t.node && term.node_alive n)
+            (Store.Replica.status_peers_of t.store ~txn)
+        with
+        | [] -> shard_peers
+        | xtra -> List.sort_uniq compare (List.rev_append xtra shard_peers)
+      in
       trace t ~kind:Obs.Sem.status_round ~txn ~oid:(-1) ~a:attempts
         ~b:(List.length dsts) ~x:0.;
       Sim.Rpc.multicall term.rpc ~kind:Messages.status_req_kind ~src:t.node ~dsts
@@ -199,7 +226,8 @@ let rec status_round t term ~txn ~oids ~attempts =
               Metrics.note_presumed_abort term.metrics;
               trace t ~kind:Obs.Sem.presumed_abort ~txn ~oid:(-1)
                 ~a:(List.length held) ~b:(-1) ~x:0.;
-              release_lease t ~txn ~oids:held
+              release_lease t ~txn ~oids:held;
+              drop_xpeers_if_done t ~txn
             end)
   end
 
@@ -238,8 +266,10 @@ let watch_granted t ~txn ~oids ~expires =
       (watch_lease t term ~txn ~oids)
   | Some _ | None -> ()
 
-let enable_termination t ~engine ~rpc ~status_peers ~metrics ~config =
-  t.termination <- Some { engine; rpc; status_peers; metrics; config };
+let enable_termination ?(node_alive = fun _ -> true) t ~engine ~rpc
+    ~status_peers ~metrics ~config =
+  t.termination <-
+    Some { engine; rpc; status_peers; node_alive; metrics; config };
   (* A lease restored from a batch handover may have outlived the watcher
      armed at its original grant (the watcher dies when [still_held] sees
      the successor as owner), so re-arm one: left unwatched, a restored
@@ -250,7 +280,7 @@ let enable_termination t ~engine ~rpc ~status_peers ~metrics ~config =
 
 (* --- request handlers --------------------------------------------------- *)
 
-let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks ~round =
+let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks ~round ~peers =
   let n = Messages.dataset_len dataset in
   let valid = ref true in
   let i = ref 0 in
@@ -298,7 +328,13 @@ let handle_commit t ~txn ~(dataset : Messages.dataset) ~locks ~round =
         end
     in
     if lock_all [] locks then begin
-      if locks <> [] then watch_granted t ~txn ~oids:locks ~expires;
+      if locks <> [] then begin
+        (* Cross-shard 2PC: pin the other participant shards' quorum
+           members so a termination round for these leases also asks them
+           (the commit decision may only be evidenced over there). *)
+        if peers <> [] then Store.Replica.set_status_peers t.store ~txn peers;
+        watch_granted t ~txn ~oids:locks ~expires
+      end;
       Some (Messages.Vote { commit = true; lock_conflict = false })
     end
     else Some (Messages.Vote { commit = false; lock_conflict = true })
@@ -474,6 +510,7 @@ let trace_vote t ~txn reply =
   reply
 
 let handle_apply t ~txn ~(writes : Messages.writes) ~reads =
+  let foreign = ref false in
   for i = 0 to Messages.writes_len writes - 1 do
     let oid = writes.wr_oids.(i) in
     if Store.Replica.mem t.store oid then begin
@@ -481,12 +518,20 @@ let handle_apply t ~txn ~(writes : Messages.writes) ~reads =
         ~value:writes.wr_values.(i) ~txn;
       Store.Replica.remove_txn t.store ~oid ~txn
     end
+    else foreign := true
   done;
+  (* A row for an object not hosted here means this is a cross-shard
+     Apply carrying the full write set: keep the rows so a status query
+     from another participant shard's lease holder gets the foreign write
+     it must adopt to rescue the commit. *)
+  if !foreign then
+    Store.Replica.retain_writes t.store ~txn (Messages.writes_entries writes);
   (* Even a write-free Apply (all writes unknown here) is commit evidence. *)
   Store.Replica.note_applied t.store ~txn;
   Array.iter
     (fun oid -> if Store.Replica.mem t.store oid then Store.Replica.remove_txn t.store ~oid ~txn)
-    reads
+    reads;
+  drop_xpeers_if_done t ~txn
 
 let handle_release t ~txn ~oids ~round =
   List.iter
@@ -506,7 +551,8 @@ let handle_release t ~txn ~oids ~round =
           Store.Replica.remove_txn t.store ~oid ~txn
         end
       end)
-    oids
+    oids;
+  drop_xpeers_if_done t ~txn
 
 let handle_status t ~txn ~oids =
   Messages.Status_rep
@@ -517,7 +563,12 @@ let handle_status t ~txn ~oids =
           (fun oid ->
             match Store.Replica.find t.store oid with
             | Some copy -> Some (oid, copy.Store.Replica.version, copy.Store.Replica.value)
-            | None -> None)
+            | None ->
+              (* Cross-shard status query: not hosted here, but a retained
+                 cross-shard Apply may carry the row the asker must adopt. *)
+              List.find_opt
+                (fun (o, _, _) -> o = oid)
+                (Store.Replica.retained_writes t.store ~txn))
           oids;
     }
 
@@ -548,8 +599,8 @@ let handle t ~src:_ request =
   match request with
   | Messages.Read_req { txn; oid; dataset; write_intent; record } ->
     handle_read t ~txn ~oid ~dataset ~write_intent ~record
-  | Messages.Commit_req { txn; dataset; locks; round } ->
-    trace_vote t ~txn (handle_commit t ~txn ~dataset ~locks ~round)
+  | Messages.Commit_req { txn; dataset; locks; round; peers } ->
+    trace_vote t ~txn (handle_commit t ~txn ~dataset ~locks ~round ~peers)
   | Messages.Apply { txn; writes; reads } ->
     trace t ~kind:Obs.Sem.apply ~txn ~oid:(-1) ~a:(Messages.writes_len writes)
       ~b:(-1) ~x:0.;

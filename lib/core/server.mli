@@ -42,6 +42,7 @@ val instrument : t -> tracer:Obs.Tracer.t -> clock:(unit -> float) -> unit
     wires this automatically; without it the server stays silent. *)
 
 val enable_termination :
+  ?node_alive:(int -> bool) ->
   t ->
   engine:Sim.Engine.t ->
   rpc:(Messages.request, Messages.reply) Sim.Rpc.t ->
@@ -55,9 +56,14 @@ val enable_termination :
     makes the intersection multi-member, so one lossy link cannot hide a
     decided commit).  Consulted lazily at status time so membership changes
     are respected; it may return [[]] when no quorum is reachable, in which
-    case the status round retries and eventually presumes abort.  A
-    [config] with [lease_duration = 0.] disables leases even when
-    termination is enabled. *)
+    case the status round retries and eventually presumes abort.  A status
+    round for a cross-shard transaction additionally queries the peers its
+    [Commit_req.peers] pinned — commit evidence may live exclusively on
+    another participant shard — filtered through [node_alive] (default:
+    everyone), because unlike [status_peers] that frozen set cannot route
+    around permanent crashes by recomputation.  A [config] with
+    [lease_duration = 0.] disables leases even when termination is
+    enabled. *)
 
 val node : t -> int
 val store : t -> Store.Replica.t

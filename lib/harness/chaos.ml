@@ -27,6 +27,9 @@ type knobs = {
   read_ratio : float;
   spares : int;
   reconfigs : int;
+  shards : int;
+  shard_ops : int;
+  cross_shard_prob : float;
 }
 
 let default_knobs =
@@ -41,6 +44,9 @@ let default_knobs =
     read_ratio = 0.3;
     spares = 0;
     reconfigs = 0;
+    shards = 1;
+    shard_ops = 0;
+    cross_shard_prob = 0.;
   }
 
 (* Rolling-restart preset: enough spares to keep a replacement pipeline
@@ -58,6 +64,17 @@ let distinct_nodes rng ~nodes ~count =
 
 let span rng a b = a +. Util.Rng.float rng (b -. a)
 
+(* Mirror of [Cluster.create]'s contiguous initial partition: which shard
+   a node replicates before any split rearranges the layout. *)
+let initial_shard_of ~nodes ~shards n =
+  let base = nodes / shards and rem = nodes mod shards in
+  let rec find s =
+    let start = (s * base) + Stdlib.min s rem in
+    let size = base + if s < rem then 1 else 0 in
+    if n < start + size then s else find (s + 1)
+  in
+  find 0
+
 let generate knobs ~seed =
   let rng = Util.Rng.create (seed lxor 0x5eed_cafe) in
   let h = knobs.horizon in
@@ -70,6 +87,31 @@ let generate knobs ~seed =
      before the horizon so the drain phase always has a full machine
      complement to finish with. *)
   let n_crashes = Util.Rng.int rng (knobs.max_crashes + 1) in
+  let crash_victims =
+    let drawn = distinct_nodes rng ~nodes:knobs.nodes ~count:n_crashes in
+    if knobs.shards <= 1 then drawn
+    else begin
+      (* Sharded clusters: never schedule the simultaneous death of an
+         entire shard — no surviving replica could serve its slice or
+         hold rescue evidence, and Scenario.validate rejects exactly
+         that.  Post-filtering keeps the draw sequence (and so every
+         unsharded schedule) unchanged. *)
+      let killed = Array.make knobs.shards 0 in
+      let size s =
+        let base = knobs.nodes / knobs.shards and rem = knobs.nodes mod knobs.shards in
+        base + if s < rem then 1 else 0
+      in
+      List.filter
+        (fun node ->
+          let s = initial_shard_of ~nodes:knobs.nodes ~shards:knobs.shards node in
+          if killed.(s) + 1 < size s then begin
+            killed.(s) <- killed.(s) + 1;
+            true
+          end
+          else false)
+        drawn
+    end
+  in
   List.iter
     (fun node ->
       let at = span rng (0.10 *. h) (0.55 *. h) in
@@ -77,7 +119,7 @@ let generate knobs ~seed =
       busy := node :: !busy;
       add (Scenario.Crash { node; at });
       add (Scenario.Recover { node; at = at +. outage }))
-    (distinct_nodes rng ~nodes:knobs.nodes ~count:n_crashes);
+    crash_victims;
   (* A minority partition: both sides are named so the scenario layer
      suspects exactly the minority (the majority side keeps its quorums). *)
   if Util.Rng.chance rng 0.5 && knobs.nodes >= 4 then begin
@@ -206,6 +248,63 @@ let generate knobs ~seed =
           add (Scenario.Replace { leaving = l; joining = j; at = slot i }))
     done
   end;
+  (* Shard-directory churn: up to [shard_ops] sequential moves/splits,
+     tracked against a mirror of the runtime directory (splits re-home the
+     odd-indexed objects of the split shard, exactly as the cluster does)
+     so every drawn operation is valid when it fires.  These draws come
+     after every classic one: [shards = 1] or [shard_ops = 0] reproduces
+     the pre-shard schedule byte-for-byte. *)
+  if knobs.shards > 1 && knobs.shard_ops > 0 then begin
+    let dir = Array.init knobs.accounts (fun oid -> oid mod knobs.shards) in
+    let sizes =
+      let base = knobs.nodes / knobs.shards and rem = knobs.nodes mod knobs.shards in
+      ref (List.init knobs.shards (fun s -> base + if s < rem then 1 else 0))
+    in
+    let shard_count () = List.length !sizes in
+    let n_ops = Util.Rng.int rng (knobs.shard_ops + 1) in
+    let slot i =
+      (0.20 *. h)
+      +. (Float.of_int i *. (0.50 *. h /. Float.of_int (Stdlib.max 1 n_ops)))
+      +. span rng 0. (0.02 *. h)
+    in
+    for i = 0 to n_ops - 1 do
+      let splittable =
+        List.mapi (fun s n -> (s, n)) !sizes |> List.filter (fun (_, n) -> n >= 6)
+      in
+      if splittable <> [] && Util.Rng.chance rng 0.3 then begin
+        let s, n = List.nth splittable (Util.Rng.int rng (List.length splittable)) in
+        (* keep ceil(n/2), the new shard gets the rest; odd-indexed
+           objects of [s] (in oid order) re-home onto the new shard *)
+        let new_id = shard_count () in
+        let idx = ref 0 in
+        Array.iteri
+          (fun oid owner ->
+            if owner = s then begin
+              if !idx land 1 = 1 then dir.(oid) <- new_id;
+              incr idx
+            end)
+          dir;
+        sizes :=
+          List.mapi (fun j m -> if j = s then (n + 1) / 2 else m) !sizes @ [ n / 2 ];
+        add (Scenario.ShardSplit { shard = s; at = slot i })
+      end
+      else begin
+        let oid = Util.Rng.int rng knobs.accounts in
+        let cur = dir.(oid) in
+        let to_shard =
+          if shard_count () = 1 then cur
+          else begin
+            let t = Util.Rng.int rng (shard_count () - 1) in
+            if t >= cur then t + 1 else t
+          end
+        in
+        if to_shard <> cur then begin
+          dir.(oid) <- to_shard;
+          add (Scenario.ShardMove { oid; to_shard; at = slot i })
+        end
+      end
+    done
+  end;
   List.rev !events
 
 (* A full rolling restart: every initial node is replaced exactly once by
@@ -292,6 +391,9 @@ type result = {
   view_changes : int;
   fenced : int;
   final_epoch : int;
+  shards : int;
+  xshard_commits : int;
+  xshard_aborts : int;
 }
 
 let passed r = r.oracle = Ok () && r.invariant = Ok () && r.stalls = []
@@ -328,6 +430,9 @@ let stall_window (config : Config.t) events =
           | Scenario.Flaky { duration; _ } ->
             Option.value ~default:0. duration
           | Scenario.Join _ | Scenario.Leave _ | Scenario.Replace _ -> reconfig_span
+          (* Shard ops wedge the involved shards for the same pipeline:
+             grace, snapshot, handoff, unwedge. *)
+          | Scenario.ShardMove _ | Scenario.ShardSplit _ -> reconfig_span
         in
         Float.max acc window)
       0. events
@@ -363,14 +468,17 @@ let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
   in
   let cluster =
     Cluster.create ~nodes:knobs.nodes ~spares:knobs.spares ~seed
-      ~read_level:knobs.read_level ~tracer ~batch_fanout ~batch_commit config
+      ~read_level:knobs.read_level ~tracer ~batch_fanout ~batch_commit
+      ~shards:knobs.shards config
   in
   let params =
     {
-      Benchmarks.Workload.objects = knobs.accounts;
+      Benchmarks.Workload.default_params with
+      objects = knobs.accounts;
       calls = knobs.calls;
       read_ratio = knobs.read_ratio;
       key_skew = 0.5;
+      cross_shard_prob = knobs.cross_shard_prob;
     }
   in
   let instance = Benchmarks.Bank.benchmark.Benchmarks.Workload.setup cluster params in
@@ -463,6 +571,9 @@ let run_one ?config ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
     view_changes = Metrics.view_changes metrics;
     fenced = Cluster.fenced_messages cluster;
     final_epoch = Cluster.epoch cluster;
+    shards = Cluster.shard_count cluster;
+    xshard_commits = Metrics.cross_shard_commits metrics;
+    xshard_aborts = Metrics.cross_shard_aborts metrics;
   }
 
 let run_many ?config ?batch_commit ?rolling knobs ~seed ~runs =
@@ -512,6 +623,9 @@ let pp_result ppf r =
     (status r.invariant) r.report.Scenario.lease_expirations
     r.report.Scenario.presumed_aborts r.report.Scenario.rescued_commits
     r.report.Scenario.retransmit_exhausted r.view_changes r.final_epoch r.fenced;
+  if r.shards > 1 then
+    Format.fprintf ppf "@,shards[n=%d xshard_commits=%d xshard_aborts=%d]" r.shards
+      r.xshard_commits r.xshard_aborts;
   List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stall s) r.stalls
 
 let json_escape s =
@@ -529,15 +643,25 @@ let json_escape s =
 
 let result_to_json r =
   let status = function Ok () -> {|"ok"|} | Error msg -> Printf.sprintf "%S" (json_escape msg) in
-  Printf.sprintf
-    {|{"seed":%d,"pass":%b,"schedule":"%s","commits":%d,"root_aborts":%d,"quiesced_at":%.1f,"oracle":%s,"invariant":%s,"stalls":%d,"lease_expired":%d,"presumed_abort":%d,"status_rescued_commits":%d,"stalls_detected":%d,"retransmit_exhausted":%d,"view_changes":%d,"final_epoch":%d,"fenced":%d}|}
-    r.seed (passed r)
-    (json_escape (render_schedule r.events))
-    r.commits r.root_aborts r.quiesced_at (status r.oracle) (status r.invariant)
-    (List.length r.stalls) r.report.Scenario.lease_expirations
-    r.report.Scenario.presumed_aborts r.report.Scenario.rescued_commits
-    r.report.Scenario.stalls_detected r.report.Scenario.retransmit_exhausted
-    r.view_changes r.final_epoch r.fenced
+  let base =
+    Printf.sprintf
+      {|{"seed":%d,"pass":%b,"schedule":"%s","commits":%d,"root_aborts":%d,"quiesced_at":%.1f,"oracle":%s,"invariant":%s,"stalls":%d,"lease_expired":%d,"presumed_abort":%d,"status_rescued_commits":%d,"stalls_detected":%d,"retransmit_exhausted":%d,"view_changes":%d,"final_epoch":%d,"fenced":%d|}
+      r.seed (passed r)
+      (json_escape (render_schedule r.events))
+      r.commits r.root_aborts r.quiesced_at (status r.oracle) (status r.invariant)
+      (List.length r.stalls) r.report.Scenario.lease_expirations
+      r.report.Scenario.presumed_aborts r.report.Scenario.rescued_commits
+      r.report.Scenario.stalls_detected r.report.Scenario.retransmit_exhausted
+      r.view_changes r.final_epoch r.fenced
+  in
+  (* Shard fields only on sharded runs, so unsharded JSON is unchanged. *)
+  let sharded =
+    if r.shards <= 1 then ""
+    else
+      Printf.sprintf {|,"shards":%d,"cross_shard_commits":%d,"cross_shard_aborts":%d|}
+        r.shards r.xshard_commits r.xshard_aborts
+  in
+  base ^ sharded ^ "}"
 
 let results_to_json results =
   "[" ^ String.concat "," (List.map result_to_json results) ^ "]"
@@ -545,10 +669,11 @@ let results_to_json results =
 let summary results =
   let failed = failures results in
   let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let xc = total (fun r -> r.xshard_commits) and xa = total (fun r -> r.xshard_aborts) in
   Printf.sprintf
     "chaos: %d/%d schedules passed; commits=%d presumed_aborts=%d rescued=%d \
      lease_expirations=%d stalls=%d retransmit_give_ups=%d view_changes=%d \
-     fenced=%d%s"
+     fenced=%d%s%s"
     (List.length results - List.length failed)
     (List.length results)
     (total (fun r -> r.commits))
@@ -559,6 +684,8 @@ let summary results =
     (total (fun r -> r.report.Scenario.retransmit_exhausted))
     (total (fun r -> r.view_changes))
     (total (fun r -> r.fenced))
+    (if xc = 0 && xa = 0 then ""
+     else Printf.sprintf " cross_shard[commits=%d aborts=%d]" xc xa)
     (if failed = [] then ""
      else
        "; failing seeds: "

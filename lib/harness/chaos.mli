@@ -32,11 +32,18 @@ type knobs = {
   reconfigs : int;
       (** membership operations drawn per schedule: 0..max — joins, graceful
           leaves and replaces, interleaved with the classic faults *)
+  shards : int;  (** shards the cluster partitions the object space into *)
+  shard_ops : int;
+      (** shard-directory operations drawn per schedule: 0..max — object
+          moves and shard splits, valid against a mirror of the evolving
+          directory (requires [shards > 1]) *)
+  cross_shard_prob : float;
+      (** fraction of bank transfers forced across shard boundaries *)
 }
 
 val default_knobs : knobs
 (** 9 nodes, 18 clients, 8 s horizon, up to 2 crashes, 24 accounts, no
-    spares, no membership churn. *)
+    spares, no membership churn, unsharded. *)
 
 val rolling_knobs : knobs
 (** Preset for {!generate_rolling}: 16 s horizon, 2 spares, at most 1
@@ -48,7 +55,12 @@ val generate : knobs -> seed:int -> Scenario.event list
     membership churn: join/leave/replace operations over nodes not already
     cast as crash, partition or suspicion victims, valid against the
     evolving member set (a [knobs] with [reconfigs = 0] reproduces the
-    pre-churn schedule for the same seed byte-for-byte). *)
+    pre-churn schedule for the same seed byte-for-byte).  With
+    [shards > 1] crash draws are post-filtered so no schedule kills an
+    entire shard, and [shard_ops > 0] additionally draws object moves and
+    shard splits against a mirror of the evolving directory; all the
+    shard draws come after the classic ones, so unsharded schedules are
+    byte-identical. *)
 
 val generate_rolling : knobs -> seed:int -> Scenario.event list
 (** A rolling-restart schedule: every initial node is replaced exactly
@@ -80,6 +92,9 @@ type result = {
   view_changes : int;  (** reconfigurations completed *)
   fenced : int;  (** stale-epoch envelopes dropped by the fence *)
   final_epoch : int;
+  shards : int;  (** shard count at quiescence (splits can grow it) *)
+  xshard_commits : int;  (** commits decided through the cross-shard 2PC *)
+  xshard_aborts : int;  (** cross-shard 2PC rounds ending in abort *)
 }
 
 val passed : result -> bool

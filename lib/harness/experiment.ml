@@ -23,6 +23,9 @@ type result = {
   batches : int;
   batch_occupancy_p50 : float;
   batch_occupancy_p95 : float;
+  cross_shard_commits : int;
+  cross_shard_aborts : int;
+  cross_shard_share : float;
   invariant : (unit, string) Stdlib.result;
   consistent : (unit, string) Stdlib.result;
 }
@@ -36,7 +39,12 @@ let pp_result fmt r =
     r.label r.throughput r.commits r.read_only_commits r.root_aborts r.partial_aborts
     r.abort_rate r.messages r.remote_reads r.local_reads r.mean_latency r.p50_latency
     r.p95_latency r.p99_latency
-    (status r.invariant) (status r.consistent)
+    (status r.invariant) (status r.consistent);
+  (* Rendered only for runs that saw cross-shard traffic, so unsharded
+     output stays byte-stable. *)
+  if r.cross_shard_commits > 0 || r.cross_shard_aborts > 0 then
+    Format.fprintf fmt " xshard[commits=%d aborts=%d share=%.3f]"
+      r.cross_shard_commits r.cross_shard_aborts r.cross_shard_share
 
 (* Snapshot of every counter at the close of the measurement window. *)
 type snapshot = {
@@ -58,6 +66,9 @@ type snapshot = {
   s_batches : int;
   s_occ_p50 : float;
   s_occ_p95 : float;
+  s_xs_commits : int;
+  s_xs_aborts : int;
+  s_xs_share : float;
 }
 
 let snapshot_of metrics ~messages ~by_kind =
@@ -81,6 +92,9 @@ let snapshot_of metrics ~messages ~by_kind =
     s_batches = Metrics.batches metrics;
     s_occ_p50 = Metrics.batch_occupancy_percentile metrics 50.;
     s_occ_p95 = Metrics.batch_occupancy_percentile metrics 95.;
+    s_xs_commits = Metrics.cross_shard_commits metrics;
+    s_xs_aborts = Metrics.cross_shard_aborts metrics;
+    s_xs_share = Metrics.cross_shard_share metrics;
   }
 
 let result_of_snapshot ~label ~duration ~invariant ~consistent s =
@@ -110,6 +124,9 @@ let result_of_snapshot ~label ~duration ~invariant ~consistent s =
     batches = s.s_batches;
     batch_occupancy_p50 = s.s_occ_p50;
     batch_occupancy_p95 = s.s_occ_p95;
+    cross_shard_commits = s.s_xs_commits;
+    cross_shard_aborts = s.s_xs_aborts;
+    cross_shard_share = s.s_xs_share;
     invariant;
     consistent;
   }
@@ -117,10 +134,10 @@ let result_of_snapshot ~label ~duration ~invariant ~consistent s =
 let run ?(nodes = 13) ?(spares = 0) ?(seed = 97) ?(read_level = 1) ?(clients = 26)
     ?(warmup = 2_000.) ?(duration = 30_000.) ?(with_oracle = true) ?(service_time = 0.25)
     ?client_nodes ?prepare ?(tracer = Obs.Tracer.null) ?(batch_fanout = true)
-    ?(batch_commit = false) ?telemetry ~config ~benchmark ~params () =
+    ?(batch_commit = false) ?(shards = 1) ?telemetry ~config ~benchmark ~params () =
   let cluster =
     Cluster.create ~nodes ~spares ~seed ~read_level ~service_time ~with_oracle ~tracer
-      ~batch_fanout ~batch_commit config
+      ~batch_fanout ~batch_commit ~shards config
   in
   let instance = (benchmark : Benchmarks.Workload.benchmark).setup cluster params in
   Option.iter (fun f -> f cluster) prepare;
@@ -173,6 +190,8 @@ let run ?(nodes = 13) ?(spares = 0) ?(seed = 97) ?(read_level = 1) ?(clients = 2
         ~lease_expirations:(Metrics.lease_expirations metrics)
         ~speculation_aborts:(Metrics.speculation_aborts metrics)
         ~batches:(Metrics.batches metrics)
+        ~cross_shard_commits:(Metrics.cross_shard_commits metrics)
+        ~cross_shard_aborts:(Metrics.cross_shard_aborts metrics)
         ~by_kind:(Cluster.messages_by_kind cluster) ()
     in
     sample ();

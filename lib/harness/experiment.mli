@@ -30,6 +30,10 @@ type result = {
   batches : int;  (** batch quorum rounds sent (0 sequential) *)
   batch_occupancy_p50 : float;  (** median transactions per batch round *)
   batch_occupancy_p95 : float;
+  cross_shard_commits : int;
+      (** commits decided through the cross-shard 2PC (0 unsharded) *)
+  cross_shard_aborts : int;  (** cross-shard 2PC rounds ending in abort *)
+  cross_shard_share : float;  (** fraction of commits that were cross-shard *)
   invariant : (unit, string) Stdlib.result;
   consistent : (unit, string) Stdlib.result;
 }
@@ -51,6 +55,7 @@ val run :
   ?tracer:Obs.Tracer.t ->
   ?batch_fanout:bool ->
   ?batch_commit:bool ->
+  ?shards:int ->
   ?telemetry:Obs.Telemetry.t ->
   config:Core.Config.t ->
   benchmark:Benchmarks.Workload.benchmark ->
@@ -66,7 +71,9 @@ val run :
     [tracer] threads a lifecycle tracer through the cluster (see
     {!Obs.Tracer}); [telemetry] samples windowed time series while the run
     drains, pull-model, without scheduling any engine events — neither
-    perturbs results. *)
+    perturbs results.  [shards] (default 1) partitions the object space
+    (see {!Core.Cluster.create}); benchmarks with a cross-shard knob then
+    commit a share of their transactions through the cross-shard 2PC. *)
 
 (** {2 Generic systems (Fig. 9 baselines)}
 

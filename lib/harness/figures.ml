@@ -20,7 +20,8 @@ let benchmark_objects = function
 
 let base_params name =
   {
-    Benchmarks.Workload.objects = benchmark_objects name;
+    Benchmarks.Workload.default_params with
+    objects = benchmark_objects name;
     calls = 3;
     read_ratio = 0.5;
     key_skew = 0.5;

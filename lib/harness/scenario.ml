@@ -15,6 +15,8 @@
      join <node> @<t>
      leave <node> @<t>
      replace <leaving> <joining> @<t>
+     shardmove <oid> <to_shard> @<t>
+     shardsplit <shard> @<t>
 
    Example:
      "crash 11 @500; recover 11 @2500; drop 0.05 @0; partition 0,...|11,12 @1000 for 800"
@@ -36,6 +38,8 @@ type event =
   | Join of { node : int; at : float }
   | Leave of { node : int; at : float }
   | Replace of { leaving : int; joining : int; at : float }
+  | ShardMove of { oid : int; to_shard : int; at : float }
+  | ShardSplit of { shard : int; at : float }
 
 let pp_event ppf = function
   | Crash { node; at } -> Format.fprintf ppf "crash %d @%g" node at
@@ -63,6 +67,9 @@ let pp_event ppf = function
   | Leave { node; at } -> Format.fprintf ppf "leave %d @%g" node at
   | Replace { leaving; joining; at } ->
     Format.fprintf ppf "replace %d %d @%g" leaving joining at
+  | ShardMove { oid; to_shard; at } ->
+    Format.fprintf ppf "shardmove %d %d @%g" oid to_shard at
+  | ShardSplit { shard; at } -> Format.fprintf ppf "shardsplit %d @%g" shard at
 
 (* {2 Parsing} *)
 
@@ -159,6 +166,12 @@ let parse_event text =
       | "replace", [ leaving; joining ] ->
         no_duration verb duration;
         Replace { leaving = int_of leaving; joining = int_of joining; at }
+      | "shardmove", [ oid; to_shard ] ->
+        no_duration verb duration;
+        ShardMove { oid = int_of oid; to_shard = int_of to_shard; at }
+      | "shardsplit", [ shard ] ->
+        no_duration verb duration;
+        ShardSplit { shard = int_of shard; at }
       | _ ->
         fail "cannot parse event %S (verb %S with %d argument(s))" text verb
           (List.length args)
@@ -181,7 +194,7 @@ let crashed_nodes events =
 
 let min_members = 3
 
-let validate ?members ~nodes events =
+let validate ?members ?(shards = 1) ?shard_members ~nodes events =
   let members =
     match members with Some m -> m | None -> List.init nodes Fun.id
   in
@@ -209,7 +222,7 @@ let validate ?members ~nodes events =
         | Recover { node; at } ->
           Hashtbl.replace per_node node ((at, `Recover) :: (Option.value ~default:[] (Hashtbl.find_opt per_node node)))
         | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _ | Join _
-        | Leave _ | Replace _ ->
+        | Leave _ | Replace _ | ShardMove _ | ShardSplit _ ->
           ())
       events;
     Hashtbl.fold
@@ -250,7 +263,9 @@ let validate ?members ~nodes events =
           | Join { node; at } -> Some (at, `Join node)
           | Leave { node; at } -> Some (at, `Leave node)
           | Replace { leaving; joining; at } -> Some (at, `Replace (leaving, joining))
-          | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _ -> None)
+          | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _
+          | ShardMove _ | ShardSplit _ ->
+            None)
         events
       |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
     in
@@ -307,10 +322,114 @@ let validate ?members ~nodes events =
     in
     walk dated
   in
+  (* Shard-directory discipline, walked in time order: a [shardmove] must
+     target a shard that exists when it fires (splits grow the count), a
+     [shardsplit] must leave both halves quorum-viable, and — when the
+     per-shard layout is known — a crash schedule may not take down the
+     {e last} live member of any shard, since no surviving replica could
+     then serve reads or rescue in-doubt cross-shard decisions for that
+     slice of the object space.  The kill check runs against the initial
+     layout and is suspended once a split rearranges it. *)
+  let check_shards () =
+    let dated =
+      List.filter_map
+        (fun event ->
+          match event with
+          | ShardMove { oid; to_shard; at } -> Some (at, `Move (oid, to_shard))
+          | ShardSplit { shard; at } -> Some (at, `Split shard)
+          | Crash { node; at } -> Some (at, `Crash node)
+          | Recover { node; at } -> Some (at, `Recover node)
+          | Join { node; at } -> Some (at, `Join node)
+          | Leave { node; at } -> Some (at, `Leave node)
+          | Suspect _ | Partition _ | Drop _ | Duplicate _ | Spike _ | Flaky _
+          | Replace _ ->
+            None)
+        events
+      |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+    in
+    let cur_shards = ref shards in
+    (* Per-shard state while the initial layout still holds (suspended on
+       the first split, which rearranges nodes in ways runtime ordering
+       decides): [mems] is the membership list, [down] the crashed subset. *)
+    let tracking = ref (shard_members <> None) in
+    let mems =
+      Array.of_list
+        (List.map ref (Option.value ~default:[] shard_members))
+    in
+    let down = Array.map (fun _ -> ref []) mems in
+    let shard_of_node n =
+      let found = ref None in
+      Array.iteri (fun s ms -> if !found = None && List.mem n !ms then found := Some s) mems;
+      !found
+    in
+    let rec walk = function
+      | [] -> Ok ()
+      | (at, op) :: rest -> (
+        match op with
+        | `Move (oid, to_shard) ->
+          if to_shard >= !cur_shards then
+            err
+              "shardmove at %g: cannot move object %d to shard %d, no such shard \
+               (%d shards)"
+              at oid to_shard !cur_shards
+          else walk rest
+        | `Split shard ->
+          if shard >= !cur_shards then
+            err "shardsplit at %g: no such shard %d (%d shards)" at shard !cur_shards
+          else if
+            !tracking && shard < Array.length mems
+            && List.length !(mems.(shard)) < 2 * min_members
+          then
+            err
+              "shardsplit at %g: shard %d has %d members, too few to form two \
+               quorum-viable shards (minimum %d each)"
+              at shard
+              (List.length !(mems.(shard)))
+              min_members
+          else begin
+            tracking := false;
+            incr cur_shards;
+            walk rest
+          end
+        | `Crash n -> (
+          if not !tracking then walk rest
+          else
+            match shard_of_node n with
+            | Some s
+              when List.for_all
+                     (fun m -> m = n || List.mem m !(down.(s)))
+                     !(mems.(s)) ->
+              err "crash at %g: node %d is the last live member of shard %d" at n s
+            | Some s ->
+              down.(s) := n :: !(down.(s));
+              walk rest
+            | None -> walk rest)
+        | `Recover n ->
+          if !tracking then
+            Array.iter (fun d -> d := List.filter (fun m -> m <> n) !d) down;
+          walk rest
+        | `Join n ->
+          (* Joins land in shard 0 (the scenario DSL carries no shard). *)
+          if !tracking && Array.length mems > 0 then mems.(0) := n :: !(mems.(0));
+          walk rest
+        | `Leave n -> (
+          if not !tracking then walk rest
+          else
+            match shard_of_node n with
+            | Some s ->
+              mems.(s) := List.filter (fun m -> m <> n) !(mems.(s));
+              walk rest
+            | None -> walk rest))
+    in
+    walk dated
+  in
   let rec check_events = function
     | [] ->
       (match check_crash_pairing () with
-       | Ok () -> check_membership ()
+       | Ok () -> (
+         match check_membership () with
+         | Ok () -> check_shards ()
+         | Error _ as e -> e)
        | Error _ as e -> e)
     | event :: rest ->
       let continue () = check_events rest in
@@ -325,7 +444,7 @@ let validate ?members ~nodes events =
        | Leave { node; _ } -> check_node "leave" node continue
        | Replace { leaving; joining; _ } ->
          check_nodes "replace" [ leaving; joining ] continue
-       | Drop _ | Duplicate _ | Spike _ -> continue ())
+       | Drop _ | Duplicate _ | Spike _ | ShardMove _ | ShardSplit _ -> continue ())
   in
   check_events events
 
@@ -447,17 +566,35 @@ let install_event t event =
     Core.Cluster.join_node_at ~on_done:(fun () -> leave t) cluster ~at ~node
   | Leave { node; at } ->
     at_time cluster ~at (fun () -> enter t);
-    Core.Cluster.leave_node_at ~on_done:(fun () -> leave t) cluster ~at ~node
+    (* Departures run on the subject's home shard's reconfiguration
+       machine (resolved against the install-time layout; shard 0 — the
+       legacy path — on unsharded clusters). *)
+    Core.Cluster.leave_node_at
+      ~shard:(Core.Cluster.home_shard_of cluster ~node)
+      ~on_done:(fun () -> leave t) cluster ~at ~node
   | Replace { leaving; joining; at } ->
     at_time cluster ~at (fun () -> enter t);
     Core.Cluster.replace_node_at
+      ~shard:(Core.Cluster.home_shard_of cluster ~node:leaving)
       ~on_done:(fun () -> leave t)
       cluster ~at ~leaving ~joining
+  (* Shard-directory operations wedge the involved shards while the handoff
+     runs, so they open degraded windows just like reconfigurations. *)
+  | ShardMove { oid; to_shard; at } ->
+    at_time cluster ~at (fun () -> enter t);
+    Core.Cluster.move_object_at ~on_done:(fun () -> leave t) cluster ~at ~oid ~to_shard
+  | ShardSplit { shard; at } ->
+    at_time cluster ~at (fun () -> enter t);
+    Core.Cluster.split_shard_at ~on_done:(fun () -> leave t) cluster ~at ~shard
 
 let install cluster events =
+  let shards = Core.Cluster.shard_count cluster in
   (match
      validate
        ~members:(Core.Cluster.members cluster)
+       ~shards
+       ~shard_members:
+         (List.init shards (fun s -> Core.Cluster.shard_members cluster ~shard:s))
        ~nodes:(Core.Cluster.nodes cluster) events
    with
    | Ok () -> ()

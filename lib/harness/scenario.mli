@@ -15,6 +15,8 @@
     join <node> @<t>               bring a spare / departed node into the view
     leave <node> @<t>              graceful decommission (drain + handoff)
     replace <l> <j> @<t>           atomic swap: <l> departs, <j> joins
+    shardmove <oid> <s> @<t>       re-home object <oid> onto shard <s>
+    shardsplit <s> @<t>            split shard <s> into two quorum-viable halves
     v}
 
     Example: ["crash 11 @500; recover 11 @2500; drop 0.05 @0"].
@@ -36,6 +38,8 @@ type event =
   | Join of { node : int; at : float }
   | Leave of { node : int; at : float }
   | Replace of { leaving : int; joining : int; at : float }
+  | ShardMove of { oid : int; to_shard : int; at : float }
+  | ShardSplit of { shard : int; at : float }
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -47,7 +51,13 @@ val crashed_nodes : event list -> int list
 (** Nodes hit by a [crash] event, ascending and de-duplicated — use to keep
     closed-loop clients off nodes that will die. *)
 
-val validate : ?members:int list -> nodes:int -> event list -> (unit, string) result
+val validate :
+  ?members:int list ->
+  ?shards:int ->
+  ?shard_members:int list list ->
+  nodes:int ->
+  event list ->
+  (unit, string) result
 (** Static checks against a cluster of [nodes] machines (total capacity,
     spares included), of which [members] (default: all) form the initial
     view: every referenced node id must lie in [[0, nodes)]; per node the
@@ -57,7 +67,18 @@ val validate : ?members:int list -> nodes:int -> event list -> (unit, string) re
     an existing member, a [leave]/[replace] of a non-member or crashed
     node, and a [leave] shrinking the view below the quorum-viable minimum
     (3 members) are all rejected with a description of the offending
-    event.  [install] runs this automatically. *)
+    event.
+
+    Shard-directory operations are checked against [shards] (default 1)
+    with the count evolving across splits: a [shardmove] to a shard that
+    does not exist when it fires and a [shardsplit] of an unknown shard
+    are rejected.  When [shard_members] supplies the initial per-shard
+    member lists (index = shard id), a [shardsplit] of a shard with fewer
+    than 6 members (two quorum-viable halves) and a crash schedule that
+    takes down the {e last} live member of any shard are also rejected;
+    these layout-dependent checks are suspended after the first split,
+    whose rearrangement is decided at runtime.  [install] runs all of
+    this automatically with the cluster's actual layout. *)
 
 type tracker
 (** Scheduled scenario plus degraded-window bookkeeping.  A window opens

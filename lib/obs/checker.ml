@@ -14,18 +14,34 @@ let check ?is_write_quorum events =
     violations := { rule; time; txn; detail } :: !violations
   in
 
-  (* commit-quorum: votes collected since the last commit.send per txn,
-     each tagged with the view epoch in force when it arrived.  Committed
-     voter sets remember their epoch too: quorum intersection only holds
-     within one membership view, so the pairwise fallback must not compare
-     commits across a reconfiguration. *)
-  let votes : (int, (int * int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
-  let committed_sets : (int * int list * int) list ref = ref [] in
+  (* commit-quorum: one round per (txn, shard) — a fresh commit.send for a
+     shard supersedes that shard's previous round (retries), while rounds
+     for other shards accumulate (a cross-shard 2PC prepares each
+     participant shard in turn).  Votes land in the most recently opened
+     round and are tagged with the arrival-time epoch of that round's
+     shard.  Committed voter sets remember their (shard, epoch) too:
+     quorum intersection only holds within one shard's membership view,
+     so the pairwise fallback must not compare commits across a
+     reconfiguration or across shards. *)
+  let committed_sets : (int * int list * int * int) list ref = ref [] in
 
-  (* epoch-fencing: the current view epoch (from view.change events) and
-     the epoch each commit round was sent under. *)
-  let cur_epoch = ref 0 in
-  let commit_epochs : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* epoch-fencing: the current view epoch per shard (from view.change
+     events, whose [x] slot names the shard — 0 in unsharded traces). *)
+  let shard_epochs : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let cur_epoch_of shard =
+    Option.value ~default:0 (Hashtbl.find_opt shard_epochs shard)
+  in
+  let rounds
+      : (int, (int * int * (int * int * int) list ref) list ref) Hashtbl.t =
+    (* txn -> (shard, send epoch, votes) — most recent round first *)
+    Hashtbl.create 64
+  in
+
+  (* cross-shard-atomicity: participant shards prepared per txn, the
+     coordinator's decision, and whether any replica later walked the
+     decision back by presuming abort. *)
+  let xshard_parts : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let xshard_committed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
 
   (* lease-overlap: (replica, oid) -> owning txn. *)
   let leases : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -44,8 +60,13 @@ let check ?is_write_quorum events =
   let batch_outcome : (int, bool) Hashtbl.t = Hashtbl.create 64 in
   let spec_deps_of : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
 
-  (* widen-read: txn -> flagged witness set; txn -> open read fan-out. *)
-  let witnesses : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  (* widen-read: txn -> flagged (witness, home shard) set; txn -> open read
+     fan-out.  Witnesses are obligations only for reads of their own shard:
+     a foreign-shard replica does not host the object being read, so the
+     executor rightly filters it out of the fan-out (`widen.add`'s [b] slot
+     records the witness's shard, `read.send`'s the read's; [-1] — traces
+     from before sharding — matches every read). *)
+  let witnesses : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
   let open_group : (int, float * int * int list ref * int list) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -70,71 +91,126 @@ let check ?is_write_quorum events =
       (* A transaction event other than read.send ends any open fan-out. *)
       if e.txn >= 0 && k <> Sem.read_send then close_group e.txn;
 
-      if k = Sem.view_change then cur_epoch := e.a
+      if k = Sem.view_change then
+        Hashtbl.replace shard_epochs (int_of_float e.x) e.a
       else if k = Sem.commit_send then begin
-        Hashtbl.replace votes e.txn (ref []);
-        Hashtbl.replace commit_epochs e.txn !cur_epoch
+        let shard = int_of_float e.x in
+        let fresh = (shard, cur_epoch_of shard, ref []) in
+        match Hashtbl.find_opt rounds e.txn with
+        | Some l -> l := fresh :: List.filter (fun (s, _, _) -> s <> shard) !l
+        | None -> Hashtbl.replace rounds e.txn (ref [ fresh ])
       end
       else if k = Sem.vote_recv then begin
-        match Hashtbl.find_opt votes e.txn with
-        | Some l -> l := (e.a, e.b, !cur_epoch) :: !l
-        | None -> Hashtbl.replace votes e.txn (ref [ (e.a, e.b, !cur_epoch) ])
+        match Hashtbl.find_opt rounds e.txn with
+        | Some { contents = (shard, _, votes) :: _ } ->
+          votes := (e.a, e.b, cur_epoch_of shard) :: !votes
+        | Some _ | None ->
+          Hashtbl.replace rounds e.txn
+            (ref [ (0, 0, ref [ (e.a, e.b, cur_epoch_of 0) ]) ])
       end
       else if k = Sem.txn_commit && e.b <> 1 then begin
-        let round =
-          match Hashtbl.find_opt votes e.txn with Some l -> List.rev !l | None -> []
+        let txn_rounds =
+          match Hashtbl.find_opt rounds e.txn with
+          | Some l -> List.rev !l (* prepare order: ascending shard *)
+          | None -> []
         in
-        let voters = List.sort Int.compare (List.map (fun (v, _, _) -> v) round) in
-        let dissent = List.filter (fun (_, f, _) -> f land commit_bit = 0) round in
-        if dissent <> [] then
-          report "commit-quorum" e.time e.txn
-            (Printf.sprintf "committed despite %d non-commit vote(s) from [%s]"
-               (List.length dissent)
-               (String.concat ";"
-                  (List.map (fun (v, _, _) -> string_of_int v) dissent)));
-        (* epoch-fencing: all the evidence behind a commit must come from
-           one membership view — the view the round was sent under, still
-           in force when the commit is decided.  Quorums from different
-           views need not intersect, so mixed evidence can commit over a
-           conflicting transaction without either seeing the other. *)
-        let send_epoch =
-          Option.value ~default:0 (Hashtbl.find_opt commit_epochs e.txn)
-        in
-        let stale =
-          List.filter (fun (_, _, ep) -> ep <> send_epoch) round
-        in
-        if stale <> [] then
-          report "epoch-fencing" e.time e.txn
-            (Printf.sprintf
-               "commit uses evidence from two incompatible views: round sent in \
-                epoch %d but vote(s) from [%s] arrived in other epochs"
-               send_epoch
-               (String.concat ";" (List.map (fun (v, _, _) -> string_of_int v) stale)))
-        else if send_epoch <> !cur_epoch then
-          report "epoch-fencing" e.time e.txn
-            (Printf.sprintf
-               "commit decided in epoch %d over a round sent in epoch %d"
-               !cur_epoch send_epoch);
-        (match is_write_quorum with
-        | Some valid ->
-          if not (valid voters) then
-            report "commit-quorum" e.time e.txn
-              (Printf.sprintf "voter set [%s] is not a valid write quorum"
-                 (String.concat ";" (List.map string_of_int voters)))
-        | None ->
-          List.iter
-            (fun (other_txn, other_set, other_epoch) ->
-              if other_epoch = send_epoch && not (intersects voters other_set) then
+        List.iter
+          (fun (shard, send_epoch, votes) ->
+            let round = List.rev !votes in
+            let voters =
+              List.sort Int.compare (List.map (fun (v, _, _) -> v) round)
+            in
+            let dissent =
+              List.filter (fun (_, f, _) -> f land commit_bit = 0) round
+            in
+            if dissent <> [] then
+              report "commit-quorum" e.time e.txn
+                (Printf.sprintf "committed despite %d non-commit vote(s) from [%s]"
+                   (List.length dissent)
+                   (String.concat ";"
+                      (List.map (fun (v, _, _) -> string_of_int v) dissent)));
+            (* epoch-fencing: all the evidence behind a commit must come
+               from one membership view per shard — the view that shard's
+               round was sent under, still in force when the commit is
+               decided.  Quorums from different views need not intersect,
+               so mixed evidence can commit over a conflicting transaction
+               without either seeing the other. *)
+            let stale = List.filter (fun (_, _, ep) -> ep <> send_epoch) round in
+            if stale <> [] then
+              report "epoch-fencing" e.time e.txn
+                (Printf.sprintf
+                   "commit uses evidence from two incompatible views: round sent \
+                    in epoch %d but vote(s) from [%s] arrived in other epochs"
+                   send_epoch
+                   (String.concat ";"
+                      (List.map (fun (v, _, _) -> string_of_int v) stale)))
+            else if send_epoch <> cur_epoch_of shard then
+              report "epoch-fencing" e.time e.txn
+                (Printf.sprintf
+                   "commit decided in epoch %d over a round sent in epoch %d"
+                   (cur_epoch_of shard) send_epoch);
+            (match is_write_quorum with
+            | Some valid when List.length txn_rounds <= 1 ->
+              if not (valid voters) then
                 report "commit-quorum" e.time e.txn
-                  (Printf.sprintf
-                     "voter set [%s] does not intersect txn %d's write quorum"
-                     (String.concat ";" (List.map string_of_int voters))
-                     other_txn))
-            !committed_sets);
-        committed_sets := (e.txn, voters, send_epoch) :: !committed_sets;
+                  (Printf.sprintf "voter set [%s] is not a valid write quorum"
+                     (String.concat ";" (List.map string_of_int voters)))
+            | Some _ | None ->
+              (* Pairwise fallback, scoped to the same shard and view:
+                 intersection is only guaranteed there. *)
+              List.iter
+                (fun (other_txn, other_set, other_epoch, other_shard) ->
+                  if
+                    other_shard = shard && other_epoch = send_epoch
+                    && not (intersects voters other_set)
+                  then
+                    report "commit-quorum" e.time e.txn
+                      (Printf.sprintf
+                         "voter set [%s] does not intersect txn %d's write quorum"
+                         (String.concat ";" (List.map string_of_int voters))
+                         other_txn))
+                !committed_sets);
+            committed_sets :=
+              (e.txn, voters, send_epoch, shard) :: !committed_sets)
+          txn_rounds;
         Hashtbl.replace evidence e.txn ()
       end
       else if k = Sem.txn_commit then Hashtbl.replace evidence e.txn ()
+      else if k = Sem.xshard_prepare then begin
+        match Hashtbl.find_opt xshard_parts e.txn with
+        | Some l -> if not (List.mem e.a !l) then l := e.a :: !l
+        | None -> Hashtbl.replace xshard_parts e.txn (ref [ e.a ])
+      end
+      else if k = Sem.xshard_decide then begin
+        if e.a = 1 then begin
+          Hashtbl.replace xshard_committed e.txn ();
+          (* A committed cross-shard transaction must have run a prepare
+             round on every participant shard — a decision taken without
+             some participant's vote quorum is exactly the atomicity bug
+             2PC exists to prevent. *)
+          let prepared =
+            match Hashtbl.find_opt xshard_parts e.txn with
+            | Some l -> List.length !l
+            | None -> 0
+          in
+          if prepared <> e.b then
+            report "cross-shard-atomicity" e.time e.txn
+              (Printf.sprintf
+                 "committed across %d shards but the trace shows prepare rounds \
+                  on only %d" e.b prepared)
+        end
+      end
+      else if k = Sem.presumed_abort then begin
+        (* Once the coordinator decided commit, no participant replica may
+           walk the decision back: the termination protocol must surface
+           rescue evidence (an Apply, an advanced version, or a retained
+           foreign write on a peer) before the lease is presumed dead. *)
+        if Hashtbl.mem xshard_committed e.txn then
+          report "cross-shard-atomicity" e.time e.txn
+            (Printf.sprintf
+               "node %d presumed abort after the cross-shard commit was decided \
+                — rescue evidence failed to propagate" e.node)
+      end
       else if k = Sem.lease_grant then begin
         let key = (e.node, e.oid) in
         (match Hashtbl.find_opt leases key with
@@ -251,12 +327,13 @@ let check ?is_write_quorum events =
       end
       else if k = Sem.widen_add then begin
         match Hashtbl.find_opt witnesses e.txn with
-        | Some l -> if not (List.mem e.a !l) then l := e.a :: !l
-        | None -> Hashtbl.replace witnesses e.txn (ref [ e.a ])
+        | Some l ->
+          if not (List.mem_assoc e.a !l) then l := (e.a, e.b) :: !l
+        | None -> Hashtbl.replace witnesses e.txn (ref [ (e.a, e.b) ])
       end
       else if k = Sem.widen_drop then begin
         match Hashtbl.find_opt witnesses e.txn with
-        | Some l -> l := List.filter (fun w -> w <> e.a) !l
+        | Some l -> l := List.filter (fun (w, _) -> w <> e.a) !l
         | None -> ()
       end
       else if k = Sem.read_send then begin
@@ -267,7 +344,11 @@ let check ?is_write_quorum events =
           close_group e.txn;
           let flagged =
             match Hashtbl.find_opt witnesses e.txn with
-            | Some l -> !l
+            | Some l ->
+              List.filter_map
+                (fun (w, ws) ->
+                  if ws = -1 || e.b = -1 || ws = e.b then Some w else None)
+                !l
             | None -> []
           in
           Hashtbl.replace open_group e.txn (e.time, e.oid, ref [ e.a ], flagged)

@@ -5,17 +5,27 @@
     it can localise.  Rules:
 
     - [commit-quorum]: every replicated commit ([txn.commit] without the
-      read-only flag) must be decided by a round in which {e every} received
-      vote said commit, and the voter set must form a valid write quorum —
-      via [is_write_quorum] when supplied, otherwise by checking pairwise
-      intersection against every other committed voter set {e of the same
-      membership epoch} in the trace (quorum intersection does not hold
-      across reconfigurations).
+      read-only flag) must be decided by rounds in which {e every} received
+      vote said commit, and each round's voter set must form a valid write
+      quorum — via [is_write_quorum] when supplied (single-round commits
+      only), otherwise by checking pairwise intersection against every
+      other committed voter set {e of the same shard and membership epoch}
+      in the trace (quorum intersection does not hold across
+      reconfigurations or shards).  A cross-shard commit contributes one
+      round per participant shard ([commit.send] events whose [x] slot
+      names the shard).
     - [epoch-fencing]: no commit may rest on evidence from two incompatible
-      views — every vote must arrive in the epoch the round was sent under
-      ([commit.send] after the last [view.change]), and that epoch must
-      still be in force when the commit is decided.  Traces with no
+      views — every vote must arrive in the epoch of its round's shard as
+      of [commit.send] (epochs are tracked per shard from [view.change]
+      events, whose [x] slot names the shard), and that epoch must still
+      be in force when the commit is decided.  Traces with no
       [view.change] events are vacuously clean.
+    - [cross-shard-atomicity]: a committed cross-shard transaction
+      ([xshard.decide] with [a = 1]) must show an [xshard.prepare] round
+      for every participant shard, and once the decision is commit no
+      replica may subsequently presume abort for that transaction
+      ([presumed.abort]) — the termination protocol must surface rescue
+      evidence first.  Unsharded traces are vacuously clean.
     - [lease-overlap]: no [lease.grant] for an (object, replica) pair while
       a different transaction's lease is still held there.
     - [partial-abort-scope]: each [txn.partial_abort] targeting scope/

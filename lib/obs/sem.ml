@@ -19,8 +19,8 @@ let txn_partial_abort = Kind.intern "txn.partial_abort" (* a = target *)
 let txn_root_abort = Kind.intern "txn.root_abort" (* a = attempt *)
 let txn_commit = Kind.intern "txn.commit" (* b = 1 if read-only; x = latency *)
 let txn_end = Kind.intern "txn.end" (* a = 1 committed / 0 aborted *)
-let read_send = Kind.intern "read.send" (* oid; a = destination replica *)
-let widen_add = Kind.intern "widen.add" (* a = witness node flagged *)
+let read_send = Kind.intern "read.send" (* oid; a = dst replica; b = oid's shard *)
+let widen_add = Kind.intern "widen.add" (* a = witness node; b = its home shard *)
 let widen_drop = Kind.intern "widen.drop" (* a = dead witness pruned *)
 let commit_send = Kind.intern "commit.send" (* a = #locks; b = quorum size *)
 let vote_recv = Kind.intern "vote.recv" (* a = voter; b = bit0 commit, bit1 lock-conflict *)
@@ -84,6 +84,16 @@ let view_done = Kind.intern "view.done" (* reconfiguration complete; a = epoch *
 let epoch_fence = Kind.intern "epoch.fence"
 (* stale-epoch message rejected at [node]; a = src, b = message epoch,
    x = the receiver's epoch *)
+
+(* -- Cross-shard 2PC (emitted by Core.Executor; [node] = coordinator). -- *)
+
+let xshard_prepare = Kind.intern "xshard.prepare"
+(* one per participant shard's prepare round, ascending shard order;
+   a = the shard being prepared, b = total participant count *)
+
+let xshard_decide = Kind.intern "xshard.decide"
+(* the coordinator's cross-shard decision, once per transaction;
+   a = 1 commit / 0 abort, b = participant count *)
 
 (* -- Network / RPC (emitted by Sim.Network and Sim.Rpc; [b] = the interned
       message kind, resolvable with [Kind.name]). -- *)

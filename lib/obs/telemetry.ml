@@ -6,6 +6,8 @@ type sample = {
   s_lease_exp : int;
   s_spec_aborts : int;
   s_batches : int;
+  s_xshard_commits : int;
+  s_xshard_aborts : int;
   s_by_kind : (string * int) list;
 }
 
@@ -18,7 +20,8 @@ let create ~window =
 let window t = t.win
 
 let record t ~time ~commits ~aborts ~in_flight ~lease_expirations
-    ?(speculation_aborts = 0) ?(batches = 0) ~by_kind () =
+    ?(speculation_aborts = 0) ?(batches = 0) ?(cross_shard_commits = 0)
+    ?(cross_shard_aborts = 0) ~by_kind () =
   t.samples <-
     {
       s_time = time;
@@ -28,6 +31,8 @@ let record t ~time ~commits ~aborts ~in_flight ~lease_expirations
       s_lease_exp = lease_expirations;
       s_spec_aborts = speculation_aborts;
       s_batches = batches;
+      s_xshard_commits = cross_shard_commits;
+      s_xshard_aborts = cross_shard_aborts;
       s_by_kind = by_kind;
     }
     :: t.samples
@@ -38,15 +43,24 @@ let kinds t =
   List.sort_uniq String.compare
     (List.concat_map (fun s -> List.map fst s.s_by_kind) t.samples)
 
+(* Cross-shard columns appear only once a sharded run records nonzero
+   cross-shard traffic, keeping unsharded exports unchanged. *)
+let has_cross_shard t =
+  List.exists (fun s -> s.s_xshard_commits > 0 || s.s_xshard_aborts > 0) t.samples
+
 let columns t =
   [
     "time_ms"; "commits_per_s"; "aborts_per_s"; "in_flight";
     "lease_expirations"; "speculation_aborts"; "batches_per_s";
   ]
+  @ (if has_cross_shard t then
+       [ "cross_shard_commits_per_s"; "cross_shard_aborts_per_s" ]
+     else [])
   @ List.map (fun k -> Printf.sprintf "msg_%s_per_s" k) (kinds t)
 
 let rows t =
   let ks = kinds t in
+  let xs = has_cross_shard t in
   let ordered = List.rev t.samples in
   match ordered with
   | [] | [ _ ] -> []
@@ -67,6 +81,12 @@ let rows t =
             float_of_int (s.s_spec_aborts - prev.s_spec_aborts);
             rate prev.s_batches s.s_batches;
           ]
+          @ (if xs then
+               [
+                 rate prev.s_xshard_commits s.s_xshard_commits;
+                 rate prev.s_xshard_aborts s.s_xshard_aborts;
+               ]
+             else [])
           @ List.map (fun k -> rate (count k prev) (count k s)) ks
         in
         (s.s_time, row) :: walk s tl

@@ -29,21 +29,27 @@ val record :
   lease_expirations:int ->
   ?speculation_aborts:int ->
   ?batches:int ->
+  ?cross_shard_commits:int ->
+  ?cross_shard_aborts:int ->
   by_kind:(string * int) list ->
   unit ->
   unit
 (** [speculation_aborts] and [batches] (both running totals, default 0)
     feed the batch-commit columns; sequential-mode harnesses may omit
-    them. *)
+    them.  [cross_shard_commits] / [cross_shard_aborts] (running totals,
+    default 0) feed the cross-shard columns, which appear in exports only
+    once some sample carries a nonzero value — unsharded exports are
+    unchanged. *)
 
 val samples : t -> int
 (** Number of raw samples recorded so far. *)
 
 val columns : t -> string list
 (** Export header: time_ms, commits_per_s, aborts_per_s, in_flight,
-    lease_expirations, speculation_aborts, batches_per_s, then one
-    [msg_<kind>_per_s] column per message kind ever seen (sorted by
-    name). *)
+    lease_expirations, speculation_aborts, batches_per_s, the two
+    cross-shard columns when any sample recorded cross-shard traffic,
+    then one [msg_<kind>_per_s] column per message kind ever seen (sorted
+    by name). *)
 
 val rows : t -> (float * float list) list
 (** One row per sample after the first: (sample time, values in {!columns}

@@ -1,14 +1,19 @@
-(* Every envelope carries the sender's view epoch, stamped at send time from
-   the [epoch_of] hook.  With fencing installed (see [set_fencing]) a node
-   drops requests stamped with an older epoch than its own — the membership
-   fence that keeps evidence gathered under a superseded view from feeding
-   quorum decisions in the current one.  Stale replies are dropped
-   unconditionally: the caller's round times out and its retry re-stamps
-   the current epoch.  Without [set_fencing] every epoch is 0 and the layer
-   behaves exactly as before. *)
+(* Every envelope carries a view epoch, stamped at send time from the
+   [epoch_of] hook.  The epoch is keyed by the *request payload*, not the
+   node: with a sharded object space each shard runs its own view epoch, and
+   a message is fenced against the epoch of the shard its objects live on
+   (with one shard this degenerates to the single cluster-wide epoch).  With
+   fencing installed (see [set_fencing]) a node drops requests stamped with
+   an older epoch than the current one — the membership fence that keeps
+   evidence gathered under a superseded view from feeding quorum decisions
+   in the current one.  Stale replies are dropped unconditionally: the
+   caller's round times out and its retry re-stamps the current epoch.
+   A reply inherits its request's epoch context via [epoch_now] (the reply
+   payload alone cannot name a shard).  Without [set_fencing] every epoch
+   is 0 and the layer behaves exactly as before. *)
 type ('req, 'rep) envelope =
   | Request of { rid : int; payload : 'req; wants_reply : bool; epoch : int }
-  | Reply of { rid : int; payload : 'rep; epoch : int }
+  | Reply of { rid : int; payload : 'rep; epoch : int; epoch_now : unit -> int }
 
 type ('req, 'rep) pending = {
   mutable awaiting : int list;
@@ -24,12 +29,13 @@ type ('req, 'rep) t = {
   mutable next_rid : int;
   mutable give_ups : int;
   mutable fenced : int;
-  (* Membership fencing, installed by the cluster: [epoch_of node] is the
-     node's current view epoch and [fenceable req] says whether a stale
+  (* Membership fencing, installed by the cluster: [epoch_of req] is the
+     current view epoch of the shard [req]'s objects live on (one shard:
+     the cluster-wide epoch) and [fenceable req] says whether a stale
      [req] must be rejected (quorum-evidence traffic) or served anyway
      (idempotent catch-up/installer traffic such as Sync_req).  Inert
      defaults: epoch 0 everywhere, nothing fenced. *)
-  mutable epoch_of : int -> int;
+  mutable epoch_of : 'req -> int;
   mutable fenceable : 'req -> bool;
   (* Retransmission backoff ([acked_send]): attempt k waits
      min(max, base * 2^k) with seeded jitter before re-sending.  A base of
@@ -40,19 +46,20 @@ type ('req, 'rep) t = {
   tracer : Obs.Tracer.t; (* cached from the engine; Tracer.null when off *)
 }
 
-let trace_fence t ~node ~src ~msg_epoch =
+let trace_fence t ~node ~src ~msg_epoch ~cur_epoch =
   if Obs.Tracer.enabled t.tracer then
     Obs.Tracer.emit8 t.tracer
       ~time:(Engine.now (Network.engine t.network))
       ~kind:Obs.Sem.epoch_fence ~node ~txn:(-1) ~oid:(-1) ~a:src ~b:msg_epoch
-      ~x:(Float.of_int (t.epoch_of node))
+      ~x:(Float.of_int cur_epoch)
 
 let handle_envelope t ~node ~src env =
   match env with
   | Request { rid; payload; wants_reply; epoch } ->
-    if epoch < t.epoch_of node && t.fenceable payload then begin
+    let cur = t.epoch_of payload in
+    if epoch < cur && t.fenceable payload then begin
       t.fenced <- t.fenced + 1;
-      trace_fence t ~node ~src ~msg_epoch:epoch
+      trace_fence t ~node ~src ~msg_epoch:epoch ~cur_epoch:cur
     end
     else begin
       match t.servers.(node) with
@@ -61,17 +68,19 @@ let handle_envelope t ~node ~src env =
         begin
           match server ~src payload with
           | Some rep when wants_reply ->
+            let epoch_now () = t.epoch_of payload in
             Network.send t.network ~kind:Network.Kind.reply ~src:node ~dst:src
-              (Reply { rid; payload = rep; epoch = t.epoch_of node })
+              (Reply { rid; payload = rep; epoch = epoch_now (); epoch_now })
           | Some _ | None -> ()
         end
     end
-  | Reply { rid; payload; epoch } ->
-    if epoch < t.epoch_of node then begin
+  | Reply { rid; payload; epoch; epoch_now } ->
+    let cur = epoch_now () in
+    if epoch < cur then begin
       (* Evidence from a superseded view: the pending round will time out
          and the caller's retry carries the current epoch. *)
       t.fenced <- t.fenced + 1;
-      trace_fence t ~node ~src ~msg_epoch:epoch
+      trace_fence t ~node ~src ~msg_epoch:epoch ~cur_epoch:cur
     end
     else begin
       match Hashtbl.find_opt t.pending rid with
@@ -128,7 +137,7 @@ let multicall t ?kind ~src ~dsts ~timeout req ~on_done =
   else begin
     Hashtbl.replace t.pending rid p;
     Network.multicast_batch t.network ?kind ~src ~dsts
-      (Request { rid; payload = req; wants_reply = true; epoch = t.epoch_of src });
+      (Request { rid; payload = req; wants_reply = true; epoch = t.epoch_of req });
     let engine = Network.engine t.network in
     Engine.schedule engine ~delay:timeout (fun () ->
         if not p.finished then begin
@@ -153,7 +162,7 @@ let call t ?kind ~src ~dst ~timeout req ~on_reply ~on_timeout =
 let cast t ?kind ~src ~dst req =
   let rid = fresh_rid t in
   Network.send t.network ?kind ~src ~dst
-    (Request { rid; payload = req; wants_reply = false; epoch = t.epoch_of src })
+    (Request { rid; payload = req; wants_reply = false; epoch = t.epoch_of req })
 
 (* One rid and one shared [Request] for the whole wave: fire-and-forget
    requests never enter the pending table, so per-destination rids bought
@@ -161,7 +170,7 @@ let cast t ?kind ~src ~dst req =
 let multicast t ?kind ~src ~dsts req =
   let rid = fresh_rid t in
   Network.multicast_batch t.network ?kind ~src ~dsts
-    (Request { rid; payload = req; wants_reply = false; epoch = t.epoch_of src })
+    (Request { rid; payload = req; wants_reply = false; epoch = t.epoch_of req })
 
 (* At-least-once delivery for idempotent one-way messages: the request is
    re-sent until the server acknowledges it or [attempts] are exhausted

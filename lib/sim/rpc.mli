@@ -10,9 +10,10 @@
     computed during the node's service slot.  Replies travel back over the
     same network (and therefore pay latency, jitter and queueing again).
 
-    Every envelope carries the sender's view epoch (stamped at send time);
-    with {!set_fencing} installed, stale-epoch requests and replies are
-    dropped — the membership fence for epoch-based reconfiguration.
+    Every envelope carries a view epoch stamped at send time — the epoch of
+    the shard the request's objects live on (one shard: the cluster-wide
+    epoch); with {!set_fencing} installed, stale-epoch requests and replies
+    are dropped — the membership fence for epoch-based reconfiguration.
     Without it all epochs are 0 and behaviour is unchanged. *)
 
 type ('req, 'rep) envelope
@@ -38,14 +39,16 @@ val serve : ('req, 'rep) t -> node:int -> (src:int -> 'req -> 'rep option) -> un
 (** Install the request handler of [node]; [None] sends no reply. *)
 
 val set_fencing :
-  ('req, 'rep) t -> epoch_of:(int -> int) -> fenceable:('req -> bool) -> unit
-(** Arm epoch fencing: outgoing envelopes are stamped with
-    [epoch_of src]; an incoming request whose stamp is older than
-    [epoch_of dst] is dropped when [fenceable] accepts its payload
+  ('req, 'rep) t -> epoch_of:('req -> int) -> fenceable:('req -> bool) -> unit
+(** Arm epoch fencing: outgoing requests are stamped with
+    [epoch_of payload] — the current view epoch of the shard the request's
+    objects live on (a single shard degenerates to the cluster-wide
+    epoch).  An incoming request whose stamp is older than the current
+    [epoch_of payload] is dropped when [fenceable] accepts it
     (quorum-evidence traffic — catch-up messages like [Sync_req] should
-    answer regardless of the asker's view).  Stale replies are always
-    dropped: the caller's round times out and its retry re-stamps the
-    current epoch. *)
+    answer regardless of the asker's view).  Replies inherit their
+    request's epoch context and stale replies are always dropped: the
+    caller's round times out and its retry re-stamps the current epoch. *)
 
 val call :
   ('req, 'rep) t ->

@@ -42,6 +42,19 @@ type t = {
   by_txn : (int, int list ref) Hashtbl.t;  (* txn -> oids it holds leases on *)
   applied : (int, unit) Hashtbl.t;
   applied_order : int Queue.t;
+  (* Full write rows of recently-applied transactions, including rows for
+     objects this replica does not host.  A cross-shard transaction's Apply
+     carries the whole write set to every participant shard: keeping the
+     foreign rows lets a status query from another shard's lease holder be
+     answered with the very write it must adopt to rescue the commit.
+     Evicted in lockstep with [applied] (same FIFO, same horizon). *)
+  retained : (int, (int * int * Value.t) list) Hashtbl.t;
+  (* Cross-shard termination peers, from Commit_req.peers: the other
+     participant shards' quorum members a status round for this txn must
+     also ask.  Transient like the leases it serves (cleared on crash wipe);
+     entries are added only alongside a granted lease and removed when the
+     owner's last lease here goes. *)
+  xpeers : (int, int list) Hashtbl.t;
   (* Tracing: the store layer has no engine handle, so the cluster injects
      the tracer plus a clock closure and the hosting node id after
      construction (see [instrument]).  All three stay inert defaults when
@@ -63,6 +76,8 @@ let create () =
     by_txn = Hashtbl.create 16;
     applied = Hashtbl.create 64;
     applied_order = Queue.create ();
+    retained = Hashtbl.create 64;
+    xpeers = Hashtbl.create 16;
     tracer = Obs.Tracer.null;
     trace_node = -1;
     clock = (fun () -> 0.);
@@ -208,11 +223,29 @@ let note_applied t ~txn =
   if not (Hashtbl.mem t.applied txn) then begin
     Hashtbl.replace t.applied txn ();
     Queue.push txn t.applied_order;
-    if Queue.length t.applied_order > applied_cap then
-      Hashtbl.remove t.applied (Queue.pop t.applied_order)
+    if Queue.length t.applied_order > applied_cap then begin
+      let evicted = Queue.pop t.applied_order in
+      Hashtbl.remove t.applied evicted;
+      Hashtbl.remove t.retained evicted
+    end
   end
 
 let was_applied t ~txn = Hashtbl.mem t.applied txn
+
+let retain_writes t ~txn rows =
+  if rows <> [] && not (Hashtbl.mem t.retained txn) then
+    Hashtbl.replace t.retained txn rows
+
+let retained_writes t ~txn =
+  match Hashtbl.find_opt t.retained txn with Some rows -> rows | None -> []
+
+let set_status_peers t ~txn peers =
+  if peers <> [] then Hashtbl.replace t.xpeers txn peers
+
+let status_peers_of t ~txn =
+  match Hashtbl.find_opt t.xpeers txn with Some peers -> peers | None -> []
+
+let clear_status_peers t ~txn = Hashtbl.remove t.xpeers txn
 
 let apply t ~oid ~version ~value ~txn =
   let copy = get t oid in
@@ -317,4 +350,6 @@ let reset_transients t =
   Hashtbl.reset t.lists;
   Hashtbl.reset t.by_txn;
   Hashtbl.reset t.applied;
+  Hashtbl.reset t.retained;
+  Hashtbl.reset t.xpeers;
   Queue.clear t.applied_order

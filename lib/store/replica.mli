@@ -112,6 +112,25 @@ val was_applied : t -> txn:int -> bool
 (** Whether this replica observed an Apply from [txn] — the local evidence
     behind a [Status_rep.committed] answer. *)
 
+val retain_writes : t -> txn:int -> (int * int * Value.t) list -> unit
+(** Remember [txn]'s full write rows [(oid, version, value)], including rows
+    for objects this replica does not host.  A cross-shard Apply carries the
+    whole write set to every participant shard; the foreign rows let a
+    status query from another shard's lease holder be answered with the
+    write it must adopt to rescue the commit.  First writer wins (Apply is
+    idempotent); evicted with the {!note_applied} FIFO. *)
+
+val retained_writes : t -> txn:int -> (int * int * Value.t) list
+(** The rows saved by {!retain_writes}, or [[]]. *)
+
+val set_status_peers : t -> txn:int -> int list -> unit
+(** Remember the cross-shard termination peers a status round for [txn]
+    must also query (from [Commit_req.peers]); no-op on [[]].  Transient:
+    cleared with the other volatile state on crash wipe. *)
+
+val status_peers_of : t -> txn:int -> int list
+val clear_status_peers : t -> txn:int -> unit
+
 val apply : t -> oid:int -> version:int -> value:Value.t -> txn:int -> unit
 (** Install a committed write if [version] is newer than the local copy
     (stale applies from lagging quorum members are ignored), releasing the

@@ -9,7 +9,7 @@ open Core
 
 let contended_params =
   (* few hot accounts, write-heavy: commit queues actually fill *)
-  { Benchmarks.Workload.objects = 4; calls = 2; read_ratio = 0.1; key_skew = 0.5 }
+  { Benchmarks.Workload.default_params with objects = 4; calls = 2; read_ratio = 0.1; key_skew = 0.5 }
 
 let rules violations =
   List.sort_uniq String.compare

@@ -57,7 +57,7 @@ let test_generated_programs_rerunnable () =
       in
       let instance =
         benchmark.setup cluster
-          { Benchmarks.Workload.objects = 16; calls = 2; read_ratio = 0.5; key_skew = 0.3 }
+          { Benchmarks.Workload.default_params with objects = 16; calls = 2; read_ratio = 0.5; key_skew = 0.3 }
       in
       let program = instance.generate (Util.Rng.create 9) in
       Alcotest.(check (option int))

@@ -173,7 +173,8 @@ let test_server_commit_vote_and_apply () =
   in
   begin
     match
-      Server.handle server ~src:5 (Messages.Commit_req { txn = 9; dataset; locks = [ 2 ]; round = 1 })
+      Server.handle server ~src:5
+        (Messages.Commit_req { txn = 9; dataset; locks = [ 2 ]; round = 1; peers = [] })
     with
     | Some (Messages.Vote { commit = true; _ }) -> ()
     | Some _ | None -> Alcotest.fail "expected commit vote"
@@ -183,7 +184,8 @@ let test_server_commit_vote_and_apply () =
   (* A competing committer must be denied with lock_conflict. *)
   begin
     match
-      Server.handle server ~src:6 (Messages.Commit_req { txn = 10; dataset; locks = [ 2 ]; round = 1 })
+      Server.handle server ~src:6
+        (Messages.Commit_req { txn = 10; dataset; locks = [ 2 ]; round = 1; peers = [] })
     with
     | Some (Messages.Vote { commit = false; lock_conflict = true }) -> ()
     | Some _ | None -> Alcotest.fail "expected lock-conflict denial"
@@ -212,6 +214,7 @@ let test_server_stale_commit_denied () =
            dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 1; owner = 0 } ];
            locks = [ 1 ];
            round = 1;
+           peers = [];
          })
   with
   | Some (Messages.Vote { commit = false; lock_conflict }) ->
@@ -228,6 +231,7 @@ let test_server_release () =
             dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 0; owner = 0 } ];
             locks = [ 1 ];
             round = 1;
+            peers = [];
           }));
   ignore (Server.handle server ~src:5 (Messages.Release { txn = 9; oids = [ 1 ]; round = 1 }));
   Alcotest.(check bool) "released" false
@@ -243,12 +247,12 @@ let test_server_stale_release_ignored () =
   let dataset = Messages.dataset_of_list [ { Messages.oid = 1; version = 0; owner = 0 } ] in
   ignore
     (Server.handle server ~src:5
-       (Messages.Commit_req { txn = 9; dataset; locks = [ 1 ]; round = 1 }));
+       (Messages.Commit_req { txn = 9; dataset; locks = [ 1 ]; round = 1; peers = [] }));
   (* The coordinator timed out on round 1, released, and retried: round 2
      re-locks here... *)
   ignore
     (Server.handle server ~src:5
-       (Messages.Commit_req { txn = 9; dataset; locks = [ 1 ]; round = 2 }));
+       (Messages.Commit_req { txn = 9; dataset; locks = [ 1 ]; round = 2; peers = [] }));
   (* ...then round 1's Release retransmission finally arrives. *)
   ignore (Server.handle server ~src:5 (Messages.Release { txn = 9; oids = [ 1 ]; round = 1 }));
   Alcotest.(check bool) "stale release ignored" true

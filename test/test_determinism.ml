@@ -15,7 +15,7 @@ open Core
 (* --- batched vs unbatched: experiment results --------------------------- *)
 
 let bank_params =
-  { Benchmarks.Workload.objects = 48; calls = 2; read_ratio = 0.5; key_skew = 0.4 }
+  { Benchmarks.Workload.default_params with objects = 48; calls = 2; read_ratio = 0.5; key_skew = 0.4 }
 
 (* A lossy-but-live fault plan: every [plan_send] branch (drop, spike,
    duplicate) draws on some message, so the batched path must interleave

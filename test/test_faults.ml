@@ -312,6 +312,7 @@ let test_status_rescues_decided_commit () =
             dataset = Messages.dataset_of_list [ { Messages.oid; version = 0; owner = 0 } ];
             locks = [ oid ];
             round = 1;
+            peers = [];
           })
    with
   | Some (Messages.Vote { commit = true; _ }) -> ()

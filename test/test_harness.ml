@@ -14,7 +14,7 @@ let test_experiment_smoke () =
     Harness.Experiment.run ~seed:5 ~clients:8 ~warmup:200. ~duration:1_500.
       ~config:(Core.Config.default Core.Config.Closed)
       ~benchmark:Benchmarks.Bank.benchmark
-      ~params:{ Benchmarks.Workload.objects = 64; calls = 2; read_ratio = 0.5; key_skew = 0.3 }
+      ~params:{ Benchmarks.Workload.default_params with objects = 64; calls = 2; read_ratio = 0.5; key_skew = 0.3 }
       ()
   in
   Alcotest.(check bool) "some commits" true (result.Harness.Experiment.commits > 0);

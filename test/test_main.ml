@@ -20,4 +20,5 @@ let () = Alcotest.run "qr_dtm" [
       ("determinism", Test_determinism.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("baselines", Test_baselines.suite);
+      ("shard", Test_shard.suite);
     ]

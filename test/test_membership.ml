@@ -38,9 +38,11 @@ let make_rpc ?(nodes = 4) () =
 
 let test_stale_epoch_request_fenced () =
   let engine, rpc = make_rpc () in
-  (* Node 1 has moved to epoch 1; node 0 is still sending epoch-0 traffic. *)
-  let epochs = [| 0; 1; 0; 0 |] in
-  Sim.Rpc.set_fencing rpc ~epoch_of:(fun node -> epochs.(node)) ~fenceable:(fun _ -> true);
+  (* The epoch is keyed on the request payload (the shard its objects live
+     on); here a view change lands while the request is in flight, so the
+     envelope's send-time stamp is superseded on arrival. *)
+  let epoch = ref 0 in
+  Sim.Rpc.set_fencing rpc ~epoch_of:(fun _ -> !epoch) ~fenceable:(fun _ -> true);
   let handled = ref 0 in
   Sim.Rpc.serve rpc ~node:1 (fun ~src:_ req ->
       incr handled;
@@ -49,12 +51,13 @@ let test_stale_epoch_request_fenced () =
   Sim.Rpc.call rpc ~src:0 ~dst:1 ~timeout:200. 7
     ~on_reply:(fun _ -> Alcotest.fail "a stale-epoch request must not be served")
     ~on_timeout:(fun () -> timed_out := true);
+  (* The view changes before the envelope is delivered. *)
+  epoch := 1;
   Sim.Engine.run engine;
   Alcotest.(check int) "handler never invoked" 0 !handled;
   Alcotest.(check bool) "caller timed out" true !timed_out;
   Alcotest.(check int) "drop counted" 1 (Sim.Rpc.fenced rpc);
-  (* Once the sender catches up, the same call goes through. *)
-  epochs.(0) <- 1;
+  (* A fresh call is stamped with the current epoch and goes through. *)
   let answer = ref None in
   Sim.Rpc.call rpc ~src:0 ~dst:1 ~timeout:200. 7
     ~on_reply:(fun rep -> answer := Some rep)
@@ -65,10 +68,11 @@ let test_stale_epoch_request_fenced () =
 
 let test_stale_epoch_reply_fenced () =
   let engine, rpc = make_rpc () in
-  (* The responder is the stale party: its reply carries the old epoch and
-     must be dropped at the caller, whose retry would re-stamp. *)
-  let epochs = [| 1; 0; 0; 0 |] in
-  Sim.Rpc.set_fencing rpc ~epoch_of:(fun node -> epochs.(node)) ~fenceable:(fun _ -> false);
+  (* The view changes after the request was served but before its reply
+     lands: the reply carries the old epoch and must be dropped at the
+     caller, whose retry would re-stamp. *)
+  let epoch = ref 0 in
+  Sim.Rpc.set_fencing rpc ~epoch_of:(fun _ -> !epoch) ~fenceable:(fun _ -> false);
   let handled = ref 0 in
   Sim.Rpc.serve rpc ~node:1 (fun ~src:_ req ->
       incr handled;
@@ -77,6 +81,10 @@ let test_stale_epoch_reply_fenced () =
   Sim.Rpc.call rpc ~src:0 ~dst:1 ~timeout:200. 7
     ~on_reply:(fun _ -> Alcotest.fail "a stale-epoch reply must be dropped")
     ~on_timeout:(fun () -> timed_out := true);
+  (* One-way latency is 10 ms: bump the epoch while the reply is on the
+     wire (after the request was served at ~10.5 ms, before the reply
+     lands at ~21 ms). *)
+  Sim.Engine.schedule engine ~delay:15. (fun () -> epoch := 1);
   Sim.Engine.run engine;
   Alcotest.(check int) "request itself was served" 1 !handled;
   Alcotest.(check bool) "caller timed out" true !timed_out;
@@ -218,6 +226,7 @@ let test_sync_races_lease_rescue () =
             dataset = Messages.dataset_of_list [ { Messages.oid; version = 0; owner = 0 } ];
             locks = [ oid ];
             round = 1;
+            peers = [];
           })
    with
   | Some (Messages.Vote { commit = true; _ }) -> ()

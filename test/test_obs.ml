@@ -8,7 +8,7 @@ let run_traced ?(tracer = Obs.Tracer.null) ?telemetry ~seed () =
     ~tracer ?telemetry
     ~config:(Core.Config.default Core.Config.Closed)
     ~benchmark:Benchmarks.Bank.benchmark
-    ~params:{ Benchmarks.Workload.objects = 32; calls = 2; read_ratio = 0.4; key_skew = 0.3 }
+    ~params:{ Benchmarks.Workload.default_params with objects = 32; calls = 2; read_ratio = 0.4; key_skew = 0.3 }
     ()
 
 let contains s frag =

@@ -9,7 +9,7 @@
    at jobs=1 and jobs=4. *)
 
 let params =
-  { Benchmarks.Workload.objects = 48; calls = 2; read_ratio = 0.5; key_skew = 0.5 }
+  { Benchmarks.Workload.default_params with objects = 48; calls = 2; read_ratio = 0.5; key_skew = 0.5 }
 
 let run_once ~seed =
   Harness.Experiment.run ~nodes:7 ~seed ~clients:6 ~warmup:200. ~duration:1_000.
