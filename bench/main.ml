@@ -12,8 +12,13 @@
    3. `alloc`: GC-counter benchmark of the simulator hot path — minor and
       major words allocated per committed transaction, written to the same
       JSON (the CI gate compares both throughput and allocation rate).
+   4. `openloop`: the open-loop (Poisson-arrival) driver at an offered load
+      below and far above the cluster's capacity, emitting
+      BENCH_openloop.json and sanity-gating the saturation signature:
+      under load, achieved tracks offered; past saturation, queueing delay
+      dominates while service latency stays bounded.
 
-   Run with: dune exec bench/main.exe -- [wall|alloc] [--jobs N]
+   Run with: dune exec bench/main.exe -- [wall|alloc|openloop] [--jobs N]
                                           [--scale quick|full] [--out FILE] *)
 
 open Core
@@ -23,6 +28,7 @@ open Core
 type cli = {
   mutable wall : bool;
   mutable alloc : bool;
+  mutable openloop : bool;
   mutable jobs : int;
   mutable scale_name : string;
   mutable out : string;
@@ -37,6 +43,7 @@ let cli =
   {
     wall = false;
     alloc = false;
+    openloop = false;
     jobs = Harness.Pool.default_jobs ();
     scale_name = "quick";
     out = "BENCH_harness.json";
@@ -49,7 +56,7 @@ let cli =
 
 let usage () =
   prerr_endline
-    "usage: bench/main.exe [wall|alloc] [--jobs N] [--scale quick|full] [--out FILE]\n\
+    "usage: bench/main.exe [wall|alloc|openloop] [--jobs N] [--scale quick|full] [--out FILE]\n\
     \                      [--baseline FILE] [--max-regression PCT]\n\
     \                      [--max-traced-overhead PCT] [--max-alloc-regression PCT]\n\
     \                      [--min-batch-speedup X]";
@@ -60,6 +67,7 @@ let () =
     | [] -> ()
     | "wall" :: rest -> cli.wall <- true; parse rest
     | "alloc" :: rest -> cli.alloc <- true; parse rest
+    | "openloop" :: rest -> cli.openloop <- true; parse rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with Some j when j >= 1 -> cli.jobs <- j | _ -> usage ());
       parse rest
@@ -756,9 +764,78 @@ let alloc_bench () =
   Printf.printf "wrote %s\n%!" cli.out;
   run_gates ~untraced ~tracing_overhead_pct ~batch
 
+(* `openloop` mode: Poisson arrivals from a million-client logical
+   population at two offered loads — one the cluster absorbs, one far past
+   its capacity — emitting BENCH_openloop.json and gating the saturation
+   signature.  The sub-saturation point checks the driver itself (achieved
+   tracks offered, no standing queue); the super-saturation point checks
+   the measurement split open-loop load exists for: queueing delay blows
+   up while service latency stays flat. *)
+let openloop_bench () =
+  let point ~rate ~duration =
+    Harness.Openloop.run ~nodes:5 ~seed:19 ~warmup:500. ~duration ~rate
+      ~population:1_000_000
+      ~config:(Config.default Config.Closed)
+      ~benchmark:Benchmarks.Counter.benchmark
+      ~params:
+        { Benchmarks.Workload.default_params with objects = 512; calls = 1; read_ratio = 0.5 }
+      ()
+  in
+  print_endline "open-loop bench: Poisson arrivals, 1M logical clients (counter workload)";
+  let under = point ~rate:150. ~duration:8_000. in
+  Format.printf "  %a@." Harness.Openloop.pp_result under;
+  let over = point ~rate:5_000. ~duration:3_000. in
+  Format.printf "  %a@." Harness.Openloop.pp_result over;
+  let out = if cli.out = "BENCH_harness.json" then "BENCH_openloop.json" else cli.out in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"openloop\",\n\
+    \  \"population\": 1000000,\n\
+    \  \"under_saturation\": %s,\n\
+    \  \"over_saturation\": %s\n\
+     }\n"
+    (Harness.Openloop.to_json under)
+    (Harness.Openloop.to_json over);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  let fail msg =
+    Printf.eprintf "FAIL: %s\n" msg;
+    exit 1
+  in
+  (match under.invariant with
+  | Ok () -> ()
+  | Error m -> fail ("under-saturation invariant: " ^ m));
+  (match under.consistent with
+  | Ok () -> ()
+  | Error m -> fail ("under-saturation oracle: " ^ m));
+  if under.achieved_load < 0.8 *. under.offered_load
+     || under.achieved_load > 1.2 *. under.offered_load then
+    fail
+      (Printf.sprintf
+         "under saturation, achieved load %.1f/s does not track offered %.1f/s"
+         under.achieved_load under.offered_load);
+  if over.achieved_load > 0.8 *. over.offered_load then
+    fail
+      (Printf.sprintf
+         "past saturation, achieved load %.1f/s implausibly tracks offered %.1f/s"
+         over.achieved_load over.offered_load);
+  if over.queue_p50 <= over.service_p99 then
+    fail
+      (Printf.sprintf
+         "past saturation, queueing delay p50 (%.2f ms) should dominate \
+          service p99 (%.2f ms)"
+         over.queue_p50 over.service_p99);
+  if over.final_backlog = 0 then
+    fail "past saturation, the window closed with an empty backlog";
+  Printf.printf
+    "  gates ok: achieved tracks offered below saturation; queueing delay \
+     dominates past it\n%!"
+
 let () =
   if cli.wall then wall_bench ()
   else if cli.alloc then alloc_bench ()
+  else if cli.openloop then openloop_bench ()
   else begin
     Harness.Pool.set_jobs jobs_effective;
     figures ();

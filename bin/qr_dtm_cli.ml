@@ -155,8 +155,32 @@ let run_cmd =
   let skew_arg =
     Arg.(value & opt float 0.5 & info [ "skew" ] ~docv:"S" ~doc:"Zipf key skew.")
   in
+  let open_loop_arg =
+    let doc =
+      "Open-loop mode: Poisson arrivals at $(docv) requests per second of simulated \
+       time over a logical client population (--population), instead of closed-loop \
+       clients.  Reports p50/p95/p99 service latency and queueing delay separately."
+    in
+    Arg.(value & opt (some float) None & info [ "open-loop" ] ~docv:"RATE" ~doc)
+  in
+  let population_arg =
+    let doc = "Logical client population for --open-loop (clients are lazy: no per-client state)." in
+    Arg.(value & opt int 1_000_000 & info [ "population" ] ~docv:"N" ~doc)
+  in
+  let max_per_node_arg =
+    let doc = "Admission cap per node for --open-loop; arrivals beyond it queue and accrue queueing delay." in
+    Arg.(value & opt int 4 & info [ "max-per-node" ] ~docv:"N" ~doc)
+  in
+  let check_online_arg =
+    let doc =
+      "Attach the online protocol checker (Obs.Online) to the run via a tracer sink: \
+       every rule is checked as events stream, with memory bounded by in-flight \
+       transactions; exits 1 on violations.  Immune to ring truncation."
+    in
+    Arg.(value & flag & info [ "check-online" ] ~doc)
+  in
   let run bench mode reads calls objects nodes clients duration seed skew batch_commit
-      shards cross_shard_prob shard_skew =
+      shards cross_shard_prob shard_skew open_loop population max_per_node check_online =
     let benchmark = lookup_bench (Option.value ~default:"bank" bench) in
     let mode = parse_mode mode in
     let params =
@@ -170,18 +194,62 @@ let run_cmd =
         shard_skew;
       }
     in
-    let result =
-      Harness.Experiment.run ~nodes ~seed ~clients ~duration ~batch_commit ~shards
-        ~config:(Core.Config.default mode) ~benchmark ~params ()
+    let config = Core.Config.default mode in
+    (* The online checker rides a tracer sink; the ring itself can stay
+       tiny — the sink sees every event before eviction. *)
+    let tracer =
+      if check_online then Obs.Tracer.create ~capacity:(1 lsl 12) ()
+      else Obs.Tracer.null
     in
-    Format.printf "%a@." Harness.Experiment.pp_result result
+    let online =
+      if not check_online then None
+      else begin
+        let is_write_quorum =
+          (* The structural rule only holds for the static single-shard
+             view; sharded runs fall back to pairwise intersection. *)
+          if shards = 1 then begin
+            let tree = Quorum.Tree.create ~nodes () in
+            Some (fun set -> Quorum.Check.covers_write_quorum tree set)
+          end
+          else None
+        in
+        let ck = Obs.Online.create ?is_write_quorum () in
+        Obs.Online.attach ck tracer;
+        Some ck
+      end
+    in
+    (match open_loop with
+    | Some rate ->
+      let result =
+        Harness.Openloop.run ~nodes ~seed ~duration ~batch_commit ~shards ~tracer
+          ~population ~max_per_node ~rate ~config ~benchmark ~params ()
+      in
+      Format.printf "%a@." Harness.Openloop.pp_result result
+    | None ->
+      let result =
+        Harness.Experiment.run ~nodes ~seed ~clients ~duration ~batch_commit ~shards
+          ~tracer ~config ~benchmark ~params ()
+      in
+      Format.printf "%a@." Harness.Experiment.pp_result result);
+    match online with
+    | None -> ()
+    | Some ck -> (
+      match Obs.Online.finish ck with
+      | [] ->
+        Format.eprintf "online checker: ok (%d events, 0 violations)@."
+          (Obs.Online.events_seen ck)
+      | violations ->
+        List.iter (fun v -> prerr_endline (Obs.Online.pp_violation v)) violations;
+        Format.eprintf "online checker: %d violation(s)@." (List.length violations);
+        exit 1)
   in
   let info = Cmd.info "run" ~doc:"Run one custom experiment point" in
   Cmd.v info
     Term.(
       const run $ bench_arg $ mode_arg $ reads_arg $ calls_arg $ objects_arg $ nodes_arg
       $ clients_arg $ duration_arg $ seed_arg $ skew_arg $ batch_commit_arg $ shards_arg
-      $ cross_shard_prob_arg $ shard_skew_arg)
+      $ cross_shard_prob_arg $ shard_skew_arg $ open_loop_arg $ population_arg
+      $ max_per_node_arg $ check_online_arg)
 
 let scenario_cmd =
   let spec_arg =
@@ -340,12 +408,26 @@ let trace_cmd =
           ~is_write_quorum:(fun set -> Quorum.Check.covers_write_quorum tree set)
           (Obs.Tracer.events tracer)
       in
-      match violations with
-      | [] -> Format.eprintf "checker: ok (%d events, 0 violations)@." (Obs.Tracer.length tracer)
-      | violations ->
+      let dropped = Obs.Tracer.dropped tracer in
+      if dropped > 0 then begin
+        (* The ring lost the prefix: pass/fail over the remainder would be
+           unreliable either way (lost evidence looks like violations,
+           lost violations look like passes).  Hard inconclusive. *)
         List.iter (fun v -> prerr_endline (Obs.Checker.pp_violation v)) violations;
-        Format.eprintf "checker: %d violation(s)@." (List.length violations);
-        exit 1
+        Format.eprintf
+          "checker: INCONCLUSIVE — ring dropped %d events (%d violation(s) \
+           over the truncated trace are unreliable); raise --trace-capacity \
+           or use qr-dtm run --check-online@."
+          dropped (List.length violations);
+        exit 3
+      end
+      else
+        match violations with
+        | [] -> Format.eprintf "checker: ok (%d events, 0 violations)@." (Obs.Tracer.length tracer)
+        | violations ->
+          List.iter (fun v -> prerr_endline (Obs.Checker.pp_violation v)) violations;
+          Format.eprintf "checker: %d violation(s)@." (List.length violations);
+          exit 1
     end
   in
   let info =
@@ -434,9 +516,25 @@ let chaos_cmd =
   let trace_all_arg =
     Arg.(value & flag & info [ "trace-all" ] ~doc:"With --trace-dir: dump every seed, not just failures.")
   in
+  let check_online_arg =
+    let doc =
+      "Run each seed with the online protocol checker attached (tracer sink, \
+       pairwise-intersection quorum rule): violations are detected as events \
+       stream, immune to ring truncation, with memory bounded by in-flight \
+       transactions.  Any violation fails the sweep (exit 1)."
+    in
+    Arg.(value & flag & info [ "check-online" ] ~doc)
+  in
+  let fail_fast_arg =
+    let doc =
+      "With --check-online: abort at the first violation, mid-run — the \
+       offending seed's schedule is written to --failures-to before exiting."
+    in
+    Arg.(value & flag & info [ "fail-fast" ] ~doc)
+  in
   let run runs seed nodes clients horizon max_crashes spares reconfigs rolling mode
       batch_commit json failures_to verbose show trace_dir trace_all shards shard_ops
-      cross_shard_prob =
+      cross_shard_prob check_online fail_fast =
     let mode = parse_mode mode in
     let spares = if rolling && spares = 0 then Harness.Chaos.rolling_knobs.spares else spares in
     let horizon = if rolling && horizon = 8_000. then Harness.Chaos.rolling_knobs.horizon else horizon in
@@ -465,9 +563,48 @@ let chaos_cmd =
       done;
       exit 0
     end;
+    let checker_failed = ref false in
     let results =
-      Harness.Chaos.run_many ~config:(Core.Config.default mode) ~batch_commit ~rolling
-        knobs ~seed ~runs
+      if not check_online then
+        Harness.Chaos.run_many ~config:(Core.Config.default mode) ~batch_commit ~rolling
+          knobs ~seed ~runs
+      else
+        (* Same seeds, same verdicts (tracing never perturbs a run), but
+           with the streaming checker riding the tracer sink.  The ring can
+           stay tiny: the sink sees every event before eviction. *)
+        List.init runs (fun i ->
+            let s = seed + i in
+            let tracer = Obs.Tracer.create ~capacity:(1 lsl 12) () in
+            let ck = Obs.Online.create ~fail_fast () in
+            Obs.Online.attach ck tracer;
+            match
+              Harness.Chaos.run_one ~config:(Core.Config.default mode) ~tracer
+                ~batch_commit ~rolling knobs ~seed:s
+            with
+            | r ->
+              (match Obs.Online.finish ck with
+              | [] -> ()
+              | violations ->
+                checker_failed := true;
+                List.iter
+                  (fun v ->
+                    Printf.eprintf "online checker (seed %d): %s\n" s
+                      (Obs.Online.pp_violation v))
+                  violations);
+              r
+            | exception Obs.Online.Violation v ->
+              (* fail-fast: the checker aborted the run from inside the
+                 emission path; dump the schedule for replay and stop. *)
+              Printf.eprintf "online checker (seed %d, fail-fast): %s\n" s
+                (Obs.Online.pp_violation v);
+              Option.iter
+                (fun path ->
+                  let oc = open_out path in
+                  Printf.fprintf oc "# seed %d (online checker fail-fast)\n%s\n" s
+                    (Harness.Chaos.render_schedule (generate knobs ~seed:s));
+                  close_out oc)
+                failures_to;
+              exit 1)
     in
     let failed = Harness.Chaos.failures results in
     if json then print_endline (Harness.Chaos.results_to_json results)
@@ -491,7 +628,7 @@ let chaos_cmd =
           close_out oc
         end)
       failures_to;
-    let checker_failed = ref false in
+    let checker_inconclusive = ref false in
     Option.iter
       (fun dir ->
         let to_dump = if trace_all then results else failed in
@@ -507,23 +644,37 @@ let chaos_cmd =
               in
               warn_dropped tracer;
               let violations = Harness.Chaos.check_trace knobs tracer in
-              if violations <> [] then checker_failed := true;
+              let dropped = Obs.Tracer.dropped tracer in
+              (* A truncated trace makes the offline verdict unreliable in
+                 both directions — report inconclusive (exit 3), never a
+                 silent pass or a spurious fail. *)
+              if dropped > 0 then checker_inconclusive := true
+              else if violations <> [] then checker_failed := true;
+              let verdict =
+                match (violations, dropped) with
+                | [], 0 -> "checker: ok (0 violations)"
+                | vs, 0 ->
+                  String.concat "\n" (List.map Obs.Checker.pp_violation vs)
+                  ^ Printf.sprintf "\nchecker: %d violation(s)" (List.length vs)
+                | vs, d ->
+                  String.concat "\n" (List.map Obs.Checker.pp_violation vs)
+                  ^ Printf.sprintf
+                      "\nchecker: INCONCLUSIVE — ring dropped %d events (%d \
+                       violation(s) over the truncated trace are unreliable)"
+                      d (List.length vs)
+              in
               let prefix = Filename.concat dir (Printf.sprintf "seed-%d" seed) in
               write_file (prefix ^ ".trace.json") (Obs.Export.chrome_json tracer);
               write_file (prefix ^ ".txt")
-                (Format.asprintf "%a@.%s@."
-                   Harness.Chaos.pp_result replay
-                   (match violations with
-                   | [] -> "checker: ok (0 violations)"
-                   | vs ->
-                     String.concat "\n" (List.map Obs.Checker.pp_violation vs)
-                     ^ Printf.sprintf "\nchecker: %d violation(s)" (List.length vs)));
-              Printf.eprintf "traced seed %d -> %s.{trace.json,txt} (%d events, %d violations)\n"
-                seed prefix (Obs.Tracer.length tracer) (List.length violations))
+                (Format.asprintf "%a@.%s@." Harness.Chaos.pp_result replay verdict);
+              Printf.eprintf "traced seed %d -> %s.{trace.json,txt} (%d events, %d violations%s)\n"
+                seed prefix (Obs.Tracer.length tracer) (List.length violations)
+                (if dropped > 0 then ", INCONCLUSIVE" else ""))
             to_dump
         end)
       trace_dir;
-    if failed <> [] || !checker_failed then exit 1
+    if failed <> [] || !checker_failed then exit 1;
+    if !checker_inconclusive then exit 3
   in
   let info =
     Cmd.info "chaos"
@@ -535,7 +686,7 @@ let chaos_cmd =
       $ crashes_arg $ spares_arg $ reconfigs_arg $ rolling_arg $ mode_arg
       $ batch_commit_arg $ json_arg $ failures_arg $ verbose_arg $ show_arg
       $ trace_dir_arg $ trace_all_arg $ shards_arg $ shard_ops_arg
-      $ cross_shard_prob_arg)
+      $ cross_shard_prob_arg $ check_online_arg $ fail_fast_arg)
 
 let all_cmd =
   let run scale jobs =

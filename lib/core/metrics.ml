@@ -27,6 +27,16 @@ type t = {
   mutable batch_occupancy : Util.Stats.t;
   mutable cross_shard_commits : int;
   mutable cross_shard_aborts : int;
+  (* Open-loop driver channel (Harness.Openloop): constant-memory HDR
+     histograms so SLO percentiles survive millions of samples.  Queueing
+     delay (arrival -> admission) is kept apart from service latency
+     (admission -> completion): under saturation the former grows without
+     bound while the latter stays flat — conflating them is the classic
+     closed-loop reporting mistake. *)
+  mutable open_arrivals : int;
+  mutable open_completions : int;
+  open_queue_delay : Util.Hdr.t;
+  open_service : Util.Hdr.t;
 }
 
 let create () =
@@ -59,6 +69,10 @@ let create () =
     batch_occupancy = Util.Stats.create ();
     cross_shard_commits = 0;
     cross_shard_aborts = 0;
+    open_arrivals = 0;
+    open_completions = 0;
+    open_queue_delay = Util.Hdr.create ();
+    open_service = Util.Hdr.create ();
   }
 
 let reset t =
@@ -89,7 +103,11 @@ let reset t =
   t.batches <- 0;
   t.batch_occupancy <- Util.Stats.create ();
   t.cross_shard_commits <- 0;
-  t.cross_shard_aborts <- 0
+  t.cross_shard_aborts <- 0;
+  t.open_arrivals <- 0;
+  t.open_completions <- 0;
+  Util.Hdr.reset t.open_queue_delay;
+  Util.Hdr.reset t.open_service
 
 let note_commit t ~latency =
   t.commits <- t.commits + 1;
@@ -140,6 +158,13 @@ let note_cross_shard_abort t =
   (* counted alongside the root abort the 2PC failure also records *)
   t.cross_shard_aborts <- t.cross_shard_aborts + 1
 
+let note_open_loop_arrival t = t.open_arrivals <- t.open_arrivals + 1
+
+let note_open_loop_done t ~queue_delay ~service =
+  t.open_completions <- t.open_completions + 1;
+  Util.Hdr.add t.open_queue_delay queue_delay;
+  Util.Hdr.add t.open_service service
+
 let commits t = t.commits
 let read_only_commits t = t.read_only_commits
 let root_aborts t = t.root_aborts
@@ -178,6 +203,10 @@ let batch_occupancy_percentile t p =
 
 let recovery_time_stats t = t.recovery_times
 let latency_stats t = t.latencies
+let open_loop_arrivals t = t.open_arrivals
+let open_loop_completions t = t.open_completions
+let open_queue_delay t = t.open_queue_delay
+let open_service t = t.open_service
 
 let throughput t ~duration_ms =
   if duration_ms <= 0. then 0. else Float.of_int t.commits /. (duration_ms /. 1000.)

@@ -88,6 +88,16 @@ val note_cross_shard_abort : t -> unit
     conflict aborts; the accompanying root abort is still counted by
     {!note_root_abort}. *)
 
+val note_open_loop_arrival : t -> unit
+(** Open-loop driver ({!Harness.Openloop}-style): one logical-client
+    request arrived (Poisson process), whether or not it was admitted yet. *)
+
+val note_open_loop_done : t -> queue_delay:float -> service:float -> unit
+(** An open-loop request completed: [queue_delay] is arrival-to-admission
+    (time spent waiting behind the concurrency cap), [service] is
+    admission-to-completion.  Both land in constant-memory {!Util.Hdr}
+    histograms so SLO percentiles survive millions of samples. *)
+
 val commits : t -> int
 (** All commits, including read-only. *)
 
@@ -137,6 +147,15 @@ val recovery_time_stats : t -> Util.Stats.t
 (** Restart-to-re-admission durations of completed recoveries. *)
 
 val latency_stats : t -> Util.Stats.t
+
+val open_loop_arrivals : t -> int
+val open_loop_completions : t -> int
+
+val open_queue_delay : t -> Util.Hdr.t
+(** Arrival-to-admission delay histogram (open-loop runs only). *)
+
+val open_service : t -> Util.Hdr.t
+(** Admission-to-completion latency histogram (open-loop runs only). *)
 
 val latency_percentile : t -> float -> float
 (** Commit-latency percentile (e.g. [50.], [95.], [99.]); 0 when no commits

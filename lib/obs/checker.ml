@@ -1,360 +1,19 @@
-type violation = { rule : string; time : float; txn : int; detail : string }
+(* The offline checker is a thin wrapper over the streaming rule engine in
+   [Online]: feed the completed trace oldest-first, then finish.  One
+   engine, two feeding paths — replaying a ring vs riding a tracer sink —
+   so online and offline verdicts agree by construction (pinned by
+   test/test_online.ml across chaos seeds). *)
 
-let pp_violation v =
-  Printf.sprintf "[%s] t=%.3f txn=%d: %s" v.rule v.time v.txn v.detail
+type violation = Online.violation = {
+  rule : string;
+  time : float;
+  txn : int;
+  detail : string;
+}
 
-(* Voter flag bits, mirroring the executor's [vote.recv] encoding. *)
-let commit_bit = 1
-
-let intersects a b = List.exists (fun x -> List.mem x b) a
+let pp_violation = Online.pp_violation
 
 let check ?is_write_quorum events =
-  let violations = ref [] in
-  let report rule time txn detail =
-    violations := { rule; time; txn; detail } :: !violations
-  in
-
-  (* commit-quorum: one round per (txn, shard) — a fresh commit.send for a
-     shard supersedes that shard's previous round (retries), while rounds
-     for other shards accumulate (a cross-shard 2PC prepares each
-     participant shard in turn).  Votes land in the most recently opened
-     round and are tagged with the arrival-time epoch of that round's
-     shard.  Committed voter sets remember their (shard, epoch) too:
-     quorum intersection only holds within one shard's membership view,
-     so the pairwise fallback must not compare commits across a
-     reconfiguration or across shards. *)
-  let committed_sets : (int * int list * int * int) list ref = ref [] in
-
-  (* epoch-fencing: the current view epoch per shard (from view.change
-     events, whose [x] slot names the shard — 0 in unsharded traces). *)
-  let shard_epochs : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let cur_epoch_of shard =
-    Option.value ~default:0 (Hashtbl.find_opt shard_epochs shard)
-  in
-  let rounds
-      : (int, (int * int * (int * int * int) list ref) list ref) Hashtbl.t =
-    (* txn -> (shard, send epoch, votes) — most recent round first *)
-    Hashtbl.create 64
-  in
-
-  (* cross-shard-atomicity: participant shards prepared per txn, the
-     coordinator's decision, and whether any replica later walked the
-     decision back by presuming abort. *)
-  let xshard_parts : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
-  let xshard_committed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-
-  (* lease-overlap: (replica, oid) -> owning txn. *)
-  let leases : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
-
-  (* partial-abort-scope: txn -> pending unwind target. *)
-  let pending_unwind : (int, int) Hashtbl.t = Hashtbl.create 16 in
-
-  (* rescue-evidence: txns with commit evidence seen so far. *)
-  let evidence : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-
-  (* batch-order: each txn's (batch id, queue position) from batch.entry;
-     the last decided position per batch; per-txn batch outcomes; and the
-     still-undecided predecessors each speculative reader depends on. *)
-  let batch_entry_of : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
-  let last_decided : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
-  let batch_outcome : (int, bool) Hashtbl.t = Hashtbl.create 64 in
-  let spec_deps_of : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
-
-  (* widen-read: txn -> flagged (witness, home shard) set; txn -> open read
-     fan-out.  Witnesses are obligations only for reads of their own shard:
-     a foreign-shard replica does not host the object being read, so the
-     executor rightly filters it out of the fan-out (`widen.add`'s [b] slot
-     records the witness's shard, `read.send`'s the read's; [-1] — traces
-     from before sharding — matches every read). *)
-  let witnesses : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
-  let open_group : (int, float * int * int list ref * int list) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let close_group txn =
-    match Hashtbl.find_opt open_group txn with
-    | None -> ()
-    | Some (time, oid, dsts, flagged) ->
-      Hashtbl.remove open_group txn;
-      let missing = List.filter (fun w -> not (List.mem w !dsts)) flagged in
-      if missing <> [] then
-        report "widen-read" time txn
-          (Printf.sprintf
-             "read of oid %d fanned out to [%s] but misses flagged witness(es) [%s]"
-             oid
-             (String.concat ";" (List.map string_of_int !dsts))
-             (String.concat ";" (List.map string_of_int missing)))
-  in
-
-  List.iter
-    (fun (e : Tracer.event) ->
-      let k = e.ekind in
-      (* A transaction event other than read.send ends any open fan-out. *)
-      if e.txn >= 0 && k <> Sem.read_send then close_group e.txn;
-
-      if k = Sem.view_change then
-        Hashtbl.replace shard_epochs (int_of_float e.x) e.a
-      else if k = Sem.commit_send then begin
-        let shard = int_of_float e.x in
-        let fresh = (shard, cur_epoch_of shard, ref []) in
-        match Hashtbl.find_opt rounds e.txn with
-        | Some l -> l := fresh :: List.filter (fun (s, _, _) -> s <> shard) !l
-        | None -> Hashtbl.replace rounds e.txn (ref [ fresh ])
-      end
-      else if k = Sem.vote_recv then begin
-        match Hashtbl.find_opt rounds e.txn with
-        | Some { contents = (shard, _, votes) :: _ } ->
-          votes := (e.a, e.b, cur_epoch_of shard) :: !votes
-        | Some _ | None ->
-          Hashtbl.replace rounds e.txn
-            (ref [ (0, 0, ref [ (e.a, e.b, cur_epoch_of 0) ]) ])
-      end
-      else if k = Sem.txn_commit && e.b <> 1 then begin
-        let txn_rounds =
-          match Hashtbl.find_opt rounds e.txn with
-          | Some l -> List.rev !l (* prepare order: ascending shard *)
-          | None -> []
-        in
-        List.iter
-          (fun (shard, send_epoch, votes) ->
-            let round = List.rev !votes in
-            let voters =
-              List.sort Int.compare (List.map (fun (v, _, _) -> v) round)
-            in
-            let dissent =
-              List.filter (fun (_, f, _) -> f land commit_bit = 0) round
-            in
-            if dissent <> [] then
-              report "commit-quorum" e.time e.txn
-                (Printf.sprintf "committed despite %d non-commit vote(s) from [%s]"
-                   (List.length dissent)
-                   (String.concat ";"
-                      (List.map (fun (v, _, _) -> string_of_int v) dissent)));
-            (* epoch-fencing: all the evidence behind a commit must come
-               from one membership view per shard — the view that shard's
-               round was sent under, still in force when the commit is
-               decided.  Quorums from different views need not intersect,
-               so mixed evidence can commit over a conflicting transaction
-               without either seeing the other. *)
-            let stale = List.filter (fun (_, _, ep) -> ep <> send_epoch) round in
-            if stale <> [] then
-              report "epoch-fencing" e.time e.txn
-                (Printf.sprintf
-                   "commit uses evidence from two incompatible views: round sent \
-                    in epoch %d but vote(s) from [%s] arrived in other epochs"
-                   send_epoch
-                   (String.concat ";"
-                      (List.map (fun (v, _, _) -> string_of_int v) stale)))
-            else if send_epoch <> cur_epoch_of shard then
-              report "epoch-fencing" e.time e.txn
-                (Printf.sprintf
-                   "commit decided in epoch %d over a round sent in epoch %d"
-                   (cur_epoch_of shard) send_epoch);
-            (match is_write_quorum with
-            | Some valid when List.length txn_rounds <= 1 ->
-              if not (valid voters) then
-                report "commit-quorum" e.time e.txn
-                  (Printf.sprintf "voter set [%s] is not a valid write quorum"
-                     (String.concat ";" (List.map string_of_int voters)))
-            | Some _ | None ->
-              (* Pairwise fallback, scoped to the same shard and view:
-                 intersection is only guaranteed there. *)
-              List.iter
-                (fun (other_txn, other_set, other_epoch, other_shard) ->
-                  if
-                    other_shard = shard && other_epoch = send_epoch
-                    && not (intersects voters other_set)
-                  then
-                    report "commit-quorum" e.time e.txn
-                      (Printf.sprintf
-                         "voter set [%s] does not intersect txn %d's write quorum"
-                         (String.concat ";" (List.map string_of_int voters))
-                         other_txn))
-                !committed_sets);
-            committed_sets :=
-              (e.txn, voters, send_epoch, shard) :: !committed_sets)
-          txn_rounds;
-        Hashtbl.replace evidence e.txn ()
-      end
-      else if k = Sem.txn_commit then Hashtbl.replace evidence e.txn ()
-      else if k = Sem.xshard_prepare then begin
-        match Hashtbl.find_opt xshard_parts e.txn with
-        | Some l -> if not (List.mem e.a !l) then l := e.a :: !l
-        | None -> Hashtbl.replace xshard_parts e.txn (ref [ e.a ])
-      end
-      else if k = Sem.xshard_decide then begin
-        if e.a = 1 then begin
-          Hashtbl.replace xshard_committed e.txn ();
-          (* A committed cross-shard transaction must have run a prepare
-             round on every participant shard — a decision taken without
-             some participant's vote quorum is exactly the atomicity bug
-             2PC exists to prevent. *)
-          let prepared =
-            match Hashtbl.find_opt xshard_parts e.txn with
-            | Some l -> List.length !l
-            | None -> 0
-          in
-          if prepared <> e.b then
-            report "cross-shard-atomicity" e.time e.txn
-              (Printf.sprintf
-                 "committed across %d shards but the trace shows prepare rounds \
-                  on only %d" e.b prepared)
-        end
-      end
-      else if k = Sem.presumed_abort then begin
-        (* Once the coordinator decided commit, no participant replica may
-           walk the decision back: the termination protocol must surface
-           rescue evidence (an Apply, an advanced version, or a retained
-           foreign write on a peer) before the lease is presumed dead. *)
-        if Hashtbl.mem xshard_committed e.txn then
-          report "cross-shard-atomicity" e.time e.txn
-            (Printf.sprintf
-               "node %d presumed abort after the cross-shard commit was decided \
-                — rescue evidence failed to propagate" e.node)
-      end
-      else if k = Sem.lease_grant then begin
-        let key = (e.node, e.oid) in
-        (match Hashtbl.find_opt leases key with
-        | Some owner when owner <> e.txn ->
-          report "lease-overlap" e.time e.txn
-            (Printf.sprintf
-               "granted write lease on oid %d at node %d while txn %d still holds it"
-               e.oid e.node owner)
-        | _ -> ());
-        Hashtbl.replace leases key e.txn
-      end
-      else if k = Sem.lease_release then begin
-        let key = (e.node, e.oid) in
-        match Hashtbl.find_opt leases key with
-        | Some owner when owner = e.txn || e.txn < 0 -> Hashtbl.remove leases key
-        | _ -> ()
-      end
-      else if k = Sem.batch_entry then
-        Hashtbl.replace batch_entry_of e.txn (e.a, e.b)
-      else if k = Sem.spec_read then begin
-        (* b = 1 marks an undecided predecessor: a true speculative
-           dependency.  b = 0 images are already-committed state. *)
-        if e.b = 1 then begin
-          match Hashtbl.find_opt spec_deps_of e.txn with
-          | Some l -> if not (List.mem e.a !l) then l := e.a :: !l
-          | None -> Hashtbl.replace spec_deps_of e.txn (ref [ e.a ])
-        end
-      end
-      else if k = Sem.batch_decide then begin
-        (* (a) within one batch, entries decide in strictly increasing
-           queue order — decide order IS version-install order, so a
-           regression would apply versions against queue order. *)
-        (match Hashtbl.find_opt batch_entry_of e.txn with
-        | Some (batch, pos) when batch = e.a ->
-          (match Hashtbl.find_opt last_decided batch with
-          | Some (last, other) when pos <= last ->
-            report "batch-order" e.time e.txn
-              (Printf.sprintf
-                 "batch %d decided queue position %d after position %d (txn \
-                  %d): applied versions would not respect queue order"
-                 batch pos last other)
-          | Some _ | None -> ());
-          Hashtbl.replace last_decided batch (pos, e.txn)
-        | Some (batch, _) ->
-          report "batch-order" e.time e.txn
-            (Printf.sprintf "decided in batch %d but last cut into batch %d"
-               e.a batch)
-        | None ->
-          report "batch-order" e.time e.txn
-            (Printf.sprintf "decided in batch %d without a batch.entry" e.a));
-        Hashtbl.replace batch_outcome e.txn (e.b = 1);
-        (* (b) a speculative txn never commits in a round its predecessor
-           aborted in (or before the predecessor is decided at all). *)
-        if e.b = 1 then begin
-          match Hashtbl.find_opt spec_deps_of e.txn with
-          | Some deps ->
-            List.iter
-              (fun w ->
-                match Hashtbl.find_opt batch_outcome w with
-                | Some true -> ()
-                | Some false ->
-                  report "batch-order" e.time e.txn
-                    (Printf.sprintf
-                       "speculative txn committed though predecessor %d it \
-                        read from aborted" w)
-                | None ->
-                  report "batch-order" e.time e.txn
-                    (Printf.sprintf
-                       "speculative txn committed before predecessor %d it \
-                        read from was decided" w))
-              !deps
-          | None -> ()
-        end
-      end
-      else if k = Sem.txn_partial_abort then begin
-        (* A partial abort may roll speculative reads back with the scope;
-           the surviving dependency set is not reconstructible from the
-           trace, so drop the txn's deps (conservative: misses violations,
-           never fabricates one — re-executed reads re-record theirs). *)
-        Hashtbl.remove spec_deps_of e.txn;
-        (match Hashtbl.find_opt pending_unwind e.txn with
-        | Some target ->
-          report "partial-abort-scope" e.time e.txn
-            (Printf.sprintf
-               "partial abort to %d while unwind to %d never resumed" e.a target)
-        | None -> ());
-        Hashtbl.replace pending_unwind e.txn e.a
-      end
-      else if k = Sem.scope_resume then begin
-        match Hashtbl.find_opt pending_unwind e.txn with
-        | Some target ->
-          Hashtbl.remove pending_unwind e.txn;
-          if e.a <> target then
-            report "partial-abort-scope" e.time e.txn
-              (Printf.sprintf "partial abort targeted %d but resumed at %d"
-                 target e.a)
-        | None ->
-          report "partial-abort-scope" e.time e.txn
-            (Printf.sprintf "scope resume at %d without a pending partial abort"
-               e.a)
-      end
-      else if k = Sem.txn_root_abort || k = Sem.txn_end then
-        (* Root abort is the legal fallback when the unwind target is gone. *)
-        Hashtbl.remove pending_unwind e.txn
-      else if k = Sem.apply then Hashtbl.replace evidence e.txn ()
-      else if k = Sem.rescue then begin
-        (* b = 1 marks version-advance evidence: the leased copy moved past
-           the protected version, which a *different* transaction's commit
-           can cause across membership views — no per-txn apply is implied. *)
-        if e.b <> 1 && not (Hashtbl.mem evidence e.txn) then
-          report "rescue-evidence" e.time e.txn
-            "rescued to commit without prior commit evidence (no apply or \
-             coordinator commit in trace)"
-      end
-      else if k = Sem.widen_add then begin
-        match Hashtbl.find_opt witnesses e.txn with
-        | Some l ->
-          if not (List.mem_assoc e.a !l) then l := (e.a, e.b) :: !l
-        | None -> Hashtbl.replace witnesses e.txn (ref [ (e.a, e.b) ])
-      end
-      else if k = Sem.widen_drop then begin
-        match Hashtbl.find_opt witnesses e.txn with
-        | Some l -> l := List.filter (fun (w, _) -> w <> e.a) !l
-        | None -> ()
-      end
-      else if k = Sem.read_send then begin
-        match Hashtbl.find_opt open_group e.txn with
-        | Some (time, oid, dsts, _) when time = e.time && oid = e.oid ->
-          dsts := e.a :: !dsts
-        | _ ->
-          close_group e.txn;
-          let flagged =
-            match Hashtbl.find_opt witnesses e.txn with
-            | Some l ->
-              List.filter_map
-                (fun (w, ws) ->
-                  if ws = -1 || e.b = -1 || ws = e.b then Some w else None)
-                !l
-            | None -> []
-          in
-          Hashtbl.replace open_group e.txn (e.time, e.oid, ref [ e.a ], flagged)
-      end)
-    events;
-  Hashtbl.fold (fun txn _ acc -> txn :: acc) open_group []
-  |> List.sort Int.compare
-  |> List.iter close_group;
-  List.rev !violations
+  let ck = Online.create ?is_write_quorum () in
+  List.iter (Online.feed ck) events;
+  Online.finish ck

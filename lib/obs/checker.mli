@@ -50,10 +50,16 @@
       have no batch events and are vacuously clean.
 
     Traces with ring-buffer overflow ({!Tracer.dropped} > 0) have lost
-    prefix events and can produce false positives — callers should size the
-    tracer for the run or warn. *)
+    prefix events and can produce false positives — callers must treat the
+    verdict as {e inconclusive} (the CLI exits with a distinct code), or
+    check online via {!Online.attach}, which sees every event before
+    eviction.
 
-type violation = {
+    [check] is a thin wrapper over the streaming engine in {!Online} (feed
+    the whole list, finish), so online and offline verdicts agree by
+    construction. *)
+
+type violation = Online.violation = {
   rule : string;
   time : float;  (** time of the event that exposed the violation *)
   txn : int;  (** transaction involved, -1 if n/a *)

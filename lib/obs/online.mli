@@ -1,0 +1,101 @@
+(** Online (streaming) protocol-invariant checking with bounded state.
+
+    [Online] hosts the same rule set as the offline {!Checker} — commit-
+    quorum, epoch-fencing, cross-shard-atomicity, lease-overlap,
+    partial-abort-scope, rescue-evidence, widen-read, batch-order; see
+    {!Checker} and OBSERVABILITY.md for the rule semantics — but consumes
+    the event stream incrementally, one event per {!feed}/{!feed8} call,
+    while the run executes.  Per-transaction rule state retires at
+    [txn.end] and [txn.root_abort] (each attempt runs under a fresh txn
+    id) and lease entries at [lease.release], so checker memory is
+    O(in-flight transactions) plus bounded side tables, not O(trace).
+
+    {!Checker.check} is a thin wrapper over this module (feed the whole
+    list, {!finish}), so online and offline verdicts agree by
+    construction.
+
+    Subscribe to a live run with {!attach}: the checker becomes the
+    tracer's sink and sees {e every} emitted event, including ones the
+    ring subsequently evicts — streaming verdicts are immune to ring
+    truncation.  Feeding draws no RNG and schedules no simulator events,
+    so an attached checker keeps traced runs byte-identical.
+
+    Bounded side tables: commit evidence, cross-shard decisions and batch
+    outcomes are consulted only within a bounded horizon of their
+    producing transaction (a rescue references a lease-recent txn, a batch
+    dependency a queue-recent one), so they live in insertion-order-
+    evicting maps of [horizon] entries.  Distinct committed voter sets are
+    deduplicated per (shard, epoch) — bounded by the handful of quorums a
+    view can produce, not by the number of commits. *)
+
+type violation = {
+  rule : string;
+  time : float;  (** time of the event that exposed the violation *)
+  txn : int;  (** transaction involved, -1 if n/a *)
+  detail : string;
+}
+
+exception Violation of violation
+(** Raised by a [~fail_fast] checker at the first violation, aborting the
+    experiment from inside the emission path. *)
+
+type t
+
+val create :
+  ?is_write_quorum:(int list -> bool) ->
+  ?fail_fast:bool ->
+  ?on_violation:(violation -> unit) ->
+  ?horizon:int ->
+  unit ->
+  t
+(** [is_write_quorum] enables the structural quorum rule for single-round
+    commits (otherwise the pairwise-intersection fallback applies, scoped
+    per shard and epoch).  [on_violation] fires at each violation as it is
+    detected, with the offending event's simulated time.  [fail_fast]
+    additionally raises {!Violation} (after [on_violation]).  [horizon]
+    sizes the bounded side tables (default 65536 retained transactions). *)
+
+val feed : t -> Tracer.event -> unit
+(** Advance the state machines by one event (record view). *)
+
+val feed8 :
+  t ->
+  time:float ->
+  kind:Kind.t ->
+  node:int ->
+  txn:int ->
+  oid:int ->
+  a:int ->
+  b:int ->
+  x:float ->
+  unit
+(** Flat-payload feeding — the {!Tracer.sink}-shaped hot path. *)
+
+val attach : t -> Tracer.t -> unit
+(** Install the checker as [tracer]'s sink ({!Tracer.set_sink}): every
+    subsequent emission is fed to the checker as it happens. *)
+
+val flush : t -> unit
+(** End-of-stream: judge any still-open read fan-outs (smallest txn id
+    first, matching the offline checker's end-of-trace order).  Call when
+    the run has drained; idempotent. *)
+
+val finish : t -> violation list
+(** {!flush}, then all violations in stream order. *)
+
+val violations : t -> violation list
+(** Violations detected so far, in stream order (without flushing). *)
+
+val n_violations : t -> int
+
+val tracked_txns : t -> int
+(** Transactions currently holding rule state — the live-memory gauge;
+    returns to (near) zero once a run drains. *)
+
+val peak_tracked : t -> int
+(** High-water mark of {!tracked_txns} — bounded by the maximum number of
+    in-flight transactions, not by trace length. *)
+
+val events_seen : t -> int
+
+val pp_violation : violation -> string

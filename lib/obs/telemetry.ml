@@ -50,7 +50,7 @@ let has_cross_shard t =
 
 let columns t =
   [
-    "time_ms"; "commits_per_s"; "aborts_per_s"; "in_flight";
+    "time_ms"; "reset"; "commits_per_s"; "aborts_per_s"; "in_flight";
     "lease_expirations"; "speculation_aborts"; "batches_per_s";
   ]
   @ (if has_cross_shard t then
@@ -68,17 +68,38 @@ let rows t =
     let count kind s =
       match List.assoc_opt kind s.s_by_kind with Some n -> n | None -> 0
     in
-    let rate prev cur = float_of_int (cur - prev) /. t.win *. 1000. in
     let rec walk prev = function
       | [] -> []
       | s :: tl ->
+        (* A window across which any monotone counter stepped backwards
+           spans a counter reset (the end-of-warm-up zeroing): its deltas
+           mix pre- and post-reset totals and mean nothing.  Flag the row
+           ([reset] = 1) and publish NaN for every derived rate — rendered
+           "n/a" downstream — so reset artifacts can never be mistaken for
+           real rates.  Gauges (in_flight) are unaffected. *)
+        let reset =
+          s.s_commits < prev.s_commits
+          || s.s_aborts < prev.s_aborts
+          || s.s_lease_exp < prev.s_lease_exp
+          || s.s_spec_aborts < prev.s_spec_aborts
+          || s.s_batches < prev.s_batches
+          || s.s_xshard_commits < prev.s_xshard_commits
+          || s.s_xshard_aborts < prev.s_xshard_aborts
+          || List.exists (fun k -> count k s < count k prev) ks
+        in
+        let rate prev cur =
+          if reset then Float.nan
+          else float_of_int (cur - prev) /. t.win *. 1000.
+        in
+        let delta prev cur = if reset then Float.nan else float_of_int (cur - prev) in
         let row =
           [
+            (if reset then 1. else 0.);
             rate prev.s_commits s.s_commits;
             rate prev.s_aborts s.s_aborts;
             float_of_int s.s_in_flight;
-            float_of_int (s.s_lease_exp - prev.s_lease_exp);
-            float_of_int (s.s_spec_aborts - prev.s_spec_aborts);
+            delta prev.s_lease_exp s.s_lease_exp;
+            delta prev.s_spec_aborts s.s_spec_aborts;
             rate prev.s_batches s.s_batches;
           ]
           @ (if xs then

@@ -10,7 +10,9 @@
     Exports derive per-window rates from consecutive raw totals.  The first
     sample seeds the deltas and yields no row.  Counter totals can step
     backwards across a harness counter reset (end of warm-up); such windows
-    render their raw negative delta — honest, and trivially recognisable. *)
+    are flagged ([reset] column = 1) and excluded from every derived rate
+    (NaN, rendered "n/a" downstream) — a reset artifact can never be
+    mistaken for a real rate.  Gauge columns (in_flight) are unaffected. *)
 
 type t
 
@@ -45,9 +47,10 @@ val samples : t -> int
 (** Number of raw samples recorded so far. *)
 
 val columns : t -> string list
-(** Export header: time_ms, commits_per_s, aborts_per_s, in_flight,
-    lease_expirations, speculation_aborts, batches_per_s, the two
-    cross-shard columns when any sample recorded cross-shard traffic,
+(** Export header: time_ms, reset (1 when the window spans a counter
+    reset and its rate cells are NaN), commits_per_s, aborts_per_s,
+    in_flight, lease_expirations, speculation_aborts, batches_per_s, the
+    two cross-shard columns when any sample recorded cross-shard traffic,
     then one [msg_<kind>_per_s] column per message kind ever seen (sorted
     by name). *)
 

@@ -15,6 +15,19 @@ type event = {
   x : float;
 }
 
+type sink =
+  time:float ->
+  kind:int ->
+  node:int ->
+  txn:int ->
+  oid:int ->
+  a:int ->
+  b:int ->
+  x:float ->
+  unit
+
+let no_sink ~time:_ ~kind:_ ~node:_ ~txn:_ ~oid:_ ~a:_ ~b:_ ~x:_ = ()
+
 type t = {
   enabled : bool;
   times : float array;
@@ -28,6 +41,8 @@ type t = {
   mutable start : int; (* index of the oldest retained event *)
   mutable len : int;
   mutable dropped : int;
+  mutable has_sink : bool; (* guard so the common no-sink path skips a call *)
+  mutable sink : sink;
 }
 
 let null =
@@ -44,6 +59,8 @@ let null =
     start = 0;
     len = 0;
     dropped = 0;
+    has_sink = false;
+    sink = no_sink;
   }
 
 let create ?(capacity = 1 lsl 20) () =
@@ -61,7 +78,18 @@ let create ?(capacity = 1 lsl 20) () =
     start = 0;
     len = 0;
     dropped = 0;
+    has_sink = false;
+    sink = no_sink;
   }
+
+let set_sink t f =
+  if not t.enabled then invalid_arg "Tracer.set_sink: disabled tracer";
+  t.sink <- f;
+  t.has_sink <- true
+
+let clear_sink t =
+  t.sink <- no_sink;
+  t.has_sink <- false
 
 let enabled t = t.enabled
 
@@ -91,7 +119,10 @@ let emit8 t ~time ~kind ~node ~txn ~oid ~a ~b ~x =
       let s = t.start + 1 in
       t.start <- (if s >= cap then 0 else s);
       t.dropped <- t.dropped + 1
-    end
+    end;
+    (* The sink sees every event, including ones the ring will evict —
+       streaming consumers are immune to ring truncation. *)
+    if t.has_sink then t.sink ~time ~kind ~node ~txn ~oid ~a ~b ~x
   end
 
 let emit t ~time ~kind ?(node = -1) ?(txn = -1) ?(oid = -1) ?(a = -1) ?(b = -1)

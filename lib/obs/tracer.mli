@@ -70,6 +70,31 @@ val emit8 :
     The hot-path form — a disabled tracer costs one load and branch, an
     enabled one eight array stores. *)
 
+type sink =
+  time:float ->
+  kind:int ->
+  node:int ->
+  txn:int ->
+  oid:int ->
+  a:int ->
+  b:int ->
+  x:float ->
+  unit
+(** A streaming consumer of the event firehose, called from inside
+    {!emit8} with the same flat payload.  Sinks see {e every} emitted
+    event — including ones the ring subsequently evicts — so a streaming
+    consumer (the online protocol checker, {!Online}) is immune to ring
+    truncation.  A sink must uphold the determinism contract itself:
+    schedule no simulator events, draw no RNG. *)
+
+val set_sink : t -> sink -> unit
+(** Install the tracer's sink (one at a time; replaces any previous).
+    Raises [Invalid_argument] on the shared disabled {!null} tracer, whose
+    emission path is a no-op. *)
+
+val clear_sink : t -> unit
+(** Remove the sink, restoring the ring-only emission path. *)
+
 val length : t -> int
 (** Events currently retained. *)
 

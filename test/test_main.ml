@@ -13,6 +13,7 @@ let () = Alcotest.run "qr_dtm" [
       ("serializability", Test_serializability.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("online", Test_online.suite);
       ("parallel", Test_parallel.suite);
       ("smoke", Test_smoke.suite);
       ("structures", Test_structures.suite);

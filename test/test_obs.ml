@@ -266,13 +266,14 @@ let test_telemetry_rates () =
     ~lease_expirations:1 ~by_kind:[ ("apply", 50) ] ();
   Alcotest.(check int) "two samples" 2 (Obs.Telemetry.samples tele);
   Alcotest.(check (list string)) "columns"
-    [ "time_ms"; "commits_per_s"; "aborts_per_s"; "in_flight";
+    [ "time_ms"; "reset"; "commits_per_s"; "aborts_per_s"; "in_flight";
       "lease_expirations"; "speculation_aborts"; "batches_per_s";
       "msg_apply_per_s" ]
     (Obs.Telemetry.columns tele);
   (match Obs.Telemetry.rows tele with
-  | [ (time, [ commits_s; aborts_s; in_flight; lease; spec; batches_s; apply_s ]) ] ->
+  | [ (time, [ reset; commits_s; aborts_s; in_flight; lease; spec; batches_s; apply_s ]) ] ->
     Alcotest.(check (float 1e-9)) "row time" 500. time;
+    Alcotest.(check (float 1e-9)) "no reset" 0. reset;
     Alcotest.(check (float 1e-9)) "commit rate" 20. commits_s;
     Alcotest.(check (float 1e-9)) "abort rate" 4. aborts_s;
     Alcotest.(check (float 1e-9)) "in-flight gauge" 3. in_flight;
@@ -284,6 +285,35 @@ let test_telemetry_rates () =
   let csv = Obs.Telemetry.to_csv tele in
   Alcotest.(check bool) "csv header" true
     (String.length csv > 0 && String.sub csv 0 7 = "time_ms")
+
+let test_telemetry_reset_window () =
+  let tele = Obs.Telemetry.create ~window:500. in
+  Obs.Telemetry.record tele ~time:0. ~commits:40 ~aborts:8 ~in_flight:2
+    ~lease_expirations:3 ~by_kind:[ ("apply", 90) ] ();
+  (* Counter reset between samples: totals step backwards. *)
+  Obs.Telemetry.record tele ~time:500. ~commits:5 ~aborts:1 ~in_flight:4
+    ~lease_expirations:0 ~by_kind:[ ("apply", 10) ] ();
+  Obs.Telemetry.record tele ~time:1000. ~commits:15 ~aborts:2 ~in_flight:1
+    ~lease_expirations:0 ~by_kind:[ ("apply", 60) ] ();
+  match Obs.Telemetry.rows tele with
+  | [ (_, reset_row); (_, clean_row) ] ->
+    (match (reset_row, clean_row) with
+    | ( [ r1; c1; a1; g1; l1; s1; b1; m1 ],
+        [ r2; c2; a2; g2; l2; s2; b2; m2 ] ) ->
+      Alcotest.(check (float 1e-9)) "reset flagged" 1. r1;
+      Alcotest.(check bool) "reset window rates are nan" true
+        (List.for_all Float.is_nan [ c1; a1; l1; s1; b1; m1 ]);
+      Alcotest.(check (float 1e-9)) "gauge survives the reset window" 4. g1;
+      Alcotest.(check (float 1e-9)) "clean window not flagged" 0. r2;
+      Alcotest.(check (float 1e-9)) "clean commit rate" 20. c2;
+      Alcotest.(check (float 1e-9)) "clean abort rate" 2. a2;
+      Alcotest.(check (float 1e-9)) "clean gauge" 1. g2;
+      Alcotest.(check (float 1e-9)) "clean lease delta" 0. l2;
+      Alcotest.(check (float 1e-9)) "clean spec delta" 0. s2;
+      Alcotest.(check (float 1e-9)) "clean batch rate" 0. b2;
+      Alcotest.(check (float 1e-9)) "clean msg rate" 100. m2
+    | _ -> Alcotest.fail "unexpected row shapes")
+  | rows -> Alcotest.failf "unexpected rows: %d" (List.length rows)
 
 let test_telemetry_first_sample_seeds () =
   let tele = Obs.Telemetry.create ~window:100. in
@@ -409,6 +439,8 @@ let suite =
     Alcotest.test_case "checker: widen read" `Quick test_checker_widen_read;
     Alcotest.test_case "checker: healthy real trace" `Slow test_checker_on_real_trace;
     Alcotest.test_case "telemetry: windowed rates" `Quick test_telemetry_rates;
+    Alcotest.test_case "telemetry: reset window flagged" `Quick
+      test_telemetry_reset_window;
     Alcotest.test_case "telemetry: first sample seeds" `Quick
       test_telemetry_first_sample_seeds;
     Alcotest.test_case "telemetry: experiment integration" `Slow

@@ -165,6 +165,48 @@ let test_histogram () =
   Alcotest.(check int) "in-range total" 5 total_in_range;
   Alcotest.(check bool) "render non-empty" true (String.length (Util.Histogram.render h) > 0)
 
+let test_hdr_percentiles () =
+  let h = Util.Hdr.create () in
+  Alcotest.(check (float 0.)) "empty percentile" 0. (Util.Hdr.percentile h 50.);
+  for i = 1 to 10_000 do
+    Util.Hdr.add h (float_of_int i /. 10.)
+  done;
+  Alcotest.(check int) "count" 10_000 (Util.Hdr.count h);
+  Alcotest.(check (float 1e-9)) "exact min" 0.1 (Util.Hdr.min_value h);
+  Alcotest.(check (float 1e-9)) "exact max" 1000. (Util.Hdr.max_value h);
+  Alcotest.(check (float 1e-9)) "p0 is min" 0.1 (Util.Hdr.percentile h 0.);
+  Alcotest.(check (float 1e-9)) "p100 is max" 1000. (Util.Hdr.percentile h 100.);
+  (* Uniform samples: each quoted quantile within the bucket error bound. *)
+  List.iter
+    (fun p ->
+      let expected = p /. 100. *. 1000. in
+      let got = Util.Hdr.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f (%.2f) within 3%% of %.2f" p got expected)
+        true
+        (Float.abs (got -. expected) /. expected < 0.03))
+    [ 50.; 90.; 95.; 99. ];
+  Util.Hdr.reset h;
+  Alcotest.(check int) "reset zeroes count" 0 (Util.Hdr.count h)
+
+let test_hdr_merge_and_clamp () =
+  let a = Util.Hdr.create () and b = Util.Hdr.create () in
+  List.iter (Util.Hdr.add a) [ 1.; 2.; 3. ];
+  List.iter (Util.Hdr.add b) [ 100.; 200. ];
+  Util.Hdr.merge ~into:a b;
+  Alcotest.(check int) "merged count" 5 (Util.Hdr.count a);
+  Alcotest.(check (float 1e-9)) "merged max" 200. (Util.Hdr.max_value a);
+  (* NaN and negatives clamp to 0 instead of poisoning aggregates. *)
+  let c = Util.Hdr.create () in
+  Util.Hdr.add c Float.nan;
+  Util.Hdr.add c (-5.);
+  Alcotest.(check int) "clamped samples recorded" 2 (Util.Hdr.count c);
+  Alcotest.(check (float 1e-9)) "clamped to zero" 0. (Util.Hdr.max_value c);
+  let mismatched = Util.Hdr.create ~rel_error:0.05 () in
+  Alcotest.check_raises "layout mismatch rejected"
+    (Invalid_argument "Hdr.merge: incompatible layouts") (fun () ->
+      Util.Hdr.merge ~into:a mismatched)
+
 let contains haystack needle =
   let nl = String.length needle and hl = String.length haystack in
   let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
@@ -201,6 +243,8 @@ let suite =
     Alcotest.test_case "zipf skew shape" `Quick test_zipf_skew_prefers_small;
     Alcotest.test_case "stats accumulators" `Quick test_stats;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "hdr percentiles" `Quick test_hdr_percentiles;
+    Alcotest.test_case "hdr merge and clamp" `Quick test_hdr_merge_and_clamp;
     Alcotest.test_case "table rendering" `Quick test_table_render;
   ]
   @ qcheck_cases
